@@ -1,0 +1,227 @@
+package scaleindep
+
+// Benchmarks regenerating every table/figure of the reproduction (see
+// DESIGN.md §3 for the experiment index). Each benchmark wraps one
+// experiment of internal/bench in quick mode, plus fine-grained benches
+// for the core engine paths. Run:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/sibench prints the full paper-style tables.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/incr"
+	"repro/internal/qdsi"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for _, e := range bench.All() {
+		if e.ID != id {
+			continue
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Run(true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return
+	}
+	b.Fatalf("unknown experiment %q", id)
+}
+
+// BenchmarkTable1 regenerates the Table 1 validation tables (QDSI
+// complexity cells).
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "T1") }
+
+// BenchmarkF1a_BoundedVsNaive regenerates Example 1.1(a): Q1 bounded vs
+// naive scaling.
+func BenchmarkF1a_BoundedVsNaive(b *testing.B) { runExperiment(b, "F1a") }
+
+// BenchmarkF1b_Incremental regenerates Example 1.1(b): incremental Q2.
+func BenchmarkF1b_Incremental(b *testing.B) { runExperiment(b, "F1b") }
+
+// BenchmarkF1c_Views regenerates Example 1.1(c): Q2 via views.
+func BenchmarkF1c_Views(b *testing.B) { runExperiment(b, "F1c") }
+
+// BenchmarkX44_QCntl regenerates the Theorem 4.4 experiment.
+func BenchmarkX44_QCntl(b *testing.B) { runExperiment(b, "X4.4") }
+
+// BenchmarkX45_Embedded regenerates the Proposition 4.5 / Example 4.6
+// experiment.
+func BenchmarkX45_Embedded(b *testing.B) { runExperiment(b, "X4.5") }
+
+// BenchmarkX54_RAA regenerates the Theorem 5.4 experiment.
+func BenchmarkX54_RAA(b *testing.B) { runExperiment(b, "X5.4") }
+
+// BenchmarkX61_VQSI regenerates the Theorem 6.1 experiment.
+func BenchmarkX61_VQSI(b *testing.B) { runExperiment(b, "X6.1") }
+
+// BenchmarkXGLT_Deltas regenerates the GLT maintenance substrate
+// experiment.
+func BenchmarkXGLT_Deltas(b *testing.B) { runExperiment(b, "XGLT") }
+
+// --- Fine-grained engine benchmarks (X-4.2: Theorem 4.2 hot paths). ---
+
+func socialEngine(b *testing.B, persons int) (*core.Engine, *store.DB) {
+	b.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Persons = persons
+	cfg.Seed = 7
+	db, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := store.Open(db, workload.Access(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.NewEngine(st), st
+}
+
+// BenchmarkX42_BoundedEval measures one bounded evaluation of Q1 (Theorem
+// 4.2's executable side) on a 10k-person graph.
+func BenchmarkX42_BoundedEval(b *testing.B) {
+	eng, _ := socialEngine(b, 10000)
+	q, err := ParseQuery(workload.Q1Src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := eng.Controllable(q, NewVarSet("p"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.AnswerWith(q, Bindings{"p": Int(int64(i % 1000))}, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkX42_NaiveEval is the unbounded baseline for the same query.
+func BenchmarkX42_NaiveEval(b *testing.B) {
+	_, st := socialEngine(b, 10000)
+	q, err := ParseQuery(workload.Q1Src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Answers(eval.DBSource{DB: st.Data()}, q, Bindings{"p": Int(int64(i % 1000))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkControllabilityAnalysis measures the analyzer on Q3 with
+// embedded entries (the chase path).
+func BenchmarkControllabilityAnalysis(b *testing.B) {
+	eng, _ := socialEngine(b, 100)
+	q, err := ParseQuery(workload.Q3Src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.An.AnalyzeQuery(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalMaintenance measures one maintained visit insertion
+// for Q2 on a 10k-person graph.
+func BenchmarkIncrementalMaintenance(b *testing.B) {
+	eng, st := socialEngine(b, 10000)
+	q2, err := ParseCQ(workload.Q2Src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := incr.NewCQMaintainer(eng, q2, Bindings{"p": Int(7)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := relation.NewTuple(Int(int64(i%10000)), Int(1_000_000), Int(2013), Int(int64(1+i%12)), Int(29))
+		u := relation.NewUpdate()
+		if st.Data().Rel("visit").Contains(t) {
+			u.Delete("visit", t)
+		} else {
+			u.Insert("visit", t)
+		}
+		if _, _, err := m.Apply(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQDSISetCover measures the exact QDSI decider on a star graph.
+func BenchmarkQDSISetCover(b *testing.B) {
+	q, err := ParseCQ("Q(x, y) :- R(x, z), R(z, y)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := relation.MustSchema(relation.MustRelSchema("R", "a", "b"))
+	d := relation.NewDatabase(s)
+	for i := 0; i < 10; i++ {
+		d.MustInsert("R", relation.Ints(int64(1+i), 0))
+		d.MustInsert("R", relation.Ints(0, int64(100+i)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qdsi.DecideCQ(q, d, d.Size(), qdsi.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Facade smoke test: the public API answers Q1 correctly end to end.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.Persons = 300
+	db, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(db, workload.Access(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(workload.Q1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := Bindings{"p": Int(11)}
+	ans, err := eng.Answer(q, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NaiveAnswers(db, q, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Tuples.Equal(naive) {
+		t.Fatalf("facade answers differ: %v vs %v", ans.Tuples.Tuples(), naive.Tuples())
+	}
+	if _, err := Controllable(eng, q, NewVarSet("p")); err != nil {
+		t.Fatal(err)
+	}
+	_ = query.Bindings(nil) // keep import grouping honest
+}

@@ -1,0 +1,129 @@
+// Command sicheck analyzes the controllability of a query under an access
+// schema: it prints the minimal controlling variable sets, the derivation
+// for a requested set, the compiled bounded plan and its static cost bound
+// (Section 4 of the paper), and answers QCntl/QCntl_min questions
+// (Theorem 4.4).
+//
+// Usage:
+//
+//	sicheck -catalog catalog.txt -query "Q1(p, name) := exists id (friend(p, id) and person(id, name, 'NYC'))" [-fix p] [-k 1] [-min p]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/query"
+)
+
+func main() {
+	catalogPath := flag.String("catalog", "", "path to a catalog file (relation/access/fd declarations)")
+	querySrc := flag.String("query", "", "query text, e.g. \"Q(x) := R(x, y)\"")
+	fix := flag.String("fix", "", "comma-separated variables to check controllability for (default: report all minimal sets)")
+	k := flag.Int("k", -1, "QCntl: is there a controlling set of size ≤ k?")
+	min := flag.String("min", "", "QCntl_min: is there a minimal controlling set containing this variable?")
+	advise := flag.Bool("advise", false, "when -fix is given and the query is not controlled, propose access entries that would make it so")
+	flag.Parse()
+
+	if *catalogPath == "" || *querySrc == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	catText, err := os.ReadFile(*catalogPath)
+	if err != nil {
+		fatal(err)
+	}
+	cat, err := parser.ParseCatalog(string(catText))
+	if err != nil {
+		fatal(fmt.Errorf("catalog: %w", err))
+	}
+	q, err := parser.ParseQuery(*querySrc)
+	if err != nil {
+		fatal(fmt.Errorf("query: %w", err))
+	}
+	an := core.NewAnalyzer(cat.Access)
+	res, err := an.AnalyzeQuery(q)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("query: %s\n", q)
+	fmt.Printf("access schema:\n%s\n\n", indent(cat.Access.String()))
+	fam := res.Family()
+	if len(fam) == 0 {
+		fmt.Println("no controlling sets derivable: the query is not controlled under this access schema")
+	} else {
+		fmt.Println("minimal controlling sets:")
+		for _, s := range fam {
+			d := res.Controls(s)
+			fmt.Printf("  %-24s %s\n", s.String(), core.CostOf(d))
+		}
+	}
+	if res.Truncated {
+		fmt.Println("(analysis truncated: more sets may exist)")
+	}
+	if *fix != "" {
+		x := query.NewVarSet(splitVars(*fix)...)
+		d := res.Controls(x)
+		fmt.Printf("\n%s-controlled: %v\n", x, d != nil)
+		if d != nil {
+			fmt.Println(core.NewPlan(d).Describe())
+		} else if *advise {
+			adv, err := core.Advise(cat.Access, q, x, nil)
+			if err != nil {
+				fmt.Printf("no advice: %v\n", err)
+			} else {
+				fmt.Println("proposed access entries (confirm the N bounds against your data):")
+				for _, e := range adv.Entries {
+					fmt.Printf("  %s\n", e.String())
+				}
+				fmt.Println("\nresulting plan:")
+				fmt.Println(core.NewPlan(adv.Derivation).Describe())
+			}
+		}
+	}
+	if *k >= 0 {
+		set, ok, err := core.QCntl(an, q, *k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nQCntl(k=%d): %v", *k, ok)
+		if ok {
+			fmt.Printf(" witness %s", set)
+		}
+		fmt.Println()
+	}
+	if *min != "" {
+		set, ok, err := core.QCntlMin(an, q, *min)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("QCntl_min(%s): %v", *min, ok)
+		if ok {
+			fmt.Printf(" witness %s", set)
+		}
+		fmt.Println()
+	}
+}
+
+func splitVars(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sicheck:", err)
+	os.Exit(1)
+}

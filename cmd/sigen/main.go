@@ -1,0 +1,90 @@
+// Command sigen generates the synthetic social-graph workload (the
+// substitute for the paper's Facebook Graph Search dataset, Example 1.1)
+// and writes it as one CSV file per relation plus a catalog file with the
+// matching access schema.
+//
+// Usage:
+//
+//	sigen -out data/ -persons 10000 -max-friends 50 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "data", "output directory")
+	persons := flag.Int("persons", 10000, "number of persons")
+	maxFriends := flag.Int("max-friends", 50, "hard cap on friends per person (the paper's 5000)")
+	avgFriends := flag.Int("avg-friends", 10, "average friends per person")
+	restaurants := flag.Int("restaurants", 200, "number of restaurants")
+	visits := flag.Int("visits", 4, "visits per person")
+	seed := flag.Int64("seed", 1, "random seed (generation is deterministic per seed)")
+	flag.Parse()
+
+	cfg := workload.DefaultConfig()
+	cfg.Persons = *persons
+	cfg.MaxFriends = *maxFriends
+	cfg.AvgFriends = *avgFriends
+	cfg.Restaurants = *restaurants
+	cfg.VisitsPerPerson = *visits
+	cfg.Seed = *seed
+
+	db, err := workload.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	acc := workload.Access(cfg)
+	if err := acc.Conforms(db); err != nil {
+		fatal(fmt.Errorf("generated data violates its own access schema: %w", err))
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, name := range db.Schema().Names() {
+		path := filepath.Join(*out, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := relation.WriteCSV(f, db.Rel(name)); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d tuples)\n", path, db.Rel(name).Len())
+	}
+	catalog := catalogText(cfg)
+	catPath := filepath.Join(*out, "catalog.txt")
+	if err := os.WriteFile(catPath, []byte(catalog), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", catPath)
+	fmt.Printf("total |D| = %d tuples\n", db.Size())
+}
+
+// catalogText renders the schema + access schema in the parseable catalog
+// syntax.
+func catalogText(cfg workload.Config) string {
+	s := ""
+	for _, rs := range workload.Schema().Rels() {
+		s += "relation " + rs.String() + "\n"
+	}
+	s += "\n"
+	for _, e := range workload.Access(cfg).Explicit() {
+		s += e.String() + "\n"
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sigen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,320 @@
+// Package access implements access schemas, the central piece of additional
+// information that Section 4 of Fan, Geerts and Libkin (PODS 2014) uses to
+// obtain sufficient conditions for scale independence.
+//
+// A plain access schema A over a relational schema R is a set of tuples
+// (R, X, N, T): for every tuple ā of values for the attributes X, the set
+// σ_X=ā(R) has at most N tuples and can be retrieved in time at most T.
+//
+// Embedded entries generalize this to (R, X[Y], N, T) with X ⊆ Y: for every
+// ā, the projection π_Y(σ_X=ā(R)) has at most N tuples and can be retrieved
+// in time T. Plain entries are the special case Y = attr(R). A functional
+// dependency X → Y with retrieval time T is the embedded entry
+// (R, X[X ∪ Y], 1, T).
+package access
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Entry is one access schema statement (R, X[Y], N, T). A nil Proj means
+// Y = attr(R), i.e. a plain (non-embedded) entry.
+type Entry struct {
+	Rel  string   // relation name R
+	On   []string // X: the attributes whose values are provided
+	Proj []string // Y: the attributes retrieved; nil for all of attr(R)
+	N    int      // cardinality bound on the retrieved set
+	T    int      // retrieval time bound, in abstract units
+}
+
+// Plain builds a non-embedded entry (R, X, N, T).
+func Plain(rel string, on []string, n, t int) Entry {
+	return Entry{Rel: rel, On: on, N: n, T: t}
+}
+
+// Embedded builds an embedded entry (R, X[Y], N, T). Y must contain X;
+// Validate enforces this.
+func Embedded(rel string, on, proj []string, n, t int) Entry {
+	return Entry{Rel: rel, On: on, Proj: proj, N: n, T: t}
+}
+
+// FD encodes the functional dependency X → Y on R with retrieval time t as
+// the embedded entry (R, X[X ∪ Y], 1, t).
+func FD(rel string, x, y []string, t int) Entry {
+	proj := append(append([]string(nil), x...), y...)
+	return Entry{Rel: rel, On: x, Proj: dedup(proj), N: 1, T: t}
+}
+
+func dedup(attrs []string) []string {
+	seen := make(map[string]bool, len(attrs))
+	out := attrs[:0:0]
+	for _, a := range attrs {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// IsEmbedded reports whether the entry restricts the retrieved attributes
+// (Y ≠ attr(R) is possible; a nil Proj is never embedded).
+func (e Entry) IsEmbedded() bool { return e.Proj != nil }
+
+// ProjFor returns the effective Y for a relation schema: Proj if set,
+// otherwise all attributes of rs.
+func (e Entry) ProjFor(rs relation.RelSchema) []string {
+	if e.Proj != nil {
+		return e.Proj
+	}
+	return rs.Attrs
+}
+
+// Validate checks the entry against the relation schema it names.
+func (e Entry) Validate(s *relation.Schema) error {
+	rs, ok := s.Rel(e.Rel)
+	if !ok {
+		return fmt.Errorf("access: unknown relation %q", e.Rel)
+	}
+	if !rs.HasAttrs(e.On) {
+		return fmt.Errorf("access %s: X attributes %v not all in %v", e.Rel, e.On, rs.Attrs)
+	}
+	if err := noDup(e.On); err != nil {
+		return fmt.Errorf("access %s: X: %w", e.Rel, err)
+	}
+	if e.Proj != nil {
+		if !rs.HasAttrs(e.Proj) {
+			return fmt.Errorf("access %s: Y attributes %v not all in %v", e.Rel, e.Proj, rs.Attrs)
+		}
+		if err := noDup(e.Proj); err != nil {
+			return fmt.Errorf("access %s: Y: %w", e.Rel, err)
+		}
+		onSet := make(map[string]bool, len(e.On))
+		for _, a := range e.On {
+			onSet[a] = true
+		}
+		proj := make(map[string]bool, len(e.Proj))
+		for _, a := range e.Proj {
+			proj[a] = true
+		}
+		for a := range onSet {
+			if !proj[a] {
+				return fmt.Errorf("access %s: X ⊄ Y: %q missing from Y", e.Rel, a)
+			}
+		}
+	}
+	if e.N < 0 {
+		return fmt.Errorf("access %s: negative N %d", e.Rel, e.N)
+	}
+	if e.T < 0 {
+		return fmt.Errorf("access %s: negative T %d", e.Rel, e.T)
+	}
+	return nil
+}
+
+func noDup(attrs []string) error {
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if seen[a] {
+			return fmt.Errorf("duplicate attribute %q", a)
+		}
+		seen[a] = true
+	}
+	return nil
+}
+
+// String renders the entry in the textual access-schema syntax.
+func (e Entry) String() string {
+	var b strings.Builder
+	b.WriteString("access ")
+	b.WriteString(e.Rel)
+	b.WriteByte('(')
+	b.WriteString(strings.Join(e.On, ", "))
+	b.WriteString(" -> ")
+	if e.Proj == nil {
+		b.WriteByte('*')
+	} else {
+		b.WriteString(strings.Join(e.Proj, ", "))
+	}
+	b.WriteByte(')')
+	fmt.Fprintf(&b, " limit %d time %d", e.N, e.T)
+	return b.String()
+}
+
+// Schema is an access schema A: a set of entries over a relational schema.
+//
+// ImplicitMembership, when true (the default from New), additionally
+// treats every relation R as carrying the entry (R, attr(R), 1, 1): a
+// fully specified tuple can be tested for membership in constant time.
+// This matches Example 4.1 of the paper, where "all base relations are
+// controlled by all their free variables" even without explicit entries,
+// and corresponds to the primary index every real store has.
+type Schema struct {
+	rel                *relation.Schema
+	entries            []Entry
+	ImplicitMembership bool
+}
+
+// New returns an empty access schema over rel with implicit membership
+// enabled.
+func New(rel *relation.Schema) *Schema {
+	return &Schema{rel: rel, ImplicitMembership: true}
+}
+
+// Relational returns the underlying relational schema.
+func (a *Schema) Relational() *relation.Schema { return a.rel }
+
+// Add validates and appends an entry.
+func (a *Schema) Add(e Entry) error {
+	if err := e.Validate(a.rel); err != nil {
+		return err
+	}
+	a.entries = append(a.entries, e)
+	return nil
+}
+
+// MustAdd adds and panics on error.
+func (a *Schema) MustAdd(e Entry) *Schema {
+	if err := a.Add(e); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Entries returns the explicit entries plus, when ImplicitMembership is
+// set, one synthetic membership entry (R, attr(R), 1, 1) per relation.
+func (a *Schema) Entries() []Entry {
+	out := append([]Entry(nil), a.entries...)
+	if a.ImplicitMembership {
+		for _, rs := range a.rel.Rels() {
+			out = append(out, Plain(rs.Name, rs.Attrs, 1, 1))
+		}
+	}
+	return out
+}
+
+// Explicit returns only the explicitly added entries.
+func (a *Schema) Explicit() []Entry { return a.entries }
+
+// ForRel returns the (explicit + implicit) entries for one relation.
+func (a *Schema) ForRel(rel string) []Entry {
+	var out []Entry
+	for _, e := range a.Entries() {
+		if e.Rel == rel {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy (sharing the relational schema).
+func (a *Schema) Clone() *Schema {
+	c := &Schema{rel: a.rel, ImplicitMembership: a.ImplicitMembership}
+	c.entries = append([]Entry(nil), a.entries...)
+	return c
+}
+
+// WithWholeRelation returns a copy of a extended with (rel, ∅, n, 1): the
+// whole relation can be fetched and has at most n tuples. This is the
+// A(R) construction of Proposition 5.5.
+func (a *Schema) WithWholeRelation(rel string, n int) (*Schema, error) {
+	c := a.Clone()
+	if err := c.Add(Plain(rel, nil, n, 1)); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Conforms checks whether database db satisfies every entry: for each
+// (R, X[Y], N, T) and every X-value ā occurring in R, |π_Y(σ_X=ā(R))| ≤ N.
+// It returns nil if db conforms, and otherwise an error describing the
+// first violated entry and the offending group.
+func (a *Schema) Conforms(db *relation.Database) error {
+	for _, e := range a.entries { // implicit entries hold trivially
+		if err := conformsEntry(db, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func conformsEntry(db *relation.Database, e Entry) error {
+	r := db.Rel(e.Rel)
+	if r == nil {
+		return fmt.Errorf("access: database lacks relation %q", e.Rel)
+	}
+	rs := r.Schema()
+	onPos, err := rs.Positions(e.On)
+	if err != nil {
+		return err
+	}
+	projPos, err := rs.Positions(e.ProjFor(rs))
+	if err != nil {
+		return err
+	}
+	groups := make(map[string]*relation.TupleSet)
+	for _, t := range r.Tuples() {
+		k := t.Project(onPos).Key()
+		g := groups[k]
+		if g == nil {
+			g = relation.NewTupleSet(1)
+			groups[k] = g
+		}
+		g.Add(t.Project(projPos))
+		if g.Len() > e.N {
+			return fmt.Errorf("access violation: %s has > %d tuples for X-group of %s", e.String(), e.N, t)
+		}
+	}
+	return nil
+}
+
+// TightestN returns, for the entry e, the smallest N that db satisfies:
+// the size of the largest π_Y(σ_X=ā(R)) group. Useful when designing
+// access schemas from data.
+func TightestN(db *relation.Database, e Entry) (int, error) {
+	r := db.Rel(e.Rel)
+	if r == nil {
+		return 0, fmt.Errorf("access: database lacks relation %q", e.Rel)
+	}
+	rs := r.Schema()
+	onPos, err := rs.Positions(e.On)
+	if err != nil {
+		return 0, err
+	}
+	projPos, err := rs.Positions(e.ProjFor(rs))
+	if err != nil {
+		return 0, err
+	}
+	groups := make(map[string]*relation.TupleSet)
+	for _, t := range r.Tuples() {
+		k := t.Project(onPos).Key()
+		g := groups[k]
+		if g == nil {
+			g = relation.NewTupleSet(1)
+			groups[k] = g
+		}
+		g.Add(t.Project(projPos))
+	}
+	max := 0
+	for _, g := range groups {
+		if g.Len() > max {
+			max = g.Len()
+		}
+	}
+	return max, nil
+}
+
+// String renders the whole access schema, one entry per line, sorted for
+// determinism.
+func (a *Schema) String() string {
+	lines := make([]string, len(a.entries))
+	for i, e := range a.entries {
+		lines[i] = e.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

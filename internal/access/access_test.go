@@ -1,0 +1,163 @@
+package access
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func socialSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.MustRelSchema("person", "id", "name", "city"),
+		relation.MustRelSchema("friend", "id1", "id2"),
+		relation.MustRelSchema("visit", "id", "rid", "yy", "mm", "dd"),
+	)
+}
+
+func TestEntryValidate(t *testing.T) {
+	s := socialSchema()
+	ok := []Entry{
+		Plain("friend", []string{"id1"}, 5000, 1),
+		Plain("person", []string{"id"}, 1, 1),
+		Plain("friend", nil, 100, 1), // whole-relation entry
+		Embedded("visit", []string{"yy"}, []string{"yy", "mm", "dd"}, 366, 1),
+		FD("visit", []string{"id", "yy", "mm", "dd"}, []string{"rid"}, 1),
+	}
+	for _, e := range ok {
+		if err := e.Validate(s); err != nil {
+			t.Errorf("%s: unexpected error %v", e, err)
+		}
+	}
+	bad := []Entry{
+		Plain("nosuch", []string{"id"}, 1, 1),
+		Plain("friend", []string{"bogus"}, 1, 1),
+		Plain("friend", []string{"id1", "id1"}, 1, 1),
+		Embedded("visit", []string{"yy"}, []string{"mm"}, 366, 1), // X ⊄ Y
+		Embedded("visit", []string{"yy"}, []string{"yy", "zz"}, 366, 1),
+		{Rel: "friend", On: []string{"id1"}, N: -1},
+		{Rel: "friend", On: []string{"id1"}, N: 1, T: -2},
+	}
+	for _, e := range bad {
+		if err := e.Validate(s); err == nil {
+			t.Errorf("%s: invalid entry accepted", e)
+		}
+	}
+}
+
+func TestFDConstruction(t *testing.T) {
+	e := FD("visit", []string{"id", "yy"}, []string{"rid", "yy"}, 3)
+	if e.N != 1 || e.T != 3 {
+		t.Errorf("FD entry: N=%d T=%d", e.N, e.T)
+	}
+	// X ∪ Y deduplicated, X first.
+	want := []string{"id", "yy", "rid"}
+	if strings.Join(e.Proj, ",") != strings.Join(want, ",") {
+		t.Errorf("FD Proj = %v, want %v", e.Proj, want)
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	e := Plain("friend", []string{"id1"}, 5000, 1)
+	if got := e.String(); got != "access friend(id1 -> *) limit 5000 time 1" {
+		t.Errorf("String = %q", got)
+	}
+	e2 := Embedded("visit", []string{"yy"}, []string{"yy", "mm", "dd"}, 366, 2)
+	if got := e2.String(); got != "access visit(yy -> yy, mm, dd) limit 366 time 2" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSchemaEntriesAndImplicitMembership(t *testing.T) {
+	a := New(socialSchema())
+	a.MustAdd(Plain("friend", []string{"id1"}, 2, 1))
+	if len(a.Explicit()) != 1 {
+		t.Fatal("Explicit")
+	}
+	// With implicit membership: 1 explicit + 3 synthetic.
+	if len(a.Entries()) != 4 {
+		t.Fatalf("Entries = %d", len(a.Entries()))
+	}
+	a.ImplicitMembership = false
+	if len(a.Entries()) != 1 {
+		t.Fatalf("Entries without implicit = %d", len(a.Entries()))
+	}
+	a.ImplicitMembership = true
+	fr := a.ForRel("friend")
+	if len(fr) != 2 {
+		t.Fatalf("ForRel(friend) = %v", fr)
+	}
+}
+
+func TestConforms(t *testing.T) {
+	s := socialSchema()
+	db := relation.NewDatabase(s)
+	db.MustInsert("friend", relation.Ints(1, 2))
+	db.MustInsert("friend", relation.Ints(1, 3))
+	db.MustInsert("friend", relation.Ints(2, 3))
+
+	a := New(s)
+	a.MustAdd(Plain("friend", []string{"id1"}, 2, 1))
+	if err := a.Conforms(db); err != nil {
+		t.Fatalf("should conform: %v", err)
+	}
+	db.MustInsert("friend", relation.Ints(1, 4))
+	if err := a.Conforms(db); err == nil {
+		t.Fatal("3 friends for id1 should violate limit 2")
+	}
+
+	n, err := TightestN(db, Plain("friend", []string{"id1"}, 0, 1))
+	if err != nil || n != 3 {
+		t.Errorf("TightestN = %d, %v", n, err)
+	}
+}
+
+func TestConformsEmbedded(t *testing.T) {
+	s := socialSchema()
+	db := relation.NewDatabase(s)
+	// Person 1 visits restaurant 10 twice in 2013 and once in 2014;
+	// person 2 visits restaurant 20 once.
+	db.MustInsert("visit", relation.Ints(1, 10, 2013, 1, 5))
+	db.MustInsert("visit", relation.Ints(1, 10, 2013, 2, 6))
+	db.MustInsert("visit", relation.Ints(1, 10, 2014, 1, 5))
+	db.MustInsert("visit", relation.Ints(2, 20, 2013, 1, 5))
+
+	a := New(s)
+	// Per year at most 2 distinct (mm, dd) pairs in this toy data.
+	a.MustAdd(Embedded("visit", []string{"yy"}, []string{"yy", "mm", "dd"}, 2, 1))
+	if err := a.Conforms(db); err != nil {
+		t.Fatalf("embedded conformance: %v", err)
+	}
+	// Tighten to 1: year 2013 has two distinct (mm,dd) pairs -> violation.
+	b := New(s)
+	b.MustAdd(Embedded("visit", []string{"yy"}, []string{"yy", "mm", "dd"}, 1, 1))
+	if err := b.Conforms(db); err == nil {
+		t.Fatal("embedded violation not detected")
+	}
+	// The FD id,yy,mm,dd -> rid holds in this data.
+	c := New(s)
+	c.MustAdd(FD("visit", []string{"id", "yy", "mm", "dd"}, []string{"rid"}, 1))
+	if err := c.Conforms(db); err != nil {
+		t.Fatalf("FD should hold: %v", err)
+	}
+	// Break the FD: same person, same date, two restaurants.
+	db.MustInsert("visit", relation.Ints(1, 11, 2013, 1, 5))
+	if err := c.Conforms(db); err == nil {
+		t.Fatal("FD violation not detected")
+	}
+}
+
+func TestWithWholeRelation(t *testing.T) {
+	a := New(socialSchema())
+	b, err := a.WithWholeRelation("visit", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Explicit()) != 1 || len(a.Explicit()) != 0 {
+		t.Error("WithWholeRelation should not mutate the original")
+	}
+	e := b.Explicit()[0]
+	if e.Rel != "visit" || len(e.On) != 0 || e.N != 100 {
+		t.Errorf("entry = %+v", e)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// The paper's conclusion asks how to design access schemas for a workload
+// ("the lower bounds ... suggest what indices to build on our datasets").
+// Advise answers the single-query version: given a query Q and a desired
+// controlling set x̄, propose the plain access entries (indices with
+// cardinality bounds) that would make Q x̄-controlled.
+
+// Advice is the result of access-schema design for one query.
+type Advice struct {
+	// Entries are the proposed additions to the access schema. Their N
+	// values are the tightest bounds observed in the provided data, or
+	// PlaceholderN when no data was given (the DBA must supply the real
+	// bound — it is a semantic constraint, not a physical one).
+	Entries []access.Entry
+	// Derivation witnesses x̄-controllability under the extended schema.
+	Derivation *Derivation
+}
+
+// PlaceholderN marks an advised cardinality bound that must be confirmed
+// by the schema owner.
+const PlaceholderN = 1000
+
+// Advise proposes access entries making q x̄-controlled under acc. The
+// query must have a conjunctive body (the fragment with an effective
+// design procedure); data, when non-nil, is used to compute tight N values
+// and to validate that it conforms to the proposed entries.
+func Advise(acc *access.Schema, q *query.Query, x query.VarSet, data *relation.Database) (*Advice, error) {
+	atoms, eqs, _, ok := conjShape(q.Body)
+	if !ok {
+		return nil, fmt.Errorf("core: Advise handles conjunctive queries; %s is not one", q.Name)
+	}
+	if !x.SubsetOf(q.Body.FreeVars()) {
+		return nil, fmt.Errorf("core: %s is not a subset of the free variables of %s", x, q.Name)
+	}
+	working := acc.Clone()
+	var proposed []access.Entry
+	rel := acc.Relational()
+
+	for round := 0; round <= len(atoms)+1; round++ {
+		an := NewAnalyzer(working)
+		res, err := an.Analyze(q.Body)
+		if err != nil {
+			return nil, err
+		}
+		if d := res.Controls(x); d != nil {
+			return &Advice{Entries: proposed, Derivation: d}, nil
+		}
+		// Re-run the chase's closure with the current entries to find what
+		// is reachable from x̄, then propose an entry for an atom with
+		// unbound variables, keyed on its currently bound positions.
+		builder, err := newChaseBuilder(working, atoms, eqs, q.Body.FreeVars(), q.Body.FreeVars().Minus(x))
+		if err != nil || builder == nil {
+			return nil, fmt.Errorf("core: cannot analyze conjunction for advice: %v", err)
+		}
+		bound := closureOf(builder, x)
+		best, bestScore := -1, -1
+		for ai, a := range atoms {
+			unbound := a.FreeVars().Minus(bound)
+			if unbound.IsEmpty() {
+				continue
+			}
+			// Prefer atoms with many bound positions (more selective keys).
+			score := 0
+			for _, t := range a.Args {
+				if !t.IsVar() || bound[t.Name()] {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = ai, score
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("core: no atom to index, yet %s not %s-controlled (non-conjunctive obstruction)", q.Name, x)
+		}
+		a := atoms[best]
+		rs, ok := rel.Rel(a.Rel)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown relation %q", a.Rel)
+		}
+		var key []string
+		for p, t := range a.Args {
+			if !t.IsVar() || bound[t.Name()] {
+				key = append(key, rs.Attrs[p])
+			}
+		}
+		entry := access.Plain(a.Rel, key, PlaceholderN, 1)
+		if data != nil {
+			n, err := access.TightestN(data, entry)
+			if err != nil {
+				return nil, err
+			}
+			if n == 0 {
+				n = 1 // empty groups: any positive bound holds
+			}
+			entry.N = n
+		}
+		if err := working.Add(entry); err != nil {
+			return nil, err
+		}
+		proposed = append(proposed, entry)
+	}
+	return nil, fmt.Errorf("core: advice did not converge for %s (needs non-index constraints, e.g. embedded entries)", q.Name)
+}
+
+// closureOf runs the chase's binding closure from x without building a
+// full plan.
+func closureOf(b *chaseBuilder, x query.VarSet) query.VarSet {
+	bound := x.Clone()
+	for v := range b.eqConsts {
+		bound = bound.Add(v)
+	}
+	used := make([]bool, len(b.fetches))
+	for {
+		progress := false
+		for _, ev := range b.eqVars {
+			if bound[ev[0]] != bound[ev[1]] {
+				bound = bound.Add(ev[0]).Add(ev[1])
+				progress = true
+			}
+		}
+		for i, fs := range b.fetches {
+			if used[i] || !allArgsBoundOrConst(fs.Atom, fs.OnPos, bound) {
+				continue
+			}
+			binds := newVarsAt(fs.Atom, fs.ProjPos, bound)
+			if len(binds) == 0 {
+				continue
+			}
+			for _, v := range binds {
+				bound = bound.Add(v)
+			}
+			used[i] = true
+			progress = true
+		}
+		if !progress {
+			return bound
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cost is the static bound a derivation guarantees, expressed in the
+// N-values of the access schema (Theorem 4.2's "time that depends only on
+// A and Q"): Candidates bounds the number of candidate bindings the plan
+// can produce, Reads bounds the number of tuples fetched from the store.
+// Both are independent of |D| by construction.
+type Cost struct {
+	Candidates int64
+	Reads      int64
+}
+
+// costCap saturates arithmetic well below overflow.
+const costCap = math.MaxInt64 / 4
+
+func satAdd(a, b int64) int64 {
+	if a > costCap-b {
+		return costCap
+	}
+	return a + b
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > costCap/b {
+		return costCap
+	}
+	return a * b
+}
+
+// String renders the cost.
+func (c Cost) String() string {
+	return fmt.Sprintf("≤%d candidates, ≤%d reads", c.Candidates, c.Reads)
+}
+
+// CostOf computes the static bound of a derivation by structural
+// induction, mirroring the proof of Theorem 4.2.
+func CostOf(d *Derivation) Cost {
+	switch d.Rule {
+	case RuleAtom:
+		n := int64(d.Entry.N)
+		return Cost{Candidates: n, Reads: n}
+	case RuleConditions:
+		return Cost{Candidates: 1, Reads: 0}
+	case RuleConj:
+		c0, c1 := CostOf(d.Children[0]), CostOf(d.Children[1])
+		return Cost{
+			Candidates: satMul(c0.Candidates, c1.Candidates),
+			Reads:      satAdd(c0.Reads, satMul(c0.Candidates, c1.Reads)),
+		}
+	case RuleDisj:
+		c0, c1 := CostOf(d.Children[0]), CostOf(d.Children[1])
+		return Cost{
+			Candidates: satAdd(c0.Candidates, c1.Candidates),
+			Reads:      satAdd(c0.Reads, c1.Reads),
+		}
+	case RuleSafeNeg:
+		c0, c1 := CostOf(d.Children[0]), CostOf(d.Children[1])
+		return Cost{
+			Candidates: c0.Candidates,
+			Reads:      satAdd(c0.Reads, satMul(c0.Candidates, c1.Reads)),
+		}
+	case RuleExists:
+		return CostOf(d.Children[0])
+	case RuleForall:
+		c0, c1 := CostOf(d.Children[0]), CostOf(d.Children[1])
+		return Cost{
+			Candidates: 1,
+			Reads:      satAdd(c0.Reads, satMul(c0.Candidates, c1.Reads)),
+		}
+	case RuleEmbedded:
+		return chaseCost(d.Chase)
+	default:
+		panic(fmt.Sprintf("core: CostOf unknown rule %q", d.Rule))
+	}
+}
+
+func chaseCost(p *ChasePlan) Cost {
+	cands, reads := int64(1), int64(0)
+	for _, s := range p.Steps {
+		if s.Atom == nil {
+			continue // equality propagation is free
+		}
+		n := int64(s.Entry.N)
+		reads = satAdd(reads, satMul(cands, n))
+		if len(s.Binds) > 0 {
+			cands = satMul(cands, n)
+		}
+	}
+	// One membership probe per candidate per membership-verified atom.
+	reads = satAdd(reads, satMul(cands, int64(len(p.MembershipAtoms))))
+	return Cost{Candidates: cands, Reads: reads}
+}

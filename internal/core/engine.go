@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// Engine ties the analyzer and executor to an instrumented store: the
+// public face of scale-independent query answering.
+type Engine struct {
+	DB *store.DB
+	An *Analyzer
+}
+
+// NewEngine builds an engine over the store, analyzing under its access
+// schema.
+func NewEngine(db *store.DB) *Engine {
+	return &Engine{DB: db, An: NewAnalyzer(db.Access())}
+}
+
+// Answer is the result of one bounded evaluation.
+type Answer struct {
+	// Tuples are the answers over RemainingHead (head variables not fixed
+	// by the caller, in head order). For Boolean queries a single empty
+	// tuple means true.
+	Tuples        *relation.TupleSet
+	RemainingHead []string
+	// Plan is the bounded plan that was executed.
+	Plan *Plan
+	// Cost is the measured work (counter delta for this evaluation).
+	Cost store.Counters
+	// DQ is the witness set: the distinct base tuples the plan touched.
+	// Q(ā, D) = Q(ā, DQ) and |DQ| ≤ Plan.Bound.Reads.
+	DQ *store.Trace
+}
+
+// Controllable checks whether q is x̄-controlled for x̄ = the variables of
+// fixed, returning the witnessing derivation.
+func (e *Engine) Controllable(q *query.Query, x query.VarSet) (*Derivation, error) {
+	res, err := e.An.AnalyzeQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	d := res.Controls(x)
+	if d == nil {
+		if res.Truncated {
+			return nil, fmt.Errorf("core: %s is not derivably %s-controlled (analysis truncated; a controlling set may have been missed)", q.Name, x)
+		}
+		return nil, fmt.Errorf("core: %s is not %s-controlled under the access schema", q.Name, x)
+	}
+	return d, nil
+}
+
+// Answer evaluates Q(ā, D) scale-independently: fixed supplies ā for a
+// controlling set x̄ of the query body. It fails if the query is not
+// x̄-controlled. The returned Answer carries the measured cost and the
+// witness set D_Q.
+func (e *Engine) Answer(q *query.Query, fixed query.Bindings) (*Answer, error) {
+	d, err := e.Controllable(q, fixed.Vars())
+	if err != nil {
+		return nil, err
+	}
+	return e.AnswerWith(q, fixed, d)
+}
+
+// AnswerWith evaluates using a previously obtained derivation (e.g. from
+// Controllable or a cached analysis).
+func (e *Engine) AnswerWith(q *query.Query, fixed query.Bindings, d *Derivation) (*Answer, error) {
+	before := e.DB.Counters()
+	trace := e.DB.StartTrace()
+	defer e.DB.StopTrace()
+
+	bs, err := Exec(e.DB, d, fixed)
+	if err != nil {
+		return nil, err
+	}
+	head := remainingHead(q.Head, fixed)
+	out := relation.NewTupleSet(len(bs))
+	for _, b := range bs {
+		t := make(relation.Tuple, len(head))
+		ok := true
+		for i, h := range head {
+			v, bound := b[h]
+			if !bound {
+				ok = false
+				break
+			}
+			t[i] = v
+		}
+		if !ok {
+			return nil, fmt.Errorf("core: plan produced binding {%s} missing head variable", varsSorted(b))
+		}
+		out.Add(t)
+	}
+	after := e.DB.Counters()
+	delta := store.Counters{
+		TupleReads:   after.TupleReads - before.TupleReads,
+		IndexLookups: after.IndexLookups - before.IndexLookups,
+		Scans:        after.Scans - before.Scans,
+		Memberships:  after.Memberships - before.Memberships,
+		TimeUnits:    after.TimeUnits - before.TimeUnits,
+	}
+	return &Answer{
+		Tuples:        out,
+		RemainingHead: head,
+		Plan:          NewPlan(d),
+		Cost:          delta,
+		DQ:            trace,
+	}, nil
+}
+
+// QCntl decides the problem of Theorem 4.4: is there x̄ with |x̄| ≤ K such
+// that Q is x̄-controlled? It returns the smallest witnessing set.
+func QCntl(an *Analyzer, q *query.Query, k int) (query.VarSet, bool, error) {
+	res, err := an.AnalyzeQuery(q)
+	if err != nil {
+		return nil, false, err
+	}
+	fam := res.Family()
+	if len(fam) == 0 {
+		return nil, false, nil
+	}
+	best := fam[0]
+	for _, s := range fam[1:] {
+		if s.Len() < best.Len() {
+			best = s
+		}
+	}
+	if best.Len() <= k {
+		return best, true, nil
+	}
+	return nil, false, nil
+}
+
+// QCntlMin decides: is Q minimally controlled by some x̄ containing the
+// variable v (QCntl_min of Theorem 4.4)? It returns a witnessing minimal
+// set.
+func QCntlMin(an *Analyzer, q *query.Query, v string) (query.VarSet, bool, error) {
+	res, err := an.AnalyzeQuery(q)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, s := range res.Family() {
+		if s.Contains(v) {
+			return s, true, nil
+		}
+	}
+	return nil, false, nil
+}

@@ -1,0 +1,524 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// Exec evaluates a controllability derivation against the store, given
+// values (env) for a superset of the derivation's controlling set. It
+// returns the satisfying bindings, each defined on exactly the free
+// variables of the derived formula. Every tuple it touches goes through
+// the store's counters/trace, so the caller can observe D_Q.
+func Exec(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings, error) {
+	if missing := d.Ctrl.Minus(env.Vars()); !missing.IsEmpty() {
+		return nil, fmt.Errorf("core: exec needs values for controlling variables %s", missing)
+	}
+	return execNode(st, d, env)
+}
+
+func execNode(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings, error) {
+	switch d.Rule {
+	case RuleAtom:
+		return execAtom(st, d, env)
+	case RuleConditions:
+		return execConditions(d, env)
+	case RuleConj:
+		return execConj(st, d, env)
+	case RuleDisj:
+		return execDisj(st, d, env)
+	case RuleSafeNeg:
+		return execSafeNeg(st, d, env)
+	case RuleExists:
+		return execExists(st, d, env)
+	case RuleForall:
+		return execForall(st, d, env)
+	case RuleEmbedded:
+		return execChase(st, d.Chase, env)
+	default:
+		return nil, fmt.Errorf("core: exec unknown rule %q", d.Rule)
+	}
+}
+
+// restrict returns env restricted to vars.
+func restrict(env query.Bindings, vars query.VarSet) query.Bindings {
+	out := make(query.Bindings, vars.Len())
+	for v := range vars {
+		if val, ok := env[v]; ok {
+			out[v] = val
+		}
+	}
+	return out
+}
+
+// bindingKey canonically encodes a binding over the given sorted variable
+// list for deduplication.
+func bindingKey(b query.Bindings, sortedVars []string) string {
+	t := make(relation.Tuple, len(sortedVars))
+	for i, v := range sortedVars {
+		t[i] = b[v]
+	}
+	return t.Key()
+}
+
+// dedup removes duplicate bindings (all defined on the same variable set).
+func dedup(bs []query.Bindings, vars query.VarSet) []query.Bindings {
+	sorted := vars.Sorted()
+	seen := make(map[string]bool, len(bs))
+	out := bs[:0:0]
+	for _, b := range bs {
+		k := bindingKey(b, sorted)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func execAtom(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings, error) {
+	a := d.F.(*query.Atom)
+	rs, _ := st.Schema().Rel(a.Rel)
+	onPos, err := rs.Positions(d.Entry.On)
+	if err != nil {
+		return nil, err
+	}
+	free := a.FreeVars()
+	// Fully specified atom under env: a single membership probe suffices.
+	if free.SubsetOf(env.Vars()) {
+		t := make(relation.Tuple, len(a.Args))
+		for i, arg := range a.Args {
+			if arg.IsVar() {
+				t[i] = env[arg.Name()]
+			} else {
+				t[i] = arg.Value()
+			}
+		}
+		ok, err := st.Membership(a.Rel, t)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+		return []query.Bindings{restrict(env, free)}, nil
+	}
+	vals, err := tupleForPositions(a, onPos, env)
+	if err != nil {
+		return nil, err
+	}
+	tuples, err := st.Fetch(d.Entry, vals)
+	if err != nil {
+		return nil, err
+	}
+	var out []query.Bindings
+	for _, tu := range tuples {
+		b, ok := unifyAtom(a, tu, env)
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return dedup(out, free), nil
+}
+
+// unifyAtom matches a full base tuple against the atom's arguments under
+// env, returning the binding over the atom's variables.
+func unifyAtom(a *query.Atom, tu relation.Tuple, env query.Bindings) (query.Bindings, bool) {
+	b := make(query.Bindings, len(a.Args))
+	for i, arg := range a.Args {
+		if !arg.IsVar() {
+			if arg.Value() != tu[i] {
+				return nil, false
+			}
+			continue
+		}
+		name := arg.Name()
+		if v, ok := env[name]; ok && v != tu[i] {
+			return nil, false
+		}
+		if v, ok := b[name]; ok && v != tu[i] {
+			return nil, false
+		}
+		b[name] = tu[i]
+	}
+	return b, true
+}
+
+func execConditions(d *Derivation, env query.Bindings) ([]query.Bindings, error) {
+	free := d.F.FreeVars()
+	if !free.SubsetOf(env.Vars()) {
+		return nil, fmt.Errorf("core: conditions rule with unbound variables %s", free.Minus(env.Vars()))
+	}
+	ok, err := evalEqOnly(d.F, env)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return []query.Bindings{restrict(env, free)}, nil
+}
+
+// evalEqOnly evaluates an equality-only formula under a full binding.
+func evalEqOnly(f query.Formula, env query.Bindings) (bool, error) {
+	switch n := f.(type) {
+	case *query.Eq:
+		l, err := termVal(n.L, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := termVal(n.R, env)
+		if err != nil {
+			return false, err
+		}
+		return l == r, nil
+	case *query.Truth:
+		return n.Bool, nil
+	case *query.Not:
+		b, err := evalEqOnly(n.F, env)
+		return !b, err
+	case *query.And:
+		l, err := evalEqOnly(n.L, env)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalEqOnly(n.R, env)
+	case *query.Or:
+		l, err := evalEqOnly(n.L, env)
+		if err != nil || l {
+			return l, err
+		}
+		return evalEqOnly(n.R, env)
+	case *query.Implies:
+		l, err := evalEqOnly(n.L, env)
+		if err != nil {
+			return false, err
+		}
+		if !l {
+			return true, nil
+		}
+		return evalEqOnly(n.R, env)
+	default:
+		return false, fmt.Errorf("core: non-equality node %T under conditions rule", f)
+	}
+}
+
+func termVal(t query.Term, env query.Bindings) (relation.Value, error) {
+	if !t.IsVar() {
+		return t.Value(), nil
+	}
+	v, ok := env[t.Name()]
+	if !ok {
+		return relation.Value{}, fmt.Errorf("core: unbound variable %q", t.Name())
+	}
+	return v, nil
+}
+
+func execConj(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings, error) {
+	first, second := d.Children[0], d.Children[1]
+	bs0, err := execNode(st, first, env)
+	if err != nil {
+		return nil, err
+	}
+	free := d.F.FreeVars()
+	var out []query.Bindings
+	for _, b0 := range bs0 {
+		merged := env.Clone()
+		for k, v := range b0 {
+			merged[k] = v
+		}
+		bs1, err := execNode(st, second, merged)
+		if err != nil {
+			return nil, err
+		}
+		for _, b1 := range bs1 {
+			b := make(query.Bindings, len(b0)+len(b1))
+			for k, v := range b0 {
+				b[k] = v
+			}
+			conflict := false
+			for k, v := range b1 {
+				if prev, ok := b[k]; ok && prev != v {
+					conflict = true
+					break
+				}
+				b[k] = v
+			}
+			if !conflict {
+				out = append(out, restrict(mergedWith(env, b), free))
+			}
+		}
+	}
+	return dedup(out, free), nil
+}
+
+// mergedWith overlays b on env without mutating either.
+func mergedWith(env, b query.Bindings) query.Bindings {
+	out := env.Clone()
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+func execDisj(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings, error) {
+	free := d.F.FreeVars()
+	var out []query.Bindings
+	for _, c := range d.Children {
+		bs, err := execNode(st, c, env)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bs...)
+	}
+	return dedup(out, free), nil
+}
+
+func execSafeNeg(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings, error) {
+	pos, negInner := d.Children[0], d.Children[1]
+	bs, err := execNode(st, pos, env)
+	if err != nil {
+		return nil, err
+	}
+	free := d.F.FreeVars()
+	var out []query.Bindings
+	for _, b := range bs {
+		negRes, err := execNode(st, negInner, mergedWith(env, b))
+		if err != nil {
+			return nil, err
+		}
+		if len(negRes) == 0 {
+			out = append(out, restrict(mergedWith(env, b), free))
+		}
+	}
+	return dedup(out, free), nil
+}
+
+func execExists(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings, error) {
+	ex := d.F.(*query.Exists)
+	inner := env.Clone()
+	for _, z := range ex.Vars {
+		delete(inner, z)
+	}
+	bs, err := execNode(st, d.Children[0], inner)
+	if err != nil {
+		return nil, err
+	}
+	free := d.F.FreeVars()
+	out := make([]query.Bindings, 0, len(bs))
+	for _, b := range bs {
+		out = append(out, restrict(b, free))
+	}
+	return dedup(out, free), nil
+}
+
+func execForall(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings, error) {
+	fa := d.F.(*query.Forall)
+	inner := env.Clone()
+	for _, y := range fa.Vars {
+		delete(inner, y)
+	}
+	qBind, err := execNode(st, d.Children[0], inner)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range qBind {
+		res, err := execNode(st, d.Children[1], mergedWith(inner, b))
+		if err != nil {
+			return nil, err
+		}
+		if len(res) == 0 {
+			return nil, nil // some ȳ satisfies Q but not Q′
+		}
+	}
+	free := d.F.FreeVars()
+	return []query.Bindings{restrict(env, free)}, nil
+}
+
+func execChase(st *store.DB, plan *ChasePlan, env query.Bindings) ([]query.Bindings, error) {
+	// Seed candidate: constants from equalities plus the caller's values
+	// for the plan's variables.
+	seed := make(query.Bindings)
+	for v, val := range plan.EqConsts {
+		seed[v] = val
+	}
+	for v, val := range env {
+		if prev, ok := seed[v]; ok && prev != val {
+			return nil, nil
+		}
+		seed[v] = val
+	}
+	cands := []query.Bindings{seed}
+	for _, step := range plan.Steps {
+		if len(cands) == 0 {
+			return nil, nil
+		}
+		var next []query.Bindings
+		if step.Atom == nil {
+			// Equality propagation: bind the unbound side or filter.
+			for _, c := range cands {
+				lv, lok := c[step.EqL]
+				rv, rok := c[step.EqR]
+				switch {
+				case lok && rok:
+					if lv == rv {
+						next = append(next, c)
+					}
+				case lok:
+					c2 := c.Clone()
+					c2[step.EqR] = lv
+					next = append(next, c2)
+				case rok:
+					c2 := c.Clone()
+					c2[step.EqL] = rv
+					next = append(next, c2)
+				default:
+					return nil, fmt.Errorf("core: equality %s = %s with both sides unbound", step.EqL, step.EqR)
+				}
+			}
+			cands = next
+			continue
+		}
+		for _, c := range cands {
+			vals, err := tupleForPositions(step.Atom, step.OnPos, c)
+			if err != nil {
+				return nil, err
+			}
+			fetched, err := st.Fetch(step.Entry, vals)
+			if err != nil {
+				return nil, err
+			}
+			for _, tu := range fetched {
+				c2, ok := unifyProjected(step, tu, c)
+				if ok {
+					next = append(next, c2)
+				}
+			}
+		}
+		cands = next
+	}
+	// Equality checks (both sides are bound by construction).
+	var filtered []query.Bindings
+	for _, c := range cands {
+		ok := true
+		for _, ev := range plan.EqVars {
+			if c[ev[0]] != c[ev[1]] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			filtered = append(filtered, c)
+		}
+	}
+	cands = filtered
+	// Membership verification for atoms not covered by a verifying fetch.
+	var out []query.Bindings
+	for _, c := range cands {
+		ok := true
+		for _, ai := range plan.MembershipAtoms {
+			a := plan.Atoms[ai]
+			t := make(relation.Tuple, len(a.Args))
+			for i, arg := range a.Args {
+				if arg.IsVar() {
+					v, bound := c[arg.Name()]
+					if !bound {
+						return nil, fmt.Errorf("core: chase left %q unbound for membership of %s", arg.Name(), a)
+					}
+					t[i] = v
+				} else {
+					t[i] = arg.Value()
+				}
+			}
+			present, err := st.Membership(a.Rel, t)
+			if err != nil {
+				return nil, err
+			}
+			if !present {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, restrict(c, plan.Free))
+		}
+	}
+	return dedup(out, plan.Free), nil
+}
+
+// unifyProjected matches a fetched (possibly projected) tuple against the
+// atom positions of a chase fetch step.
+func unifyProjected(step ChaseStep, tu relation.Tuple, c query.Bindings) (query.Bindings, bool) {
+	out := c
+	cloned := false
+	for j, p := range step.ProjPos {
+		arg := step.Atom.Args[p]
+		if !arg.IsVar() {
+			if arg.Value() != tu[j] {
+				return nil, false
+			}
+			continue
+		}
+		name := arg.Name()
+		if v, ok := out[name]; ok {
+			if v != tu[j] {
+				return nil, false
+			}
+			continue
+		}
+		if !cloned {
+			out = c.Clone()
+			cloned = true
+		}
+		out[name] = tu[j]
+	}
+	if !cloned {
+		out = c.Clone()
+	}
+	return out, true
+}
+
+// Plan describes a compiled bounded evaluation: the derivation plus its
+// static cost.
+type Plan struct {
+	Derivation *Derivation
+	Bound      Cost
+}
+
+// NewPlan wraps a derivation.
+func NewPlan(d *Derivation) *Plan { return &Plan{Derivation: d, Bound: CostOf(d)} }
+
+// Describe renders a human-readable plan.
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bounded plan (%s)\n", p.Bound)
+	b.WriteString(p.Derivation.Explain())
+	return b.String()
+}
+
+// remainingHead lists head variables not fixed by the caller, preserving
+// head order.
+func remainingHead(head []string, fixed query.Bindings) []string {
+	var out []string
+	for _, h := range head {
+		if _, ok := fixed[h]; !ok {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// varsSorted is a tiny helper for diagnostics.
+func varsSorted(b query.Bindings) string {
+	vs := make([]string, 0, len(b))
+	for v := range b {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	return strings.Join(vs, ",")
+}

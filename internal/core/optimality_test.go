@@ -1,0 +1,194 @@
+package core
+
+// Proposition 4.3: each controllability rule is optimal — there is an
+// instance of the rule where the query is not controlled by any proper
+// subtuple of the minimal derived tuple. We verify this empirically: for
+// each rule we (a) check the analysis derives exactly the expected minimal
+// set, and (b) for every proper subset of it, exhibit a family of
+// conforming databases on which the answer set (with the subset's
+// variables fixed) grows with |D| — so no bound M can work for all
+// conforming databases, i.e. no algorithm at all can be scale-independent
+// with that subset, not merely ours.
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// answerGrowth returns |Q(fixed, D_n)| for a database built at size n.
+func answerGrowth(t *testing.T, catalogSrc, querySrc string, fixed query.Bindings, build func(db *relation.Database, n int), n int) int {
+	t.Helper()
+	cat := mustCatalog(t, catalogSrc)
+	db := relation.NewDatabase(cat.Relational)
+	build(db, n)
+	if err := cat.Access.Conforms(db); err != nil {
+		t.Fatalf("witness database does not conform: %v", err)
+	}
+	q := mustQ(t, querySrc)
+	ans, err := eval.Answers(eval.DBSource{DB: db}, q, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ans.Len()
+}
+
+// assertUnboundedUnder asserts the answer set grows when only the given
+// subset of variables is fixed: the rule's output cannot be shrunk to it.
+func assertUnboundedUnder(t *testing.T, catalogSrc, querySrc string, fixed query.Bindings, build func(db *relation.Database, n int)) {
+	t.Helper()
+	small := answerGrowth(t, catalogSrc, querySrc, fixed, build, 8)
+	large := answerGrowth(t, catalogSrc, querySrc, fixed, build, 64)
+	if large <= small {
+		t.Errorf("answers did not grow (%d -> %d); optimality witness broken", small, large)
+	}
+}
+
+const optCatalogRS = `
+relation R(a, b)
+relation S(a, b)
+access R(a -> *) limit 2 time 1
+access S(b -> *) limit 2 time 1
+`
+
+func TestOptimalityAtomRule(t *testing.T) {
+	// R(x, y) with (R, a, 2): minimal set {x}; the proper subset ∅ admits
+	// growing answers.
+	cat := mustCatalog(t, optCatalogRS)
+	res, err := NewAnalyzer(cat.Access).Analyze(mustFormula(t, "R(x, y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Family(); len(got) == 0 || !got[0].Equal(query.NewVarSet("x")) {
+		t.Fatalf("atom family = %v", got)
+	}
+	assertUnboundedUnder(t, optCatalogRS, "Q(x, y) := R(x, y)", nil,
+		func(db *relation.Database, n int) {
+			for i := 0; i < n; i++ {
+				db.MustInsert("R", relation.Ints(int64(i), int64(i)))
+			}
+		})
+}
+
+func TestOptimalityConditionsRule(t *testing.T) {
+	// x ≠ y is {x,y}-controlled; with only x fixed the answers are all of
+	// adom minus one point: unbounded.
+	assertUnboundedUnder(t, optCatalogRS, "Q(x, y) := not (x = y)",
+		query.Bindings{"x": relation.Int(-1)},
+		func(db *relation.Database, n int) {
+			for i := 0; i < n; i++ {
+				db.MustInsert("R", relation.Ints(int64(i), int64(i)))
+			}
+		})
+}
+
+func TestOptimalityDisjunctionRule(t *testing.T) {
+	// R(x,y) ∨ S(x,y) with R keyed on a, S keyed on b: minimal {x,y}.
+	cat := mustCatalog(t, optCatalogRS)
+	res, err := NewAnalyzer(cat.Access).Analyze(mustFormula(t, "R(x, y) or S(x, y)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Controls(query.NewVarSet("x", "y")) == nil {
+		t.Fatalf("disjunction family = %v", res.Family())
+	}
+	// Fixing only x leaves S unbounded (many b's with the same a).
+	assertUnboundedUnder(t, optCatalogRS, "Q(x, y) := R(x, y) or S(x, y)",
+		query.Bindings{"x": relation.Int(0)},
+		func(db *relation.Database, n int) {
+			for i := 0; i < n; i++ {
+				db.MustInsert("S", relation.Ints(0, int64(i)))
+			}
+		})
+	// Fixing only y leaves R unbounded symmetrically.
+	assertUnboundedUnder(t, optCatalogRS, "Q(x, y) := R(x, y) or S(x, y)",
+		query.Bindings{"y": relation.Int(0)},
+		func(db *relation.Database, n int) {
+			for i := 0; i < n; i++ {
+				db.MustInsert("R", relation.Ints(int64(i), 0))
+			}
+		})
+}
+
+func TestOptimalityConjunctionRule(t *testing.T) {
+	// R(x,y) ∧ S'(y,z) with R keyed on a: minimal {x}; ∅ unbounded.
+	src := `
+relation R(a, b)
+relation S2(b, c)
+access R(a -> *) limit 2 time 1
+access S2(b -> *) limit 2 time 1
+`
+	cat := mustCatalog(t, src)
+	res, err := NewAnalyzer(cat.Access).Analyze(mustFormula(t, "R(x, y) and S2(y, z)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Controls(query.NewVarSet("x")) == nil {
+		t.Fatalf("conjunction family = %v", res.Family())
+	}
+	assertUnboundedUnder(t, src, "Q(x, y, z) := R(x, y) and S2(y, z)", nil,
+		func(db *relation.Database, n int) {
+			for i := 0; i < n; i++ {
+				db.MustInsert("R", relation.Ints(int64(i), int64(i)))
+				db.MustInsert("S2", relation.Ints(int64(i), int64(i)))
+			}
+		})
+}
+
+func TestOptimalityExistentialRule(t *testing.T) {
+	// ∃y R(x,y): minimal {x}; ∅ unbounded.
+	assertUnboundedUnder(t, optCatalogRS, "Q(x) := exists y (R(x, y))", nil,
+		func(db *relation.Database, n int) {
+			for i := 0; i < n; i++ {
+				db.MustInsert("R", relation.Ints(int64(i), 0))
+			}
+		})
+}
+
+func TestOptimalityUniversalRule(t *testing.T) {
+	// ∀y (S'(x,y) → T'(x,y)): minimal {x} (= all free variables, as the
+	// rule guarantees no more); ∅ unbounded.
+	src := `
+relation S3(a, b)
+relation T3(a, b)
+access S3(a -> *) limit 2 time 1
+`
+	cat := mustCatalog(t, src)
+	res, err := NewAnalyzer(cat.Access).Analyze(mustFormula(t, "forall y (S3(x, y) implies T3(x, y))"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Family(); len(got) != 1 || !got[0].Equal(query.NewVarSet("x")) {
+		t.Fatalf("universal family = %v", got)
+	}
+	// Vacuous satisfaction makes every x with no S-tuples an answer.
+	assertUnboundedUnder(t, src, "Q(x) := forall y (S3(x, y) implies T3(x, y))", nil,
+		func(db *relation.Database, n int) {
+			db.MustInsert("S3", relation.Ints(-1, -1))
+			for i := 0; i < n; i++ {
+				db.MustInsert("T3", relation.Ints(int64(i), int64(i)))
+			}
+		})
+}
+
+func TestOptimalitySafeNegationRule(t *testing.T) {
+	// R(x,y) ∧ ¬S(x,y): minimal {x}; ∅ unbounded.
+	assertUnboundedUnder(t, optCatalogRS, "Q(x, y) := R(x, y) and not S(x, y)", nil,
+		func(db *relation.Database, n int) {
+			for i := 0; i < n; i++ {
+				db.MustInsert("R", relation.Ints(int64(i), int64(i)))
+			}
+		})
+}
+
+func mustFormula(t *testing.T, src string) query.Formula {
+	t.Helper()
+	f, err := parser.ParseFormula(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return f
+}

@@ -1,0 +1,307 @@
+package cq
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+func mustCQ(t *testing.T, src string) *query.CQ {
+	t.Helper()
+	q, err := parser.ParseCQ(src)
+	if err != nil {
+		t.Fatalf("%q: %v", src, err)
+	}
+	return q
+}
+
+func TestHomomorphismBasics(t *testing.T) {
+	// Q2(x) :- R(x, y) is contained in Q1(x) :- R(x, y), R(y, z)? No:
+	// containment goes the other way.
+	q1 := mustCQ(t, "Q(x) :- R(x, y), R(y, z)")
+	q2 := mustCQ(t, "Q(x) :- R(x, y)")
+	// hom from q2 to q1 exists (map y to q1's y), so q1 ⊆ q2.
+	if _, ok := Homomorphism(q2, q1); !ok {
+		t.Error("expected homomorphism q2 -> q1")
+	}
+	if !Contained(q1, q2) {
+		t.Error("q1 should be contained in q2")
+	}
+	if Contained(q2, q1) {
+		t.Error("q2 should not be contained in q1")
+	}
+	if Equivalent(q1, q2) {
+		t.Error("q1, q2 not equivalent")
+	}
+}
+
+func TestHomomorphismConstants(t *testing.T) {
+	qa := mustCQ(t, "Q(x) :- R(x, 1)")
+	qb := mustCQ(t, "Q(x) :- R(x, y)")
+	// hom qb -> qa maps y to 1: qa ⊆ qb.
+	if !Contained(qa, qb) {
+		t.Error("qa ⊆ qb expected")
+	}
+	if Contained(qb, qa) {
+		t.Error("qb ⊄ qa expected")
+	}
+	// Head constants must match exactly.
+	qc := mustCQ(t, "Q(1) :- R(1, y)")
+	qd := mustCQ(t, "Q(2) :- R(2, y)")
+	if Contained(qc, qd) || Contained(qd, qc) {
+		t.Error("distinct head constants should not be comparable")
+	}
+}
+
+func TestEquivalenceUpToRenaming(t *testing.T) {
+	qa := mustCQ(t, "Q(x) :- R(x, y), S(y)")
+	qb := mustCQ(t, "Q(u) :- R(u, v), S(v)")
+	if !Equivalent(qa, qb) {
+		t.Error("alpha-equivalent queries not recognized")
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	// Redundant atom: R(x, y), R(x, z) minimizes to R(x, y).
+	q := mustCQ(t, "Q(x) :- R(x, y), R(x, z)")
+	m, err := Minimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Atoms) != 1 {
+		t.Errorf("minimized to %s", m)
+	}
+	if !Equivalent(q, m) {
+		t.Error("minimization broke equivalence")
+	}
+	// A path of length 2 is already minimal.
+	q2 := mustCQ(t, "Q(x) :- R(x, y), R(y, z)")
+	m2, err := Minimize(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Atoms) != 2 {
+		t.Errorf("over-minimized: %s", m2)
+	}
+	// Classic: triangle with an apex; extra atom folds into the triangle.
+	q3 := mustCQ(t, "Q() :- E(x, y), E(y, z), E(z, x), E(x, w), E(w, z)")
+	m3, err := Minimize(q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m3.Atoms) != 3 {
+		t.Errorf("triangle core has %d atoms: %s", len(m3.Atoms), m3)
+	}
+}
+
+func TestCanonicalDB(t *testing.T) {
+	s := relation.MustSchema(relation.MustRelSchema("R", "a", "b"))
+	q := mustCQ(t, "Q(x) :- R(x, y), R(y, 3)")
+	db, head, err := CanonicalDB(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Size() != 2 {
+		t.Fatalf("canonical db size = %d", db.Size())
+	}
+	if name, ok := IsFrozen(head[0]); !ok || name != "x" {
+		t.Errorf("head = %v", head)
+	}
+	if !db.Rel("R").Contains(relation.NewTuple(Freeze("y"), relation.Int(3))) {
+		t.Error("canonical tuple missing")
+	}
+}
+
+// Chandra–Merlin sanity: evaluating q over the canonical database of p
+// yields p's frozen head iff there is a homomorphism q -> p.
+func TestHomomorphismViaCanonicalDB(t *testing.T) {
+	s := relation.MustSchema(relation.MustRelSchema("R", "a", "b"))
+	pairs := []struct {
+		p, q string
+		want bool
+	}{
+		{"Q(x) :- R(x, y), R(y, z)", "Q(x) :- R(x, y)", true},
+		{"Q(x) :- R(x, y)", "Q(x) :- R(x, y), R(y, z)", false},
+		{"Q(x) :- R(x, x)", "Q(x) :- R(x, y), R(y, x)", true},
+	}
+	for _, c := range pairs {
+		p, q := mustCQ(t, c.p), mustCQ(t, c.q)
+		db, head, err := CanonicalDB(p, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, err := eval.AnswersCQ(eval.DBSource{DB: db}, q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ans.Contains(head)
+		if got != c.want {
+			t.Errorf("canonical eval: hom(%q -> %q) = %v, want %v", c.q, c.p, got, c.want)
+		}
+		if _, ok := Homomorphism(q, p); ok != c.want {
+			t.Errorf("Homomorphism(%q -> %q) = %v, want %v", c.q, c.p, ok, c.want)
+		}
+	}
+}
+
+// Soundness of containment on random databases: if Contained(q1, q2) then
+// q1(D) ⊆ q2(D) for random D.
+func TestContainmentSoundQuick(t *testing.T) {
+	s := relation.MustSchema(
+		relation.MustRelSchema("R", "a", "b"),
+		relation.MustRelSchema("S", "a"),
+	)
+	corpus := []string{
+		"Q(x) :- R(x, y)",
+		"Q(x) :- R(x, y), S(y)",
+		"Q(x) :- R(x, y), R(y, z)",
+		"Q(x) :- R(x, x)",
+		"Q(x) :- R(x, 1)",
+		"Q(x) :- S(x)",
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		db := relation.NewDatabase(s)
+		for i := 0; i < 15; i++ {
+			db.MustInsert("R", relation.Ints(int64(rng.Intn(4)), int64(rng.Intn(4))))
+		}
+		for i := 0; i < 4; i++ {
+			db.MustInsert("S", relation.Ints(int64(rng.Intn(4))))
+		}
+		for _, s1 := range corpus {
+			for _, s2 := range corpus {
+				q1, q2 := mustCQ(t, s1), mustCQ(t, s2)
+				if !Contained(q1, q2) {
+					continue
+				}
+				a1, err := eval.AnswersCQ(eval.DBSource{DB: db}, q1, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a2, err := eval.AnswersCQ(eval.DBSource{DB: db}, q2, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, tu := range a1.Tuples() {
+					if !a2.Contains(tu) {
+						t.Fatalf("trial %d: Contained(%q, %q) but %v ∈ q1(D)\\q2(D)", trial, s1, s2, tu)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Minimization must preserve answers on random databases.
+func TestMinimizePreservesAnswersQuick(t *testing.T) {
+	s := relation.MustSchema(relation.MustRelSchema("R", "a", "b"))
+	corpus := []string{
+		"Q(x) :- R(x, y), R(x, z)",
+		"Q(x) :- R(x, y), R(y, z), R(x, w)",
+		"Q(x, y) :- R(x, y), R(x, x)",
+		"Q() :- R(x, y), R(y, x), R(x, z)",
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 15; trial++ {
+		db := relation.NewDatabase(s)
+		for i := 0; i < 12; i++ {
+			db.MustInsert("R", relation.Ints(int64(rng.Intn(3)), int64(rng.Intn(3))))
+		}
+		for _, src := range corpus {
+			q := mustCQ(t, src)
+			m, err := Minimize(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := eval.AnswersCQ(eval.DBSource{DB: db}, q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := eval.AnswersCQ(eval.DBSource{DB: db}, m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.Equal(b) {
+				t.Fatalf("trial %d %q: answers changed by minimization", trial, src)
+			}
+		}
+	}
+}
+
+func TestHomomorphismImages(t *testing.T) {
+	s := relation.MustSchema(
+		relation.MustRelSchema("R", "a", "b"),
+		relation.MustRelSchema("S", "a"),
+	)
+	db := relation.NewDatabase(s)
+	db.MustInsert("R", relation.Ints(1, 2))
+	db.MustInsert("R", relation.Ints(1, 3))
+	db.MustInsert("S", relation.Ints(2))
+	q := mustCQ(t, "Q(x) :- R(x, y), S(y)")
+	var count int
+	err := HomomorphismImages(db, q, func(ans relation.Tuple, image map[string][]relation.Tuple) bool {
+		count++
+		if !ans.Equal(relation.Ints(1)) {
+			t.Errorf("answer = %v", ans)
+		}
+		if len(image["R"]) != 1 || len(image["S"]) != 1 {
+			t.Errorf("image = %v", image)
+		}
+		// The image must witness the answer: evaluating q over it yields ans.
+		sub := relation.NewDatabase(s)
+		for rel, ts := range image {
+			for _, tu := range ts {
+				sub.MustInsert(rel, tu)
+			}
+		}
+		a, err := eval.AnswersCQ(eval.DBSource{DB: sub}, q, nil)
+		if err != nil || !a.Contains(ans) {
+			t.Errorf("image does not witness answer: %v, %v", a, err)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 { // only y=2 satisfies S
+		t.Errorf("images = %d", count)
+	}
+}
+
+func TestHomomorphismImagesEarlyStop(t *testing.T) {
+	s := relation.MustSchema(relation.MustRelSchema("R", "a", "b"))
+	db := relation.NewDatabase(s)
+	for i := int64(0); i < 10; i++ {
+		db.MustInsert("R", relation.Ints(i, i+1))
+	}
+	q := mustCQ(t, "Q(x) :- R(x, y)")
+	count := 0
+	if err := HomomorphismImages(db, q, func(relation.Tuple, map[string][]relation.Tuple) bool {
+		count++
+		return count < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("early stop: count = %d", count)
+	}
+}
+
+func TestStandardizeApart(t *testing.T) {
+	q := mustCQ(t, "Q(x) :- R(x, y)")
+	r := StandardizeApart(q, "_1")
+	if r.Head[0] != query.Var("x_1") {
+		t.Errorf("head = %v", r.Head)
+	}
+	if !r.BodyVars().Equal(query.NewVarSet("x_1", "y_1")) {
+		t.Errorf("body vars = %v", r.BodyVars())
+	}
+	// Original untouched.
+	if q.Head[0] != query.Var("x") {
+		t.Error("original mutated")
+	}
+}

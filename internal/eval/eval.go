@@ -1,0 +1,426 @@
+// Package eval is the reference query evaluator: a naive, semantics-first
+// implementation of FO and CQ evaluation used as the correctness oracle for
+// the bounded-evaluation engine, the deciders, the incremental maintainer
+// and the view rewriter.
+//
+// Semantics follow Section 2 of the paper: for a query Q(x̄) with |x̄| = m,
+// Q(D) = { ā ∈ adom(D)^m | D ⊨ Q(ā) }. Quantifiers range over the active
+// domain extended with the constants of the query (which changes nothing
+// for the generic queries we evaluate but keeps sentences like
+// ∃x (x = c ∧ ...) well behaved).
+//
+// Evaluation goes through a Source so the same code runs against a plain
+// relation.Database (uncounted oracle) or an instrumented store.DB (every
+// scan and membership probe is charged — this is the "naive evaluation
+// fetches the whole database" baseline of the experiments).
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// Source abstracts the data access naive evaluation needs: full scans and
+// membership probes.
+type Source interface {
+	// Schema returns the relational schema.
+	Schema() *relation.Schema
+	// Tuples returns all tuples of rel (a full scan).
+	Tuples(rel string) ([]relation.Tuple, error)
+	// Contains probes membership of t in rel.
+	Contains(rel string, t relation.Tuple) (bool, error)
+}
+
+// DBSource adapts a bare database (no instrumentation).
+type DBSource struct{ DB *relation.Database }
+
+// Schema implements Source.
+func (s DBSource) Schema() *relation.Schema { return s.DB.Schema() }
+
+// Tuples implements Source.
+func (s DBSource) Tuples(rel string) ([]relation.Tuple, error) {
+	r := s.DB.Rel(rel)
+	if r == nil {
+		return nil, fmt.Errorf("eval: unknown relation %q", rel)
+	}
+	return r.Tuples(), nil
+}
+
+// Contains implements Source.
+func (s DBSource) Contains(rel string, t relation.Tuple) (bool, error) {
+	r := s.DB.Rel(rel)
+	if r == nil {
+		return false, fmt.Errorf("eval: unknown relation %q", rel)
+	}
+	return r.Contains(t), nil
+}
+
+// StoreSource adapts an instrumented store: scans and probes are counted
+// against the store's counters, so naive evaluation's data appetite is
+// measured.
+type StoreSource struct{ DB *store.DB }
+
+// Schema implements Source.
+func (s StoreSource) Schema() *relation.Schema { return s.DB.Schema() }
+
+// Tuples implements Source.
+func (s StoreSource) Tuples(rel string) ([]relation.Tuple, error) { return s.DB.Scan(rel) }
+
+// Contains implements Source.
+func (s StoreSource) Contains(rel string, t relation.Tuple) (bool, error) {
+	return s.DB.Membership(rel, t)
+}
+
+// Domain returns the quantification domain for evaluating f over src:
+// adom(D) ∪ constants(f), sorted.
+func Domain(src Source, f query.Formula) ([]relation.Value, error) {
+	seen := make(map[relation.Value]bool)
+	for _, name := range src.Schema().Names() {
+		ts, err := src.Tuples(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range ts {
+			for _, v := range t {
+				seen[v] = true
+			}
+		}
+	}
+	if f != nil {
+		for _, c := range query.Constants(f) {
+			seen[c.Value()] = true
+		}
+	}
+	out := make([]relation.Value, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out, nil
+}
+
+// ActiveDomain returns adom(D) only (no query constants), sorted.
+func ActiveDomain(src Source) ([]relation.Value, error) { return Domain(src, nil) }
+
+// Truth evaluates formula f under env, which must bind every free variable
+// of f. dom is the quantification domain (from Domain).
+func Truth(src Source, f query.Formula, env query.Bindings, dom []relation.Value) (bool, error) {
+	switch n := f.(type) {
+	case *query.Atom:
+		t := make(relation.Tuple, len(n.Args))
+		for i, a := range n.Args {
+			v, err := termValue(a, env)
+			if err != nil {
+				return false, err
+			}
+			t[i] = v
+		}
+		return src.Contains(n.Rel, t)
+	case *query.Eq:
+		l, err := termValue(n.L, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := termValue(n.R, env)
+		if err != nil {
+			return false, err
+		}
+		return l == r, nil
+	case *query.Truth:
+		return n.Bool, nil
+	case *query.Not:
+		b, err := Truth(src, n.F, env, dom)
+		return !b, err
+	case *query.And:
+		l, err := Truth(src, n.L, env, dom)
+		if err != nil || !l {
+			return false, err
+		}
+		return Truth(src, n.R, env, dom)
+	case *query.Or:
+		l, err := Truth(src, n.L, env, dom)
+		if err != nil || l {
+			return l, err
+		}
+		return Truth(src, n.R, env, dom)
+	case *query.Implies:
+		l, err := Truth(src, n.L, env, dom)
+		if err != nil {
+			return false, err
+		}
+		if !l {
+			return true, nil
+		}
+		return Truth(src, n.R, env, dom)
+	case *query.Exists:
+		return quantify(src, n.Vars, n.Body, env, dom, false)
+	case *query.Forall:
+		return quantify(src, n.Vars, n.Body, env, dom, true)
+	default:
+		return false, fmt.Errorf("eval: unknown formula node %T", f)
+	}
+}
+
+// quantify evaluates ∃vars body (universal=false) or ∀vars body
+// (universal=true) by nested iteration over dom.
+func quantify(src Source, vars []string, body query.Formula, env query.Bindings, dom []relation.Value, universal bool) (bool, error) {
+	if len(vars) == 0 {
+		return Truth(src, body, env, dom)
+	}
+	v, rest := vars[0], vars[1:]
+	saved, had := env[v]
+	defer func() {
+		if had {
+			env[v] = saved
+		} else {
+			delete(env, v)
+		}
+	}()
+	for _, val := range dom {
+		env[v] = val
+		b, err := quantify(src, rest, body, env, dom, universal)
+		if err != nil {
+			return false, err
+		}
+		if universal && !b {
+			return false, nil
+		}
+		if !universal && b {
+			return true, nil
+		}
+	}
+	return universal, nil
+}
+
+func termValue(t query.Term, env query.Bindings) (relation.Value, error) {
+	if !t.IsVar() {
+		return t.Value(), nil
+	}
+	v, ok := env[t.Name()]
+	if !ok {
+		return relation.Value{}, fmt.Errorf("eval: unbound variable %q", t.Name())
+	}
+	return v, nil
+}
+
+// Answers computes Q(ā, D) for the query q with the head variables in
+// fixed bound to ā: the set of tuples (over the remaining head variables,
+// in head order) that satisfy the body. A Boolean query returns a set
+// containing one empty tuple when true and an empty set when false.
+//
+// A conjunctive body is evaluated by backtracking joins; anything else
+// falls back to enumerating assignments over the active domain, which is
+// exponential in the number of free variables — acceptable for an oracle,
+// and the reason the experiments use CQ-shaped naive baselines.
+func Answers(src Source, q *query.Query, fixed query.Bindings) (*relation.TupleSet, error) {
+	qf := q
+	if len(fixed) > 0 {
+		qf = q.Fix(fixed)
+	}
+	if cq, ok := query.AsCQ(qf); ok {
+		return AnswersCQ(src, cq, nil)
+	}
+	return answersFO(src, qf)
+}
+
+func answersFO(src Source, q *query.Query) (*relation.TupleSet, error) {
+	dom, err := Domain(src, q.Body)
+	if err != nil {
+		return nil, err
+	}
+	adom, err := ActiveDomain(src)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewTupleSet(0)
+	env := make(query.Bindings, len(q.Head))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(q.Head) {
+			ok, err := Truth(src, q.Body, env, dom)
+			if err != nil {
+				return err
+			}
+			if ok {
+				t := make(relation.Tuple, len(q.Head))
+				for j, v := range q.Head {
+					t[j] = env[v]
+				}
+				out.Add(t)
+			}
+			return nil
+		}
+		// Answers are tuples over adom(D) per the paper's definition.
+		for _, val := range adom {
+			env[q.Head[i]] = val
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		delete(env, q.Head[i])
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AnswersCQ evaluates a conjunctive query by backtracking over its atoms,
+// with fixed providing initial bindings. Equality atoms are eliminated
+// up front; an unsatisfiable equality set yields the empty answer.
+func AnswersCQ(src Source, cq *query.CQ, fixed query.Bindings) (*relation.TupleSet, error) {
+	out := relation.NewTupleSet(0)
+	q := cq
+	if len(cq.Eqs) > 0 {
+		var ok bool
+		q, ok = cq.ApplyEqs()
+		if !ok {
+			return out, nil
+		}
+	}
+	env := make(query.Bindings, len(fixed))
+	for k, v := range fixed {
+		env[k] = v
+	}
+	order := atomOrder(q.Atoms, env)
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(order) {
+			t := make(relation.Tuple, len(q.Head))
+			for j, h := range q.Head {
+				if h.IsVar() {
+					v, ok := env[h.Name()]
+					if !ok {
+						return fmt.Errorf("eval: head variable %q unbound after all atoms", h.Name())
+					}
+					t[j] = v
+				} else {
+					t[j] = h.Value()
+				}
+			}
+			out.Add(t)
+			return nil
+		}
+		a := order[i]
+		ts, err := src.Tuples(a.Rel)
+		if err != nil {
+			return err
+		}
+		for _, tu := range ts {
+			bound, ok := matchAtom(a, tu, env)
+			if !ok {
+				continue
+			}
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+			for _, v := range bound {
+				delete(env, v)
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// matchAtom attempts to match atom a against tuple tu under env, extending
+// env in place. It returns the variables newly bound (for backtracking) and
+// whether the match succeeded; on failure env is left unchanged.
+func matchAtom(a *query.Atom, tu relation.Tuple, env query.Bindings) (bound []string, ok bool) {
+	if len(a.Args) != len(tu) {
+		return nil, false
+	}
+	for i, arg := range a.Args {
+		if !arg.IsVar() {
+			if arg.Value() != tu[i] {
+				for _, v := range bound {
+					delete(env, v)
+				}
+				return nil, false
+			}
+			continue
+		}
+		name := arg.Name()
+		if v, has := env[name]; has {
+			if v != tu[i] {
+				for _, v := range bound {
+					delete(env, v)
+				}
+				return nil, false
+			}
+			continue
+		}
+		env[name] = tu[i]
+		bound = append(bound, name)
+	}
+	return bound, true
+}
+
+// atomOrder greedily orders atoms most-bound-first: repeatedly pick the
+// atom sharing the most variables with the already-bound set. This keeps
+// the backtracking join from degenerating into a cross product on the
+// query shapes in this repository.
+func atomOrder(atoms []*query.Atom, env query.Bindings) []*query.Atom {
+	bound := env.Vars().Clone()
+	remaining := append([]*query.Atom(nil), atoms...)
+	out := make([]*query.Atom, 0, len(atoms))
+	for len(remaining) > 0 {
+		best, bestScore := 0, -1
+		for i, a := range remaining {
+			score := 0
+			for v := range a.FreeVars() {
+				if bound[v] {
+					score++
+				}
+			}
+			for _, t := range a.Args {
+				if !t.IsVar() {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		a := remaining[best]
+		out = append(out, a)
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		for v := range a.FreeVars() {
+			bound = bound.Add(v)
+		}
+	}
+	return out
+}
+
+// AnswersUCQ evaluates a union of conjunctive queries.
+func AnswersUCQ(src Source, u *query.UCQ, fixed query.Bindings) (*relation.TupleSet, error) {
+	out := relation.NewTupleSet(0)
+	for _, d := range u.Disjunct {
+		part, err := AnswersCQ(src, d, fixed)
+		if err != nil {
+			return nil, err
+		}
+		out.AddAll(part.Tuples())
+	}
+	return out, nil
+}
+
+// Holds evaluates a Boolean query (sentence).
+func Holds(src Source, q *query.Query) (bool, error) {
+	if !q.IsBoolean() {
+		return false, fmt.Errorf("eval: Holds on non-Boolean query %s", q.Name)
+	}
+	ans, err := Answers(src, q, nil)
+	if err != nil {
+		return false, err
+	}
+	return ans.Len() > 0, nil
+}

@@ -1,0 +1,454 @@
+// Package incr implements incremental scale independence (Section 5 of the
+// paper): answering Q on demand after updates ΔD by accessing a bounded
+// number of base tuples, given the previously computed answer Q(D).
+//
+// Two layers are provided:
+//
+//   - CQMaintainer: the constructive side (Corollary 5.3, Proposition 5.5,
+//     Example 5.6). For a CQ Q and updates to base relations, the
+//     maintenance queries ΔQ replace one occurrence of an updated relation
+//     by the delta; each is x̄-controlled under A extended with the
+//     whole-delta entry, so each evaluates boundedly through the core
+//     engine. Deletions additionally require Q to be controlled by all its
+//     head variables (the re-derivation check of Proposition 5.5(2)).
+//
+//   - DecideDeltaQSI: the decision side (∆QSI, Theorems 5.1/5.2), a
+//     definition-level decider for small instances: for every candidate
+//     update, search for a witness D_Q ⊆ D of size ≤ M from which the
+//     exact delta is computable.
+package incr
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/qdsi"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// occurrencePlan precompiles the maintenance query for one occurrence of
+// an updatable relation in the CQ body.
+type occurrencePlan struct {
+	atom  *query.Atom
+	rest  query.Formula
+	deriv *core.Derivation
+}
+
+// CQMaintainer incrementally maintains Q(ā, D) for a conjunctive query
+// with fixed values ā for a controlling set x̄.
+type CQMaintainer struct {
+	eng   *core.Engine
+	q     *query.CQ
+	fixed query.Bindings
+
+	answers *relation.TupleSet
+	// occurrence plans per relation name
+	plans map[string][]occurrencePlan
+	// verification derivation for deletions (nil when deletions are not
+	// supported by the controllability conditions).
+	verify *core.Derivation
+	// head terms in output order
+	head []query.Term
+}
+
+// NewCQMaintainer checks the conditions of Proposition 5.5 and precompiles
+// the maintenance plans. The initial answer Q(ā, D) is computed by naive
+// evaluation (the paper's offline precomputation step).
+func NewCQMaintainer(eng *core.Engine, q *query.CQ, fixed query.Bindings) (*CQMaintainer, error) {
+	if len(q.Eqs) > 0 {
+		applied, ok := q.ApplyEqs()
+		if !ok {
+			return nil, fmt.Errorf("incr: query %s is unsatisfiable", q.Name)
+		}
+		q = applied
+	}
+	m := &CQMaintainer{
+		eng:   eng,
+		q:     q,
+		fixed: fixed.Clone(),
+		plans: make(map[string][]occurrencePlan),
+		head:  q.Head,
+	}
+	an := eng.An
+	fixedVars := fixed.Vars()
+	// One maintenance plan per atom occurrence: the remaining conjunction
+	// must be controlled by x̄ ∪ vars(atom), since the delta tuple supplies
+	// the atom's variables (this is Q being x̄-scale-independent under
+	// A(R), Proposition 5.5(1)).
+	for i, a := range q.Atoms {
+		rest := make([]query.Formula, 0, len(q.Atoms)-1)
+		for j, b := range q.Atoms {
+			if j != i {
+				rest = append(rest, b)
+			}
+		}
+		restBody := query.AndAll(rest...)
+		res, err := an.Analyze(restBody)
+		if err != nil {
+			return nil, err
+		}
+		ctrl := fixedVars.Union(a.FreeVars())
+		d := res.Controls(ctrl)
+		if d == nil {
+			return nil, fmt.Errorf("incr: %s is not incrementally scale-independent for updates to %s: remainder %s not %s-controlled",
+				q.Name, a.Rel, restBody, ctrl)
+		}
+		m.plans[a.Rel] = append(m.plans[a.Rel], occurrencePlan{atom: a, rest: restBody, deriv: d})
+	}
+	// Deletion support (Proposition 5.5(2)): re-derivation of a candidate
+	// answer requires the whole body controlled by x̄ ∪ head variables.
+	full, err := an.Analyze(q.Formula())
+	if err != nil {
+		return nil, err
+	}
+	m.verify = full.Controls(fixedVars.Union(q.HeadVars()))
+
+	// Offline precomputation of the initial answer.
+	ans, err := eval.AnswersCQ(eval.DBSource{DB: eng.DB.Data()}, q, fixed)
+	if err != nil {
+		return nil, err
+	}
+	m.answers = ans
+	return m, nil
+}
+
+// Answers returns the maintained answer set (over the non-fixed head
+// terms' values — the full head tuple with fixed variables included).
+func (m *CQMaintainer) Answers() *relation.TupleSet { return m.answers }
+
+// SupportsDeletions reports whether deletion maintenance is available
+// (Proposition 5.5(2)'s condition held at construction).
+func (m *CQMaintainer) SupportsDeletions() bool { return m.verify != nil }
+
+// Apply maintains the answers under u, applying u to the store. It returns
+// the answer delta (ins disjoint from the old answers, del contained in
+// them). Base accesses go through the counted store; the measured reads
+// per update are bounded by the plans' static bounds times |ΔD|.
+func (m *CQMaintainer) Apply(u *relation.Update) (ins, del []relation.Tuple, err error) {
+	if !u.IsInsertOnly() && m.verify == nil {
+		return nil, nil, fmt.Errorf("incr: %s supports insert-only updates (body not controlled by head variables)", m.q.Name)
+	}
+	// Deletion candidates are computed against the OLD database state.
+	delCandidates := relation.NewTupleSet(0)
+	for rel, ts := range u.Del {
+		for _, plan := range m.plans[rel] {
+			for _, t := range ts {
+				c, err := m.deltaAnswers(plan, t)
+				if err != nil {
+					return nil, nil, err
+				}
+				delCandidates.AddAll(c.Tuples())
+			}
+		}
+	}
+	if err := m.eng.DB.ApplyUpdate(u); err != nil {
+		return nil, nil, err
+	}
+	// Insertion candidates against the NEW state.
+	insCandidates := relation.NewTupleSet(0)
+	for rel, ts := range u.Ins {
+		for _, plan := range m.plans[rel] {
+			for _, t := range ts {
+				c, err := m.deltaAnswers(plan, t)
+				if err != nil {
+					return nil, nil, err
+				}
+				insCandidates.AddAll(c.Tuples())
+			}
+		}
+	}
+	for _, t := range insCandidates.Tuples() {
+		if !m.answers.Contains(t) {
+			ins = append(ins, t)
+			m.answers.Add(t)
+		}
+	}
+	// A deletion candidate disappears only if no alternative derivation
+	// survives: bounded re-verification with the full head fixed.
+	for _, t := range delCandidates.Tuples() {
+		if !m.answers.Contains(t) {
+			continue
+		}
+		if insCandidates.Contains(t) {
+			continue // re-derived via an insertion in the same update
+		}
+		still, err := m.rederive(t)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !still {
+			del = append(del, t)
+			m.answers.Remove(t)
+		}
+	}
+	return ins, del, nil
+}
+
+// deltaAnswers evaluates one maintenance plan for one delta tuple: unify
+// the occurrence atom with the tuple, then boundedly evaluate the
+// remainder.
+func (m *CQMaintainer) deltaAnswers(plan occurrencePlan, t relation.Tuple) (*relation.TupleSet, error) {
+	out := relation.NewTupleSet(0)
+	chi, ok := unifyArgs(plan.atom.Args, t)
+	if !ok {
+		return out, nil
+	}
+	env := m.fixed.Clone()
+	for k, v := range chi {
+		if prev, has := env[k]; has && prev != v {
+			return out, nil
+		}
+		env[k] = v
+	}
+	bs, err := core.Exec(m.eng.DB, plan.deriv, env)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range bs {
+		tu := make(relation.Tuple, len(m.head))
+		ok := true
+		for i, h := range m.head {
+			if !h.IsVar() {
+				tu[i] = h.Value()
+				continue
+			}
+			if v, has := b[h.Name()]; has {
+				tu[i] = v
+			} else if v, has := env[h.Name()]; has {
+				tu[i] = v
+			} else {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Add(tu)
+		}
+	}
+	return out, nil
+}
+
+// rederive checks boundedly whether answer t is still derivable.
+func (m *CQMaintainer) rederive(t relation.Tuple) (bool, error) {
+	env := m.fixed.Clone()
+	for i, h := range m.head {
+		if !h.IsVar() {
+			if h.Value() != t[i] {
+				return false, nil
+			}
+			continue
+		}
+		if prev, has := env[h.Name()]; has && prev != t[i] {
+			return false, nil
+		}
+		env[h.Name()] = t[i]
+	}
+	bs, err := core.Exec(m.eng.DB, m.verify, env)
+	if err != nil {
+		return false, err
+	}
+	return len(bs) > 0, nil
+}
+
+// unifyArgs matches atom arguments against a delta tuple, returning the
+// variable bindings.
+func unifyArgs(args []query.Term, t relation.Tuple) (query.Bindings, bool) {
+	if len(args) != len(t) {
+		return nil, false
+	}
+	b := make(query.Bindings, len(args))
+	for i, a := range args {
+		if !a.IsVar() {
+			if a.Value() != t[i] {
+				return nil, false
+			}
+			continue
+		}
+		if v, ok := b[a.Name()]; ok && v != t[i] {
+			return nil, false
+		}
+		b[a.Name()] = t[i]
+	}
+	return b, true
+}
+
+// DecideDeltaQSI decides the ∆QSI question on a concrete instance: for
+// every update in candidates (each of size ≤ k by the caller's choice),
+// does some D_Q ⊆ D with |D_Q| ≤ M compute the exact answer delta? The
+// maintenance semantics is the canonical one: ∆Q(∆D, D_Q) is the delta of
+// Q between D_Q and D_Q ⊕ ∆D. Exponential in |D|; intended for the small
+// instances of the Theorem 5.1/5.2 experiments.
+func DecideDeltaQSI(q *query.Query, d *relation.Database, candidates []*relation.Update, m int, opt qdsi.Options) (bool, int64, error) {
+	oldAnswers, err := eval.Answers(eval.DBSource{DB: d}, q, nil)
+	if err != nil {
+		return false, 0, err
+	}
+	var checks int64
+	budget := opt.MaxChecks
+	if budget <= 0 {
+		budget = qdsi.DefaultMaxChecks
+	}
+	tuples := flatten(d)
+	for _, u := range candidates {
+		newDB, err := d.Applied(u)
+		if err != nil {
+			return false, checks, err
+		}
+		target, err := eval.Answers(eval.DBSource{DB: newDB}, q, nil)
+		if err != nil {
+			return false, checks, err
+		}
+		found := false
+		size := m
+		if size > len(tuples) {
+			size = len(tuples)
+		}
+		for sz := 0; sz <= size && !found; sz++ {
+			err := forEachSubset(len(tuples), sz, func(idx []int) (bool, error) {
+				checks++
+				if checks > budget {
+					return false, qdsi.ErrBudget
+				}
+				dq := relation.NewDatabase(d.Schema())
+				for _, i := range idx {
+					dq.MustInsert(tuples[i].rel, tuples[i].t)
+				}
+				ok, err := deltaWitnesses(q, dq, u, oldAnswers, target)
+				if err != nil {
+					return false, err
+				}
+				if ok {
+					found = true
+					return false, nil
+				}
+				return true, nil
+			})
+			if err != nil {
+				return false, checks, err
+			}
+		}
+		if !found {
+			return false, checks, nil
+		}
+	}
+	return true, checks, nil
+}
+
+// deltaWitnesses checks whether the delta computed from (D_Q, ∆D) turns
+// the old answers into the target answers.
+func deltaWitnesses(q *query.Query, dq *relation.Database, u *relation.Update, oldAnswers, target *relation.TupleSet) (bool, error) {
+	before, err := eval.Answers(eval.DBSource{DB: dq}, q, nil)
+	if err != nil {
+		return false, err
+	}
+	dqNew := dq.Clone()
+	if err := applyLoose(dqNew, u); err != nil {
+		return false, err
+	}
+	after, err := eval.Answers(eval.DBSource{DB: dqNew}, q, nil)
+	if err != nil {
+		return false, err
+	}
+	// ∆ = after − before, ∇ = before − after; apply to the old answers.
+	result := oldAnswers.Clone()
+	for _, t := range before.Tuples() {
+		if !after.Contains(t) {
+			result.Remove(t)
+		}
+	}
+	for _, t := range after.Tuples() {
+		if !before.Contains(t) {
+			result.Add(t)
+		}
+	}
+	return result.Equal(target), nil
+}
+
+// applyLoose applies an update ignoring deletions of absent tuples (D_Q
+// may not contain them).
+func applyLoose(db *relation.Database, u *relation.Update) error {
+	for rel, ts := range u.Del {
+		r := db.Rel(rel)
+		if r == nil {
+			return fmt.Errorf("incr: unknown relation %q", rel)
+		}
+		for _, t := range ts {
+			r.Delete(t)
+		}
+	}
+	for rel, ts := range u.Ins {
+		r := db.Rel(rel)
+		if r == nil {
+			return fmt.Errorf("incr: unknown relation %q", rel)
+		}
+		for _, t := range ts {
+			if !r.Contains(t) {
+				if _, err := r.Insert(t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type taggedTuple struct {
+	rel string
+	t   relation.Tuple
+}
+
+func flatten(d *relation.Database) []taggedTuple {
+	var out []taggedTuple
+	for _, name := range d.Schema().Names() {
+		for _, t := range d.Rel(name).Tuples() {
+			out = append(out, taggedTuple{rel: name, t: t})
+		}
+	}
+	return out
+}
+
+func forEachSubset(n, k int, yield func([]int) (bool, error)) error {
+	idx := make([]int, k)
+	var rec func(start, d int) (bool, error)
+	rec = func(start, d int) (bool, error) {
+		if d == k {
+			return yield(idx)
+		}
+		for i := start; i <= n-(k-d); i++ {
+			idx[d] = i
+			cont, err := rec(i+1, d+1)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	_, err := rec(0, 0)
+	return err
+}
+
+// SingleTupleUpdates enumerates candidate single-tuple updates: one
+// insertion per tuple in pool (absent from D) and one deletion per present
+// tuple.
+func SingleTupleUpdates(d *relation.Database, pool map[string][]relation.Tuple) []*relation.Update {
+	var out []*relation.Update
+	for rel, ts := range pool {
+		r := d.Rel(rel)
+		if r == nil {
+			continue
+		}
+		for _, t := range ts {
+			if !r.Contains(t) {
+				out = append(out, relation.NewUpdate().Insert(rel, t))
+			}
+		}
+	}
+	for _, name := range d.Schema().Names() {
+		for _, t := range d.Rel(name).Tuples() {
+			out = append(out, relation.NewUpdate().Delete(name, t))
+		}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// Package index provides hash indices over relations: the physical access
+// method that access schemas (package access) assume. An index on a set X
+// of attributes of R supports retrieval of σ_X=ā(R) in time proportional to
+// the answer, which is the "can be retrieved in time T" half of the access
+// schema contract; the cardinality half (≤ N tuples) is checked by package
+// access and enforced at fetch time by package store.
+package index
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// KeyName canonically names an index key: the comma-joined attribute list
+// in the order given. Two indices on the same relation with the same
+// KeyName are interchangeable.
+func KeyName(attrs []string) string { return strings.Join(attrs, ",") }
+
+// Index is a hash index on a fixed attribute list of one relation. It maps
+// each combination of key values to the list of matching tuples, in
+// insertion order.
+type Index struct {
+	rel       relation.RelSchema
+	attrs     []string
+	positions []int
+	buckets   map[string][]relation.Tuple
+}
+
+// New builds an empty index on the given attributes of rs. The attribute
+// list may be empty, in which case the index has a single bucket holding
+// the whole relation (this models the access schema entries (R, ∅, N, T)
+// used in Section 5 of the paper).
+func New(rs relation.RelSchema, attrs []string) (*Index, error) {
+	pos, err := rs.Positions(attrs)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	seen := make(map[int]bool, len(pos))
+	for _, p := range pos {
+		if seen[p] {
+			return nil, fmt.Errorf("index on %s: duplicate attribute %q", rs.Name, rs.Attrs[p])
+		}
+		seen[p] = true
+	}
+	return &Index{
+		rel:       rs,
+		attrs:     append([]string(nil), attrs...),
+		positions: pos,
+		buckets:   make(map[string][]relation.Tuple),
+	}, nil
+}
+
+// Build constructs an index over the current contents of r.
+func Build(r *relation.Relation, attrs []string) (*Index, error) {
+	ix, err := New(r.Schema(), attrs)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range r.Tuples() {
+		ix.Add(t)
+	}
+	return ix, nil
+}
+
+// Attrs returns the indexed attribute list.
+func (ix *Index) Attrs() []string { return ix.attrs }
+
+// Relation returns the name of the indexed relation.
+func (ix *Index) Relation() string { return ix.rel.Name }
+
+// KeyName returns the canonical name of this index's key.
+func (ix *Index) KeyName() string { return KeyName(ix.attrs) }
+
+func (ix *Index) keyOf(t relation.Tuple) string {
+	return t.Project(ix.positions).Key()
+}
+
+// Add inserts a tuple into the index. The caller is responsible for keeping
+// the index in sync with the base relation (package store does this).
+func (ix *Index) Add(t relation.Tuple) {
+	k := ix.keyOf(t)
+	ix.buckets[k] = append(ix.buckets[k], t)
+}
+
+// Remove deletes a tuple from the index, reporting whether it was present.
+func (ix *Index) Remove(t relation.Tuple) bool {
+	k := ix.keyOf(t)
+	bucket := ix.buckets[k]
+	for i, u := range bucket {
+		if u.Equal(t) {
+			copy(bucket[i:], bucket[i+1:])
+			bucket = bucket[:len(bucket)-1]
+			if len(bucket) == 0 {
+				delete(ix.buckets, k)
+			} else {
+				ix.buckets[k] = bucket
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns σ_X=vals(R): all tuples whose indexed attributes equal
+// vals, in insertion order. The returned slice is owned by the index.
+func (ix *Index) Lookup(vals []relation.Value) ([]relation.Tuple, error) {
+	if len(vals) != len(ix.positions) {
+		return nil, fmt.Errorf("index %s(%s): lookup with %d values, want %d",
+			ix.rel.Name, ix.KeyName(), len(vals), len(ix.positions))
+	}
+	return ix.buckets[relation.Tuple(vals).Key()], nil
+}
+
+// Count returns |σ_X=vals(R)| without materializing anything new.
+func (ix *Index) Count(vals []relation.Value) (int, error) {
+	ts, err := ix.Lookup(vals)
+	return len(ts), err
+}
+
+// MaxBucket returns the size of the largest bucket: the tightest N for
+// which every group satisfies the access-schema cardinality bound. An empty
+// index has MaxBucket 0.
+func (ix *Index) MaxBucket() int {
+	max := 0
+	for _, b := range ix.buckets {
+		if len(b) > max {
+			max = len(b)
+		}
+	}
+	return max
+}
+
+// Buckets returns the number of distinct key combinations present.
+func (ix *Index) Buckets() int { return len(ix.buckets) }
+
+// Len returns the total number of indexed tuples.
+func (ix *Index) Len() int {
+	n := 0
+	for _, b := range ix.buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// GroupSizes returns the multiset of bucket sizes in descending order;
+// useful for conformance diagnostics.
+func (ix *Index) GroupSizes() []int {
+	out := make([]int, 0, len(ix.buckets))
+	for _, b := range ix.buckets {
+		out = append(out, len(b))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// String describes the index.
+func (ix *Index) String() string {
+	return fmt.Sprintf("index %s(%s): %d tuples in %d buckets", ix.rel.Name, ix.KeyName(), ix.Len(), ix.Buckets())
+}

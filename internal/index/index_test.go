@@ -1,0 +1,130 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func friendRel(t *testing.T, edges [][2]int64) *relation.Relation {
+	t.Helper()
+	r := relation.NewRelation(relation.MustRelSchema("friend", "id1", "id2"))
+	for _, e := range edges {
+		r.MustInsert(relation.Ints(e[0], e[1]))
+	}
+	return r
+}
+
+func TestBuildAndLookup(t *testing.T) {
+	r := friendRel(t, [][2]int64{{1, 2}, {1, 3}, {2, 3}})
+	ix, err := Build(r, []string{"id1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Lookup([]relation.Value{relation.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("Lookup(1) = %v", got)
+	}
+	if n, _ := ix.Count([]relation.Value{relation.Int(2)}); n != 1 {
+		t.Errorf("Count(2) = %d", n)
+	}
+	if n, _ := ix.Count([]relation.Value{relation.Int(9)}); n != 0 {
+		t.Errorf("Count(9) = %d", n)
+	}
+	if ix.MaxBucket() != 2 || ix.Buckets() != 2 || ix.Len() != 3 {
+		t.Errorf("stats: max=%d buckets=%d len=%d", ix.MaxBucket(), ix.Buckets(), ix.Len())
+	}
+	if _, err := ix.Lookup(nil); err == nil {
+		t.Error("arity-mismatched lookup accepted")
+	}
+}
+
+func TestEmptyKeyIndex(t *testing.T) {
+	r := friendRel(t, [][2]int64{{1, 2}, {3, 4}})
+	ix, err := Build(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := ix.Lookup(nil)
+	if err != nil || len(all) != 2 {
+		t.Fatalf("empty-key lookup = %v, %v", all, err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	rs := relation.MustRelSchema("R", "a", "b")
+	if _, err := New(rs, []string{"z"}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := New(rs, []string{"a", "a"}); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	rs := relation.MustRelSchema("R", "a", "b")
+	ix, _ := New(rs, []string{"a"})
+	ix.Add(relation.Ints(1, 1))
+	ix.Add(relation.Ints(1, 2))
+	if !ix.Remove(relation.Ints(1, 1)) {
+		t.Fatal("Remove existing failed")
+	}
+	if ix.Remove(relation.Ints(1, 1)) {
+		t.Fatal("Remove absent succeeded")
+	}
+	got, _ := ix.Lookup([]relation.Value{relation.Int(1)})
+	if len(got) != 1 || !got[0].Equal(relation.Ints(1, 2)) {
+		t.Fatalf("after remove: %v", got)
+	}
+	ix.Remove(relation.Ints(1, 2))
+	if ix.Buckets() != 0 {
+		t.Error("empty bucket not deleted")
+	}
+}
+
+// Index lookups must agree with a scan-and-filter over the base relation
+// under random workloads — the core physical-layer invariant.
+func TestLookupEqualsScanQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rs := relation.MustRelSchema("R", "a", "b", "c")
+	for trial := 0; trial < 30; trial++ {
+		r := relation.NewRelation(rs)
+		for i := 0; i < 200; i++ {
+			r.MustInsert(relation.Ints(int64(rng.Intn(8)), int64(rng.Intn(8)), int64(rng.Intn(8))))
+		}
+		attrs := [][]string{{"a"}, {"b", "c"}, {"a", "c"}, {"a", "b", "c"}}[trial%4]
+		ix, err := Build(r, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos, _ := rs.Positions(attrs)
+		for probe := 0; probe < 50; probe++ {
+			vals := make([]relation.Value, len(attrs))
+			for i := range vals {
+				vals[i] = relation.Int(int64(rng.Intn(9)))
+			}
+			got, err := ix.Lookup(vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 0
+			for _, tu := range r.Tuples() {
+				if tu.Project(pos).Equal(relation.Tuple(vals)) {
+					want++
+				}
+			}
+			if len(got) != want {
+				t.Fatalf("trial %d probe %d: lookup %d tuples, scan %d", trial, probe, len(got), want)
+			}
+			for _, g := range got {
+				if !g.Project(pos).Equal(relation.Tuple(vals)) {
+					t.Fatalf("lookup returned non-matching tuple %v", g)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package parser provides the textual syntax of the system: FO formulas
+// and queries, conjunctive queries in rule form, and "catalog" files that
+// declare relational schemas and access schemas.
+//
+// Formula syntax (precedence from loosest to tightest:
+// implies, or, and, not; quantifiers parenthesize their bodies):
+//
+//	Q1(p, name) := exists id (friend(p, id) and person(id, name, 'NYC'))
+//	Q(x) := forall y (S(x, y) implies T(x, y))
+//	CQ rule form: Q2(p, rn) :- friend(p, id), visit(id, rid), restr(rid, rn, 'NYC', 'A')
+//
+// Catalog syntax:
+//
+//	relation person(id, name, city)
+//	access friend(id1 -> *) limit 5000 time 1
+//	access visit(yy -> yy, mm, dd) limit 366 time 1
+//	fd visit: id, yy, mm, dd -> rid time 1
+//
+// Identifiers are variables inside queries; constants are quoted strings
+// or integer literals. '#' starts a line comment.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokColon
+	tokStar
+	tokEq      // =
+	tokNeq     // !=
+	tokArrow   // ->
+	tokAssign  // :=
+	tokRuleDef // :-
+	tokNewline // significant in catalogs
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokStar:
+		return "'*'"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'!='"
+	case tokArrow:
+		return "'->'"
+	case tokAssign:
+		return "':='"
+	case tokRuleDef:
+		return "':-'"
+	case tokNewline:
+		return "newline"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.text != "" {
+		return fmt.Sprintf("%s %q", t.kind, t.text)
+	}
+	return t.kind.String()
+}
+
+// lexer tokenizes input. Newlines are emitted as tokens (collapsed runs)
+// because the catalog format is line-oriented; the formula parser skips
+// them.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (lx *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peekByte() (byte, bool) {
+	if lx.pos >= len(lx.src) {
+		return 0, false
+	}
+	return lx.src[lx.pos], true
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	for {
+		c, ok := lx.peekByte()
+		if !ok {
+			return token{kind: tokEOF, line: lx.line, col: lx.col}, nil
+		}
+		switch {
+		case c == '\n':
+			tk := token{kind: tokNewline, line: lx.line, col: lx.col}
+			for {
+				c, ok := lx.peekByte()
+				if !ok || (c != '\n' && c != '\r' && c != ' ' && c != '\t') {
+					break
+				}
+				if c == '\r' || c == ' ' || c == '\t' {
+					lx.advance()
+					continue
+				}
+				lx.advance()
+			}
+			return tk, nil
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.advance()
+		case c == '#':
+			for {
+				c, ok := lx.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return lx.lexToken()
+		}
+	}
+}
+
+func (lx *lexer) lexToken() (token, error) {
+	line, col := lx.line, lx.col
+	c := lx.advance()
+	mk := func(k tokKind, text string) token {
+		return token{kind: k, text: text, line: line, col: col}
+	}
+	switch c {
+	case '(':
+		return mk(tokLParen, ""), nil
+	case ')':
+		return mk(tokRParen, ""), nil
+	case ',':
+		return mk(tokComma, ""), nil
+	case '*':
+		return mk(tokStar, ""), nil
+	case '=':
+		return mk(tokEq, ""), nil
+	case '!':
+		if n, ok := lx.peekByte(); ok && n == '=' {
+			lx.advance()
+			return mk(tokNeq, ""), nil
+		}
+		return token{}, lx.errorf(line, col, "unexpected '!'")
+	case '-':
+		if n, ok := lx.peekByte(); ok && n == '>' {
+			lx.advance()
+			return mk(tokArrow, ""), nil
+		}
+		// negative number literal
+		if n, ok := lx.peekByte(); ok && n >= '0' && n <= '9' {
+			num := lx.lexNumber()
+			return mk(tokNumber, "-"+num), nil
+		}
+		return token{}, lx.errorf(line, col, "unexpected '-'")
+	case ':':
+		if n, ok := lx.peekByte(); ok {
+			switch n {
+			case '=':
+				lx.advance()
+				return mk(tokAssign, ""), nil
+			case '-':
+				lx.advance()
+				return mk(tokRuleDef, ""), nil
+			}
+		}
+		return mk(tokColon, ""), nil
+	case '\'':
+		var b strings.Builder
+		for {
+			c, ok := lx.peekByte()
+			if !ok || c == '\n' {
+				return token{}, lx.errorf(line, col, "unterminated string literal")
+			}
+			lx.advance()
+			if c == '\'' {
+				return mk(tokString, b.String()), nil
+			}
+			b.WriteByte(c)
+		}
+	}
+	if c >= '0' && c <= '9' {
+		lx.pos--
+		lx.col--
+		return mk(tokNumber, lx.lexNumber()), nil
+	}
+	if isIdentStart(rune(c)) {
+		var b strings.Builder
+		b.WriteByte(c)
+		for {
+			n, ok := lx.peekByte()
+			if !ok || !isIdentPart(rune(n)) {
+				break
+			}
+			b.WriteByte(lx.advance())
+		}
+		return mk(tokIdent, b.String()), nil
+	}
+	return token{}, lx.errorf(line, col, "unexpected character %q", string(c))
+}
+
+func (lx *lexer) lexNumber() string {
+	var b strings.Builder
+	for {
+		c, ok := lx.peekByte()
+		if !ok || c < '0' || c > '9' {
+			break
+		}
+		b.WriteByte(lx.advance())
+	}
+	return b.String()
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// tokens lexes the whole input.
+func tokens(src string) ([]token, error) {
+	lx := newLexer(src)
+	var out []token
+	for {
+		tk, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tk)
+		if tk.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+// mustParseInt converts a numeric token's text.
+func mustParseInt(t token) (int64, error) {
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%d:%d: bad number %q", t.line, t.col, t.text)
+	}
+	return n, nil
+}

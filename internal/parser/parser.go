@@ -1,0 +1,675 @@
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// parser is a recursive-descent parser over a token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := tokens(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) peekSkipNL() token {
+	i := p.pos
+	for p.toks[i].kind == tokNewline {
+		i++
+	}
+	return p.toks[i]
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) skipNewlines() {
+	for p.peek().kind == tokNewline {
+		p.advance()
+	}
+}
+
+// nextNoNL advances past newlines and returns the next significant token.
+func (p *parser) nextNoNL() token {
+	p.skipNewlines()
+	return p.advance()
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.nextNoNL()
+	if t.kind != k {
+		return t, fmt.Errorf("%d:%d: expected %s, got %s", t.line, t.col, k, t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.nextNoNL()
+	if t.kind != tokIdent || t.text != kw {
+		return fmt.Errorf("%d:%d: expected %q, got %s", t.line, t.col, kw, t)
+	}
+	return nil
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peekSkipNL()
+	return t.kind == tokIdent && t.text == kw
+}
+
+// reserved words that cannot be variables or relation names in formulas.
+var reserved = map[string]bool{
+	"and": true, "or": true, "not": true, "implies": true,
+	"exists": true, "forall": true, "true": true, "false": true,
+	"union": true,
+}
+
+// ParseFormula parses an FO formula.
+func ParseFormula(src string) (query.Formula, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.nextNoNL(); t.kind != tokEOF {
+		return nil, fmt.Errorf("%d:%d: trailing input at %s", t.line, t.col, t)
+	}
+	return f, nil
+}
+
+// ParseQuery parses a named query "Name(v1, ..., vk) := formula".
+func ParseQuery(src string) (*query.Query, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	q, err := p.parseQueryDecl()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.nextNoNL(); t.kind != tokEOF {
+		return nil, fmt.Errorf("%d:%d: trailing input at %s", t.line, t.col, t)
+	}
+	return q, nil
+}
+
+// ParseCQ parses a conjunctive query in rule form
+// "Name(t1, ..., tk) :- atom, ..., atom" (equalities allowed among the
+// atoms). It also accepts ":=" bodies that happen to be conjunctive.
+func ParseCQ(src string) (*query.CQ, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	name, head, err := p.parseHead()
+	if err != nil {
+		return nil, err
+	}
+	def := p.nextNoNL()
+	switch def.kind {
+	case tokRuleDef:
+		atoms, eqs, err := p.parseRuleBody()
+		if err != nil {
+			return nil, err
+		}
+		if t := p.nextNoNL(); t.kind != tokEOF {
+			return nil, fmt.Errorf("%d:%d: trailing input at %s", t.line, t.col, t)
+		}
+		return query.NewCQ(name, head, atoms, eqs)
+	case tokAssign:
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if t := p.nextNoNL(); t.kind != tokEOF {
+			return nil, fmt.Errorf("%d:%d: trailing input at %s", t.line, t.col, t)
+		}
+		q := &query.Query{Name: name, Head: varNames(head), Body: f}
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		cq, ok := query.AsCQ(q)
+		if !ok {
+			return nil, fmt.Errorf("query %s is not conjunctive", name)
+		}
+		return cq, nil
+	default:
+		return nil, fmt.Errorf("%d:%d: expected ':-' or ':=', got %s", def.line, def.col, def)
+	}
+}
+
+// ParseUCQ parses "cq union cq union ...".
+func ParseUCQ(src string) (*query.UCQ, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	var disjuncts []*query.CQ
+	for {
+		name, head, err := p.parseHead()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRuleDef); err != nil {
+			return nil, err
+		}
+		atoms, eqs, err := p.parseRuleBody()
+		if err != nil {
+			return nil, err
+		}
+		cq, err := query.NewCQ(name, head, atoms, eqs)
+		if err != nil {
+			return nil, err
+		}
+		disjuncts = append(disjuncts, cq)
+		if !p.atKeyword("union") {
+			break
+		}
+		p.nextNoNL() // consume 'union'
+	}
+	if t := p.nextNoNL(); t.kind != tokEOF {
+		return nil, fmt.Errorf("%d:%d: trailing input at %s", t.line, t.col, t)
+	}
+	return query.NewUCQ(disjuncts[0].Name, disjuncts...)
+}
+
+func varNames(terms []query.Term) []string {
+	var out []string
+	for _, t := range terms {
+		if t.IsVar() {
+			out = append(out, t.Name())
+		}
+	}
+	return out
+}
+
+func (p *parser) parseQueryDecl() (*query.Query, error) {
+	name, head, err := p.parseHead()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokAssign); err != nil {
+		return nil, err
+	}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range head {
+		if !t.IsVar() {
+			return nil, fmt.Errorf("query %s: constant %s in FO head", name, t)
+		}
+	}
+	return query.NewQuery(name, varNames(head), f)
+}
+
+// parseHead parses Name(term, ..., term).
+func (p *parser) parseHead() (string, []query.Term, error) {
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return "", nil, err
+	}
+	if reserved[nameTok.text] {
+		return "", nil, fmt.Errorf("%d:%d: reserved word %q as query name", nameTok.line, nameTok.col, nameTok.text)
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return "", nil, err
+	}
+	var head []query.Term
+	if p.peekSkipNL().kind != tokRParen {
+		for {
+			t, err := p.parseTerm()
+			if err != nil {
+				return "", nil, err
+			}
+			head = append(head, t)
+			if p.peekSkipNL().kind != tokComma {
+				break
+			}
+			p.nextNoNL()
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return "", nil, err
+	}
+	return nameTok.text, head, nil
+}
+
+func (p *parser) parseRuleBody() (atoms []*query.Atom, eqs []*query.Eq, err error) {
+	for {
+		f, err := p.parseAtomic()
+		if err != nil {
+			return nil, nil, err
+		}
+		switch n := f.(type) {
+		case *query.Atom:
+			atoms = append(atoms, n)
+		case *query.Eq:
+			eqs = append(eqs, n)
+		default:
+			return nil, nil, fmt.Errorf("rule body may contain only atoms and equalities, got %s", f)
+		}
+		if p.peekSkipNL().kind != tokComma {
+			return atoms, eqs, nil
+		}
+		p.nextNoNL()
+	}
+}
+
+// Formula grammar, loosest first.
+func (p *parser) parseFormula() (query.Formula, error) { return p.parseImplies() }
+
+func (p *parser) parseImplies() (query.Formula, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atKeyword("implies") {
+		return l, nil
+	}
+	p.nextNoNL()
+	r, err := p.parseImplies() // right associative
+	if err != nil {
+		return nil, err
+	}
+	return query.NewImplies(l, r), nil
+}
+
+func (p *parser) parseOr() (query.Formula, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("or") {
+		p.nextNoNL()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = query.NewOr(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (query.Formula, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("and") {
+		p.nextNoNL()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = query.NewAnd(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (query.Formula, error) {
+	switch {
+	case p.atKeyword("not"):
+		p.nextNoNL()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return query.NewNot(f), nil
+	case p.atKeyword("exists"), p.atKeyword("forall"):
+		kw := p.nextNoNL().text
+		vars, err := p.parseVarList()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		if kw == "exists" {
+			return query.NewExists(vars, body), nil
+		}
+		return query.NewForall(vars, body), nil
+	default:
+		return p.parsePrimary()
+	}
+}
+
+func (p *parser) parseVarList() ([]string, error) {
+	var vars []string
+	for {
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if reserved[t.text] {
+			return nil, fmt.Errorf("%d:%d: reserved word %q as variable", t.line, t.col, t.text)
+		}
+		vars = append(vars, t.text)
+		if p.peekSkipNL().kind != tokComma {
+			return vars, nil
+		}
+		p.nextNoNL()
+	}
+}
+
+func (p *parser) parsePrimary() (query.Formula, error) {
+	t := p.peekSkipNL()
+	if t.kind == tokLParen {
+		p.nextNoNL()
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	if t.kind == tokIdent && t.text == "true" {
+		p.nextNoNL()
+		return query.True, nil
+	}
+	if t.kind == tokIdent && t.text == "false" {
+		p.nextNoNL()
+		return query.False, nil
+	}
+	return p.parseAtomic()
+}
+
+// parseAtomic parses a relation atom R(t, ..., t) or an (in)equality
+// t = t / t != t.
+func (p *parser) parseAtomic() (query.Formula, error) {
+	t := p.peekSkipNL()
+	if t.kind == tokIdent && !reserved[t.text] {
+		// Lookahead: ident '(' is an atom; otherwise a term in an equality.
+		save := p.pos
+		p.nextNoNL()
+		if p.peekSkipNL().kind == tokLParen {
+			p.nextNoNL()
+			var args []query.Term
+			if p.peekSkipNL().kind != tokRParen {
+				for {
+					a, err := p.parseTerm()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peekSkipNL().kind != tokComma {
+						break
+					}
+					p.nextNoNL()
+				}
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			return query.NewAtom(t.text, args...), nil
+		}
+		p.pos = save
+	}
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	op := p.nextNoNL()
+	switch op.kind {
+	case tokEq:
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return query.NewEq(l, r), nil
+	case tokNeq:
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return query.NewNot(query.NewEq(l, r)), nil
+	default:
+		return nil, fmt.Errorf("%d:%d: expected '=' or '!=', got %s", op.line, op.col, op)
+	}
+}
+
+func (p *parser) parseTerm() (query.Term, error) {
+	t := p.nextNoNL()
+	switch t.kind {
+	case tokIdent:
+		if reserved[t.text] {
+			return query.Term{}, fmt.Errorf("%d:%d: reserved word %q as term", t.line, t.col, t.text)
+		}
+		return query.Var(t.text), nil
+	case tokNumber:
+		n, err := mustParseInt(t)
+		if err != nil {
+			return query.Term{}, err
+		}
+		return query.ConstInt(n), nil
+	case tokString:
+		return query.ConstStr(t.text), nil
+	default:
+		return query.Term{}, fmt.Errorf("%d:%d: expected term, got %s", t.line, t.col, t)
+	}
+}
+
+// Catalog is the result of parsing a catalog file: a relational schema and
+// an access schema over it.
+type Catalog struct {
+	Relational *relation.Schema
+	Access     *access.Schema
+}
+
+// ParseCatalog parses relation/access/fd declarations, one per line.
+func ParseCatalog(src string) (*Catalog, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	rel := &relation.Schema{}
+	relSchema, err := relation.NewSchema()
+	if err != nil {
+		return nil, err
+	}
+	rel = relSchema
+	var pendingAccess []access.Entry
+
+	for {
+		p.skipNewlines()
+		t := p.peek()
+		if t.kind == tokEOF {
+			break
+		}
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("%d:%d: expected declaration, got %s", t.line, t.col, t)
+		}
+		switch t.text {
+		case "relation":
+			p.advance()
+			rs, err := p.parseRelationDecl()
+			if err != nil {
+				return nil, err
+			}
+			if err := rel.Add(rs); err != nil {
+				return nil, err
+			}
+		case "access":
+			p.advance()
+			e, err := p.parseAccessDecl()
+			if err != nil {
+				return nil, err
+			}
+			pendingAccess = append(pendingAccess, e)
+		case "fd":
+			p.advance()
+			e, err := p.parseFDDecl()
+			if err != nil {
+				return nil, err
+			}
+			pendingAccess = append(pendingAccess, e)
+		default:
+			return nil, fmt.Errorf("%d:%d: unknown declaration %q", t.line, t.col, t.text)
+		}
+	}
+	acc := access.New(rel)
+	for _, e := range pendingAccess {
+		if err := acc.Add(e); err != nil {
+			return nil, err
+		}
+	}
+	return &Catalog{Relational: rel, Access: acc}, nil
+}
+
+func (p *parser) parseRelationDecl() (relation.RelSchema, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return relation.RelSchema{}, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return relation.RelSchema{}, err
+	}
+	attrs, err := p.parseIdentList()
+	if err != nil {
+		return relation.RelSchema{}, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return relation.RelSchema{}, err
+	}
+	return relation.NewRelSchema(name.text, attrs...)
+}
+
+func (p *parser) parseIdentList() ([]string, error) {
+	var out []string
+	for {
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t.text)
+		if p.peekSkipNL().kind != tokComma {
+			return out, nil
+		}
+		p.nextNoNL()
+	}
+}
+
+// parseAccessDecl parses: R(x1, ..., xk -> * | y1, ..., ym) limit N time T.
+// An empty X side is written as "()" contents starting directly with "->".
+func (p *parser) parseAccessDecl() (access.Entry, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return access.Entry{}, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return access.Entry{}, err
+	}
+	var on []string
+	if p.peekSkipNL().kind == tokIdent {
+		on, err = p.parseIdentList()
+		if err != nil {
+			return access.Entry{}, err
+		}
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return access.Entry{}, err
+	}
+	var proj []string
+	isStar := false
+	if p.peekSkipNL().kind == tokStar {
+		p.nextNoNL()
+		isStar = true
+	} else {
+		proj, err = p.parseIdentList()
+		if err != nil {
+			return access.Entry{}, err
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return access.Entry{}, err
+	}
+	if err := p.expectKeyword("limit"); err != nil {
+		return access.Entry{}, err
+	}
+	nTok, err := p.expect(tokNumber)
+	if err != nil {
+		return access.Entry{}, err
+	}
+	n, err := mustParseInt(nTok)
+	if err != nil {
+		return access.Entry{}, err
+	}
+	if err := p.expectKeyword("time"); err != nil {
+		return access.Entry{}, err
+	}
+	tTok, err := p.expect(tokNumber)
+	if err != nil {
+		return access.Entry{}, err
+	}
+	tv, err := mustParseInt(tTok)
+	if err != nil {
+		return access.Entry{}, err
+	}
+	if isStar {
+		return access.Plain(name.text, on, int(n), int(tv)), nil
+	}
+	return access.Embedded(name.text, on, proj, int(n), int(tv)), nil
+}
+
+// parseFDDecl parses: fd R: x1, ..., xk -> y1, ..., ym time T.
+func (p *parser) parseFDDecl() (access.Entry, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return access.Entry{}, err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return access.Entry{}, err
+	}
+	x, err := p.parseIdentList()
+	if err != nil {
+		return access.Entry{}, err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return access.Entry{}, err
+	}
+	y, err := p.parseIdentList()
+	if err != nil {
+		return access.Entry{}, err
+	}
+	tv := int64(1)
+	if p.atKeyword("time") {
+		p.nextNoNL()
+		tTok, err := p.expect(tokNumber)
+		if err != nil {
+			return access.Entry{}, err
+		}
+		tv, err = mustParseInt(tTok)
+		if err != nil {
+			return access.Entry{}, err
+		}
+	}
+	return access.FD(name.text, x, y, int(tv)), nil
+}

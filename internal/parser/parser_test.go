@@ -1,0 +1,227 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+)
+
+func TestParseFormulaQ1(t *testing.T) {
+	f, err := ParseFormula("exists id (friend(p, id) and person(id, name, 'NYC'))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.FreeVars().Equal(query.NewVarSet("p", "name")) {
+		t.Errorf("free vars = %v", f.FreeVars())
+	}
+	ex, ok := f.(*query.Exists)
+	if !ok || len(ex.Vars) != 1 || ex.Vars[0] != "id" {
+		t.Fatalf("shape: %T %s", f, f)
+	}
+	if _, ok := ex.Body.(*query.And); !ok {
+		t.Fatalf("body: %T", ex.Body)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f, err := ParseFormula("R(x) and S(x) or T(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.(*query.Or); !ok {
+		t.Fatalf("top = %T, want Or", f)
+	}
+	g, err := ParseFormula("R(x) implies S(x) implies T(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := g.(*query.Implies)
+	if _, ok := im.R.(*query.Implies); !ok {
+		t.Error("implies should be right-associative")
+	}
+	h, err := ParseFormula("not R(x) and S(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, ok := h.(*query.And)
+	if !ok {
+		t.Fatalf("top = %T", h)
+	}
+	if _, ok := an.L.(*query.Not); !ok {
+		t.Error("not should bind tighter than and")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	srcs := []string{
+		"exists id (friend(p, id) and person(id, name, 'NYC'))",
+		"forall y (S(x, y) implies T(x, y))",
+		"R(x, 1) and (S(x) or not T(x))",
+		"x = y and y != 3",
+		"true or false",
+		"exists a, b (R(a, b))",
+	}
+	for _, src := range srcs {
+		f, err := ParseFormula(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		// Reparse the printed form; it must print identically (fixpoint).
+		f2, err := ParseFormula(f.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", f.String(), err)
+		}
+		if f.String() != f2.String() {
+			t.Errorf("not a fixpoint: %q vs %q", f, f2)
+		}
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	q, err := ParseQuery("Q1(p, name) := exists id (friend(p, id) and person(id, name, 'NYC'))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "Q1" || len(q.Head) != 2 {
+		t.Errorf("query = %s", q)
+	}
+	if _, err := ParseQuery("Q(x) := R(y)"); err == nil {
+		t.Error("head/free mismatch accepted")
+	}
+	if _, err := ParseQuery("Q(x) := R(x) trailing(x)"); err == nil {
+		t.Error("trailing input accepted")
+	}
+}
+
+func TestParseCQRuleForm(t *testing.T) {
+	cq, err := ParseCQ("Q2(p, rn) :- friend(p, id), visit(id, rid), person(id, pn, 'NYC'), restr(rid, rn, 'NYC', 'A')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cq.Size() != 4 {
+		t.Errorf("Size = %d", cq.Size())
+	}
+	if !cq.HeadVars().Equal(query.NewVarSet("p", "rn")) {
+		t.Errorf("head = %v", cq.Head)
+	}
+	// := form that is conjunctive also works.
+	cq2, err := ParseCQ("Q1(p, name) := exists id (friend(p, id) and person(id, name, 'NYC'))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cq2.Size() != 2 {
+		t.Errorf("Size = %d", cq2.Size())
+	}
+	// := form that is not conjunctive is rejected.
+	if _, err := ParseCQ("Q(x) := R(x) or S(x)"); err == nil {
+		t.Error("disjunctive := accepted by ParseCQ")
+	}
+	// Equalities in rule bodies.
+	cq3, err := ParseCQ("Q(x) :- R(x, y), y = 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cq3.Eqs) != 1 {
+		t.Errorf("eqs = %v", cq3.Eqs)
+	}
+}
+
+func TestParseUCQ(t *testing.T) {
+	u, err := ParseUCQ("Q(x) :- R(x) union Q(x) :- S(x, y), T(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Disjunct) != 2 || u.Size() != 2 {
+		t.Errorf("ucq = %s", u)
+	}
+	if _, err := ParseUCQ("Q(x) :- R(x) union Q(x, y) :- S(x, y)"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestParseCatalog(t *testing.T) {
+	src := `
+# The Facebook-style schema of Example 1.1.
+relation person(id, name, city)
+relation friend(id1, id2)
+relation visit(id, rid, yy, mm, dd)
+
+access friend(id1 -> *) limit 5000 time 1
+access person(id -> *) limit 1 time 1
+access visit(yy -> yy, mm, dd) limit 366 time 1
+fd visit: id, yy, mm, dd -> rid time 1
+`
+	cat, err := ParseCatalog(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Relational.Len() != 3 {
+		t.Fatalf("relations = %v", cat.Relational.Names())
+	}
+	if len(cat.Access.Explicit()) != 4 {
+		t.Fatalf("access entries = %d", len(cat.Access.Explicit()))
+	}
+	es := cat.Access.Explicit()
+	if es[0].Rel != "friend" || es[0].N != 5000 || es[0].IsEmbedded() {
+		t.Errorf("entry 0 = %+v", es[0])
+	}
+	if !es[2].IsEmbedded() || es[2].N != 366 {
+		t.Errorf("entry 2 = %+v", es[2])
+	}
+	fd := es[3]
+	if fd.N != 1 || strings.Join(fd.Proj, ",") != "id,yy,mm,dd,rid" {
+		t.Errorf("fd entry = %+v", fd)
+	}
+
+	bad := []string{
+		"relation r(a, a)",
+		"access nosuch(x -> *) limit 1 time 1",
+		"access person(id -> bogus) limit 1 time 1",
+		"frobnicate person(id)",
+		"relation person(id)\naccess person(id -> *) limit 1", // missing time
+	}
+	for _, src := range bad {
+		if _, err := ParseCatalog(src); err == nil {
+			t.Errorf("catalog accepted: %q", src)
+		}
+	}
+}
+
+func TestParseWholeRelationAccess(t *testing.T) {
+	src := `
+relation visit(id, rid)
+access visit(-> *) limit 1000 time 1
+`
+	cat, err := ParseCatalog(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := cat.Access.Explicit()[0]
+	if len(e.On) != 0 || e.N != 1000 {
+		t.Errorf("entry = %+v", e)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	bad := []string{
+		"R(x) 'unterminated",
+		"R(x) ! S(x)",
+		"R(x) @ S(x)",
+		"R(x) - 3",
+	}
+	for _, src := range bad {
+		if _, err := ParseFormula(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+	// Negative integers are fine.
+	f, err := ParseFormula("R(x, -5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := f.(*query.Atom)
+	if at.Args[1] != query.ConstInt(-5) {
+		t.Errorf("negative literal = %v", at.Args[1])
+	}
+}

@@ -1,0 +1,375 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query is a named FO query Q(x̄) with an ordered head of free variables
+// and an FO body. Boolean queries have an empty head.
+type Query struct {
+	Name string
+	Head []string
+	Body Formula
+}
+
+// NewQuery validates and builds a query: head variables must be distinct
+// and must be exactly the free variables of the body.
+func NewQuery(name string, head []string, body Formula) (*Query, error) {
+	q := &Query{Name: name, Head: head, Body: body}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustQuery is NewQuery that panics on error.
+func MustQuery(name string, head []string, body Formula) *Query {
+	q, err := NewQuery(name, head, body)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Validate checks head/body consistency.
+func (q *Query) Validate() error {
+	if q.Name == "" {
+		return fmt.Errorf("query: empty name")
+	}
+	hs := make(VarSet, len(q.Head))
+	for _, v := range q.Head {
+		if hs[v] {
+			return fmt.Errorf("query %s: duplicate head variable %q", q.Name, v)
+		}
+		hs[v] = true
+	}
+	fv := q.Body.FreeVars()
+	if !fv.Equal(hs) {
+		return fmt.Errorf("query %s: head %v but free variables %v", q.Name, hs, fv)
+	}
+	return nil
+}
+
+// IsBoolean reports whether the query is a sentence.
+func (q *Query) IsBoolean() bool { return len(q.Head) == 0 }
+
+// HeadSet returns the head variables as a set.
+func (q *Query) HeadSet() VarSet { return NewVarSet(q.Head...) }
+
+// Fix returns the query Q(ā, ȳ): the head variables bound in b are
+// substituted by their values and removed from the head. The remaining head
+// keeps its order. The name is preserved.
+func (q *Query) Fix(b Bindings) *Query {
+	body := Bind(q.Body, b)
+	var head []string
+	for _, v := range q.Head {
+		if _, ok := b[v]; !ok {
+			head = append(head, v)
+		}
+	}
+	return &Query{Name: q.Name, Head: head, Body: body}
+}
+
+// String renders the query as Name(head) := body.
+func (q *Query) String() string {
+	return fmt.Sprintf("%s(%s) := %s", q.Name, strings.Join(q.Head, ", "), q.Body)
+}
+
+// CQ is a conjunctive query in rule form: Head variables (or constants,
+// which arise from rewritings that instantiate distinguished variables),
+// a set of relation atoms, and optional equality atoms. Semantically it is
+// ∃ z̄ (atoms ∧ eqs) where z̄ are the body variables not in the head.
+type CQ struct {
+	Name  string
+	Head  []Term
+	Atoms []*Atom
+	Eqs   []*Eq
+}
+
+// NewCQ validates and builds a CQ: the head variables must occur in the
+// body (safety).
+func NewCQ(name string, head []Term, atoms []*Atom, eqs []*Eq) (*CQ, error) {
+	q := &CQ{Name: name, Head: head, Atoms: atoms, Eqs: eqs}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustCQ is NewCQ that panics on error.
+func MustCQ(name string, head []Term, atoms []*Atom, eqs []*Eq) *CQ {
+	q, err := NewCQ(name, head, atoms, eqs)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Validate checks safety: every head variable must occur in some relation
+// atom or be equated (transitively, via Eqs) to a constant or a body
+// variable. For simplicity we require direct occurrence in an atom or in an
+// equality with a constant.
+func (q *CQ) Validate() error {
+	if q.Name == "" {
+		return fmt.Errorf("cq: empty name")
+	}
+	body := make(VarSet)
+	for _, a := range q.Atoms {
+		for v := range a.FreeVars() {
+			body[v] = true
+		}
+	}
+	for _, e := range q.Eqs {
+		if e.L.IsVar() && !e.R.IsVar() {
+			body[e.L.Name()] = true
+		}
+		if e.R.IsVar() && !e.L.IsVar() {
+			body[e.R.Name()] = true
+		}
+	}
+	for _, t := range q.Head {
+		if t.IsVar() && !body[t.Name()] {
+			return fmt.Errorf("cq %s: unsafe head variable %q", q.Name, t.Name())
+		}
+	}
+	return nil
+}
+
+// HeadVars returns the set of variables in the head.
+func (q *CQ) HeadVars() VarSet { return TermVars(q.Head) }
+
+// BodyVars returns the set of variables in the body.
+func (q *CQ) BodyVars() VarSet {
+	s := make(VarSet)
+	for _, a := range q.Atoms {
+		for v := range a.FreeVars() {
+			s[v] = true
+		}
+	}
+	for _, e := range q.Eqs {
+		for v := range e.FreeVars() {
+			s[v] = true
+		}
+	}
+	return s
+}
+
+// ExistVars returns the body variables not appearing in the head: the
+// existentially quantified ones.
+func (q *CQ) ExistVars() VarSet { return q.BodyVars().Minus(q.HeadVars()) }
+
+// Size returns ‖Q‖, the size of the tableau of Q, measured as the number of
+// relation atoms — the number of tuples needed to witness an answer
+// (Section 3 of the paper).
+func (q *CQ) Size() int { return len(q.Atoms) }
+
+// Formula converts the CQ to an FO formula ∃ z̄ (conjunction).
+func (q *CQ) Formula() Formula {
+	conj := make([]Formula, 0, len(q.Atoms)+len(q.Eqs))
+	for _, a := range q.Atoms {
+		conj = append(conj, a)
+	}
+	for _, e := range q.Eqs {
+		conj = append(conj, e)
+	}
+	return NewExists(q.ExistVars().Sorted(), AndAll(conj...))
+}
+
+// Query converts the CQ to a Query. Constant head terms are not
+// representable in Query heads; they are dropped from the head (the
+// constant is already enforced by the body). An error is returned if a
+// head variable is not free in the resulting formula.
+func (q *CQ) Query() (*Query, error) {
+	var head []string
+	for _, t := range q.Head {
+		if t.IsVar() {
+			head = append(head, t.Name())
+		}
+	}
+	return NewQuery(q.Name, head, q.Formula())
+}
+
+// ApplyEqs eliminates equality atoms by substitution: x = c instantiates x
+// to c everywhere; x = y merges y into x. It returns a new, equality-free
+// CQ. Contradictory equalities (c = d for distinct constants) yield ok
+// false, meaning the query is unsatisfiable.
+func (q *CQ) ApplyEqs() (out *CQ, ok bool) {
+	sub := make(Subst)
+	resolve := func(t Term) Term {
+		for t.IsVar() {
+			n, found := sub[t.Name()]
+			if !found {
+				return t
+			}
+			t = n
+		}
+		return t
+	}
+	for _, e := range q.Eqs {
+		l, r := resolve(e.L), resolve(e.R)
+		switch {
+		case l == r:
+		case l.IsVar():
+			sub[l.Name()] = r
+		case r.IsVar():
+			sub[r.Name()] = l
+		default: // two distinct constants
+			return nil, false
+		}
+	}
+	// Deep-resolve the substitution so chains collapse.
+	full := make(Subst, len(sub))
+	for v := range sub {
+		full[v] = resolve(Var(v))
+	}
+	atoms := make([]*Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		atoms[i] = &Atom{Rel: a.Rel, Args: full.ApplyTerms(a.Args)}
+	}
+	head := full.ApplyTerms(q.Head)
+	return &CQ{Name: q.Name, Head: head, Atoms: atoms}, true
+}
+
+// Rename applies a variable renaming to the whole CQ (head and body).
+func (q *CQ) Rename(s Subst) *CQ {
+	atoms := make([]*Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		atoms[i] = &Atom{Rel: a.Rel, Args: s.ApplyTerms(a.Args)}
+	}
+	eqs := make([]*Eq, len(q.Eqs))
+	for i, e := range q.Eqs {
+		eqs[i] = &Eq{L: s.ApplyTerm(e.L), R: s.ApplyTerm(e.R)}
+	}
+	return &CQ{Name: q.Name, Head: s.ApplyTerms(q.Head), Atoms: atoms, Eqs: eqs}
+}
+
+// Clone returns a deep copy.
+func (q *CQ) Clone() *CQ {
+	atoms := make([]*Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		args := append([]Term(nil), a.Args...)
+		atoms[i] = &Atom{Rel: a.Rel, Args: args}
+	}
+	eqs := make([]*Eq, len(q.Eqs))
+	for i, e := range q.Eqs {
+		eqs[i] = &Eq{L: e.L, R: e.R}
+	}
+	return &CQ{Name: q.Name, Head: append([]Term(nil), q.Head...), Atoms: atoms, Eqs: eqs}
+}
+
+// String renders the CQ in rule form.
+func (q *CQ) String() string {
+	heads := make([]string, len(q.Head))
+	for i, t := range q.Head {
+		heads[i] = t.String()
+	}
+	var parts []string
+	for _, a := range q.Atoms {
+		parts = append(parts, a.String())
+	}
+	for _, e := range q.Eqs {
+		parts = append(parts, e.String())
+	}
+	return fmt.Sprintf("%s(%s) :- %s", q.Name, strings.Join(heads, ", "), strings.Join(parts, ", "))
+}
+
+// UCQ is a union of conjunctive queries with compatible head arities.
+type UCQ struct {
+	Name     string
+	Disjunct []*CQ
+}
+
+// NewUCQ validates and builds a UCQ.
+func NewUCQ(name string, disjuncts ...*CQ) (*UCQ, error) {
+	if len(disjuncts) == 0 {
+		return nil, fmt.Errorf("ucq %s: no disjuncts", name)
+	}
+	arity := len(disjuncts[0].Head)
+	for _, d := range disjuncts {
+		if len(d.Head) != arity {
+			return nil, fmt.Errorf("ucq %s: head arity mismatch (%d vs %d)", name, len(d.Head), arity)
+		}
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &UCQ{Name: name, Disjunct: disjuncts}, nil
+}
+
+// Size returns ‖Q‖ for a UCQ: max over the disjuncts (Section 3).
+func (u *UCQ) Size() int {
+	max := 0
+	for _, d := range u.Disjunct {
+		if d.Size() > max {
+			max = d.Size()
+		}
+	}
+	return max
+}
+
+// String renders the UCQ as its disjuncts joined by "union".
+func (u *UCQ) String() string {
+	parts := make([]string, len(u.Disjunct))
+	for i, d := range u.Disjunct {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, " union ")
+}
+
+// AsCQ attempts to view an FO query as a CQ: the body must be built from
+// relation atoms and equalities with ∧ and ∃ only. It returns ok=false for
+// anything else.
+func AsCQ(q *Query) (*CQ, bool) {
+	atoms, eqs, ok := flattenConj(stripExists(q.Body))
+	if !ok {
+		return nil, false
+	}
+	cq := &CQ{Name: q.Name, Head: Vars(q.Head...), Atoms: atoms, Eqs: eqs}
+	if cq.Validate() != nil {
+		return nil, false
+	}
+	return cq, true
+}
+
+func stripExists(f Formula) Formula {
+	for {
+		e, ok := f.(*Exists)
+		if !ok {
+			return f
+		}
+		f = e.Body
+	}
+}
+
+func flattenConj(f Formula) (atoms []*Atom, eqs []*Eq, ok bool) {
+	switch n := f.(type) {
+	case *Atom:
+		return []*Atom{n}, nil, true
+	case *Eq:
+		return nil, []*Eq{n}, true
+	case *Truth:
+		if n.Bool {
+			return nil, nil, true
+		}
+		return nil, nil, false
+	case *And:
+		la, le, lok := flattenConj(n.L)
+		if !lok {
+			return nil, nil, false
+		}
+		ra, re, rok := flattenConj(n.R)
+		if !rok {
+			return nil, nil, false
+		}
+		return append(la, ra...), append(le, re...), true
+	case *Exists:
+		// Inner existentials are fine: the variables are already not in the
+		// head, flattening preserves semantics as long as names are unique.
+		// Callers standardize apart first if needed; we accept the common
+		// prenex case.
+		return flattenConj(n.Body)
+	default:
+		return nil, nil, false
+	}
+}

@@ -1,0 +1,212 @@
+package query
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+// varNames is the small alphabet random VarSets draw from, so that
+// intersections are non-trivial.
+var varNames = []string{"a", "b", "c", "d", "e"}
+
+// randVarSet implements quick.Generator via a wrapper type.
+type randVarSet struct{ S VarSet }
+
+// Generate implements quick.Generator.
+func (randVarSet) Generate(r *rand.Rand, _ int) reflect.Value {
+	s := make(VarSet)
+	for _, v := range varNames {
+		if r.Intn(2) == 0 {
+			s[v] = true
+		}
+	}
+	return reflect.ValueOf(randVarSet{s})
+}
+
+func TestVarSetAlgebraQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+
+	// Union is commutative and associative; Minus distributes as
+	// (a ∪ b) − c = (a − c) ∪ (b − c); De Morgan-ish intersect law.
+	if err := quick.Check(func(x, y, z randVarSet) bool {
+		a, b, c := x.S, y.S, z.S
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		if !a.Union(b).Union(c).Equal(a.Union(b.Union(c))) {
+			return false
+		}
+		if !a.Union(b).Minus(c).Equal(a.Minus(c).Union(b.Minus(c))) {
+			return false
+		}
+		if !a.Intersect(b).Equal(a.Minus(a.Minus(b))) {
+			return false
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// SubsetOf is a partial order consistent with Union/Minus.
+	if err := quick.Check(func(x, y randVarSet) bool {
+		a, b := x.S, y.S
+		if !a.SubsetOf(a.Union(b)) {
+			return false
+		}
+		if !a.Minus(b).SubsetOf(a) {
+			return false
+		}
+		if a.SubsetOf(b) && b.SubsetOf(a) && !a.Equal(b) {
+			return false
+		}
+		if a.Disjoint(b) != a.Intersect(b).IsEmpty() {
+			return false
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// Key is canonical: equal sets have equal keys and vice versa.
+	if err := quick.Check(func(x, y randVarSet) bool {
+		return (x.S.Key() == y.S.Key()) == x.S.Equal(y.S)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBindRemovesFreeVarsQuick(t *testing.T) {
+	// Binding any subset of Q1's free variables removes exactly those
+	// variables from the free set.
+	body := NewExists([]string{"id"}, NewAnd(
+		NewAtom("friend", Var("p"), Var("id")),
+		NewAtom("person", Var("id"), Var("name"), ConstStr("NYC")),
+	))
+	f := func(bindP, bindName bool, pv, nv int64) bool {
+		b := Bindings{}
+		if bindP {
+			b["p"] = relation.Int(pv)
+		}
+		if bindName {
+			b["name"] = relation.Int(nv)
+		}
+		got := Bind(body, b).FreeVars()
+		want := NewVarSet("p", "name").Minus(b.Vars())
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubstituteComposesQuick(t *testing.T) {
+	// For substitutions by constants (no variable capture possible),
+	// applying s1 then s2 equals applying their composition.
+	body := NewAnd(
+		NewAtom("R", Var("x"), Var("y")),
+		NewOr(NewEq(Var("x"), Var("z")), NewNot(NewAtom("S", Var("z")))),
+	)
+	f := func(xv, yv, zv int64, pickX, pickZ bool) bool {
+		s1 := Subst{}
+		if pickX {
+			s1["x"] = Const(relation.Int(xv))
+		}
+		s2 := Subst{"y": Const(relation.Int(yv))}
+		if pickZ {
+			s2["z"] = Const(relation.Int(zv))
+		}
+		seq := Substitute(Substitute(body, s1), s2)
+		comp := Subst{}
+		for k, v := range s2 {
+			comp[k] = v
+		}
+		for k, v := range s1 {
+			comp[k] = v
+		}
+		return seq.String() == Substitute(body, comp).String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyEqsPreservesSatisfiabilityQuick(t *testing.T) {
+	// Random equality chains over a small alphabet: ApplyEqs succeeds iff
+	// the constants forced onto each connected component are consistent.
+	f := func(edges []uint8, consts []uint8) bool {
+		var eqs []*Eq
+		for _, e := range edges {
+			l := varNames[int(e)%len(varNames)]
+			r := varNames[int(e/8)%len(varNames)]
+			eqs = append(eqs, NewEq(Var(l), Var(r)))
+		}
+		for i, c := range consts {
+			if i >= len(varNames) {
+				break
+			}
+			eqs = append(eqs, NewEq(Var(varNames[i]), ConstInt(int64(c%3))))
+		}
+		atoms := []*Atom{NewAtom("R", Vars(varNames...)...)}
+		cq := &CQ{Name: "Q", Head: nil, Atoms: atoms, Eqs: eqs}
+		out, ok := cq.ApplyEqs()
+		if !ok {
+			// Verify a genuine conflict exists via union-find.
+			return hasConflict(eqs)
+		}
+		// Result must be equality-free and mention no contradictions.
+		return len(out.Eqs) == 0 && !hasConflict(eqs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// hasConflict checks equality constraints with union-find over variables
+// plus constant tagging — the reference oracle for ApplyEqs.
+func hasConflict(eqs []*Eq) bool {
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(v string) string {
+		p, ok := parent[v]
+		if !ok || p == v {
+			parent[v] = v
+			return v
+		}
+		r := find(p)
+		parent[v] = r
+		return r
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+	for _, e := range eqs {
+		if e.L.IsVar() && e.R.IsVar() {
+			union(e.L.Name(), e.R.Name())
+		}
+	}
+	val := make(map[string]relation.Value)
+	for _, e := range eqs {
+		var v string
+		var c relation.Value
+		switch {
+		case e.L.IsVar() && !e.R.IsVar():
+			v, c = find(e.L.Name()), e.R.Value()
+		case e.R.IsVar() && !e.L.IsVar():
+			v, c = find(e.R.Name()), e.L.Value()
+		case !e.L.IsVar() && !e.R.IsVar():
+			if e.L.Value() != e.R.Value() {
+				return true
+			}
+			continue
+		default:
+			continue
+		}
+		if prev, ok := val[v]; ok && prev != c {
+			return true
+		}
+		val[v] = c
+	}
+	return false
+}

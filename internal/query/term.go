@@ -1,0 +1,131 @@
+package query
+
+import "repro/internal/relation"
+
+// Term is a variable or a constant, the arguments of atoms. Term is
+// comparable with == (a variable equals a variable with the same name; a
+// constant equals a constant with the same value).
+type Term struct {
+	isVar bool
+	name  string
+	val   relation.Value
+}
+
+// Var returns a variable term.
+func Var(name string) Term {
+	if name == "" {
+		panic("query: empty variable name")
+	}
+	return Term{isVar: true, name: name}
+}
+
+// Const returns a constant term.
+func Const(v relation.Value) Term { return Term{val: v} }
+
+// ConstInt returns an integer constant term.
+func ConstInt(i int64) Term { return Const(relation.Int(i)) }
+
+// ConstStr returns a string constant term.
+func ConstStr(s string) Term { return Const(relation.Str(s)) }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.isVar }
+
+// Name returns the variable name; it panics on constants.
+func (t Term) Name() string {
+	if !t.isVar {
+		panic("query: Name on constant term")
+	}
+	return t.name
+}
+
+// Value returns the constant value; it panics on variables.
+func (t Term) Value() relation.Value {
+	if t.isVar {
+		panic("query: Value on variable term")
+	}
+	return t.val
+}
+
+// String renders the term.
+func (t Term) String() string {
+	if t.isVar {
+		return t.name
+	}
+	return t.val.String()
+}
+
+// Vars builds a slice of variable terms from names.
+func Vars(names ...string) []Term {
+	out := make([]Term, len(names))
+	for i, n := range names {
+		out[i] = Var(n)
+	}
+	return out
+}
+
+// TermVars returns the set of variables occurring in the terms.
+func TermVars(terms []Term) VarSet {
+	s := make(VarSet)
+	for _, t := range terms {
+		if t.isVar {
+			s[t.name] = true
+		}
+	}
+	return s
+}
+
+// Subst is a substitution from variable names to terms. Applying it to a
+// variable not in its domain leaves the variable unchanged.
+type Subst map[string]Term
+
+// ApplyTerm applies the substitution to one term.
+func (s Subst) ApplyTerm(t Term) Term {
+	if t.isVar {
+		if r, ok := s[t.name]; ok {
+			return r
+		}
+	}
+	return t
+}
+
+// ApplyTerms applies the substitution to a slice of terms, returning a new
+// slice.
+func (s Subst) ApplyTerms(ts []Term) []Term {
+	out := make([]Term, len(ts))
+	for i, t := range ts {
+		out[i] = s.ApplyTerm(t)
+	}
+	return out
+}
+
+// Bindings maps variable names to values: a partial assignment produced by
+// evaluation or provided by the caller ("for a given person p₀").
+type Bindings map[string]relation.Value
+
+// Clone returns an independent copy.
+func (b Bindings) Clone() Bindings {
+	out := make(Bindings, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Subst converts the bindings to a substitution by constants.
+func (b Bindings) Subst() Subst {
+	s := make(Subst, len(b))
+	for k, v := range b {
+		s[k] = Const(v)
+	}
+	return s
+}
+
+// Vars returns the bound variable names as a set.
+func (b Bindings) Vars() VarSet {
+	s := make(VarSet, len(b))
+	for k := range b {
+		s[k] = true
+	}
+	return s
+}

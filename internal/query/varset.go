@@ -1,0 +1,132 @@
+// Package query defines the declarative query languages of the paper:
+// first-order logic (FO) formulas, conjunctive queries (CQ) and unions of
+// conjunctive queries (UCQ), together with the variable/term machinery the
+// rest of the engine manipulates.
+//
+// Go has no algebraic data types, so Formula is a closed interface over a
+// fixed set of node structs; every consumer switches exhaustively on the
+// concrete type and treats an unknown node as a programming error.
+package query
+
+import (
+	"sort"
+	"strings"
+)
+
+// VarSet is a set of variable names. The zero value is usable as an empty
+// set for reads; mutating methods allocate as needed and return the
+// receiver-or-new set so call sites can chain them.
+type VarSet map[string]bool
+
+// NewVarSet builds a set from names.
+func NewVarSet(names ...string) VarSet {
+	s := make(VarSet, len(names))
+	for _, n := range names {
+		s[n] = true
+	}
+	return s
+}
+
+// Contains reports membership.
+func (s VarSet) Contains(v string) bool { return s[v] }
+
+// Len returns the cardinality.
+func (s VarSet) Len() int { return len(s) }
+
+// IsEmpty reports whether the set is empty.
+func (s VarSet) IsEmpty() bool { return len(s) == 0 }
+
+// Add inserts v, allocating if the receiver is nil, and returns the set.
+func (s VarSet) Add(v string) VarSet {
+	if s == nil {
+		s = make(VarSet)
+	}
+	s[v] = true
+	return s
+}
+
+// Union returns a new set s ∪ o.
+func (s VarSet) Union(o VarSet) VarSet {
+	out := make(VarSet, len(s)+len(o))
+	for v := range s {
+		out[v] = true
+	}
+	for v := range o {
+		out[v] = true
+	}
+	return out
+}
+
+// Minus returns a new set s − o.
+func (s VarSet) Minus(o VarSet) VarSet {
+	out := make(VarSet, len(s))
+	for v := range s {
+		if !o[v] {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// Intersect returns a new set s ∩ o.
+func (s VarSet) Intersect(o VarSet) VarSet {
+	out := make(VarSet)
+	for v := range s {
+		if o[v] {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// SubsetOf reports s ⊆ o.
+func (s VarSet) SubsetOf(o VarSet) bool {
+	for v := range s {
+		if !o[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports set equality.
+func (s VarSet) Equal(o VarSet) bool {
+	return len(s) == len(o) && s.SubsetOf(o)
+}
+
+// Disjoint reports s ∩ o = ∅.
+func (s VarSet) Disjoint(o VarSet) bool {
+	for v := range s {
+		if o[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (s VarSet) Clone() VarSet {
+	out := make(VarSet, len(s))
+	for v := range s {
+		out[v] = true
+	}
+	return out
+}
+
+// Sorted returns the elements in lexicographic order.
+func (s VarSet) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Key returns a canonical string for use as a map key.
+func (s VarSet) Key() string { return strings.Join(s.Sorted(), ",") }
+
+// String renders the set as {a, b, c}.
+func (s VarSet) String() string {
+	return "{" + strings.Join(s.Sorted(), ", ") + "}"
+}

@@ -1,0 +1,636 @@
+package ra
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// Delta is the change to a materialized expression: Del ⊆ old result,
+// Ins ∩ old result = ∅ — the invariants of the Griffin–Libkin–Trickey
+// maintenance queries the paper builds on [14].
+type Delta struct {
+	Ins []relation.Tuple
+	Del []relation.Tuple
+}
+
+// Size returns |∆| + |∇|.
+func (d Delta) Size() int { return len(d.Ins) + len(d.Del) }
+
+// Maintainer incrementally maintains a materialized RA expression over an
+// instrumented store. Every derived subexpression is cached (the "compute
+// Q(D) once, offline" precomputation of Section 5); updates propagate
+// bottom-up in time proportional to the delta sizes, touching base
+// relations only through counted store fetches/probes — so the store's
+// counters measure exactly the "M tuples from D" of incremental scale
+// independence.
+type Maintainer struct {
+	st    *store.DB
+	root  Expr
+	nodes map[Expr]*nodeState
+}
+
+// nodeState caches one subexpression. Rel nodes have a nil result: base
+// relations live in the store and are accessed through counted operations.
+type nodeState struct {
+	expr  Expr
+	attrs []string
+	pos   map[string]int
+
+	result  *relation.TupleSet
+	indexes map[string]*cacheIndex // per join-key attr list
+
+	// Project bookkeeping: refcount per projected tuple key.
+	projRefs map[string]int
+
+	// Current round's delta (set by process, consumed by the parent).
+	ins, del []relation.Tuple
+	insKeys  map[string]bool
+	delKeys  map[string]bool
+}
+
+// cacheIndex is a hash index over a cached result on a fixed attr list.
+type cacheIndex struct {
+	keyPos  []int
+	buckets map[string][]relation.Tuple
+}
+
+func newCacheIndex(attrs []string, pos map[string]int) *cacheIndex {
+	ci := &cacheIndex{buckets: make(map[string][]relation.Tuple)}
+	for _, a := range attrs {
+		ci.keyPos = append(ci.keyPos, pos[a])
+	}
+	return ci
+}
+
+func (ci *cacheIndex) keyOf(t relation.Tuple) string { return t.Project(ci.keyPos).Key() }
+
+func (ci *cacheIndex) add(t relation.Tuple) {
+	k := ci.keyOf(t)
+	ci.buckets[k] = append(ci.buckets[k], t)
+}
+
+func (ci *cacheIndex) remove(t relation.Tuple) {
+	k := ci.keyOf(t)
+	b := ci.buckets[k]
+	for i, u := range b {
+		if u.Equal(t) {
+			copy(b[i:], b[i+1:])
+			b = b[:len(b)-1]
+			if len(b) == 0 {
+				delete(ci.buckets, k)
+			} else {
+				ci.buckets[k] = b
+			}
+			return
+		}
+	}
+}
+
+func (ci *cacheIndex) lookup(key string) []relation.Tuple { return ci.buckets[key] }
+
+// NewMaintainer materializes e and its subexpressions over the store's
+// current data. The initial evaluation is offline precomputation and does
+// not go through the counted access path; reset the store counters before
+// measuring update costs.
+func NewMaintainer(st *store.DB, e Expr) (*Maintainer, error) {
+	if _, isRel := e.(*Rel); isRel {
+		return nil, fmt.Errorf("ra: maintaining a bare base relation would duplicate the store; wrap it (e.g. in a Select or Project)")
+	}
+	m := &Maintainer{st: st, root: e, nodes: make(map[Expr]*nodeState)}
+	if _, err := m.build(e); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Maintainer) build(e Expr) (*nodeState, error) {
+	if ns, ok := m.nodes[e]; ok {
+		return ns, nil
+	}
+	ns := &nodeState{
+		expr:    e,
+		attrs:   e.Attrs(),
+		indexes: make(map[string]*cacheIndex),
+	}
+	ns.pos = positions(ns.attrs)
+	switch n := e.(type) {
+	case *Rel:
+		if m.st.Data().Rel(n.Schema.Name) == nil {
+			return nil, fmt.Errorf("ra: relation %q not in store", n.Schema.Name)
+		}
+		// no cache
+	case *Select:
+		if _, err := m.build(n.E); err != nil {
+			return nil, err
+		}
+	case *Project:
+		if _, err := m.build(n.E); err != nil {
+			return nil, err
+		}
+		ns.projRefs = make(map[string]int)
+	case *Rename:
+		if _, err := m.build(n.E); err != nil {
+			return nil, err
+		}
+	case *Union:
+		if _, err := m.build(n.L); err != nil {
+			return nil, err
+		}
+		if _, err := m.build(n.R); err != nil {
+			return nil, err
+		}
+	case *Diff:
+		if _, err := m.build(n.L); err != nil {
+			return nil, err
+		}
+		if _, err := m.build(n.R); err != nil {
+			return nil, err
+		}
+	case *Join:
+		if _, err := m.build(n.L); err != nil {
+			return nil, err
+		}
+		if _, err := m.build(n.R); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("ra: unknown expression %T", e)
+	}
+	if _, isRel := e.(*Rel); !isRel {
+		res, err := Eval(e, m.st.Data())
+		if err != nil {
+			return nil, err
+		}
+		ns.result = res
+		if p, isProj := e.(*Project); isProj {
+			child, err := Eval(p.E, m.st.Data())
+			if err != nil {
+				return nil, err
+			}
+			cpos := positions(p.E.Attrs())
+			idx := make([]int, len(p.Cols))
+			for i, c := range p.Cols {
+				idx[i] = cpos[c]
+			}
+			for _, t := range child.Tuples() {
+				ns.projRefs[t.Project(idx).Key()]++
+			}
+		}
+	}
+	m.nodes[e] = ns
+	return ns, nil
+}
+
+// Result returns the current materialized root result. Callers must not
+// mutate it.
+func (m *Maintainer) Result() *relation.TupleSet { return m.nodes[m.root].result }
+
+// Attrs returns the root's attribute list.
+func (m *Maintainer) Attrs() []string { return m.root.Attrs() }
+
+// Apply validates u, applies it to the store, propagates deltas through
+// every cached node, and returns the root delta. On return the maintained
+// results equal a from-scratch evaluation over the updated database (the
+// property tests verify this).
+func (m *Maintainer) Apply(u *relation.Update) (Delta, error) {
+	if err := m.st.ApplyUpdate(u); err != nil {
+		return Delta{}, err
+	}
+	processed := make(map[Expr]bool)
+	if err := m.process(m.root, u, processed); err != nil {
+		return Delta{}, err
+	}
+	root := m.nodes[m.root]
+	return Delta{Ins: root.ins, Del: root.del}, nil
+}
+
+// setDelta records the node's delta for this round.
+func (ns *nodeState) setDelta(ins, del []relation.Tuple) {
+	ns.ins, ns.del = ins, del
+	ns.insKeys = make(map[string]bool, len(ins))
+	for _, t := range ins {
+		ns.insKeys[t.Key()] = true
+	}
+	ns.delKeys = make(map[string]bool, len(del))
+	for _, t := range del {
+		ns.delKeys[t.Key()] = true
+	}
+}
+
+// newContains probes the node's NEW state (store already updated, caches
+// updated for processed children).
+func (m *Maintainer) newContains(ns *nodeState, t relation.Tuple) (bool, error) {
+	if rel, ok := ns.expr.(*Rel); ok {
+		return m.st.Membership(rel.Schema.Name, t)
+	}
+	return ns.result.Contains(t), nil
+}
+
+// oldContains probes the node's OLD state by inverting this round's delta.
+func (m *Maintainer) oldContains(ns *nodeState, t relation.Tuple) (bool, error) {
+	k := t.Key()
+	if ns.insKeys[k] {
+		return false, nil
+	}
+	if ns.delKeys[k] {
+		return true, nil
+	}
+	return m.newContains(ns, t)
+}
+
+// newMatches retrieves the node's NEW tuples matching the key attributes.
+// For base relations this goes through the counted store access path: an
+// access entry covering a subset of the key attributes if one exists,
+// otherwise a full counted scan (deliberately visible in the counters —
+// that is what "not scale-independent" looks like).
+func (m *Maintainer) newMatches(ns *nodeState, keyAttrs []string, key map[string]relation.Value) ([]relation.Tuple, error) {
+	if rel, ok := ns.expr.(*Rel); ok {
+		return m.fetchBase(rel, keyAttrs, key)
+	}
+	name := keyName(keyAttrs)
+	ci := ns.indexes[name]
+	if ci == nil {
+		ci = newCacheIndex(keyAttrs, ns.pos)
+		for _, t := range ns.result.Tuples() {
+			ci.add(t)
+		}
+		ns.indexes[name] = ci
+	}
+	probe := make(relation.Tuple, len(keyAttrs))
+	for i, a := range keyAttrs {
+		probe[i] = key[a]
+	}
+	return ci.lookup(probe.Key()), nil
+}
+
+// oldMatches adjusts newMatches by the node's current delta.
+func (m *Maintainer) oldMatches(ns *nodeState, keyAttrs []string, key map[string]relation.Value) ([]relation.Tuple, error) {
+	cur, err := m.newMatches(ns, keyAttrs, key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]relation.Tuple, 0, len(cur))
+	for _, t := range cur {
+		if !ns.insKeys[t.Key()] {
+			out = append(out, t)
+		}
+	}
+	for _, t := range ns.del {
+		if matchesKey(t, ns.pos, keyAttrs, key) {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+func matchesKey(t relation.Tuple, pos map[string]int, keyAttrs []string, key map[string]relation.Value) bool {
+	for _, a := range keyAttrs {
+		if t[pos[a]] != key[a] {
+			return false
+		}
+	}
+	return true
+}
+
+func keyName(attrs []string) string {
+	out := ""
+	for i, a := range attrs {
+		if i > 0 {
+			out += ","
+		}
+		out += a
+	}
+	return out
+}
+
+// fetchBase retrieves base tuples matching key through the access schema.
+func (m *Maintainer) fetchBase(rel *Rel, keyAttrs []string, key map[string]relation.Value) ([]relation.Tuple, error) {
+	keySet := make(map[string]bool, len(keyAttrs))
+	for _, a := range keyAttrs {
+		keySet[a] = true
+	}
+	for _, e := range m.st.EntriesFor(rel.Schema.Name) {
+		if e.IsEmbedded() {
+			continue
+		}
+		usable := len(e.On) > 0 || len(keyAttrs) == 0
+		for _, a := range e.On {
+			if !keySet[a] {
+				usable = false
+				break
+			}
+		}
+		if !usable {
+			continue
+		}
+		vals := make([]relation.Value, len(e.On))
+		for i, a := range e.On {
+			vals[i] = key[a]
+		}
+		fetched, err := m.st.Fetch(e, vals)
+		if err != nil {
+			return nil, err
+		}
+		pos := positions(rel.Schema.Attrs)
+		var out []relation.Tuple
+		for _, t := range fetched {
+			if matchesKey(t, pos, keyAttrs, key) {
+				out = append(out, t)
+			}
+		}
+		return out, nil
+	}
+	// No usable entry: counted full scan.
+	all, err := m.st.Scan(rel.Schema.Name)
+	if err != nil {
+		return nil, err
+	}
+	pos := positions(rel.Schema.Attrs)
+	var out []relation.Tuple
+	for _, t := range all {
+		if matchesKey(t, pos, keyAttrs, key) {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// process computes the node's delta for update u, children first, then
+// updates the node's cache so parents see its NEW state.
+func (m *Maintainer) process(e Expr, u *relation.Update, done map[Expr]bool) error {
+	if done[e] {
+		return nil
+	}
+	done[e] = true
+	ns := m.nodes[e]
+	switch n := e.(type) {
+	case *Rel:
+		ns.setDelta(u.Ins[n.Schema.Name], u.Del[n.Schema.Name])
+		return nil
+	case *Select:
+		if err := m.process(n.E, u, done); err != nil {
+			return err
+		}
+		child := m.nodes[n.E]
+		cpos := positions(n.E.Attrs())
+		filter := func(ts []relation.Tuple) []relation.Tuple {
+			var out []relation.Tuple
+			for _, t := range ts {
+				ok := true
+				for _, p := range n.Conds {
+					if !p.eval(t, cpos) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					out = append(out, t)
+				}
+			}
+			return out
+		}
+		ns.setDelta(filter(child.ins), filter(child.del))
+	case *Project:
+		if err := m.process(n.E, u, done); err != nil {
+			return err
+		}
+		child := m.nodes[n.E]
+		cpos := positions(n.E.Attrs())
+		idx := make([]int, len(n.Cols))
+		for i, c := range n.Cols {
+			idx[i] = cpos[c]
+		}
+		// Refcount transitions decide the delta: 0 -> >0 is an insert,
+		// >0 -> 0 a delete.
+		delta := make(map[string]int)
+		repr := make(map[string]relation.Tuple)
+		for _, t := range child.ins {
+			p := t.Project(idx)
+			delta[p.Key()]++
+			repr[p.Key()] = p
+		}
+		for _, t := range child.del {
+			p := t.Project(idx)
+			delta[p.Key()]--
+			repr[p.Key()] = p
+		}
+		var ins, del []relation.Tuple
+		for k, d := range delta {
+			before := ns.projRefs[k]
+			after := before + d
+			if after < 0 {
+				return fmt.Errorf("ra: projection refcount underflow for %v", repr[k])
+			}
+			ns.projRefs[k] = after
+			if after == 0 {
+				delete(ns.projRefs, k)
+			}
+			switch {
+			case before == 0 && after > 0:
+				ins = append(ins, repr[k])
+			case before > 0 && after == 0:
+				del = append(del, repr[k])
+			}
+		}
+		ns.setDelta(ins, del)
+	case *Rename:
+		if err := m.process(n.E, u, done); err != nil {
+			return err
+		}
+		child := m.nodes[n.E]
+		ns.setDelta(child.ins, child.del)
+	case *Union:
+		if err := m.process(n.L, u, done); err != nil {
+			return err
+		}
+		if err := m.process(n.R, u, done); err != nil {
+			return err
+		}
+		l, r := m.nodes[n.L], m.nodes[n.R]
+		cands := candidateSet(l, r)
+		ins, del, err := m.classify(ns, cands, func(t relation.Tuple, old bool) (bool, error) {
+			side := m.newContains
+			if old {
+				side = m.oldContains
+			}
+			inL, err := side(l, t)
+			if err != nil || inL {
+				return inL, err
+			}
+			return side(r, t)
+		})
+		if err != nil {
+			return err
+		}
+		ns.setDelta(ins, del)
+	case *Diff:
+		if err := m.process(n.L, u, done); err != nil {
+			return err
+		}
+		if err := m.process(n.R, u, done); err != nil {
+			return err
+		}
+		l, r := m.nodes[n.L], m.nodes[n.R]
+		cands := candidateSet(l, r)
+		ins, del, err := m.classify(ns, cands, func(t relation.Tuple, old bool) (bool, error) {
+			side := m.newContains
+			if old {
+				side = m.oldContains
+			}
+			inL, err := side(l, t)
+			if err != nil || !inL {
+				return false, err
+			}
+			inR, err := side(r, t)
+			return !inR, err
+		})
+		if err != nil {
+			return err
+		}
+		ns.setDelta(ins, del)
+	case *Join:
+		if err := m.process(n.L, u, done); err != nil {
+			return err
+		}
+		if err := m.process(n.R, u, done); err != nil {
+			return err
+		}
+		if err := m.processJoin(n, ns); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("ra: unknown expression %T", e)
+	}
+	// Commit the node's delta to its cache and indexes.
+	for _, t := range ns.del {
+		ns.result.Remove(t)
+		for _, ci := range ns.indexes {
+			ci.remove(t)
+		}
+	}
+	for _, t := range ns.ins {
+		ns.result.Add(t)
+		for _, ci := range ns.indexes {
+			ci.add(t)
+		}
+	}
+	return nil
+}
+
+// candidateSet unions the deltas of two children (tuples over the same
+// attribute list for Union/Diff).
+func candidateSet(l, r *nodeState) *relation.TupleSet {
+	out := relation.NewTupleSet(len(l.ins) + len(l.del) + len(r.ins) + len(r.del))
+	out.AddAll(l.ins)
+	out.AddAll(l.del)
+	out.AddAll(r.ins)
+	out.AddAll(r.del)
+	return out
+}
+
+// classify assigns candidates to (ins, del) by old/new membership.
+func (m *Maintainer) classify(ns *nodeState, cands *relation.TupleSet, member func(t relation.Tuple, old bool) (bool, error)) (ins, del []relation.Tuple, err error) {
+	for _, t := range cands.Tuples() {
+		oldIn, err := member(t, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		newIn, err := member(t, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case oldIn && !newIn:
+			del = append(del, t)
+		case !oldIn && newIn:
+			ins = append(ins, t)
+		}
+	}
+	return ins, del, nil
+}
+
+func (m *Maintainer) processJoin(n *Join, ns *nodeState) error {
+	l, r := m.nodes[n.L], m.nodes[n.R]
+	lpos, rpos := positions(n.L.Attrs()), positions(n.R.Attrs())
+	var rextra []int
+	for _, a := range n.R.Attrs() {
+		if _, isLeft := lpos[a]; !isLeft {
+			rextra = append(rextra, rpos[a])
+		}
+	}
+	keyOf := func(t relation.Tuple, pos map[string]int) map[string]relation.Value {
+		key := make(map[string]relation.Value, len(n.shared))
+		for _, a := range n.shared {
+			key[a] = t[pos[a]]
+		}
+		return key
+	}
+	cands := relation.NewTupleSet(0)
+	// Inserted left tuples join the NEW right side, and vice versa.
+	for _, t1 := range l.ins {
+		matches, err := m.newMatches(r, n.shared, keyOf(t1, lpos))
+		if err != nil {
+			return err
+		}
+		for _, t2 := range matches {
+			cands.Add(composeJoin(t1, t2, rextra))
+		}
+	}
+	for _, t2 := range r.ins {
+		matches, err := m.newMatches(l, n.shared, keyOf(t2, rpos))
+		if err != nil {
+			return err
+		}
+		for _, t1 := range matches {
+			cands.Add(composeJoin(t1, t2, rextra))
+		}
+	}
+	// Deleted tuples join the OLD other side.
+	for _, t1 := range l.del {
+		matches, err := m.oldMatches(r, n.shared, keyOf(t1, lpos))
+		if err != nil {
+			return err
+		}
+		for _, t2 := range matches {
+			cands.Add(composeJoin(t1, t2, rextra))
+		}
+	}
+	for _, t2 := range r.del {
+		matches, err := m.oldMatches(l, n.shared, keyOf(t2, rpos))
+		if err != nil {
+			return err
+		}
+		for _, t1 := range matches {
+			cands.Add(composeJoin(t1, t2, rextra))
+		}
+	}
+	// Classify candidates by projecting to each side.
+	lproj := make([]int, len(n.L.Attrs()))
+	for i := range lproj {
+		lproj[i] = i
+	}
+	member := func(t relation.Tuple, old bool) (bool, error) {
+		side := m.newContains
+		if old {
+			side = m.oldContains
+		}
+		t1 := t.Project(lproj)
+		inL, err := side(l, t1)
+		if err != nil || !inL {
+			return false, err
+		}
+		t2 := make(relation.Tuple, len(n.R.Attrs()))
+		for i, a := range n.R.Attrs() {
+			t2[i] = t[ns.pos[a]]
+		}
+		return side(r, t2)
+	}
+	ins, del, err := m.classify(ns, cands, member)
+	if err != nil {
+		return err
+	}
+	ns.setDelta(ins, del)
+	return nil
+}

@@ -1,0 +1,386 @@
+package ra
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+func testSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.MustRelSchema("R", "a", "b"),
+		relation.MustRelSchema("S", "b", "c"),
+		relation.MustRelSchema("T", "a", "b"),
+	)
+}
+
+func fill(db *relation.Database, rel string, rows [][]int64) {
+	for _, r := range rows {
+		db.MustInsert(rel, relation.Ints(r...))
+	}
+}
+
+func relExpr(s *relation.Schema, name string) *Rel {
+	rs, ok := s.Rel(name)
+	if !ok {
+		panic("unknown relation " + name)
+	}
+	return NewRel(rs)
+}
+
+func TestEvalOperators(t *testing.T) {
+	s := testSchema()
+	db := relation.NewDatabase(s)
+	fill(db, "R", [][]int64{{1, 10}, {2, 20}, {1, 30}})
+	fill(db, "S", [][]int64{{10, 100}, {20, 200}})
+	fill(db, "T", [][]int64{{1, 10}, {9, 90}})
+
+	r, sRel, tRel := relExpr(s, "R"), relExpr(s, "S"), relExpr(s, "T")
+
+	sel := MustSelect(r, EqConst("a", relation.Int(1)))
+	got, err := Eval(sel, db)
+	if err != nil || got.Len() != 2 {
+		t.Fatalf("select: %v %v", got, err)
+	}
+
+	proj := MustProject(r, "a")
+	got, err = Eval(proj, db)
+	if err != nil || got.Len() != 2 { // {1, 2}
+		t.Fatalf("project: %d %v", got.Len(), err)
+	}
+
+	un := MustUnion(r, tRel)
+	got, err = Eval(un, db)
+	if err != nil || got.Len() != 4 { // R ∪ T dedups (1,10)
+		t.Fatalf("union: %d %v", got.Len(), err)
+	}
+
+	diff := MustDiff(r, tRel)
+	got, err = Eval(diff, db)
+	if err != nil || got.Len() != 2 {
+		t.Fatalf("diff: %d %v", got.Len(), err)
+	}
+
+	join := NewJoin(r, sRel) // on b
+	got, err = Eval(join, db)
+	if err != nil || got.Len() != 2 {
+		t.Fatalf("join: %d %v", got.Len(), err)
+	}
+	if !sameAttrs(join.Attrs(), []string{"a", "b", "c"}) {
+		t.Errorf("join attrs = %v", join.Attrs())
+	}
+	if !got.Contains(relation.Ints(1, 10, 100)) {
+		t.Errorf("join content: %v", got.Tuples())
+	}
+
+	ren := MustRename(tRel, map[string]string{"a": "x"})
+	if !sameAttrs(ren.Attrs(), []string{"x", "b"}) {
+		t.Errorf("rename attrs = %v", ren.Attrs())
+	}
+
+	sel2 := MustSelect(r, NeqAttr("a", "b"), NeqConst("b", relation.Int(30)))
+	got, err = Eval(sel2, db)
+	if err != nil || got.Len() != 2 {
+		t.Fatalf("neq select: %d %v", got.Len(), err)
+	}
+}
+
+func TestExprValidation(t *testing.T) {
+	s := testSchema()
+	r, sRel := relExpr(s, "R"), relExpr(s, "S")
+	if _, err := NewSelect(r, EqAttr("a", "zz")); err == nil {
+		t.Error("bad select attr accepted")
+	}
+	if _, err := NewProject(r, "zz"); err == nil {
+		t.Error("bad project attr accepted")
+	}
+	if _, err := NewProject(r, "a", "a"); err == nil {
+		t.Error("duplicate project attr accepted")
+	}
+	if _, err := NewUnion(r, sRel); err == nil {
+		t.Error("union attr mismatch accepted")
+	}
+	if _, err := NewDiff(r, sRel); err == nil {
+		t.Error("diff attr mismatch accepted")
+	}
+	if _, err := NewRename(r, map[string]string{"zz": "q"}); err == nil {
+		t.Error("rename of unknown attr accepted")
+	}
+	if _, err := NewRename(r, map[string]string{"a": "b"}); err == nil {
+		t.Error("rename collision accepted")
+	}
+}
+
+func TestRAAFamiliesBase(t *testing.T) {
+	s := testSchema()
+	acc := access.New(s)
+	acc.MustAdd(access.Plain("R", []string{"a"}, 5, 1))
+	acc.MustAdd(access.Plain("S", []string{"b"}, 5, 1))
+
+	r, sRel := relExpr(s, "R"), relExpr(s, "S")
+	f, err := RAA(r, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Plain.Controls(query.NewVarSet("a")) {
+		t.Errorf("R plain = %v", f.Plain)
+	}
+	if !f.Inc.Controls(query.NewVarSet()) || !f.Dec.Controls(query.NewVarSet()) {
+		t.Error("base deltas should be ∅-controlled")
+	}
+
+	// Join: R ⋈ S controlled by {a} (R first feeds b into S).
+	join := NewJoin(r, sRel)
+	jf, err := RAA(join, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jf.Plain.Controls(query.NewVarSet("a")) {
+		t.Errorf("join plain = %v", jf.Plain)
+	}
+	// Incremental: deltas are ∅-controlled; other side joined via its key
+	// needs Y − attr terms: {a} should control.
+	if !jf.Inc.Controls(query.NewVarSet("a")) || !jf.Dec.Controls(query.NewVarSet("a")) {
+		t.Errorf("join deltas: inc %v dec %v", jf.Inc, jf.Dec)
+	}
+
+	// Select pinning a to a constant removes it: σ_a=1(R) is ∅-controlled.
+	sel := MustSelect(r, EqConst("a", relation.Int(1)))
+	sf, err := RAA(sel, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sf.Plain.Controls(query.NewVarSet()) {
+		t.Errorf("select plain = %v", sf.Plain)
+	}
+
+	// Projection keeps only sets inside the column list.
+	proj := MustProject(r, "b")
+	pf, err := RAA(proj, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Plain.Controls(query.NewVarSet("b")) {
+		// {a} ⊄ {b} and {a,b} ⊄ {b}: only full-attr membership {a,b}
+		// could control, and it's not inside Cols, so nothing controls.
+		t.Errorf("project plain = %v", pf.Plain)
+	}
+
+	thm54, err := ScaleIndependent(join, acc, query.NewVarSet("a"))
+	if err != nil || !thm54 {
+		t.Errorf("Thm 5.4(1) failed: %v %v", thm54, err)
+	}
+	inc, err := IncrementallyScaleIndependent(join, acc, query.NewVarSet("a"))
+	if err != nil || !inc {
+		t.Errorf("Thm 5.4(2) failed: %v %v", inc, err)
+	}
+}
+
+func TestRAADiffRequiresFullControl(t *testing.T) {
+	s := testSchema()
+	// No access entries and no implicit membership: nothing controls T,
+	// so R − T derives nothing.
+	acc := access.New(s)
+	acc.ImplicitMembership = false
+	acc.MustAdd(access.Plain("R", []string{"a"}, 5, 1))
+	d := MustDiff(relExpr(s, "R"), relExpr(s, "T"))
+	f, err := RAA(d, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Plain) != 0 {
+		t.Errorf("diff plain should be empty: %v", f.Plain)
+	}
+	// With implicit membership, T is fully controlled: R − T inherits R's.
+	acc2 := access.New(s)
+	acc2.MustAdd(access.Plain("R", []string{"a"}, 5, 1))
+	f2, err := RAA(d, acc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f2.Plain.Controls(query.NewVarSet("a")) {
+		t.Errorf("diff plain = %v", f2.Plain)
+	}
+}
+
+// buildExprCorpus returns expressions exercising every operator.
+func buildExprCorpus(s *relation.Schema) []Expr {
+	r, sRel, tRel := relExpr(s, "R"), relExpr(s, "S"), relExpr(s, "T")
+	join := NewJoin(r, sRel)
+	return []Expr{
+		MustSelect(r, EqConst("a", relation.Int(1))),
+		MustSelect(r, NeqAttr("a", "b")),
+		MustProject(r, "a"),
+		MustProject(join, "a", "c"),
+		MustUnion(r, tRel),
+		MustDiff(r, tRel),
+		join,
+		NewJoin(join, MustRename(tRel, map[string]string{"b": "c2", "a": "a2"})),
+		MustUnion(MustProject(join, "a", "b"), tRel),
+		MustDiff(MustProject(join, "a", "b"), tRel),
+	}
+}
+
+// The incremental maintainer must agree with from-scratch evaluation after
+// arbitrary random update sequences, and its deltas must satisfy the GLT
+// invariants (∇ ⊆ old, ∆ ∩ old = ∅).
+func TestMaintainerAgreesWithEvalQuick(t *testing.T) {
+	s := testSchema()
+	acc := access.New(s)
+	acc.MustAdd(access.Plain("R", []string{"a"}, 100, 1))
+	acc.MustAdd(access.Plain("S", []string{"b"}, 100, 1))
+
+	rng := rand.New(rand.NewSource(17))
+	for _, e := range buildExprCorpus(s) {
+		db := relation.NewDatabase(s)
+		for i := 0; i < 8; i++ {
+			db.Insert("R", relation.Ints(int64(rng.Intn(4)), int64(rng.Intn(4)))) //nolint:errcheck
+			db.Insert("S", relation.Ints(int64(rng.Intn(4)), int64(rng.Intn(4)))) //nolint:errcheck
+			db.Insert("T", relation.Ints(int64(rng.Intn(4)), int64(rng.Intn(4)))) //nolint:errcheck
+		}
+		st := store.MustOpen(db, acc)
+		maint, err := NewMaintainer(st, e)
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		for step := 0; step < 40; step++ {
+			u := randomUpdate(rng, st.Data())
+			if u.Size() == 0 {
+				continue
+			}
+			before := maint.Result().Clone()
+			delta, err := maint.Apply(u)
+			if err != nil {
+				t.Fatalf("%s step %d: %v", e, step, err)
+			}
+			// GLT invariants.
+			for _, tu := range delta.Del {
+				if !before.Contains(tu) {
+					t.Fatalf("%s step %d: ∇ tuple %v not in old result", e, step, tu)
+				}
+			}
+			for _, tu := range delta.Ins {
+				if before.Contains(tu) {
+					t.Fatalf("%s step %d: ∆ tuple %v already in old result", e, step, tu)
+				}
+			}
+			// Exactness: maintained result equals recomputation.
+			want, err := Eval(e, st.Data())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !maint.Result().Equal(want) {
+				t.Fatalf("%s step %d: maintained %d tuples, recomputed %d",
+					e, step, maint.Result().Len(), want.Len())
+			}
+			// Applying the delta to the old result gives the new result.
+			applied := before.Clone()
+			for _, tu := range delta.Del {
+				applied.Remove(tu)
+			}
+			for _, tu := range delta.Ins {
+				applied.Add(tu)
+			}
+			if !applied.Equal(want) {
+				t.Fatalf("%s step %d: old ⊕ ∆ ≠ new", e, step)
+			}
+		}
+	}
+}
+
+// randomUpdate builds a small valid update: random insertions of fresh
+// tuples and deletions of existing ones.
+func randomUpdate(rng *rand.Rand, db *relation.Database) *relation.Update {
+	u := relation.NewUpdate()
+	rels := []string{"R", "S", "T"}
+	for _, rel := range rels {
+		if rng.Intn(2) == 0 {
+			tu := relation.Ints(int64(rng.Intn(4)), int64(rng.Intn(4)))
+			if !db.Rel(rel).Contains(tu) {
+				u.Insert(rel, tu)
+			}
+		}
+		if rng.Intn(3) == 0 && db.Rel(rel).Len() > 0 {
+			ts := db.Rel(rel).Tuples()
+			u.Delete(rel, ts[rng.Intn(len(ts))])
+		}
+	}
+	return u
+}
+
+// Incremental maintenance of a controlled join must touch a bounded number
+// of base tuples per update, independent of |D|.
+func TestMaintainerBoundedBaseAccess(t *testing.T) {
+	s := testSchema()
+	acc := access.New(s)
+	acc.MustAdd(access.Plain("R", []string{"a"}, 3, 1))
+	acc.MustAdd(access.Plain("S", []string{"b"}, 3, 1))
+
+	var readsPerUpdate []int64
+	for _, n := range []int{50, 200, 800} {
+		db := relation.NewDatabase(s)
+		for i := 0; i < n; i++ {
+			db.MustInsert("R", relation.Ints(int64(i), int64(i)))
+			db.MustInsert("S", relation.Ints(int64(i), int64(2*i)))
+		}
+		st := store.MustOpen(db, acc)
+		join := NewJoin(relExpr(s, "R"), relExpr(s, "S"))
+		maint, err := NewMaintainer(st, join)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.ResetCounters()
+		u := relation.NewUpdate().Insert("R", relation.Ints(int64(n+1), 5))
+		if _, err := maint.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+		readsPerUpdate = append(readsPerUpdate, st.Counters().TupleReads)
+	}
+	for i, r := range readsPerUpdate {
+		if r > 10 {
+			t.Errorf("size step %d: %d base reads per update, want bounded", i, r)
+		}
+	}
+	// Flatness: the largest database must not cost more than the smallest
+	// plus slack.
+	if readsPerUpdate[2] > readsPerUpdate[0]+3 {
+		t.Errorf("base reads grew with |D|: %v", readsPerUpdate)
+	}
+}
+
+// Without a usable access entry the maintainer falls back to counted
+// scans: cost grows with |D|, which is what "not incrementally
+// scale-independent" looks like in the counters.
+func TestMaintainerUnboundedWithoutAccess(t *testing.T) {
+	s := testSchema()
+	acc := access.New(s)
+	acc.ImplicitMembership = true // membership probes fine; no key on S
+
+	var reads []int64
+	for _, n := range []int{50, 400} {
+		db := relation.NewDatabase(s)
+		for i := 0; i < n; i++ {
+			db.MustInsert("R", relation.Ints(int64(i), 7))
+			db.MustInsert("S", relation.Ints(7, int64(i)))
+		}
+		st := store.MustOpen(db, acc)
+		join := NewJoin(relExpr(s, "R"), relExpr(s, "S"))
+		maint, err := NewMaintainer(st, join)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.ResetCounters()
+		u := relation.NewUpdate().Insert("R", relation.Ints(int64(n+1), 7))
+		if _, err := maint.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+		reads = append(reads, st.Counters().TupleReads)
+	}
+	if reads[1] <= reads[0] {
+		t.Errorf("expected scan-driven growth, got %v", reads)
+	}
+}

@@ -1,0 +1,304 @@
+package ra
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/access"
+	"repro/internal/query"
+)
+
+// AttrFamily is an antichain of minimal controlling attribute sets for a
+// relational algebra expression: (E, X) ∈ RAA_A iff some member is ⊆ X
+// (the expansion rule is implicit, as in package core).
+type AttrFamily []query.VarSet
+
+// Controls reports whether the family licenses control by x.
+func (f AttrFamily) Controls(x query.VarSet) bool {
+	for _, s := range f {
+		if s.SubsetOf(x) {
+			return true
+		}
+	}
+	return false
+}
+
+func normalize(sets []query.VarSet) AttrFamily {
+	var out AttrFamily
+	for i, s := range sets {
+		minimal := true
+		for j, t := range sets {
+			if i == j {
+				continue
+			}
+			if t.SubsetOf(s) {
+				if !s.SubsetOf(t) {
+					minimal = false
+					break
+				}
+				if j < i {
+					minimal = false
+					break
+				}
+			}
+		}
+		if minimal {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Len() != out[j].Len() {
+			return out[i].Len() < out[j].Len()
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}
+
+// Fams collects the three RAA_A families for one expression: controlling
+// sets for E itself, for its increment E∆, and for its decrement E∇.
+type Fams struct {
+	Plain AttrFamily // (E, X) ∈ RAA_A
+	Inc   AttrFamily // (E∆, X) ∈ RAA_A
+	Dec   AttrFamily // (E∇, X) ∈ RAA_A
+}
+
+// fullyControlled reports control by all of E's attributes.
+func fullyControlled(f AttrFamily, e Expr) bool {
+	return f.Controls(query.NewVarSet(e.Attrs()...))
+}
+
+// RAA computes the rule system of Theorem 5.4 for e under the access
+// schema. Two apparent typos in the paper's increment rules (which require
+// E∇ where the new-state computation needs E∆) are corrected; see the
+// package tests, which validate the families against measured maintenance
+// cost.
+func RAA(e Expr, acc *access.Schema) (*Fams, error) {
+	memo := make(map[Expr]*Fams)
+	return raa(e, acc, memo)
+}
+
+func raa(e Expr, acc *access.Schema, memo map[Expr]*Fams) (*Fams, error) {
+	if f, ok := memo[e]; ok {
+		return f, nil
+	}
+	out := &Fams{}
+	switch n := e.(type) {
+	case *Rel:
+		if _, ok := acc.Relational().Rel(n.Schema.Name); !ok {
+			return nil, fmt.Errorf("ra: relation %q not in schema", n.Schema.Name)
+		}
+		var sets []query.VarSet
+		for _, entry := range acc.Entries() {
+			if entry.Rel != n.Schema.Name || entry.IsEmbedded() {
+				continue
+			}
+			sets = append(sets, query.NewVarSet(entry.On...))
+		}
+		out.Plain = normalize(sets)
+		// Deltas are handed to the maintainer explicitly: (R∇, ∅), (R∆, ∅).
+		out.Inc = AttrFamily{query.NewVarSet()}
+		out.Dec = AttrFamily{query.NewVarSet()}
+	case *Select:
+		child, err := raa(n.E, acc, memo)
+		if err != nil {
+			return nil, err
+		}
+		// σθ pins attributes equated to constants: (σθ(E), X − X′).
+		pinned := make(query.VarSet)
+		for _, p := range n.Conds {
+			if p.RAttr == "" && !p.Neq {
+				pinned[p.L] = true
+			}
+		}
+		var sets []query.VarSet
+		for _, x := range child.Plain {
+			sets = append(sets, x.Minus(pinned))
+		}
+		out.Plain = normalize(sets)
+		out.Inc = child.Inc
+		out.Dec = child.Dec
+	case *Project:
+		child, err := raa(n.E, acc, memo)
+		if err != nil {
+			return nil, err
+		}
+		cols := query.NewVarSet(n.Cols...)
+		var plain, inc, dec []query.VarSet
+		for _, x := range child.Plain {
+			if x.SubsetOf(cols) {
+				plain = append(plain, x)
+			}
+		}
+		// (πY(E))∆ needs X controlling both E∆ and E, X ⊆ Y.
+		for _, xi := range child.Inc {
+			for _, xp := range child.Plain {
+				if u := xi.Union(xp); u.SubsetOf(cols) {
+					inc = append(inc, u)
+				}
+			}
+		}
+		// (πY(E))∇ needs X controlling E∇, E and E∆, X ⊆ Y.
+		for _, xd := range child.Dec {
+			for _, xp := range child.Plain {
+				for _, xi := range child.Inc {
+					if u := xd.Union(xp).Union(xi); u.SubsetOf(cols) {
+						dec = append(dec, u)
+					}
+				}
+			}
+		}
+		out.Plain = normalize(plain)
+		out.Inc = normalize(inc)
+		out.Dec = normalize(dec)
+	case *Rename:
+		child, err := raa(n.E, acc, memo)
+		if err != nil {
+			return nil, err
+		}
+		mapping := make(map[string]string, len(n.E.Attrs()))
+		for i, from := range n.E.Attrs() {
+			mapping[from] = n.Attrs()[i]
+		}
+		renameFam := func(f AttrFamily) AttrFamily {
+			out := make(AttrFamily, len(f))
+			for i, s := range f {
+				ns := make(query.VarSet, s.Len())
+				for a := range s {
+					ns[mapping[a]] = true
+				}
+				out[i] = ns
+			}
+			return out
+		}
+		out.Plain = renameFam(child.Plain)
+		out.Inc = renameFam(child.Inc)
+		out.Dec = renameFam(child.Dec)
+	case *Union:
+		l, err := raa(n.L, acc, memo)
+		if err != nil {
+			return nil, err
+		}
+		r, err := raa(n.R, acc, memo)
+		if err != nil {
+			return nil, err
+		}
+		var plain []query.VarSet
+		for _, x1 := range l.Plain {
+			for _, x2 := range r.Plain {
+				plain = append(plain, x1.Union(x2))
+			}
+		}
+		out.Plain = normalize(plain)
+		// Delta rules require both sides fully controlled (membership in
+		// the other side must be checkable).
+		if fullyControlled(l.Plain, n.L) && fullyControlled(r.Plain, n.R) {
+			var inc, dec []query.VarSet
+			for _, x1 := range l.Inc {
+				for _, x2 := range r.Inc {
+					inc = append(inc, x1.Union(x2))
+				}
+			}
+			if fullyControlled(l.Inc, n.L) && fullyControlled(r.Inc, n.R) {
+				for _, x1 := range l.Dec {
+					for _, x2 := range r.Dec {
+						dec = append(dec, x1.Union(x2))
+					}
+				}
+			}
+			out.Inc = normalize(inc)
+			out.Dec = normalize(dec)
+		}
+	case *Diff:
+		l, err := raa(n.L, acc, memo)
+		if err != nil {
+			return nil, err
+		}
+		r, err := raa(n.R, acc, memo)
+		if err != nil {
+			return nil, err
+		}
+		// (E1 − E2, X1) when E2 is fully controlled.
+		if fullyControlled(r.Plain, n.R) {
+			out.Plain = normalize(l.Plain)
+		}
+		if fullyControlled(l.Plain, n.L) && fullyControlled(r.Plain, n.R) {
+			var inc, dec []query.VarSet
+			// (E1−E2)∆ from E1∆ and E2∇.
+			for _, x := range l.Inc {
+				for _, z := range r.Dec {
+					inc = append(inc, x.Union(z))
+				}
+			}
+			// (E1−E2)∇ from E1∇ and E2∆.
+			for _, x := range l.Dec {
+				for _, z := range r.Inc {
+					dec = append(dec, x.Union(z))
+				}
+			}
+			out.Inc = normalize(inc)
+			out.Dec = normalize(dec)
+		}
+	case *Join:
+		l, err := raa(n.L, acc, memo)
+		if err != nil {
+			return nil, err
+		}
+		r, err := raa(n.R, acc, memo)
+		if err != nil {
+			return nil, err
+		}
+		lAttrs := query.NewVarSet(n.L.Attrs()...)
+		rAttrs := query.NewVarSet(n.R.Attrs()...)
+		var plain []query.VarSet
+		for _, x1 := range l.Plain {
+			for _, x2 := range r.Plain {
+				plain = append(plain, x1.Union(x2.Minus(lAttrs)))
+				plain = append(plain, x2.Union(x1.Minus(rAttrs)))
+			}
+		}
+		out.Plain = normalize(plain)
+		// Deltas join against the other side's (old or new) state: need
+		// X1 ∪ X2 ∪ (Y1 − attr(E2)) ∪ (Y2 − attr(E1)) with Yi controlling Ei.
+		join := func(f1, f2 AttrFamily) AttrFamily {
+			var sets []query.VarSet
+			for _, x1 := range f1 {
+				for _, x2 := range f2 {
+					for _, y1 := range l.Plain {
+						for _, y2 := range r.Plain {
+							sets = append(sets,
+								x1.Union(x2).Union(y1.Minus(rAttrs)).Union(y2.Minus(lAttrs)))
+						}
+					}
+				}
+			}
+			return normalize(sets)
+		}
+		out.Inc = join(l.Inc, r.Inc)
+		out.Dec = join(l.Dec, r.Dec)
+	default:
+		return nil, fmt.Errorf("ra: unknown expression %T", e)
+	}
+	memo[e] = out
+	return out, nil
+}
+
+// ScaleIndependent reports whether σ_X=ā(E) is scale-independent under the
+// access schema per Theorem 5.4(1): (E, X) ∈ RAA_A.
+func ScaleIndependent(e Expr, acc *access.Schema, x query.VarSet) (bool, error) {
+	f, err := RAA(e, acc)
+	if err != nil {
+		return false, err
+	}
+	return f.Plain.Controls(x), nil
+}
+
+// IncrementallyScaleIndependent reports whether σ_X=ā(E) is incrementally
+// scale-independent per Theorem 5.4(2): both (E∆, X) and (E∇, X) ∈ RAA_A.
+func IncrementallyScaleIndependent(e Expr, acc *access.Schema, x query.VarSet) (bool, error) {
+	f, err := RAA(e, acc)
+	if err != nil {
+		return false, err
+	}
+	return f.Inc.Controls(x) && f.Dec.Controls(x), nil
+}

@@ -1,0 +1,77 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCSV writes the relation as CSV: a header row with attribute names
+// followed by one row per tuple, in a deterministic (sorted) order so that
+// dumps are diffable.
+func WriteCSV(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Schema().Attrs); err != nil {
+		return err
+	}
+	tuples := append([]Tuple(nil), r.Tuples()...)
+	sort.Slice(tuples, func(i, j int) bool { return tuples[i].Compare(tuples[j]) < 0 })
+	row := make([]string, r.Schema().Arity())
+	for _, t := range tuples {
+		for i, v := range t {
+			switch v.Kind() {
+			case KindString:
+				// Quote strings that ParseValue would otherwise read back as
+				// integers or unwrap as quoted literals, so round trips are
+				// lossless.
+				s := v.AsString()
+				if ParseValue(s) != v {
+					row[i] = "'" + s + "'"
+				} else {
+					row[i] = s
+				}
+			default:
+				row[i] = v.String()
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads tuples into an existing relation. The header row must match
+// the relation's attributes exactly. Fields that parse as decimal integers
+// become integer values; everything else becomes a string.
+func ReadCSV(rd io.Reader, r *Relation) error {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = r.Schema().Arity()
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("csv %s: reading header: %w", r.Name(), err)
+	}
+	for i, a := range r.Schema().Attrs {
+		if header[i] != a {
+			return fmt.Errorf("csv %s: header field %d is %q, want %q", r.Name(), i, header[i], a)
+		}
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("csv %s: %w", r.Name(), err)
+		}
+		t := make(Tuple, len(rec))
+		for i, f := range rec {
+			t[i] = ParseValue(f)
+		}
+		if _, err := r.Insert(t); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,368 @@
+package relation
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueBasics(t *testing.T) {
+	iv := Int(42)
+	sv := Str("abc")
+	nv := Null()
+	if iv.Kind() != KindInt || sv.Kind() != KindString || nv.Kind() != KindNull {
+		t.Fatalf("kinds wrong: %v %v %v", iv.Kind(), sv.Kind(), nv.Kind())
+	}
+	if iv.AsInt() != 42 {
+		t.Errorf("AsInt = %d", iv.AsInt())
+	}
+	if sv.AsString() != "abc" {
+		t.Errorf("AsString = %q", sv.AsString())
+	}
+	if !nv.IsNull() || iv.IsNull() {
+		t.Errorf("IsNull wrong")
+	}
+	if iv.String() != "42" || sv.String() != "'abc'" || nv.String() != "⊥" {
+		t.Errorf("String renderings: %s %s %s", iv, sv, nv)
+	}
+}
+
+func TestValueAsIntPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AsInt on string did not panic")
+		}
+	}()
+	_ = Str("x").AsInt()
+}
+
+func TestValueCompareTotalOrder(t *testing.T) {
+	vals := []Value{Null(), Int(-5), Int(0), Int(7), Str(""), Str("a"), Str("b")}
+	for i := range vals {
+		for j := range vals {
+			c := vals[i].Compare(vals[j])
+			switch {
+			case i < j && c >= 0:
+				t.Errorf("Compare(%v,%v) = %d, want <0", vals[i], vals[j], c)
+			case i == j && c != 0:
+				t.Errorf("Compare(%v,%v) = %d, want 0", vals[i], vals[j], c)
+			case i > j && c <= 0:
+				t.Errorf("Compare(%v,%v) = %d, want >0", vals[i], vals[j], c)
+			}
+		}
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"123", Int(123)},
+		{"-9", Int(-9)},
+		{"'123'", Str("123")},
+		{"NYC", Str("NYC")},
+		{"'NYC'", Str("NYC")},
+		{"", Str("")},
+	}
+	for _, c := range cases {
+		if got := ParseValue(c.in); got != c.want {
+			t.Errorf("ParseValue(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// Key must be injective: distinct tuples get distinct keys.
+func TestTupleKeyInjective(t *testing.T) {
+	tricky := []Tuple{
+		Ints(1, 2),
+		Ints(12),
+		NewTuple(Str("1"), Int(2)),
+		NewTuple(Int(1), Str("2")),
+		Strs("a", "bc"),
+		Strs("ab", "c"),
+		Strs("abc"),
+		Strs("a", "", "bc"),
+	}
+	seen := make(map[string]Tuple)
+	for _, tu := range tricky {
+		k := tu.Key()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("key collision between %v and %v", prev, tu)
+		}
+		seen[k] = tu
+	}
+}
+
+func TestTupleKeyQuick(t *testing.T) {
+	// Random pairs of int/string tuples: equal keys iff equal tuples.
+	f := func(a, b []int64, as, bs []string) bool {
+		ta := append(Ints(a...), Strs(as...)...)
+		tb := append(Ints(b...), Strs(bs...)...)
+		return (ta.Key() == tb.Key()) == ta.Equal(tb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleProjectClone(t *testing.T) {
+	tu := NewTuple(Int(1), Str("x"), Int(3))
+	p := tu.Project([]int{2, 0})
+	if !p.Equal(NewTuple(Int(3), Int(1))) {
+		t.Errorf("Project = %v", p)
+	}
+	c := tu.Clone()
+	c[0] = Int(99)
+	if tu[0] != Int(1) {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestTupleSet(t *testing.T) {
+	s := NewTupleSet(0)
+	if !s.Add(Ints(1)) || s.Add(Ints(1)) {
+		t.Fatal("Add dedup broken")
+	}
+	s.Add(Ints(2))
+	s.Add(Ints(3))
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Remove(Ints(2)) || s.Remove(Ints(2)) {
+		t.Fatal("Remove broken")
+	}
+	want := []Tuple{Ints(1), Ints(3)}
+	if !reflect.DeepEqual(s.Tuples(), want) {
+		t.Errorf("order after remove = %v", s.Tuples())
+	}
+	c := s.Clone()
+	c.Add(Ints(9))
+	if s.Contains(Ints(9)) {
+		t.Error("Clone shares state")
+	}
+	o := NewTupleSet(0)
+	o.Add(Ints(3))
+	o.Add(Ints(1))
+	if !s.Equal(o) {
+		t.Error("Equal should ignore order")
+	}
+}
+
+// Set semantics must hold under random interleavings of adds and removes,
+// mirrored against a reference map implementation.
+func TestTupleSetQuickAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewTupleSet(0)
+	ref := make(map[string]bool)
+	for i := 0; i < 2000; i++ {
+		tu := Ints(int64(rng.Intn(50)), int64(rng.Intn(3)))
+		k := tu.Key()
+		if rng.Intn(3) == 0 {
+			if s.Remove(tu) != ref[k] {
+				t.Fatalf("step %d: Remove disagrees with reference", i)
+			}
+			delete(ref, k)
+		} else {
+			if s.Add(tu) == ref[k] {
+				t.Fatalf("step %d: Add disagrees with reference", i)
+			}
+			ref[k] = true
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("step %d: Len %d != %d", i, s.Len(), len(ref))
+		}
+	}
+}
+
+func TestRelSchemaValidation(t *testing.T) {
+	if _, err := NewRelSchema("", "a"); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewRelSchema("R"); err == nil {
+		t.Error("zero attrs accepted")
+	}
+	if _, err := NewRelSchema("R", "a", "a"); err == nil {
+		t.Error("duplicate attrs accepted")
+	}
+	rs := MustRelSchema("R", "a", "b", "c")
+	if rs.Arity() != 3 || rs.AttrIndex("b") != 1 || rs.AttrIndex("z") != -1 {
+		t.Error("lookup broken")
+	}
+	pos, err := rs.Positions([]string{"c", "a"})
+	if err != nil || !reflect.DeepEqual(pos, []int{2, 0}) {
+		t.Errorf("Positions = %v, %v", pos, err)
+	}
+	if _, err := rs.Positions([]string{"zz"}); err == nil {
+		t.Error("unknown attr accepted")
+	}
+	if rs.String() != "R(a, b, c)" {
+		t.Errorf("String = %s", rs)
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s := MustSchema(MustRelSchema("R", "a"), MustRelSchema("S", "b", "c"))
+	if s.Len() != 2 {
+		t.Fatal("Len")
+	}
+	if err := s.Add(MustRelSchema("R", "x")); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+	if rs, ok := s.Rel("S"); !ok || rs.Arity() != 2 {
+		t.Error("Rel lookup broken")
+	}
+	if !reflect.DeepEqual(s.Names(), []string{"R", "S"}) {
+		t.Errorf("Names = %v", s.Names())
+	}
+}
+
+func TestRelationInsertDelete(t *testing.T) {
+	r := NewRelation(MustRelSchema("R", "a", "b"))
+	ok, err := r.Insert(Ints(1, 2))
+	if !ok || err != nil {
+		t.Fatalf("Insert: %v %v", ok, err)
+	}
+	if ok, _ := r.Insert(Ints(1, 2)); ok {
+		t.Error("duplicate insert reported new")
+	}
+	if _, err := r.Insert(Ints(1)); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := r.Insert(NewTuple(Int(1), Null())); err == nil {
+		t.Error("null value accepted")
+	}
+	if !r.Contains(Ints(1, 2)) || r.Len() != 1 {
+		t.Error("Contains/Len broken")
+	}
+	if !r.Delete(Ints(1, 2)) || r.Delete(Ints(1, 2)) {
+		t.Error("Delete broken")
+	}
+}
+
+func socialSchema() *Schema {
+	return MustSchema(
+		MustRelSchema("person", "id", "name", "city"),
+		MustRelSchema("friend", "id1", "id2"),
+	)
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	db := NewDatabase(socialSchema())
+	db.MustInsert("person", NewTuple(Int(1), Str("ann"), Str("NYC")))
+	db.MustInsert("person", NewTuple(Int(2), Str("bob"), Str("LA")))
+	db.MustInsert("friend", Ints(1, 2))
+	if db.Size() != 3 {
+		t.Fatalf("Size = %d", db.Size())
+	}
+	if _, err := db.Insert("nosuch", Ints(1)); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	ad := db.ActiveDomain()
+	if len(ad) != 6 { // 1, 2, 'LA', 'NYC', 'ann', 'bob'
+		t.Errorf("ActiveDomain = %v", ad)
+	}
+	for i := 1; i < len(ad); i++ {
+		if !ad[i-1].Less(ad[i]) {
+			t.Errorf("ActiveDomain not sorted at %d", i)
+		}
+	}
+	c := db.Clone()
+	c.MustInsert("friend", Ints(2, 1))
+	if db.Rel("friend").Contains(Ints(2, 1)) {
+		t.Error("Clone shares state")
+	}
+	if !db.Subset(c) || c.Subset(db) {
+		t.Error("Subset broken")
+	}
+	if db.Equal(c) {
+		t.Error("Equal broken")
+	}
+}
+
+func TestUpdateValidateApply(t *testing.T) {
+	db := NewDatabase(socialSchema())
+	db.MustInsert("friend", Ints(1, 2))
+	db.MustInsert("friend", Ints(1, 3))
+
+	u := NewUpdate().Insert("friend", Ints(1, 4)).Delete("friend", Ints(1, 2))
+	if err := u.Validate(db); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if u.IsInsertOnly() {
+		t.Error("IsInsertOnly wrong")
+	}
+	if u.Size() != 2 {
+		t.Errorf("Size = %d", u.Size())
+	}
+	db2, err := db.Applied(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Rel("friend").Contains(Ints(1, 2)) || !db2.Rel("friend").Contains(Ints(1, 4)) {
+		t.Error("Applied wrong")
+	}
+	if !db.Rel("friend").Contains(Ints(1, 2)) {
+		t.Error("Applied mutated the original")
+	}
+	// Applying the inverse restores the original.
+	db3, err := db2.Applied(u.Inverse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db3.Equal(db) {
+		t.Error("inverse did not restore")
+	}
+
+	bad := NewUpdate().Delete("friend", Ints(9, 9))
+	if err := bad.Validate(db); err == nil {
+		t.Error("deleting absent tuple accepted")
+	}
+	bad2 := NewUpdate().Insert("friend", Ints(1, 2))
+	if err := bad2.Validate(db); err == nil {
+		t.Error("inserting present tuple accepted")
+	}
+	bad3 := NewUpdate().Insert("friend", Ints(5, 5)).Delete("friend", Ints(5, 5))
+	if err := bad3.Validate(db); err == nil {
+		t.Error("overlapping ins/del accepted")
+	}
+	bad4 := NewUpdate().Insert("friend", Ints(7, 7)).Insert("friend", Ints(7, 7))
+	if err := bad4.Validate(db); err == nil {
+		t.Error("duplicate insertion accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := NewRelation(MustRelSchema("person", "id", "name", "city"))
+	r.MustInsert(NewTuple(Int(2), Str("bob"), Str("LA")))
+	r.MustInsert(NewTuple(Int(1), Str("ann"), Str("NYC")))
+	r.MustInsert(NewTuple(Int(3), Str("123"), Str("NYC"))) // string that looks numeric
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got := NewRelation(r.Schema())
+	if err := ReadCSV(strings.NewReader(buf.String()), got); err != nil {
+		t.Fatal(err)
+	}
+	// Note: "123" round-trips as Int(123) because CSV is untyped; the quoted
+	// form preserves stringness.
+	if got.Len() != 3 {
+		t.Fatalf("round trip Len = %d", got.Len())
+	}
+	if !got.Contains(NewTuple(Int(1), Str("ann"), Str("NYC"))) {
+		t.Error("missing tuple after round trip")
+	}
+	if !got.Contains(NewTuple(Int(3), Str("123"), Str("NYC"))) {
+		t.Error("quoted numeric string did not round trip")
+	}
+
+	badHeader := strings.Replace(buf.String(), "id,name,city", "id,nome,city", 1)
+	if err := ReadCSV(strings.NewReader(badHeader), NewRelation(r.Schema())); err == nil {
+		t.Error("bad header accepted")
+	}
+}

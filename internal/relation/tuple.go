@@ -1,0 +1,194 @@
+package relation
+
+import "strings"
+
+// Tuple is an ordered list of values, one per attribute of the relation it
+// belongs to. Tuples are value-like: functions in this package never mutate
+// a tuple after it has been stored, and callers must treat returned tuples
+// as read-only.
+type Tuple []Value
+
+// NewTuple builds a tuple from values.
+func NewTuple(vs ...Value) Tuple { return Tuple(vs) }
+
+// Ints builds a tuple of integer values; a convenience for tests and
+// generators.
+func Ints(vs ...int64) Tuple {
+	t := make(Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = Int(v)
+	}
+	return t
+}
+
+// Strs builds a tuple of string values.
+func Strs(vs ...string) Tuple {
+	t := make(Tuple, len(vs))
+	for i, v := range vs {
+		t[i] = Str(v)
+	}
+	return t
+}
+
+// Equal reports whether two tuples have the same arity and pairwise equal
+// values.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically by Value.Compare, shorter tuples
+// first on ties.
+func (t Tuple) Compare(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(u[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	}
+	return 0
+}
+
+// Key returns an injective string encoding of the tuple, suitable as a map
+// key. Two tuples have equal keys iff they are Equal.
+func (t Tuple) Key() string {
+	var b []byte
+	for _, v := range t {
+		b = v.appendKey(b)
+	}
+	return string(b)
+}
+
+// Project returns the subtuple at the given positions. It panics if a
+// position is out of range; positions are produced by schema lookups which
+// validate attribute names.
+func (t Tuple) Project(positions []int) Tuple {
+	out := make(Tuple, len(positions))
+	for i, p := range positions {
+		out[i] = t[p]
+	}
+	return out
+}
+
+// Clone returns a copy of the tuple that shares no storage with t.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// TupleSet is a deduplicated set of tuples with deterministic (insertion
+// order) iteration. The zero TupleSet is empty and ready to use.
+type TupleSet struct {
+	order []Tuple
+	pos   map[string]int
+}
+
+// NewTupleSet returns an empty set with capacity hint n.
+func NewTupleSet(n int) *TupleSet {
+	return &TupleSet{order: make([]Tuple, 0, n), pos: make(map[string]int, n)}
+}
+
+// Add inserts t and reports whether it was not already present.
+func (s *TupleSet) Add(t Tuple) bool {
+	if s.pos == nil {
+		s.pos = make(map[string]int)
+	}
+	k := t.Key()
+	if _, ok := s.pos[k]; ok {
+		return false
+	}
+	s.pos[k] = len(s.order)
+	s.order = append(s.order, t)
+	return true
+}
+
+// AddAll inserts every tuple of ts.
+func (s *TupleSet) AddAll(ts []Tuple) {
+	for _, t := range ts {
+		s.Add(t)
+	}
+}
+
+// Remove deletes t and reports whether it was present. Removal preserves
+// the relative order of the remaining tuples.
+func (s *TupleSet) Remove(t Tuple) bool {
+	k := t.Key()
+	i, ok := s.pos[k]
+	if !ok {
+		return false
+	}
+	delete(s.pos, k)
+	copy(s.order[i:], s.order[i+1:])
+	s.order = s.order[:len(s.order)-1]
+	for j := i; j < len(s.order); j++ {
+		s.pos[s.order[j].Key()] = j
+	}
+	return true
+}
+
+// Contains reports whether t is in the set.
+func (s *TupleSet) Contains(t Tuple) bool {
+	_, ok := s.pos[t.Key()]
+	return ok
+}
+
+// Len returns the number of tuples.
+func (s *TupleSet) Len() int { return len(s.order) }
+
+// Tuples returns the tuples in insertion order. The returned slice is owned
+// by the set; callers must not mutate it.
+func (s *TupleSet) Tuples() []Tuple { return s.order }
+
+// Clone returns an independent copy of the set.
+func (s *TupleSet) Clone() *TupleSet {
+	c := NewTupleSet(s.Len())
+	for _, t := range s.order {
+		c.Add(t)
+	}
+	return c
+}
+
+// Equal reports whether two sets contain exactly the same tuples,
+// regardless of insertion order.
+func (s *TupleSet) Equal(o *TupleSet) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for _, t := range s.order {
+		if !o.Contains(t) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,169 @@
+// Package relation implements the typed relational data model that every
+// other package in this repository builds on: values, tuples, relation
+// schemas, relations, databases and updates.
+//
+// The model follows Section 2 of Fan, Geerts and Libkin, "On Scale
+// Independence for Querying Big Data" (PODS 2014): a relational schema R is
+// a collection of relation names with fixed attribute lists, an instance D
+// of R associates a finite relation with each name, and |D| is the total
+// number of tuples. Updates are pairs ΔD = (∇D, ΔD) of deletions contained
+// in D and insertions disjoint from D.
+//
+// Values are drawn from a countably infinite domain U. We realize U as the
+// disjoint union of 64-bit integers and strings; Value is a small comparable
+// struct rather than an interface so that tuples can be hashed and compared
+// cheaply and used as map keys after encoding.
+package relation
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The kinds of values. KindNull is the zero Kind and marks the absence of a
+// value; it never occurs inside stored tuples (relations reject it) but is
+// useful as an "unbound" marker in evaluators and plans.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindString
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single data value: an integer, a string, or null. The zero
+// Value is null. Value is comparable with == (two values are equal iff they
+// have the same kind and payload), so it can key maps directly.
+type Value struct {
+	kind Kind
+	i    int64
+	s    string
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Null returns the null value (the zero Value).
+func Null() Value { return Value{} }
+
+// Kind reports the kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. It panics if the value is not an
+// integer; callers should check Kind first when the kind is not known
+// statically.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic("relation: AsInt on " + v.kind.String() + " value")
+	}
+	return v.i
+}
+
+// AsString returns the string payload. It panics if the value is not a
+// string.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic("relation: AsString on " + v.kind.String() + " value")
+	}
+	return v.s
+}
+
+// String renders the value for display: integers in decimal, strings
+// single-quoted, null as "⊥".
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindString:
+		return "'" + v.s + "'"
+	default:
+		return "⊥"
+	}
+}
+
+// Compare orders values: null < all ints < all strings; ints by numeric
+// order, strings lexicographically. It returns -1, 0 or +1.
+func (v Value) Compare(w Value) int {
+	if v.kind != w.kind {
+		if v.kind < w.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindInt:
+		switch {
+		case v.i < w.i:
+			return -1
+		case v.i > w.i:
+			return 1
+		}
+		return 0
+	case KindString:
+		switch {
+		case v.s < w.s:
+			return -1
+		case v.s > w.s:
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// Less reports whether v orders strictly before w under Compare.
+func (v Value) Less(w Value) bool { return v.Compare(w) < 0 }
+
+// appendKey appends a self-delimiting binary encoding of v to dst. The
+// encoding is injective across kinds and payloads, which is all the tuple
+// key machinery needs.
+func (v Value) appendKey(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindInt:
+		u := uint64(v.i)
+		dst = append(dst,
+			byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+			byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+	case KindString:
+		dst = append(dst, []byte(strconv.Itoa(len(v.s)))...)
+		dst = append(dst, ':')
+		dst = append(dst, v.s...)
+	}
+	return dst
+}
+
+// ParseValue converts text to a Value: decimal integers become KindInt,
+// everything else becomes KindString. Surrounding single quotes, if present,
+// are stripped (so '123' parses as the string "123").
+func ParseValue(text string) Value {
+	if len(text) >= 2 && text[0] == '\'' && text[len(text)-1] == '\'' {
+		return Str(text[1 : len(text)-1])
+	}
+	if n, err := strconv.ParseInt(text, 10, 64); err == nil {
+		return Int(n)
+	}
+	return Str(text)
+}

@@ -1,0 +1,430 @@
+// Package store combines a database instance, an access schema and the
+// physical indices that realize it, and — crucially for this reproduction —
+// *accounts for every base tuple that query processing touches*.
+//
+// The paper's definition of scale independence is about the number of
+// tuples fetched from D (at most M, independent of |D|). Rather than assert
+// those bounds, every experiment in this repository measures them through
+// the counters and traces maintained here.
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/access"
+	"repro/internal/index"
+	"repro/internal/relation"
+)
+
+// Counters accumulate the work performed against the store since the last
+// Reset.
+type Counters struct {
+	TupleReads   int64 // base/projected tuples materialized by fetches and scans
+	IndexLookups int64 // number of indexed retrievals
+	Scans        int64 // number of full relation scans
+	Memberships  int64 // number of membership probes
+	TimeUnits    int64 // sum of access-schema T costs incurred
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(o Counters) {
+	c.TupleReads += o.TupleReads
+	c.IndexLookups += o.IndexLookups
+	c.Scans += o.Scans
+	c.Memberships += o.Memberships
+	c.TimeUnits += o.TimeUnits
+}
+
+// String summarizes the counters.
+func (c Counters) String() string {
+	return fmt.Sprintf("reads=%d lookups=%d scans=%d member=%d time=%d",
+		c.TupleReads, c.IndexLookups, c.Scans, c.Memberships, c.TimeUnits)
+}
+
+// Trace records the distinct base tuples touched while it is installed;
+// its contents are exactly the witness set D_Q ⊆ D of the paper.
+type Trace struct {
+	touched map[string]*relation.TupleSet
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{touched: make(map[string]*relation.TupleSet)} }
+
+func (tr *Trace) record(rel string, t relation.Tuple) {
+	s := tr.touched[rel]
+	if s == nil {
+		s = relation.NewTupleSet(4)
+		tr.touched[rel] = s
+	}
+	s.Add(t)
+}
+
+// Distinct returns |D_Q|: the number of distinct base tuples touched.
+func (tr *Trace) Distinct() int {
+	n := 0
+	for _, s := range tr.touched {
+		n += s.Len()
+	}
+	return n
+}
+
+// PerRelation returns the distinct touched-tuple count per relation.
+func (tr *Trace) PerRelation() map[string]int {
+	out := make(map[string]int, len(tr.touched))
+	for rel, s := range tr.touched {
+		out[rel] = s.Len()
+	}
+	return out
+}
+
+// Database materializes the touched tuples as a database D_Q over schema.
+// Relations never touched are empty.
+func (tr *Trace) Database(schema *relation.Schema) *relation.Database {
+	db := relation.NewDatabase(schema)
+	for rel, s := range tr.touched {
+		for _, t := range s.Tuples() {
+			db.MustInsert(rel, t)
+		}
+	}
+	return db
+}
+
+// DB is an instrumented database: data + access schema + indices.
+type DB struct {
+	data *relation.Database
+	acc  *access.Schema
+
+	// plain indices: rel -> canonical key name -> index
+	indexes map[string]map[string]*index.Index
+	// projected indices for embedded entries: rel -> "X->Y" name -> index
+	projIndexes map[string]map[string]*projIndex
+
+	counters Counters
+	trace    *Trace
+}
+
+// Open wraps data with the given access schema, validating every entry and
+// building one index per entry (plain indices for plain entries, projected
+// indices for embedded ones). It does not check cardinality conformance;
+// call Conforms for that.
+func Open(data *relation.Database, acc *access.Schema) (*DB, error) {
+	db := &DB{
+		data:        data,
+		acc:         acc,
+		indexes:     make(map[string]map[string]*index.Index),
+		projIndexes: make(map[string]map[string]*projIndex),
+	}
+	for _, e := range acc.Entries() {
+		if err := e.Validate(data.Schema()); err != nil {
+			return nil, err
+		}
+		if err := db.ensureEntryIndex(e); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// MustOpen opens and panics on error.
+func MustOpen(data *relation.Database, acc *access.Schema) *DB {
+	db, err := Open(data, acc)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Data returns the underlying database. Callers must not mutate it directly
+// (use ApplyUpdate) or the indices will go stale.
+func (db *DB) Data() *relation.Database { return db.data }
+
+// Access returns the access schema.
+func (db *DB) Access() *access.Schema { return db.acc }
+
+// Schema returns the relational schema.
+func (db *DB) Schema() *relation.Schema { return db.data.Schema() }
+
+// Size returns |D|.
+func (db *DB) Size() int { return db.data.Size() }
+
+// Counters returns the accumulated counters.
+func (db *DB) Counters() Counters { return db.counters }
+
+// ResetCounters zeroes the counters and returns their previous value.
+func (db *DB) ResetCounters() Counters {
+	prev := db.counters
+	db.counters = Counters{}
+	return prev
+}
+
+// StartTrace installs a fresh trace (replacing any existing one) and
+// returns it. Fetches record distinct touched base tuples into it.
+func (db *DB) StartTrace() *Trace {
+	db.trace = NewTrace()
+	return db.trace
+}
+
+// StopTrace uninstalls and returns the current trace.
+func (db *DB) StopTrace() *Trace {
+	tr := db.trace
+	db.trace = nil
+	return tr
+}
+
+// Conforms checks cardinality conformance of the data to the access schema.
+func (db *DB) Conforms() error { return db.acc.Conforms(db.data) }
+
+func (db *DB) ensureEntryIndex(e access.Entry) error {
+	rs, _ := db.data.Schema().Rel(e.Rel)
+	if e.IsEmbedded() {
+		name := index.KeyName(e.On) + "->" + index.KeyName(e.Proj)
+		if db.projIndexes[e.Rel][name] != nil {
+			return nil
+		}
+		pi, err := newProjIndex(rs, e.On, e.Proj)
+		if err != nil {
+			return err
+		}
+		for _, t := range db.data.Rel(e.Rel).Tuples() {
+			pi.add(t)
+		}
+		if db.projIndexes[e.Rel] == nil {
+			db.projIndexes[e.Rel] = make(map[string]*projIndex)
+		}
+		db.projIndexes[e.Rel][name] = pi
+		return nil
+	}
+	return db.EnsureIndex(e.Rel, e.On)
+}
+
+// EnsureIndex builds (or reuses) a plain index on attrs of rel.
+func (db *DB) EnsureIndex(rel string, attrs []string) error {
+	name := index.KeyName(attrs)
+	if db.indexes[rel][name] != nil {
+		return nil
+	}
+	r := db.data.Rel(rel)
+	if r == nil {
+		return fmt.Errorf("store: unknown relation %q", rel)
+	}
+	ix, err := index.Build(r, attrs)
+	if err != nil {
+		return err
+	}
+	if db.indexes[rel] == nil {
+		db.indexes[rel] = make(map[string]*index.Index)
+	}
+	db.indexes[rel][name] = ix
+	return nil
+}
+
+// Fetch performs the indexed retrieval licensed by entry e with the given
+// values for e.On, in order. It returns:
+//
+//   - for a plain entry, the base tuples σ_X=ā(R);
+//   - for an embedded entry, the projected tuples π_Y(σ_X=ā(R)) (over the
+//     attributes e.Proj, in that order).
+//
+// Fetch enforces the entry's cardinality bound: if the retrieved set
+// exceeds e.N, the database does not conform to the access schema and an
+// error is returned. Counters are charged |result| tuple reads, one index
+// lookup, and e.T time units; base tuples are recorded in the active trace.
+func (db *DB) Fetch(e access.Entry, vals []relation.Value) ([]relation.Tuple, error) {
+	if len(vals) != len(e.On) {
+		return nil, fmt.Errorf("store: fetch %s with %d values, want %d", e.Rel, len(vals), len(e.On))
+	}
+	db.counters.IndexLookups++
+	db.counters.TimeUnits += int64(e.T)
+	if e.IsEmbedded() {
+		name := index.KeyName(e.On) + "->" + index.KeyName(e.Proj)
+		pi := db.projIndexes[e.Rel][name]
+		if pi == nil {
+			return nil, fmt.Errorf("store: no projected index for %s", e.String())
+		}
+		out := pi.lookup(vals)
+		if len(out) > e.N {
+			return nil, fmt.Errorf("store: %s violated: group has %d > %d tuples", e.String(), len(out), e.N)
+		}
+		db.counters.TupleReads += int64(len(out))
+		// Embedded fetches do not touch identifiable base tuples (a covering
+		// index serves them), so the trace is not charged; Prop 4.5 gives a
+		// time bound, not a D_Q witness.
+		return out, nil
+	}
+	name := index.KeyName(e.On)
+	ix := db.indexes[e.Rel][name]
+	if ix == nil {
+		return nil, fmt.Errorf("store: no index for %s", e.String())
+	}
+	out, err := ix.Lookup(vals)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) > e.N {
+		return nil, fmt.Errorf("store: %s violated: group has %d > %d tuples", e.String(), len(out), e.N)
+	}
+	db.counters.TupleReads += int64(len(out))
+	if db.trace != nil {
+		for _, t := range out {
+			db.trace.record(e.Rel, t)
+		}
+	}
+	return out, nil
+}
+
+// Membership probes whether t ∈ R using the implicit membership access
+// method (one constant-time probe). It charges one membership, one read if
+// present, and records the tuple in the trace.
+func (db *DB) Membership(rel string, t relation.Tuple) (bool, error) {
+	r := db.data.Rel(rel)
+	if r == nil {
+		return false, fmt.Errorf("store: unknown relation %q", rel)
+	}
+	db.counters.Memberships++
+	db.counters.TimeUnits++
+	if !r.Contains(t) {
+		return false, nil
+	}
+	db.counters.TupleReads++
+	if db.trace != nil {
+		db.trace.record(rel, t)
+	}
+	return true, nil
+}
+
+// Scan returns every tuple of rel, charging a full scan: |R| reads. Naive
+// evaluation uses this; bounded plans never do.
+func (db *DB) Scan(rel string) ([]relation.Tuple, error) {
+	r := db.data.Rel(rel)
+	if r == nil {
+		return nil, fmt.Errorf("store: unknown relation %q", rel)
+	}
+	db.counters.Scans++
+	db.counters.TupleReads += int64(r.Len())
+	db.counters.TimeUnits += int64(r.Len())
+	if db.trace != nil {
+		for _, t := range r.Tuples() {
+			db.trace.record(rel, t)
+		}
+	}
+	return r.Tuples(), nil
+}
+
+// ApplyUpdate validates and applies u to the data, keeping every index in
+// sync incrementally (cost proportional to |ΔD|, not |D|).
+func (db *DB) ApplyUpdate(u *relation.Update) error {
+	if err := u.Validate(db.data); err != nil {
+		return err
+	}
+	if err := db.data.Apply(u); err != nil {
+		return err
+	}
+	for rel, ts := range u.Del {
+		for _, t := range ts {
+			for _, ix := range db.indexes[rel] {
+				ix.Remove(t)
+			}
+			for _, pi := range db.projIndexes[rel] {
+				pi.remove(t)
+			}
+		}
+	}
+	for rel, ts := range u.Ins {
+		for _, t := range ts {
+			for _, ix := range db.indexes[rel] {
+				ix.Add(t)
+			}
+			for _, pi := range db.projIndexes[rel] {
+				pi.add(t)
+			}
+		}
+	}
+	return nil
+}
+
+// EntriesFor returns the access entries available for rel, most selective
+// (smallest N) first. The planner in internal/core consumes this.
+func (db *DB) EntriesFor(rel string) []access.Entry {
+	es := db.acc.ForRel(rel)
+	sorted := append([]access.Entry(nil), es...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].N < sorted[j].N })
+	return sorted
+}
+
+// projIndex serves embedded entries: it maps each X-group to the deduped
+// projection π_Y of the group, refcounted so that deletions of base tuples
+// keep shared projections alive.
+type projIndex struct {
+	onPos   []int
+	projPos []int
+	buckets map[string]*projBucket
+}
+
+type projBucket struct {
+	order []relation.Tuple // projected tuples, first-seen order
+	refs  map[string]int   // projected key -> number of base tuples
+}
+
+func newProjIndex(rs relation.RelSchema, on, proj []string) (*projIndex, error) {
+	onPos, err := rs.Positions(on)
+	if err != nil {
+		return nil, err
+	}
+	projPos, err := rs.Positions(proj)
+	if err != nil {
+		return nil, err
+	}
+	return &projIndex{onPos: onPos, projPos: projPos, buckets: make(map[string]*projBucket)}, nil
+}
+
+func (pi *projIndex) add(t relation.Tuple) {
+	k := t.Project(pi.onPos).Key()
+	b := pi.buckets[k]
+	if b == nil {
+		b = &projBucket{refs: make(map[string]int)}
+		pi.buckets[k] = b
+	}
+	p := t.Project(pi.projPos)
+	pk := p.Key()
+	if b.refs[pk] == 0 {
+		b.order = append(b.order, p)
+	}
+	b.refs[pk]++
+}
+
+func (pi *projIndex) remove(t relation.Tuple) {
+	k := t.Project(pi.onPos).Key()
+	b := pi.buckets[k]
+	if b == nil {
+		return
+	}
+	p := t.Project(pi.projPos)
+	pk := p.Key()
+	if b.refs[pk] == 0 {
+		return
+	}
+	b.refs[pk]--
+	if b.refs[pk] > 0 {
+		return
+	}
+	delete(b.refs, pk)
+	for i, u := range b.order {
+		if u.Key() == pk {
+			copy(b.order[i:], b.order[i+1:])
+			b.order = b.order[:len(b.order)-1]
+			break
+		}
+	}
+	if len(b.order) == 0 {
+		delete(pi.buckets, k)
+	}
+}
+
+func (pi *projIndex) lookup(vals []relation.Value) []relation.Tuple {
+	b := pi.buckets[relation.Tuple(vals).Key()]
+	if b == nil {
+		return nil
+	}
+	return b.order
+}

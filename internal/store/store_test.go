@@ -1,0 +1,241 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/relation"
+)
+
+func socialSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.MustRelSchema("person", "id", "name", "city"),
+		relation.MustRelSchema("friend", "id1", "id2"),
+		relation.MustRelSchema("visit", "id", "rid", "yy", "mm", "dd"),
+	)
+}
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	s := socialSchema()
+	data := relation.NewDatabase(s)
+	data.MustInsert("person", relation.NewTuple(relation.Int(1), relation.Str("ann"), relation.Str("NYC")))
+	data.MustInsert("person", relation.NewTuple(relation.Int(2), relation.Str("bob"), relation.Str("NYC")))
+	data.MustInsert("person", relation.NewTuple(relation.Int(3), relation.Str("cal"), relation.Str("LA")))
+	data.MustInsert("friend", relation.Ints(1, 2))
+	data.MustInsert("friend", relation.Ints(1, 3))
+	data.MustInsert("friend", relation.Ints(2, 3))
+	acc := access.New(s)
+	acc.MustAdd(access.Plain("friend", []string{"id1"}, 5000, 1))
+	acc.MustAdd(access.Plain("person", []string{"id"}, 1, 1))
+	db, err := Open(data, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestFetchPlain(t *testing.T) {
+	db := testDB(t)
+	e := access.Plain("friend", []string{"id1"}, 5000, 1)
+	got, err := db.Fetch(e, []relation.Value{relation.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("Fetch = %v", got)
+	}
+	c := db.Counters()
+	if c.TupleReads != 2 || c.IndexLookups != 1 || c.TimeUnits != 1 {
+		t.Errorf("counters = %s", c)
+	}
+	if _, err := db.Fetch(e, nil); err == nil {
+		t.Error("wrong value count accepted")
+	}
+}
+
+func TestFetchEnforcesN(t *testing.T) {
+	s := socialSchema()
+	data := relation.NewDatabase(s)
+	data.MustInsert("friend", relation.Ints(1, 2))
+	data.MustInsert("friend", relation.Ints(1, 3))
+	acc := access.New(s)
+	e := access.Plain("friend", []string{"id1"}, 1, 1)
+	acc.MustAdd(e)
+	db := MustOpen(data, acc)
+	if err := db.Conforms(); err == nil {
+		t.Fatal("Conforms should fail: two friends, limit 1")
+	}
+	if _, err := db.Fetch(e, []relation.Value{relation.Int(1)}); err == nil {
+		t.Fatal("Fetch should enforce N")
+	}
+}
+
+func TestTraceCollectsDQ(t *testing.T) {
+	db := testDB(t)
+	tr := db.StartTrace()
+	ef := access.Plain("friend", []string{"id1"}, 5000, 1)
+	ep := access.Plain("person", []string{"id"}, 1, 1)
+	friends, err := db.Fetch(ef, []relation.Value{relation.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range friends {
+		if _, err := db.Fetch(ep, []relation.Value{f[1]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fetch friend(1) twice: distinct count must not double.
+	if _, err := db.Fetch(ef, []relation.Value{relation.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	got := db.StopTrace()
+	if got != tr {
+		t.Fatal("StopTrace returned different trace")
+	}
+	if tr.Distinct() != 4 { // 2 friend + 2 person
+		t.Fatalf("Distinct = %d, per-rel %v", tr.Distinct(), tr.PerRelation())
+	}
+	dq := tr.Database(db.Schema())
+	if dq.Size() != 4 || !dq.Subset(db.Data()) {
+		t.Errorf("DQ = %v", dq)
+	}
+}
+
+func TestMembershipAndScan(t *testing.T) {
+	db := testDB(t)
+	ok, err := db.Membership("friend", relation.Ints(1, 2))
+	if err != nil || !ok {
+		t.Fatalf("Membership: %v %v", ok, err)
+	}
+	ok, err = db.Membership("friend", relation.Ints(9, 9))
+	if err != nil || ok {
+		t.Fatalf("Membership absent: %v %v", ok, err)
+	}
+	c := db.ResetCounters()
+	if c.Memberships != 2 || c.TupleReads != 1 {
+		t.Errorf("membership counters = %s", c)
+	}
+	ts, err := db.Scan("friend")
+	if err != nil || len(ts) != 3 {
+		t.Fatalf("Scan: %v %v", ts, err)
+	}
+	c = db.Counters()
+	if c.Scans != 1 || c.TupleReads != 3 {
+		t.Errorf("scan counters = %s", c)
+	}
+}
+
+func TestApplyUpdateKeepsIndexesInSync(t *testing.T) {
+	db := testDB(t)
+	u := relation.NewUpdate().
+		Insert("friend", relation.Ints(1, 4)).
+		Delete("friend", relation.Ints(1, 2))
+	if err := db.ApplyUpdate(u); err != nil {
+		t.Fatal(err)
+	}
+	e := access.Plain("friend", []string{"id1"}, 5000, 1)
+	got, err := db.Fetch(e, []relation.Value{relation.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.NewTupleSet(2)
+	want.Add(relation.Ints(1, 3))
+	want.Add(relation.Ints(1, 4))
+	if len(got) != 2 || !want.Contains(got[0]) || !want.Contains(got[1]) {
+		t.Fatalf("after update: %v", got)
+	}
+	bad := relation.NewUpdate().Delete("friend", relation.Ints(9, 9))
+	if err := db.ApplyUpdate(bad); err == nil {
+		t.Error("invalid update applied")
+	}
+}
+
+func TestEmbeddedFetch(t *testing.T) {
+	s := socialSchema()
+	data := relation.NewDatabase(s)
+	data.MustInsert("visit", relation.Ints(1, 10, 2013, 1, 5))
+	data.MustInsert("visit", relation.Ints(2, 20, 2013, 1, 5)) // same (yy,mm,dd)
+	data.MustInsert("visit", relation.Ints(1, 10, 2013, 2, 6))
+	data.MustInsert("visit", relation.Ints(1, 11, 2014, 3, 7))
+	acc := access.New(s)
+	days := access.Embedded("visit", []string{"yy"}, []string{"yy", "mm", "dd"}, 366, 1)
+	acc.MustAdd(days)
+	db := MustOpen(data, acc)
+
+	got, err := db.Fetch(days, []relation.Value{relation.Int(2013)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 { // (2013,1,5) deduped across two base tuples, (2013,2,6)
+		t.Fatalf("embedded fetch = %v", got)
+	}
+	for _, p := range got {
+		if len(p) != 3 {
+			t.Fatalf("projected tuple arity = %d", len(p))
+		}
+	}
+
+	// Deleting one of the two base tuples behind (2013,1,5) keeps it.
+	u := relation.NewUpdate().Delete("visit", relation.Ints(2, 20, 2013, 1, 5))
+	if err := db.ApplyUpdate(u); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = db.Fetch(days, []relation.Value{relation.Int(2013)})
+	if len(got) != 2 {
+		t.Fatalf("after shared delete: %v", got)
+	}
+	// Deleting the second one removes it.
+	u2 := relation.NewUpdate().Delete("visit", relation.Ints(1, 10, 2013, 1, 5))
+	if err := db.ApplyUpdate(u2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = db.Fetch(days, []relation.Value{relation.Int(2013)})
+	if len(got) != 1 {
+		t.Fatalf("after full delete: %v", got)
+	}
+}
+
+// Randomized: projected index lookups agree with recomputing the projection
+// from scratch after arbitrary update sequences.
+func TestProjIndexQuick(t *testing.T) {
+	s := socialSchema()
+	acc := access.New(s)
+	days := access.Embedded("visit", []string{"yy"}, []string{"yy", "mm", "dd"}, 1000, 1)
+	acc.MustAdd(days)
+	data := relation.NewDatabase(s)
+	db := MustOpen(data, acc)
+	rng := rand.New(rand.NewSource(11))
+	for step := 0; step < 400; step++ {
+		tu := relation.Ints(int64(rng.Intn(3)), int64(rng.Intn(3)), int64(2010+rng.Intn(3)), int64(rng.Intn(4)), int64(rng.Intn(4)))
+		u := relation.NewUpdate()
+		if db.Data().Rel("visit").Contains(tu) {
+			u.Delete("visit", tu)
+		} else {
+			u.Insert("visit", tu)
+		}
+		if err := db.ApplyUpdate(u); err != nil {
+			t.Fatal(err)
+		}
+		yy := relation.Int(int64(2010 + rng.Intn(3)))
+		got, err := db.Fetch(days, []relation.Value{yy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := relation.NewTupleSet(0)
+		for _, v := range db.Data().Rel("visit").Tuples() {
+			if v[2] == yy {
+				want.Add(relation.NewTuple(v[2], v[3], v[4]))
+			}
+		}
+		if len(got) != want.Len() {
+			t.Fatalf("step %d: proj lookup %d, recompute %d", step, len(got), want.Len())
+		}
+		for _, p := range got {
+			if !want.Contains(p) {
+				t.Fatalf("step %d: stray projected tuple %v", step, p)
+			}
+		}
+	}
+}

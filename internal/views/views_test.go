@@ -1,0 +1,326 @@
+package views
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+func mustCQ(t testing.TB, src string) *query.CQ {
+	t.Helper()
+	q, err := parser.ParseCQ(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func mustView(t testing.TB, src string) *View {
+	t.Helper()
+	v, err := NewView(mustCQ(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// The schema of Example 1.1 and its views V1 (NYC restaurants) and V2
+// (visits by NYC residents).
+func exampleSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.MustRelSchema("person", "id", "name", "city"),
+		relation.MustRelSchema("friend", "id1", "id2"),
+		relation.MustRelSchema("restr", "rid", "name", "city", "rating"),
+		relation.MustRelSchema("visit", "id", "rid"),
+	)
+}
+
+func exampleViews(t testing.TB) []*View {
+	return []*View{
+		mustView(t, "V1(rid, rn, rating) :- restr(rid, rn, 'NYC', rating)"),
+		mustView(t, "V2(id, rid) :- visit(id, rid), person(id, pn, 'NYC')"),
+	}
+}
+
+func q2(t testing.TB) *query.CQ {
+	return mustCQ(t, "Q2(p, rn) :- friend(p, id), visit(id, rid), person(id, pn, 'NYC'), restr(rid, rn, 'NYC', 'A')")
+}
+
+func exampleDB(t testing.TB, nPersons, nRestr int, seed int64) *relation.Database {
+	rng := rand.New(rand.NewSource(seed))
+	db := relation.NewDatabase(exampleSchema())
+	cities := []string{"NYC", "LA"}
+	for i := 0; i < nPersons; i++ {
+		db.MustInsert("person", relation.NewTuple(
+			relation.Int(int64(i)), relation.Str(fmt.Sprintf("p%d", i)), relation.Str(cities[i%2])))
+		for j := 0; j < 3; j++ {
+			db.Insert("friend", relation.Ints(int64(i), int64(rng.Intn(nPersons)))) //nolint:errcheck
+		}
+	}
+	for r := 0; r < nRestr; r++ {
+		db.MustInsert("restr", relation.NewTuple(
+			relation.Int(int64(1000+r)), relation.Str(fmt.Sprintf("r%d", r)),
+			relation.Str(cities[r%2]), relation.Str([]string{"A", "B"}[r%2])))
+	}
+	for i := 0; i < nPersons; i++ {
+		db.Insert("visit", relation.Ints(int64(i), int64(1000+rng.Intn(nRestr)))) //nolint:errcheck
+	}
+	return db
+}
+
+func TestNewViewValidation(t *testing.T) {
+	if _, err := NewView(mustCQ(t, "V(x, x) :- R(x, y)")); err == nil {
+		t.Error("repeated head variable accepted")
+	}
+	v := mustView(t, "V1(rid, rn, rating) :- restr(rid, rn, 'NYC', rating)")
+	rs := v.Schema()
+	if rs.Name != "V1" || len(rs.Attrs) != 3 || rs.Attrs[0] != "rid" {
+		t.Errorf("view schema = %v", rs)
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	db := exampleDB(t, 10, 6, 1)
+	combined, err := Materialize(db, exampleViews(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// V1 holds exactly the NYC restaurants.
+	wantV1 := 0
+	for _, tu := range db.Rel("restr").Tuples() {
+		if tu[2] == relation.Str("NYC") {
+			wantV1++
+		}
+	}
+	if combined.Rel("V1").Len() != wantV1 {
+		t.Errorf("V1 size = %d, want %d", combined.Rel("V1").Len(), wantV1)
+	}
+	// Base relations are carried over.
+	if combined.Rel("friend").Len() != db.Rel("friend").Len() {
+		t.Error("base relations missing from combined database")
+	}
+}
+
+func TestFindRewritingsQ2(t *testing.T) {
+	rws, err := FindRewritings(q2(t), exampleViews(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must contain the paper's rewriting: friend base atom + V1 + V2.
+	var paperRW *Rewriting
+	for _, r := range rws {
+		if r.BaseSize() == 1 && len(r.ViewAtoms) == 2 && r.BaseAtoms[0].Rel == "friend" {
+			paperRW = r
+			break
+		}
+	}
+	if paperRW == nil {
+		for _, r := range rws {
+			t.Logf("rewriting: %s", r)
+		}
+		t.Fatal("the paper's rewriting Q2' was not found")
+	}
+	// And the trivial rewriting (mask 0).
+	foundTrivial := false
+	for _, r := range rws {
+		if len(r.ViewAtoms) == 0 && r.BaseSize() == 4 {
+			foundTrivial = true
+		}
+	}
+	if !foundTrivial {
+		t.Error("trivial rewriting missing")
+	}
+}
+
+// Every returned rewriting must compute exactly Q over random databases.
+func TestRewritingsSemanticsQuick(t *testing.T) {
+	views := exampleViews(t)
+	rws, err := FindRewritings(q2(t), views, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rws) == 0 {
+		t.Fatal("no rewritings")
+	}
+	for trial := 0; trial < 5; trial++ {
+		db := exampleDB(t, 12, 6, int64(trial+10))
+		combined, err := Materialize(db, views)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := eval.AnswersCQ(eval.DBSource{DB: db}, q2(t), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rws {
+			got, err := eval.AnswersCQ(eval.DBSource{DB: combined}, r.Body, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("trial %d: rewriting %s computes %d answers, want %d",
+					trial, r, got.Len(), want.Len())
+			}
+		}
+	}
+}
+
+func TestUnconstrainedVars(t *testing.T) {
+	views := exampleViews(t)
+	rws, err := FindRewritings(q2(t), views, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rws {
+		if r.BaseSize() == 1 && len(r.ViewAtoms) == 2 {
+			// The paper: rn is unconstrained in Q2' (connects to friend via
+			// joins through V2, V1); p likewise (directly in friend).
+			un := r.UnconstrainedVars()
+			if !un.Contains("rn") || !un.Contains("p") {
+				t.Errorf("unconstrained = %v, want both p and rn", un)
+			}
+		}
+	}
+}
+
+func TestDecideVQSI(t *testing.T) {
+	// Q2 is NOT in VSQ(V, M) for small M: rn stays unconstrained in every
+	// rewriting that gets the base part small.
+	dec, err := DecideVQSI(q2(t), exampleViews(t), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.InVSQ {
+		t.Fatalf("Q2 should not be in VSQ with M=1: %s", dec.Rewriting)
+	}
+	// A complete rewriting: Q(x,y) :- R(x,y) with V covering R exactly:
+	// M = 0 works and all head vars are view-only (constrained).
+	s := relation.MustSchema(relation.MustRelSchema("R", "a", "b"))
+	_ = s
+	qr := mustCQ(t, "Q(x, y) :- R(x, y)")
+	vr := mustView(t, "VR(x, y) :- R(x, y)")
+	dec, err = DecideVQSI(qr, []*View{vr}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.InVSQ || dec.Rewriting.BaseSize() != 0 {
+		t.Fatalf("complete rewriting should make Q ∈ VSQ(V, 0): %+v", dec)
+	}
+	// Boolean queries only need the base-size condition.
+	qb := mustCQ(t, "Q() :- friend(p, id), visit(id, rid)")
+	v2 := exampleViews(t)[1]
+	dec, err = DecideVQSI(qb, []*View{v2}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.InVSQ {
+		t.Fatal("Boolean query with small base part should be in VSQ")
+	}
+}
+
+func TestCor62BasePartControlled(t *testing.T) {
+	s := exampleSchema()
+	acc := access.New(s)
+	acc.MustAdd(access.Plain("friend", []string{"id1"}, 5000, 1))
+	rws, err := FindRewritings(q2(t), exampleViews(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paperRW *Rewriting
+	for _, r := range rws {
+		if r.BaseSize() == 1 && len(r.ViewAtoms) == 2 {
+			paperRW = r
+		}
+	}
+	if paperRW == nil {
+		t.Fatal("paper rewriting missing")
+	}
+	// Example 6.3: base part friend(p, id) is p-controlled; with y = {p, rn}
+	// covering the unconstrained distinguished variables, Cor 6.2(2) holds.
+	ok, err := BasePartControlled(paperRW, acc, query.NewVarSet("p", "rn"))
+	if err != nil || !ok {
+		t.Fatalf("Cor 6.2(2) should hold with y={p,rn}: %v %v", ok, err)
+	}
+	// y = {p} misses unconstrained rn.
+	ok, err = BasePartControlled(paperRW, acc, query.NewVarSet("p"))
+	if err != nil || ok {
+		t.Fatalf("y={p} should fail (rn unconstrained): %v %v", ok, err)
+	}
+}
+
+// End to end (Example 1.1(c)/6.3): answering Q2 via the rewriting over
+// materialized views touches a bounded number of *base* tuples, flat in
+// |D|, and matches naive evaluation.
+func TestViewBasedAnswerBoundedBaseReads(t *testing.T) {
+	views := exampleViews(t)
+	rws, err := FindRewritings(q2(t), views, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paperRW *Rewriting
+	for _, r := range rws {
+		if r.BaseSize() == 1 && len(r.ViewAtoms) == 2 {
+			paperRW = r
+		}
+	}
+	if paperRW == nil {
+		t.Fatal("paper rewriting missing")
+	}
+	var baseReads []int
+	for _, n := range []int{20, 80, 320} {
+		db := exampleDB(t, n, 8, 77)
+		combined, err := Materialize(db, views)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := combined.Schema()
+		acc := access.New(cs)
+		acc.MustAdd(access.Plain("friend", []string{"id1"}, 5000, 1))
+		acc.MustAdd(access.Plain("V2", []string{"id"}, 1000, 1))
+		acc.MustAdd(access.Plain("V1", []string{"rid"}, 1, 1))
+		st := store.MustOpen(combined, acc)
+		eng := core.NewEngine(st)
+		rq, err := paperRW.Body.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixed := query.Bindings{"p": relation.Int(3)}
+		ans, err := eng.Answer(rq, fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := eval.Answers(eval.DBSource{DB: db}, mustQuery(t), fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ans.Tuples.Equal(want) {
+			t.Fatalf("n=%d: view answer %v vs naive %v", n, ans.Tuples.Tuples(), want.Tuples())
+		}
+		// Base reads: distinct touched tuples in base relations only.
+		per := ans.DQ.PerRelation()
+		base := per["friend"] + per["visit"] + per["person"] + per["restr"]
+		baseReads = append(baseReads, base)
+	}
+	for i := 1; i < len(baseReads); i++ {
+		if baseReads[i] > baseReads[0]+4 {
+			t.Errorf("base reads grew with |D|: %v", baseReads)
+		}
+	}
+}
+
+func mustQuery(t testing.TB) *query.Query {
+	t.Helper()
+	q, err := parser.ParseQuery("Q2(p, rn) := exists id, rid, pn (friend(p, id) and visit(id, rid) and person(id, pn, 'NYC') and restr(rid, rn, 'NYC', 'A'))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}

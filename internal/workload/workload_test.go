@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/relation"
+)
+
+func TestGenerateConforms(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		cfg := DefaultConfig()
+		cfg.Persons = 200
+		cfg.Seed = seed
+		db, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Access(cfg).Conforms(db); err != nil {
+			t.Fatalf("seed %d: generated database violates access schema: %v", seed, err)
+		}
+		if db.Rel("person").Len() != 200 {
+			t.Errorf("persons = %d", db.Rel("person").Len())
+		}
+		if db.Rel("friend").Len() == 0 || db.Rel("visit").Len() == 0 {
+			t.Error("empty friend/visit relations")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Persons = 100
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different databases")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Persons = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Error("zero persons accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.AvgFriends = cfg.MaxFriends + 1
+	if _, err := Generate(cfg); err == nil {
+		t.Error("avg > max accepted")
+	}
+}
+
+func TestVisitInsertionsValid(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Persons = 100
+	db, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := VisitInsertions(db, cfg, 20, 9)
+	if len(ups) != 20 {
+		t.Fatalf("generated %d updates", len(ups))
+	}
+	acc := Access(cfg)
+	for i, u := range ups {
+		if err := u.Validate(db); err != nil {
+			t.Fatalf("update %d invalid: %v", i, err)
+		}
+		if err := db.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := acc.Conforms(db); err != nil {
+		t.Fatalf("after insert stream: %v", err)
+	}
+}
+
+func TestExampleQueriesParse(t *testing.T) {
+	if _, err := parser.ParseQuery(Q1Src); err != nil {
+		t.Errorf("Q1: %v", err)
+	}
+	if _, err := parser.ParseCQ(Q2Src); err != nil {
+		t.Errorf("Q2: %v", err)
+	}
+	if _, err := parser.ParseQuery(Q3Src); err != nil {
+		t.Errorf("Q3: %v", err)
+	}
+}
+
+func TestRestaurantIDsDistinct(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Persons = 50
+	db, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range db.Rel("visit").Tuples() {
+		rid := tu[1]
+		found := false
+		for _, r := range db.Rel("restr").Tuples() {
+			if r[0] == rid {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("dangling visit rid %v", rid)
+		}
+	}
+	_ = relation.Int(0)
+}
