@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check build test race vet bench serving
+
+## check: the CI gate — vet, build, and race-enabled tests.
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+serving:
+	$(GO) run ./cmd/sibench -serving

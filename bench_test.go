@@ -3,13 +3,15 @@ package scaleindep
 // Benchmarks regenerating every table/figure of the reproduction (see
 // DESIGN.md §3 for the experiment index). Each benchmark wraps one
 // experiment of internal/bench in quick mode, plus fine-grained benches
-// for the core engine paths. Run:
+// for the core engine paths and the prepared-query serving API. Run:
 //
 //	go test -bench=. -benchmem
 //
-// cmd/sibench prints the full paper-style tables.
+// cmd/sibench prints the full paper-style tables; `sibench -serving`
+// prints the serving comparison as a table.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
@@ -187,6 +189,90 @@ func BenchmarkQDSISetCover(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := qdsi.DecideCQ(q, d, d.Size(), qdsi.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Serving API benchmarks: prepared vs unprepared repeated answering
+// of the same workload query. The gap between Unprepared and the other
+// two is the per-call controllability analysis the prepared lifecycle
+// amortizes away. ---
+
+// BenchmarkServingUnprepared re-runs the analysis on every call (plan
+// cache disabled): the pre-redesign Answer behavior.
+func BenchmarkServingUnprepared(b *testing.B) {
+	eng, _ := socialEngine(b, 10000)
+	eng.SetPlanCacheSize(0)
+	q, err := ParseQuery(workload.Q1Src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.AnswerContext(ctx, q, Bindings{"p": Int(int64(i % 1000))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServingPlanCache uses the one-shot Answer path, which hits the
+// engine's LRU plan cache transparently.
+func BenchmarkServingPlanCache(b *testing.B) {
+	eng, _ := socialEngine(b, 10000)
+	q, err := ParseQuery(workload.Q1Src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Answer(q, Bindings{"p": Int(int64(i % 1000))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServingPrepared executes an explicitly prepared query.
+func BenchmarkServingPrepared(b *testing.B) {
+	eng, _ := socialEngine(b, 10000)
+	q, err := ParseQuery(workload.Q1Src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep, err := eng.Prepare(q, NewVarSet("p"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prep.Exec(ctx, Bindings{"p": Int(int64(i % 1000))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServingPreparedNoTrace is the hot path: prepared execution
+// with witness bookkeeping disabled.
+func BenchmarkServingPreparedNoTrace(b *testing.B) {
+	eng, _ := socialEngine(b, 10000)
+	q, err := ParseQuery(workload.Q1Src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep, err := eng.Prepare(q, NewVarSet("p"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prep.Exec(ctx, Bindings{"p": Int(int64(i % 1000))}, WithoutTrace()); err != nil {
 			b.Fatal(err)
 		}
 	}

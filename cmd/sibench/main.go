@@ -1,7 +1,8 @@
 // Command sibench runs the full experiment suite: the Table 1 validation
 // tables, the Example 1.1 scaling series, and the per-theorem experiments
 // (see DESIGN.md §3 for the index). With -markdown it emits the body of
-// EXPERIMENTS.md.
+// EXPERIMENTS.md. With -serving it instead benchmarks the serving API:
+// per-call analysis vs the transparent plan cache vs a prepared query.
 //
 // Usage:
 //
@@ -9,22 +10,39 @@
 //	sibench -quick     # smaller sizes
 //	sibench -markdown  # markdown tables
 //	sibench -only F1a  # one experiment
+//	sibench -serving   # prepared vs unprepared serving throughput
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/store"
+	"repro/internal/workload"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run smaller instances")
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	only := flag.String("only", "", "run a single experiment by id (T1, F1a, F1b, F1c, X4.4, X4.5, X5.4, X6.1, XGLT)")
+	serving := flag.Bool("serving", false, "benchmark the serving API instead (prepared vs unprepared)")
 	flag.Parse()
+
+	if *serving {
+		if err := servingBench(*quick); err != nil {
+			fmt.Fprintf(os.Stderr, "sibench: serving: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	start := time.Now()
 	ran := 0
@@ -51,4 +69,97 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Fprintf(os.Stderr, "sibench: %d experiments in %s\n", ran, time.Since(start).Round(time.Millisecond))
+}
+
+// servingBench measures the serving lifecycle on the Q1 workload: the
+// same repeated-execution loop with (a) the plan cache disabled — every
+// call pays the controllability analysis, (b) the transparent engine
+// cache, and (c) an explicitly prepared query.
+func servingBench(quick bool) error {
+	persons := 10000
+	iters := 20000
+	if quick {
+		persons, iters = 2000, 4000
+	}
+	cfg := workload.DefaultConfig()
+	cfg.Persons = persons
+	cfg.Seed = 7
+	db, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	st, err := store.Open(db, workload.Access(cfg))
+	if err != nil {
+		return err
+	}
+	q, err := parser.ParseQuery(workload.Q1Src)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	bind := func(i int) query.Bindings {
+		return query.Bindings{"p": relation.Int(int64(i % 1000))}
+	}
+
+	run := func(name string, once func(i int) error) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := once(i); err != nil {
+				return 0, fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	uncached := core.NewEngine(st)
+	uncached.SetPlanCacheSize(0)
+	tU, err := run("unprepared", func(i int) error {
+		_, err := uncached.AnswerContext(ctx, q, bind(i))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	cached := core.NewEngine(st)
+	tC, err := run("plan-cache", func(i int) error {
+		_, err := cached.AnswerContext(ctx, q, bind(i))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	prep, err := core.NewEngine(st).Prepare(q, query.NewVarSet("p"))
+	if err != nil {
+		return err
+	}
+	tP, err := run("prepared", func(i int) error {
+		_, err := prep.Exec(ctx, bind(i))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	tH, err := run("prepared-notrace", func(i int) error {
+		_, err := prep.Exec(ctx, bind(i), core.WithoutTrace())
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("serving Q1 on |D| = %d, %d executions each:\n\n", st.Size(), iters)
+	fmt.Printf("%-34s %12s %14s\n", "mode", "per call", "vs unprepared")
+	for _, r := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"unprepared (analysis per call)", tU},
+		{"Answer via engine plan cache", tC},
+		{"PreparedQuery.Exec", tP},
+		{"PreparedQuery.Exec WithoutTrace", tH},
+	} {
+		per := r.d / time.Duration(iters)
+		fmt.Printf("%-34s %12s %13.1fx\n", r.name, per, float64(tU)/float64(r.d))
+	}
+	return nil
 }

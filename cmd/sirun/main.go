@@ -3,13 +3,21 @@
 // answers, the measured tuple accesses, the witness set D_Q, and the
 // static bound, demonstrating Theorem 4.2 on real data.
 //
+// It drives the prepared-query serving API: the query is prepared once
+// (analysis + plan compilation) and executed under a context, optionally
+// with a runtime read budget (-max-reads), a deadline (-timeout), or a
+// naive fallback when the query is not controllable (-fallback).
+//
 // Usage:
 //
 //	sirun -data data/ -query "Q1(p, name) := exists id (friend(p, id) and person(id, name, 'NYC'))" -fix "p=7"
 //	sirun -persons 10000 -query ... -fix "p=7"         # generate instead of loading
+//	sirun -query ... -fix "p=7" -max-reads 1000 -timeout 5s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +41,9 @@ func main() {
 	querySrc := flag.String("query", workload.Q1Src, "query text")
 	fix := flag.String("fix", "p=7", "fixed variable bindings, e.g. \"p=7,city='NYC'\"")
 	naive := flag.Bool("naive", true, "also run the naive baseline")
+	maxReads := flag.Int64("max-reads", 0, "runtime tuple-read budget (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "evaluation deadline (0 = none)")
+	fallback := flag.Bool("fallback", false, "fall back to naive evaluation when not controllable")
 	flag.Parse()
 
 	var st *store.DB
@@ -58,18 +69,57 @@ func main() {
 	fmt.Printf("fixed: %s\n\n", *fix)
 
 	eng := core.NewEngine(st)
-	st.ResetCounters()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var opts []core.ExecOption
+	if *maxReads > 0 {
+		opts = append(opts, core.WithMaxReads(*maxReads))
+	}
+	if *fallback {
+		opts = append(opts, core.WithNaiveFallback())
+	}
+
 	start := time.Now()
-	ans, err := eng.Answer(q, fixed)
-	if err != nil {
+	prep, err := eng.Prepare(q, fixed.Vars())
+	prepTime := time.Since(start)
+	prepLabel := "prepared"
+	var ans *core.Answer
+	if err == nil {
+		start = time.Now()
+		ans, err = prep.Exec(ctx, fixed, opts...)
+	} else if *fallback && errors.Is(err, core.ErrNotControllable) {
+		fmt.Printf("not controllable for %s; falling back to naive evaluation\n\n", fixed.Vars())
+		prepLabel = "analysis (not controllable)"
+		start = time.Now()
+		ans, err = eng.AnswerContext(ctx, q, fixed, opts...)
+	}
+	switch {
+	case errors.Is(err, core.ErrNotControllable):
+		fatal(fmt.Errorf("%w\n  (re-run with -fallback to answer it naively anyway)", err))
+	case errors.Is(err, core.ErrBudgetExceeded):
+		fatal(fmt.Errorf("%w\n  (raise -max-reads or tighten the access schema)", err))
+	case errors.Is(err, core.ErrCanceled):
+		fatal(fmt.Errorf("%w\n  (raise -timeout)", err))
+	case err != nil:
 		fatal(err)
 	}
-	boundedTime := time.Since(start)
-	fmt.Printf("bounded evaluation: %d answers in %s\n", ans.Tuples.Len(), boundedTime.Round(time.Microsecond))
+	execTime := time.Since(start)
+	fmt.Printf("%s in %s, executed in %s: %d answers\n",
+		prepLabel, prepTime.Round(time.Microsecond), execTime.Round(time.Microsecond), ans.Tuples.Len())
 	fmt.Printf("  measured: %s\n", ans.Cost)
-	fmt.Printf("  |D_Q| = %d distinct base tuples (per relation: %v)\n", ans.DQ.Distinct(), ans.DQ.PerRelation())
-	fmt.Printf("  static bound: %s\n\n", ans.Plan.Bound)
-	fmt.Print(ans.Plan.Describe())
+	if ans.DQ != nil {
+		fmt.Printf("  |D_Q| = %d distinct base tuples (per relation: %v)\n", ans.DQ.Distinct(), ans.DQ.PerRelation())
+	}
+	if ans.Plan != nil {
+		fmt.Printf("  static bound: %s\n\n", ans.Plan.Bound)
+		fmt.Print(ans.Plan.Describe())
+	} else {
+		fmt.Println("  (naive fallback: no bounded plan)")
+	}
 
 	for i, t := range ans.Tuples.Tuples() {
 		if i == 10 {
@@ -80,16 +130,15 @@ func main() {
 	}
 
 	if *naive {
-		st.ResetCounters()
+		es := &store.ExecStats{}
 		start = time.Now()
-		res, err := eval.Answers(eval.StoreSource{DB: st}, q, fixed)
+		res, err := eval.Answers(eval.NewStoreSource(st, es), q, fixed)
 		if err != nil {
 			fatal(err)
 		}
 		naiveTime := time.Since(start)
-		c := st.Counters()
 		fmt.Printf("\nnaive evaluation: %d answers in %s\n", res.Len(), naiveTime.Round(time.Microsecond))
-		fmt.Printf("  measured: %s\n", c)
+		fmt.Printf("  measured: %s\n", es.Counters)
 		if !res.Equal(ans.Tuples) {
 			fatal(fmt.Errorf("ANSWER MISMATCH between bounded and naive evaluation"))
 		}

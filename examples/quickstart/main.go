@@ -1,10 +1,14 @@
 // Quickstart: scale-independent evaluation of the paper's Q1 on a tiny
-// hand-built database, via the public facade.
+// hand-built database, via the public facade and its prepared-query
+// serving API: prepare once, execute many times with per-call cost and
+// witness accounting.
 //
 // Run: go run ./examples/quickstart
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -55,32 +59,47 @@ access person(id -> *) limit 1 time 1
 		log.Fatal(err)
 	}
 
-	// 5. Check controllability: Q1 is p-controlled, so fixing p makes it
-	//    scale-independent (Theorem 4.2).
-	d, err := scaleindep.Controllable(eng, q, scaleindep.NewVarSet("p"))
-	if err != nil {
+	// 5. Prepare once: the controllability analysis (Theorem 4.2) runs a
+	//    single time and compiles the bounded plan. ErrNotControllable is
+	//    the typed failure when no bounded plan exists for x̄.
+	prep, err := eng.Prepare(q, scaleindep.NewVarSet("p"))
+	if errors.Is(err, scaleindep.ErrNotControllable) {
+		log.Fatalf("no bounded plan: %v", err)
+	} else if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("derivation:")
-	fmt.Print(d.Explain())
+	fmt.Print(prep.Derivation().Explain())
 
-	// 6. Answer for p = 1, touching a bounded set of tuples.
-	ans, err := eng.Answer(q, scaleindep.Bindings{"p": scaleindep.Int(1)})
+	// 6. Execute many times with fresh bindings — no re-analysis, each
+	//    call gets its own measured cost and witness set D_Q.
+	ctx := context.Background()
+	for _, p := range []int64{1, 2} {
+		ans, err := prep.Exec(ctx, scaleindep.Bindings{"p": scaleindep.Int(p)},
+			scaleindep.WithMaxReads(prep.Plan().Bound.Reads)) // runtime teeth for the static bound
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nQ1(%d): NYC friends of person %d:\n", p, p)
+		for _, t := range ans.Tuples.Tuples() {
+			fmt.Printf("  %s\n", t)
+		}
+		fmt.Printf("measured: %s\n", ans.Cost)
+		fmt.Printf("witness set D_Q: %d tuples %v (static bound: %s)\n",
+			ans.DQ.Distinct(), ans.DQ.PerRelation(), ans.Plan.Bound)
+
+		// Cross-check against naive evaluation.
+		naive, err := scaleindep.NaiveAnswers(db, q, scaleindep.Bindings{"p": scaleindep.Int(p)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("matches naive evaluation: %v\n", ans.Tuples.Equal(naive))
+	}
+
+	// 7. Hot path: skip witness bookkeeping when only answers matter.
+	fast, err := prep.Exec(ctx, scaleindep.Bindings{"p": scaleindep.Int(1)}, scaleindep.WithoutTrace())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nQ1(1): NYC friends of person 1:\n")
-	for _, t := range ans.Tuples.Tuples() {
-		fmt.Printf("  %s\n", t)
-	}
-	fmt.Printf("\nmeasured: %s\n", ans.Cost)
-	fmt.Printf("witness set D_Q: %d tuples %v (static bound: %s)\n",
-		ans.DQ.Distinct(), ans.DQ.PerRelation(), ans.Plan.Bound)
-
-	// 7. Cross-check against naive evaluation.
-	naive, err := scaleindep.NaiveAnswers(db, q, scaleindep.Bindings{"p": scaleindep.Int(1)})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("matches naive evaluation: %v\n", ans.Tuples.Equal(naive))
+	fmt.Printf("\nWithoutTrace: %d answers, DQ recorded: %v\n", fast.Tuples.Len(), fast.DQ != nil)
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -35,19 +36,23 @@ func main() {
 		st := open(n)
 		fixed := scaleindep.Bindings{"p": scaleindep.Int(7)}
 
-		st.ResetCounters()
-		if _, err := eval.Answers(eval.StoreSource{DB: st}, q1, fixed); err != nil {
+		// Per-call stats: no counter resetting, no cross-talk.
+		naive := &store.ExecStats{}
+		if _, err := eval.Answers(eval.NewStoreSource(st, naive), q1, fixed); err != nil {
 			log.Fatal(err)
 		}
-		naiveReads := st.Counters().TupleReads
 
-		eng := core.NewEngine(st)
-		ans, err := eng.Answer(q1, fixed)
+		// Prepare once per store, execute with per-call accounting.
+		prep, err := core.NewEngine(st).Prepare(q1, scaleindep.NewVarSet("p"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ans, err := prep.Exec(context.Background(), fixed)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-10d %-10d %-14d %-14d %-10d\n",
-			n, st.Size(), naiveReads, ans.Cost.TupleReads, ans.DQ.Distinct())
+			n, st.Size(), naive.Counters.TupleReads, ans.Cost.TupleReads, ans.DQ.Distinct())
 	}
 
 	fmt.Println("\nQ3(p₀, 2013): A-rated NYC restaurants visited by p₀'s NYC friends in 2013")
@@ -57,22 +62,19 @@ func main() {
 		st := open(n)
 		fixed := scaleindep.Bindings{"p": scaleindep.Int(7), "yy": scaleindep.Int(2013)}
 
-		st.ResetCounters()
-		if _, err := eval.Answers(eval.StoreSource{DB: st}, q3, fixed); err != nil {
+		naive := &store.ExecStats{}
+		if _, err := eval.Answers(eval.NewStoreSource(st, naive), q3, fixed); err != nil {
 			log.Fatal(err)
 		}
-		naiveReads := st.Counters().TupleReads
 
 		eng := core.NewEngine(st)
-		st.ResetCounters()
 		start := time.Now()
-		ans, err := eng.Answer(q3, fixed)
+		ans, err := eng.AnswerContext(context.Background(), q3, fixed)
 		if err != nil {
 			log.Fatal(err)
 		}
-		c := st.Counters()
 		fmt.Printf("%-10d %-10d %-14d %-16d %-10s  (%d answers)\n",
-			n, st.Size(), naiveReads, c.TupleReads+c.Memberships,
+			n, st.Size(), naive.Counters.TupleReads, ans.Cost.TupleReads+ans.Cost.Memberships,
 			time.Since(start).Round(time.Microsecond), ans.Tuples.Len())
 	}
 }

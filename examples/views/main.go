@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -84,13 +85,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		eng := core.NewEngine(st)
 		rq, err := rw.Body.Query()
 		if err != nil {
 			log.Fatal(err)
 		}
 		fixed := query.Bindings{"p": scaleindep.Int(7)}
-		ans, err := eng.Answer(rq, fixed)
+		// Prepare the rewriting once per store; the plan is reusable for
+		// any p without re-analysis.
+		prep, err := core.NewEngine(st).Prepare(rq, scaleindep.NewVarSet("p"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ans, err := prep.Exec(context.Background(), fixed)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -219,7 +219,7 @@ func F1aBoundedVsNaive(quick bool) ([]*Table, error) {
 
 		st.ResetCounters()
 		start := time.Now()
-		naive, err := eval.Answers(eval.StoreSource{DB: st}, q, fixed)
+		naive, err := eval.Answers(eval.NewStoreSource(st, nil), q, fixed)
 		if err != nil {
 			return nil, err
 		}
@@ -277,7 +277,7 @@ func F1bIncremental(quick bool) ([]*Table, error) {
 
 			// Recompute baseline on the updated data.
 			st.ResetCounters()
-			want, err := eval.AnswersCQ(eval.StoreSource{DB: st}, q2, fixed)
+			want, err := eval.AnswersCQ(eval.NewStoreSource(st, nil), q2, fixed)
 			if err != nil {
 				return nil, err
 			}
@@ -327,7 +327,7 @@ func F1cViews(quick bool) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		naive, err := eval.Answers(eval.StoreSource{DB: st}, q2q, fixed)
+		naive, err := eval.Answers(eval.NewStoreSource(st, nil), q2q, fixed)
 		if err != nil {
 			return nil, err
 		}

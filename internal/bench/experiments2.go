@@ -83,7 +83,7 @@ func X45Embedded(quick bool) ([]*Table, error) {
 		}
 		fixed := query.Bindings{"p": relation.Int(7), "yy": relation.Int(2013)}
 		st.ResetCounters()
-		naive, err := eval.Answers(eval.StoreSource{DB: st}, q, fixed)
+		naive, err := eval.Answers(eval.NewStoreSource(st, nil), q, fixed)
 		if err != nil {
 			return nil, err
 		}

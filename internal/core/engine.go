@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
+	"repro/internal/eval"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/store"
@@ -10,16 +13,74 @@ import (
 
 // Engine ties the analyzer and executor to an instrumented store: the
 // public face of scale-independent query answering.
+//
+// The serving lifecycle is modeled on database/sql: Prepare runs the
+// (worst-case exponential) controllability analysis once and compiles a
+// bounded plan; PreparedQuery.Exec then executes it many times with fresh
+// bindings, each call getting its own counters and witness set. An
+// engine-level LRU plan cache keyed by (query name, controlling set) makes
+// the one-shot Answer/AnswerContext path benefit transparently. A single
+// Engine is safe for concurrent use.
+//
+// Build engines with NewEngine. A zero-value/struct-literal Engine still
+// answers queries, but with plan caching permanently disabled (every call
+// re-runs the analysis).
 type Engine struct {
 	DB *store.DB
 	An *Analyzer
+
+	plans *planCache
 }
+
+// DefaultPlanCacheSize is the number of (query name, controlling set)
+// plans an engine retains by default.
+const DefaultPlanCacheSize = 128
 
 // NewEngine builds an engine over the store, analyzing under its access
 // schema.
 func NewEngine(db *store.DB) *Engine {
-	return &Engine{DB: db, An: NewAnalyzer(db.Access())}
+	return &Engine{
+		DB:    db,
+		An:    NewAnalyzer(db.Access()),
+		plans: newPlanCache(DefaultPlanCacheSize),
+	}
 }
+
+// SetPlanCacheSize resizes the plan cache; n <= 0 disables caching (every
+// Answer re-runs the analysis — useful for benchmarking the analysis
+// cost). Existing cached plans are dropped.
+func (e *Engine) SetPlanCacheSize(n int) { e.plans.resize(n) }
+
+// PlanCacheLen reports how many prepared plans the engine holds.
+func (e *Engine) PlanCacheLen() int { return e.plans.len() }
+
+// ExecOption configures one execution (PreparedQuery.Exec or
+// Engine.AnswerContext).
+type ExecOption func(*execOpts)
+
+type execOpts struct {
+	maxReads      int64
+	noTrace       bool
+	naiveFallback bool
+}
+
+// WithMaxReads enforces a runtime budget of n tuple reads on the call:
+// the read that crosses it fails with ErrBudgetExceeded. This is the
+// PIQL-style runtime check backing the static bound; a plan executed
+// within its static Plan.Bound.Reads never trips it.
+func WithMaxReads(n int64) ExecOption { return func(o *execOpts) { o.maxReads = n } }
+
+// WithoutTrace skips witness-set (D_Q) bookkeeping for the call: the
+// returned Answer has a nil DQ. Use on hot paths that only need answers.
+func WithoutTrace() ExecOption { return func(o *execOpts) { o.noTrace = true } }
+
+// WithNaiveFallback makes AnswerContext fall back to naive (full-scan)
+// evaluation when the query is not controllable for the fixed variables,
+// instead of failing with ErrNotControllable. The fallback still honors
+// WithMaxReads — an unbounded scan over a large store will trip the
+// budget, which is exactly the protection the bound gives up. A fallback
+// Answer has a nil Plan.
+func WithNaiveFallback() ExecOption { return func(o *execOpts) { o.naiveFallback = true } }
 
 // Answer is the result of one bounded evaluation.
 type Answer struct {
@@ -28,17 +89,20 @@ type Answer struct {
 	// tuple means true.
 	Tuples        *relation.TupleSet
 	RemainingHead []string
-	// Plan is the bounded plan that was executed.
+	// Plan is the bounded plan that was executed; nil when the answer came
+	// from the naive fallback (WithNaiveFallback).
 	Plan *Plan
-	// Cost is the measured work (counter delta for this evaluation).
+	// Cost is the work measured for this call alone.
 	Cost store.Counters
-	// DQ is the witness set: the distinct base tuples the plan touched.
-	// Q(ā, D) = Q(ā, DQ) and |DQ| ≤ Plan.Bound.Reads.
+	// DQ is the witness set: the distinct base tuples this call touched.
+	// Q(ā, D) = Q(ā, DQ) and |DQ| ≤ Plan.Bound.Reads. Nil under
+	// WithoutTrace.
 	DQ *store.Trace
 }
 
 // Controllable checks whether q is x̄-controlled for x̄ = the variables of
-// fixed, returning the witnessing derivation.
+// fixed, returning the witnessing derivation. Failure wraps
+// ErrNotControllable.
 func (e *Engine) Controllable(q *query.Query, x query.VarSet) (*Derivation, error) {
 	res, err := e.An.AnalyzeQuery(q)
 	if err != nil {
@@ -47,68 +111,95 @@ func (e *Engine) Controllable(q *query.Query, x query.VarSet) (*Derivation, erro
 	d := res.Controls(x)
 	if d == nil {
 		if res.Truncated {
-			return nil, fmt.Errorf("core: %s is not derivably %s-controlled (analysis truncated; a controlling set may have been missed)", q.Name, x)
+			return nil, fmt.Errorf("core: %s is not derivably %s-controlled (analysis truncated; a controlling set may have been missed): %w", q.Name, x, ErrNotControllable)
 		}
-		return nil, fmt.Errorf("core: %s is not %s-controlled under the access schema", q.Name, x)
+		return nil, fmt.Errorf("core: %s is not %s-controlled: %w", q.Name, x, ErrNotControllable)
 	}
 	return d, nil
 }
 
-// Answer evaluates Q(ā, D) scale-independently: fixed supplies ā for a
-// controlling set x̄ of the query body. It fails if the query is not
-// x̄-controlled. The returned Answer carries the measured cost and the
-// witness set D_Q.
-func (e *Engine) Answer(q *query.Query, fixed query.Bindings) (*Answer, error) {
-	d, err := e.Controllable(q, fixed.Vars())
+// Prepare runs the controllability analysis for x̄-controlled evaluation of
+// q once and compiles the bounded plan. The result may be executed
+// concurrently and repeatedly with different bindings for x̄. Prepared
+// plans are cached on the engine keyed by (q.Name, x̄), so re-preparing —
+// or answering via Answer/AnswerContext — skips re-analysis.
+func (e *Engine) Prepare(q *query.Query, x query.VarSet) (*PreparedQuery, error) {
+	key := planKey(q, x)
+	if p, err, ok := e.plans.get(key, q); ok {
+		return p, err
+	}
+	d, err := e.Controllable(q, x)
 	if err != nil {
+		// Cache the negative outcome too: repeated fallback serving of a
+		// non-controllable query must not re-run the analysis every call.
+		if errors.Is(err, ErrNotControllable) {
+			e.plans.put(key, q, nil, err)
+		}
 		return nil, err
 	}
-	return e.AnswerWith(q, fixed, d)
+	p := &PreparedQuery{eng: e, q: q, ctrl: x.Clone(), d: d, plan: NewPlan(d)}
+	e.plans.put(key, q, p, nil)
+	return p, nil
+}
+
+// Answer evaluates Q(ā, D) scale-independently: fixed supplies ā for a
+// controlling set x̄ of the query body. It fails (wrapping
+// ErrNotControllable) if the query is not x̄-controlled. The returned
+// Answer carries the measured cost and the witness set D_Q.
+func (e *Engine) Answer(q *query.Query, fixed query.Bindings) (*Answer, error) {
+	return e.AnswerContext(context.Background(), q, fixed)
+}
+
+// AnswerContext is Answer with a cancellation context and per-call
+// options. It prepares (or reuses a cached plan for) the controlling set
+// fixed.Vars() and executes it once.
+func (e *Engine) AnswerContext(ctx context.Context, q *query.Query, fixed query.Bindings, opts ...ExecOption) (*Answer, error) {
+	var o execOpts
+	for _, f := range opts {
+		f(&o)
+	}
+	p, err := e.Prepare(q, fixed.Vars())
+	if err != nil {
+		if o.naiveFallback && errors.Is(err, ErrNotControllable) {
+			return e.naiveAnswer(ctx, q, fixed, o)
+		}
+		return nil, err
+	}
+	return p.exec(ctx, fixed, o)
 }
 
 // AnswerWith evaluates using a previously obtained derivation (e.g. from
-// Controllable or a cached analysis).
+// Controllable or a cached analysis), bypassing the plan cache.
 func (e *Engine) AnswerWith(q *query.Query, fixed query.Bindings, d *Derivation) (*Answer, error) {
-	before := e.DB.Counters()
-	trace := e.DB.StartTrace()
-	defer e.DB.StopTrace()
+	p := &PreparedQuery{eng: e, q: q, ctrl: d.Ctrl, d: d, plan: NewPlan(d)}
+	return p.exec(context.Background(), fixed, execOpts{})
+}
 
-	bs, err := Exec(e.DB, d, fixed)
+// naiveAnswer evaluates q by full scans through the instrumented store —
+// the WithNaiveFallback path. The call is still charged per-call stats
+// (and budget-limited, if requested); only the scale-independence
+// guarantee is gone. Cancellation is checked on every charged store
+// access (and periodically within large scans), since this is the one
+// path whose running time can grow with |D|.
+func (e *Engine) naiveAnswer(ctx context.Context, q *query.Query, fixed query.Bindings, o execOpts) (*Answer, error) {
+	es := &store.ExecStats{MaxReads: o.maxReads, Ctx: ctx}
+	if !o.noTrace {
+		es.Trace = store.NewTrace()
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: %w: %w", ErrCanceled, err)
+		}
+	}
+	ts, err := eval.Answers(eval.NewStoreSource(e.DB, es), q, fixed)
 	if err != nil {
 		return nil, err
 	}
-	head := remainingHead(q.Head, fixed)
-	out := relation.NewTupleSet(len(bs))
-	for _, b := range bs {
-		t := make(relation.Tuple, len(head))
-		ok := true
-		for i, h := range head {
-			v, bound := b[h]
-			if !bound {
-				ok = false
-				break
-			}
-			t[i] = v
-		}
-		if !ok {
-			return nil, fmt.Errorf("core: plan produced binding {%s} missing head variable", varsSorted(b))
-		}
-		out.Add(t)
-	}
-	after := e.DB.Counters()
-	delta := store.Counters{
-		TupleReads:   after.TupleReads - before.TupleReads,
-		IndexLookups: after.IndexLookups - before.IndexLookups,
-		Scans:        after.Scans - before.Scans,
-		Memberships:  after.Memberships - before.Memberships,
-		TimeUnits:    after.TimeUnits - before.TimeUnits,
-	}
 	return &Answer{
-		Tuples:        out,
-		RemainingHead: head,
-		Plan:          NewPlan(d),
-		Cost:          delta,
-		DQ:            trace,
+		Tuples:        ts,
+		RemainingHead: remainingHead(q.Head, fixed),
+		Cost:          es.Counters,
+		DQ:            es.Trace,
 	}, nil
 }
 

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/store"
+)
+
+// The error taxonomy of the serving API. Every load-bearing failure of
+// Prepare/Exec wraps one of these sentinels, so callers dispatch with
+// errors.Is instead of string matching:
+//
+//	prep, err := eng.Prepare(q, x)
+//	if errors.Is(err, core.ErrNotControllable) { ... fall back to naive ... }
+var (
+	// ErrNotControllable: the query is not x̄-controlled under the access
+	// schema for the requested x̄ — no bounded plan exists (or, when the
+	// analysis family was truncated, none was found).
+	ErrNotControllable = errors.New("query is not controllable under the access schema")
+
+	// ErrBudgetExceeded: a WithMaxReads budget (or a caller-set
+	// store.ExecStats.MaxReads) was crossed at runtime. Aliased from the
+	// store, which enforces it on the read path.
+	ErrBudgetExceeded = store.ErrBudgetExceeded
+
+	// ErrCanceled: the execution context was canceled or its deadline
+	// passed before evaluation finished. Errors wrapping it also wrap the
+	// underlying ctx.Err(), so errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) work too. Aliased from the
+	// store, which checks it on every charged access.
+	ErrCanceled = store.ErrCanceled
+
+	// ErrUnboundHead: the plan produced a binding that misses a head
+	// variable — the caller fixed a set that does not determine the head
+	// (e.g. a Boolean sub-derivation was chosen for a non-Boolean query).
+	ErrUnboundHead = errors.New("plan binding leaves a head variable unbound")
+)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,36 +11,71 @@ import (
 	"repro/internal/store"
 )
 
+// executor carries one evaluation's execution context down the derivation
+// tree: the cancellation context and the per-call stats (counters, trace,
+// read budget) that the store read path charges. A fresh executor per call
+// is what makes concurrent evaluations over a shared store safe.
+type executor struct {
+	ctx context.Context
+	st  *store.DB
+	es  *store.ExecStats
+}
+
+// checkCtx fails fast once the context is canceled or past its deadline.
+// It is called on every derivation node and every chase step, so a
+// long-running evaluation notices cancellation promptly.
+func (x *executor) checkCtx() error {
+	if x.ctx == nil {
+		return nil
+	}
+	if err := x.ctx.Err(); err != nil {
+		return fmt.Errorf("core: %w: %w", ErrCanceled, err)
+	}
+	return nil
+}
+
 // Exec evaluates a controllability derivation against the store, given
-// values (env) for a superset of the derivation's controlling set. It
-// returns the satisfying bindings, each defined on exactly the free
-// variables of the derived formula. Every tuple it touches goes through
-// the store's counters/trace, so the caller can observe D_Q.
+// values (env) for a superset of the derivation's controlling set. It is
+// ExecContext with a background context and no per-call stats: only the
+// store-global counters are charged.
 func Exec(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings, error) {
+	return ExecContext(context.Background(), st, d, env, nil)
+}
+
+// ExecContext evaluates a derivation under ctx, charging the work (and
+// recording the witness set) into es. It returns the satisfying bindings,
+// each defined on exactly the free variables of the derived formula. A nil
+// es charges only the store-global counters; a nil ctx is treated as
+// context.Background().
+func ExecContext(ctx context.Context, st *store.DB, d *Derivation, env query.Bindings, es *store.ExecStats) ([]query.Bindings, error) {
 	if missing := d.Ctrl.Minus(env.Vars()); !missing.IsEmpty() {
 		return nil, fmt.Errorf("core: exec needs values for controlling variables %s", missing)
 	}
-	return execNode(st, d, env)
+	x := &executor{ctx: ctx, st: st, es: es}
+	return x.execNode(d, env)
 }
 
-func execNode(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings, error) {
+func (x *executor) execNode(d *Derivation, env query.Bindings) ([]query.Bindings, error) {
+	if err := x.checkCtx(); err != nil {
+		return nil, err
+	}
 	switch d.Rule {
 	case RuleAtom:
-		return execAtom(st, d, env)
+		return x.execAtom(d, env)
 	case RuleConditions:
 		return execConditions(d, env)
 	case RuleConj:
-		return execConj(st, d, env)
+		return x.execConj(d, env)
 	case RuleDisj:
-		return execDisj(st, d, env)
+		return x.execDisj(d, env)
 	case RuleSafeNeg:
-		return execSafeNeg(st, d, env)
+		return x.execSafeNeg(d, env)
 	case RuleExists:
-		return execExists(st, d, env)
+		return x.execExists(d, env)
 	case RuleForall:
-		return execForall(st, d, env)
+		return x.execForall(d, env)
 	case RuleEmbedded:
-		return execChase(st, d.Chase, env)
+		return x.execChase(d.Chase, env)
 	default:
 		return nil, fmt.Errorf("core: exec unknown rule %q", d.Rule)
 	}
@@ -81,9 +117,9 @@ func dedup(bs []query.Bindings, vars query.VarSet) []query.Bindings {
 	return out
 }
 
-func execAtom(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings, error) {
+func (x *executor) execAtom(d *Derivation, env query.Bindings) ([]query.Bindings, error) {
 	a := d.F.(*query.Atom)
-	rs, _ := st.Schema().Rel(a.Rel)
+	rs, _ := x.st.Schema().Rel(a.Rel)
 	onPos, err := rs.Positions(d.Entry.On)
 	if err != nil {
 		return nil, err
@@ -99,7 +135,7 @@ func execAtom(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings
 				t[i] = arg.Value()
 			}
 		}
-		ok, err := st.Membership(a.Rel, t)
+		ok, err := x.st.MembershipInto(x.es, a.Rel, t)
 		if err != nil {
 			return nil, err
 		}
@@ -112,7 +148,7 @@ func execAtom(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings
 	if err != nil {
 		return nil, err
 	}
-	tuples, err := st.Fetch(d.Entry, vals)
+	tuples, err := x.st.FetchInto(x.es, d.Entry, vals)
 	if err != nil {
 		return nil, err
 	}
@@ -219,9 +255,9 @@ func termVal(t query.Term, env query.Bindings) (relation.Value, error) {
 	return v, nil
 }
 
-func execConj(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings, error) {
+func (x *executor) execConj(d *Derivation, env query.Bindings) ([]query.Bindings, error) {
 	first, second := d.Children[0], d.Children[1]
-	bs0, err := execNode(st, first, env)
+	bs0, err := x.execNode(first, env)
 	if err != nil {
 		return nil, err
 	}
@@ -232,7 +268,7 @@ func execConj(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings
 		for k, v := range b0 {
 			merged[k] = v
 		}
-		bs1, err := execNode(st, second, merged)
+		bs1, err := x.execNode(second, merged)
 		if err != nil {
 			return nil, err
 		}
@@ -266,11 +302,11 @@ func mergedWith(env, b query.Bindings) query.Bindings {
 	return out
 }
 
-func execDisj(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings, error) {
+func (x *executor) execDisj(d *Derivation, env query.Bindings) ([]query.Bindings, error) {
 	free := d.F.FreeVars()
 	var out []query.Bindings
 	for _, c := range d.Children {
-		bs, err := execNode(st, c, env)
+		bs, err := x.execNode(c, env)
 		if err != nil {
 			return nil, err
 		}
@@ -279,16 +315,16 @@ func execDisj(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings
 	return dedup(out, free), nil
 }
 
-func execSafeNeg(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings, error) {
+func (x *executor) execSafeNeg(d *Derivation, env query.Bindings) ([]query.Bindings, error) {
 	pos, negInner := d.Children[0], d.Children[1]
-	bs, err := execNode(st, pos, env)
+	bs, err := x.execNode(pos, env)
 	if err != nil {
 		return nil, err
 	}
 	free := d.F.FreeVars()
 	var out []query.Bindings
 	for _, b := range bs {
-		negRes, err := execNode(st, negInner, mergedWith(env, b))
+		negRes, err := x.execNode(negInner, mergedWith(env, b))
 		if err != nil {
 			return nil, err
 		}
@@ -299,13 +335,13 @@ func execSafeNeg(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindi
 	return dedup(out, free), nil
 }
 
-func execExists(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings, error) {
+func (x *executor) execExists(d *Derivation, env query.Bindings) ([]query.Bindings, error) {
 	ex := d.F.(*query.Exists)
 	inner := env.Clone()
 	for _, z := range ex.Vars {
 		delete(inner, z)
 	}
-	bs, err := execNode(st, d.Children[0], inner)
+	bs, err := x.execNode(d.Children[0], inner)
 	if err != nil {
 		return nil, err
 	}
@@ -317,18 +353,18 @@ func execExists(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindin
 	return dedup(out, free), nil
 }
 
-func execForall(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings, error) {
+func (x *executor) execForall(d *Derivation, env query.Bindings) ([]query.Bindings, error) {
 	fa := d.F.(*query.Forall)
 	inner := env.Clone()
 	for _, y := range fa.Vars {
 		delete(inner, y)
 	}
-	qBind, err := execNode(st, d.Children[0], inner)
+	qBind, err := x.execNode(d.Children[0], inner)
 	if err != nil {
 		return nil, err
 	}
 	for _, b := range qBind {
-		res, err := execNode(st, d.Children[1], mergedWith(inner, b))
+		res, err := x.execNode(d.Children[1], mergedWith(inner, b))
 		if err != nil {
 			return nil, err
 		}
@@ -340,7 +376,7 @@ func execForall(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindin
 	return []query.Bindings{restrict(env, free)}, nil
 }
 
-func execChase(st *store.DB, plan *ChasePlan, env query.Bindings) ([]query.Bindings, error) {
+func (x *executor) execChase(plan *ChasePlan, env query.Bindings) ([]query.Bindings, error) {
 	// Seed candidate: constants from equalities plus the caller's values
 	// for the plan's variables.
 	seed := make(query.Bindings)
@@ -355,6 +391,9 @@ func execChase(st *store.DB, plan *ChasePlan, env query.Bindings) ([]query.Bindi
 	}
 	cands := []query.Bindings{seed}
 	for _, step := range plan.Steps {
+		if err := x.checkCtx(); err != nil {
+			return nil, err
+		}
 		if len(cands) == 0 {
 			return nil, nil
 		}
@@ -389,7 +428,7 @@ func execChase(st *store.DB, plan *ChasePlan, env query.Bindings) ([]query.Bindi
 			if err != nil {
 				return nil, err
 			}
-			fetched, err := st.Fetch(step.Entry, vals)
+			fetched, err := x.st.FetchInto(x.es, step.Entry, vals)
 			if err != nil {
 				return nil, err
 			}
@@ -420,6 +459,9 @@ func execChase(st *store.DB, plan *ChasePlan, env query.Bindings) ([]query.Bindi
 	// Membership verification for atoms not covered by a verifying fetch.
 	var out []query.Bindings
 	for _, c := range cands {
+		if err := x.checkCtx(); err != nil {
+			return nil, err
+		}
 		ok := true
 		for _, ai := range plan.MembershipAtoms {
 			a := plan.Atoms[ai]
@@ -435,7 +477,7 @@ func execChase(st *store.DB, plan *ChasePlan, env query.Bindings) ([]query.Bindi
 					t[i] = arg.Value()
 				}
 			}
-			present, err := st.Membership(a.Rel, t)
+			present, err := x.st.MembershipInto(x.es, a.Rel, t)
 			if err != nil {
 				return nil, err
 			}

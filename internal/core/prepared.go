@@ -1,0 +1,193 @@
+package core
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// PreparedQuery is a query analyzed and compiled once, executable many
+// times: the prepare-once / execute-many half of the serving API. It is
+// immutable after Prepare and safe for concurrent Exec calls — each call
+// gets fresh per-call stats, so traces and counters never cross between
+// goroutines sharing one prepared query.
+type PreparedQuery struct {
+	eng  *Engine
+	q    *query.Query
+	ctrl query.VarSet
+	d    *Derivation
+	plan *Plan
+}
+
+// Query returns the prepared query.
+func (p *PreparedQuery) Query() *query.Query { return p.q }
+
+// Ctrl returns (a copy of) the controlling set the plan was prepared
+// for; Exec needs a value for each of its variables.
+func (p *PreparedQuery) Ctrl() query.VarSet { return p.ctrl.Clone() }
+
+// Derivation returns the controllability proof backing the plan.
+func (p *PreparedQuery) Derivation() *Derivation { return p.d }
+
+// Plan returns the compiled bounded plan with its static cost bound.
+func (p *PreparedQuery) Plan() *Plan { return p.plan }
+
+// Exec runs the prepared plan under ctx with values for the controlling
+// set (and optionally more of the head), skipping re-analysis entirely.
+func (p *PreparedQuery) Exec(ctx context.Context, fixed query.Bindings, opts ...ExecOption) (*Answer, error) {
+	var o execOpts
+	for _, f := range opts {
+		f(&o)
+	}
+	return p.exec(ctx, fixed, o)
+}
+
+func (p *PreparedQuery) exec(ctx context.Context, fixed query.Bindings, o execOpts) (*Answer, error) {
+	es := &store.ExecStats{MaxReads: o.maxReads, Ctx: ctx}
+	if !o.noTrace {
+		es.Trace = store.NewTrace()
+	}
+	bs, err := ExecContext(ctx, p.eng.DB, p.d, fixed, es)
+	if err != nil {
+		return nil, err
+	}
+	head := remainingHead(p.q.Head, fixed)
+	out := relation.NewTupleSet(len(bs))
+	for _, b := range bs {
+		t := make(relation.Tuple, len(head))
+		ok := true
+		for i, h := range head {
+			v, bound := b[h]
+			if !bound {
+				ok = false
+				break
+			}
+			t[i] = v
+		}
+		if !ok {
+			return nil, fmt.Errorf("core: %w: binding {%s} for head of %s", ErrUnboundHead, varsSorted(b), p.q.Name)
+		}
+		out.Add(t)
+	}
+	return &Answer{
+		Tuples:        out,
+		RemainingHead: head,
+		Plan:          p.plan,
+		Cost:          es.Counters,
+		DQ:            es.Trace,
+	}, nil
+}
+
+// planKey builds the cache key (query name, controlling set).
+func planKey(q *query.Query, x query.VarSet) string {
+	return q.Name + "\x00" + x.Key()
+}
+
+// planCache is a small LRU of analysis outcomes, keyed by (query name,
+// controlling set): successful entries hold the prepared query, negative
+// entries the ErrNotControllable result, so repeated fallback serving
+// does not re-run the exponential analysis either. Safe for concurrent
+// use.
+type planCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type planEntry struct {
+	key         string
+	q           *query.Query   // the exact query object last validated
+	fingerprint string         // q.String(): textual identity guard
+	p           *PreparedQuery // nil for a negative entry
+	err         error          // non-nil for a negative entry
+}
+
+func newPlanCache(capacity int) *planCache {
+	c := &planCache{}
+	c.init(capacity)
+	return c
+}
+
+func (c *planCache) init(capacity int) {
+	c.cap = capacity
+	c.ll = list.New()
+	c.m = make(map[string]*list.Element)
+}
+
+func (c *planCache) resize(capacity int) {
+	if c == nil { // zero-value Engine: caching stays disabled
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.init(capacity)
+}
+
+func (c *planCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// get returns the cached outcome for the key, with ok = false on a miss.
+// Hits are validated against q: pointer identity is the fast path (no
+// serialization on the hot loop); a different object with the same name
+// and controlling set is compared by query text, and a textual mismatch
+// evicts the stale entry. A nil cache (an Engine built as a struct
+// literal rather than via NewEngine) always misses.
+func (c *planCache) get(key string, q *query.Query) (p *PreparedQuery, err error, ok bool) {
+	if c == nil {
+		return nil, nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.m[key]
+	if !found {
+		return nil, nil, false
+	}
+	en := el.Value.(*planEntry)
+	if en.q != q {
+		if en.fingerprint != q.String() {
+			c.ll.Remove(el)
+			delete(c.m, key)
+			return nil, nil, false
+		}
+		en.q = q // textually identical: adopt the pointer for future fast hits
+	}
+	c.ll.MoveToFront(el)
+	return en.p, en.err, true
+}
+
+// put caches an analysis outcome: a prepared query, or (p == nil) the
+// error the analysis ended in.
+func (c *planCache) put(key string, q *query.Query, p *PreparedQuery, err error) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return
+	}
+	en := &planEntry{key: key, q: q, fingerprint: q.String(), p: p, err: err}
+	if el, ok := c.m[key]; ok {
+		el.Value = en
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(en)
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*planEntry).key)
+	}
+}

@@ -61,18 +61,62 @@ func (s DBSource) Contains(rel string, t relation.Tuple) (bool, error) {
 
 // StoreSource adapts an instrumented store: scans and probes are counted
 // against the store's counters, so naive evaluation's data appetite is
-// measured.
-type StoreSource struct{ DB *store.DB }
+// measured. When Stats is non-nil, the work (and witness trace, if its
+// Trace is set) is additionally charged to that call — the per-call
+// protocol of store.ExecStats, immune to interleaved evaluations.
+type StoreSource struct {
+	DB    *store.DB
+	Stats *store.ExecStats
+	// Snap, when non-nil, memoizes each relation's scan snapshot so
+	// repeated Tuples calls within one evaluation skip the O(|R|)
+	// concurrency-safety copy. Every access is still charged as a full
+	// scan, so measurements are unchanged. Use one snapshot per
+	// evaluation; it must not outlive updates to the store.
+	Snap *ScanSnapshot
+}
+
+// ScanSnapshot memoizes scan results per relation for one evaluation.
+type ScanSnapshot struct{ m map[string][]relation.Tuple }
+
+// NewScanSnapshot returns an empty snapshot cache.
+func NewScanSnapshot() *ScanSnapshot {
+	return &ScanSnapshot{m: make(map[string][]relation.Tuple)}
+}
+
+// NewStoreSource builds the source for one measured naive evaluation:
+// per-call stats (nil is allowed: global counters only) and a fresh scan
+// snapshot, so repeated scans are charged but copied once. Build a new
+// one per evaluation.
+func NewStoreSource(db *store.DB, stats *store.ExecStats) StoreSource {
+	return StoreSource{DB: db, Stats: stats, Snap: NewScanSnapshot()}
+}
 
 // Schema implements Source.
 func (s StoreSource) Schema() *relation.Schema { return s.DB.Schema() }
 
 // Tuples implements Source.
-func (s StoreSource) Tuples(rel string) ([]relation.Tuple, error) { return s.DB.Scan(rel) }
+func (s StoreSource) Tuples(rel string) ([]relation.Tuple, error) {
+	if s.Snap != nil {
+		if ts, ok := s.Snap.m[rel]; ok {
+			if err := s.DB.ChargeScanned(s.Stats, len(ts)); err != nil {
+				return nil, err
+			}
+			return ts, nil
+		}
+	}
+	ts, err := s.DB.ScanInto(s.Stats, rel)
+	if err != nil {
+		return nil, err
+	}
+	if s.Snap != nil {
+		s.Snap.m[rel] = ts
+	}
+	return ts, nil
+}
 
 // Contains implements Source.
 func (s StoreSource) Contains(rel string, t relation.Tuple) (bool, error) {
-	return s.DB.Membership(rel, t)
+	return s.DB.MembershipInto(s.Stats, rel, t)
 }
 
 // Domain returns the quantification domain for evaluating f over src:

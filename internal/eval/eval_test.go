@@ -209,13 +209,18 @@ func TestStoreSourceCountsScans(t *testing.T) {
 	db := socialDB(t)
 	st := store.MustOpen(db, access.New(db.Schema()))
 	q := mustQuery(t, "Q1(p, name) := exists id (friend(p, id) and person(id, name, 'NYC'))")
-	_, err := Answers(StoreSource{st}, q, query.Bindings{"p": relation.Int(1)})
+	es := &store.ExecStats{}
+	_, err := Answers(StoreSource{DB: st, Stats: es}, q, query.Bindings{"p": relation.Int(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	c := st.Counters()
 	if c.Scans == 0 || c.TupleReads < int64(db.Rel("friend").Len()) {
 		t.Errorf("naive evaluation not charged: %s", c)
+	}
+	// The per-call stats see the same work as the global counters.
+	if es.Counters != c {
+		t.Errorf("per-call stats %s != global %s", es.Counters, c)
 	}
 }
 

@@ -6,19 +6,41 @@
 // tuples fetched from D (at most M, independent of |D|). Rather than assert
 // those bounds, every experiment in this repository measures them through
 // the counters and traces maintained here.
+//
+// Instrumentation is per call: each evaluation passes its own *ExecStats
+// down the read path (FetchInto, MembershipInto, ScanInto) and gets back
+// its own counters and witness trace, so a single DB can serve concurrent
+// evaluations without cross-talk. The DB additionally keeps global
+// counters (updated atomically) for whole-process accounting, and guards
+// the data and indices with an RWMutex: reads run concurrently,
+// ApplyUpdate and EnsureIndex are exclusive.
 package store
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/access"
 	"repro/internal/index"
 	"repro/internal/relation"
 )
 
-// Counters accumulate the work performed against the store since the last
-// Reset.
+// ErrBudgetExceeded is returned (wrapped) when an evaluation's tuple reads
+// exceed the budget set in its ExecStats. It is the runtime teeth of the
+// static bound: a plan whose static Reads bound is respected never trips
+// it.
+var ErrBudgetExceeded = errors.New("read budget exceeded")
+
+// ErrCanceled is returned (wrapped) when an evaluation's context is
+// canceled or past its deadline. Errors wrapping it also wrap the
+// underlying ctx.Err().
+var ErrCanceled = errors.New("evaluation canceled")
+
+// Counters accumulate the work performed against the store.
 type Counters struct {
 	TupleReads   int64 // base/projected tuples materialized by fetches and scans
 	IndexLookups int64 // number of indexed retrievals
@@ -42,8 +64,67 @@ func (c Counters) String() string {
 		c.TupleReads, c.IndexLookups, c.Scans, c.Memberships, c.TimeUnits)
 }
 
-// Trace records the distinct base tuples touched while it is installed;
-// its contents are exactly the witness set D_Q ⊆ D of the paper.
+// ExecStats is the per-call execution context threaded through the read
+// path: one evaluation's own counters, its optional witness trace, and an
+// optional runtime read budget. A nil *ExecStats is valid everywhere and
+// means "charge only the store-global counters".
+//
+// An ExecStats must not be shared between concurrent evaluations; each
+// call gets a fresh one.
+type ExecStats struct {
+	// Counters is the work charged to this call.
+	Counters Counters
+	// Trace, when non-nil, records the distinct base tuples touched: the
+	// witness set D_Q. Leave nil to skip witness bookkeeping on hot paths.
+	Trace *Trace
+	// MaxReads, when positive, bounds Counters.TupleReads: the read that
+	// crosses it fails with ErrBudgetExceeded.
+	MaxReads int64
+	// Ctx, when non-nil, is checked on every charge (and periodically
+	// inside large scans): a canceled or expired context fails the access
+	// with ErrCanceled. This is what lets a deadline interrupt even a
+	// single unbounded scan on the naive path.
+	Ctx context.Context
+}
+
+// ctxErr reports the call's cancellation state.
+func (es *ExecStats) ctxErr() error {
+	if es == nil || es.Ctx == nil {
+		return nil
+	}
+	if err := es.Ctx.Err(); err != nil {
+		return fmt.Errorf("store: %w: %w", ErrCanceled, err)
+	}
+	return nil
+}
+
+// charge adds c to both the store-global counters and (when es is non-nil)
+// the per-call counters, enforcing the call's read budget and deadline.
+func (es *ExecStats) charge(db *DB, c Counters) error {
+	db.counters.add(c)
+	if es == nil {
+		return nil
+	}
+	if err := es.ctxErr(); err != nil {
+		return err
+	}
+	es.Counters.Add(c)
+	if es.MaxReads > 0 && es.Counters.TupleReads > es.MaxReads {
+		return fmt.Errorf("store: %w: %d tuple reads > %d allowed", ErrBudgetExceeded, es.Counters.TupleReads, es.MaxReads)
+	}
+	return nil
+}
+
+// record notes a touched base tuple in the call's trace, if any.
+func (es *ExecStats) record(rel string, t relation.Tuple) {
+	if es == nil || es.Trace == nil {
+		return
+	}
+	es.Trace.record(rel, t)
+}
+
+// Trace records the distinct base tuples touched by one evaluation; its
+// contents are exactly the witness set D_Q ⊆ D of the paper.
 type Trace struct {
 	touched map[string]*relation.TupleSet
 }
@@ -90,8 +171,60 @@ func (tr *Trace) Database(schema *relation.Schema) *relation.Database {
 	return db
 }
 
-// DB is an instrumented database: data + access schema + indices.
+// atomicCounters is the store-global accumulator, safe for concurrent
+// charging.
+type atomicCounters struct {
+	tupleReads   atomic.Int64
+	indexLookups atomic.Int64
+	scans        atomic.Int64
+	memberships  atomic.Int64
+	timeUnits    atomic.Int64
+}
+
+func (a *atomicCounters) add(c Counters) {
+	if c.TupleReads != 0 {
+		a.tupleReads.Add(c.TupleReads)
+	}
+	if c.IndexLookups != 0 {
+		a.indexLookups.Add(c.IndexLookups)
+	}
+	if c.Scans != 0 {
+		a.scans.Add(c.Scans)
+	}
+	if c.Memberships != 0 {
+		a.memberships.Add(c.Memberships)
+	}
+	if c.TimeUnits != 0 {
+		a.timeUnits.Add(c.TimeUnits)
+	}
+}
+
+func (a *atomicCounters) load() Counters {
+	return Counters{
+		TupleReads:   a.tupleReads.Load(),
+		IndexLookups: a.indexLookups.Load(),
+		Scans:        a.scans.Load(),
+		Memberships:  a.memberships.Load(),
+		TimeUnits:    a.timeUnits.Load(),
+	}
+}
+
+func (a *atomicCounters) swapZero() Counters {
+	return Counters{
+		TupleReads:   a.tupleReads.Swap(0),
+		IndexLookups: a.indexLookups.Swap(0),
+		Scans:        a.scans.Swap(0),
+		Memberships:  a.memberships.Swap(0),
+		TimeUnits:    a.timeUnits.Swap(0),
+	}
+}
+
+// DB is an instrumented database: data + access schema + indices. A DB is
+// safe for concurrent use: reads (Fetch/Membership/Scan and their *Into
+// variants) take a shared lock, ApplyUpdate and EnsureIndex an exclusive
+// one, and the global counters are atomic.
 type DB struct {
+	mu   sync.RWMutex
 	data *relation.Database
 	acc  *access.Schema
 
@@ -100,8 +233,7 @@ type DB struct {
 	// projected indices for embedded entries: rel -> "X->Y" name -> index
 	projIndexes map[string]map[string]*projIndex
 
-	counters Counters
-	trace    *Trace
+	counters atomicCounters
 }
 
 // Open wraps data with the given access schema, validating every entry and
@@ -135,8 +267,10 @@ func MustOpen(data *relation.Database, acc *access.Schema) *DB {
 	return db
 }
 
-// Data returns the underlying database. Callers must not mutate it directly
-// (use ApplyUpdate) or the indices will go stale.
+// Data returns the underlying database. Callers must not mutate it
+// directly (use ApplyUpdate) or the indices will go stale, and — unlike
+// the read methods — it is not synchronized: do not read through it
+// concurrently with ApplyUpdate.
 func (db *DB) Data() *relation.Database { return db.data }
 
 // Access returns the access schema.
@@ -146,34 +280,26 @@ func (db *DB) Access() *access.Schema { return db.acc }
 func (db *DB) Schema() *relation.Schema { return db.data.Schema() }
 
 // Size returns |D|.
-func (db *DB) Size() int { return db.data.Size() }
-
-// Counters returns the accumulated counters.
-func (db *DB) Counters() Counters { return db.counters }
-
-// ResetCounters zeroes the counters and returns their previous value.
-func (db *DB) ResetCounters() Counters {
-	prev := db.counters
-	db.counters = Counters{}
-	return prev
+func (db *DB) Size() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.data.Size()
 }
 
-// StartTrace installs a fresh trace (replacing any existing one) and
-// returns it. Fetches record distinct touched base tuples into it.
-func (db *DB) StartTrace() *Trace {
-	db.trace = NewTrace()
-	return db.trace
-}
+// Counters returns the accumulated global counters.
+func (db *DB) Counters() Counters { return db.counters.load() }
 
-// StopTrace uninstalls and returns the current trace.
-func (db *DB) StopTrace() *Trace {
-	tr := db.trace
-	db.trace = nil
-	return tr
-}
+// ResetCounters zeroes the global counters and returns their previous
+// value. Per-call accounting should prefer ExecStats, which needs no
+// resetting and is immune to interleaved calls.
+func (db *DB) ResetCounters() Counters { return db.counters.swapZero() }
 
 // Conforms checks cardinality conformance of the data to the access schema.
-func (db *DB) Conforms() error { return db.acc.Conforms(db.data) }
+func (db *DB) Conforms() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.acc.Conforms(db.data)
+}
 
 func (db *DB) ensureEntryIndex(e access.Entry) error {
 	rs, _ := db.data.Schema().Rel(e.Rel)
@@ -200,6 +326,8 @@ func (db *DB) ensureEntryIndex(e access.Entry) error {
 
 // EnsureIndex builds (or reuses) a plain index on attrs of rel.
 func (db *DB) EnsureIndex(rel string, attrs []string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	name := index.KeyName(attrs)
 	if db.indexes[rel][name] != nil {
 		return nil
@@ -219,23 +347,30 @@ func (db *DB) EnsureIndex(rel string, attrs []string) error {
 	return nil
 }
 
-// Fetch performs the indexed retrieval licensed by entry e with the given
-// values for e.On, in order. It returns:
+// Fetch is FetchInto with no per-call stats: only the global counters are
+// charged and no trace is recorded.
+func (db *DB) Fetch(e access.Entry, vals []relation.Value) ([]relation.Tuple, error) {
+	return db.FetchInto(nil, e, vals)
+}
+
+// FetchInto performs the indexed retrieval licensed by entry e with the
+// given values for e.On, in order, charging the work to es (and the global
+// counters). It returns:
 //
 //   - for a plain entry, the base tuples σ_X=ā(R);
 //   - for an embedded entry, the projected tuples π_Y(σ_X=ā(R)) (over the
 //     attributes e.Proj, in that order).
 //
-// Fetch enforces the entry's cardinality bound: if the retrieved set
+// FetchInto enforces the entry's cardinality bound: if the retrieved set
 // exceeds e.N, the database does not conform to the access schema and an
-// error is returned. Counters are charged |result| tuple reads, one index
-// lookup, and e.T time units; base tuples are recorded in the active trace.
-func (db *DB) Fetch(e access.Entry, vals []relation.Value) ([]relation.Tuple, error) {
+// error is returned. It charges |result| tuple reads, one index lookup, and
+// e.T time units; base tuples are recorded in es's trace.
+func (db *DB) FetchInto(es *ExecStats, e access.Entry, vals []relation.Value) ([]relation.Tuple, error) {
 	if len(vals) != len(e.On) {
 		return nil, fmt.Errorf("store: fetch %s with %d values, want %d", e.Rel, len(vals), len(e.On))
 	}
-	db.counters.IndexLookups++
-	db.counters.TimeUnits += int64(e.T)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if e.IsEmbedded() {
 		name := index.KeyName(e.On) + "->" + index.KeyName(e.Proj)
 		pi := db.projIndexes[e.Rel][name]
@@ -246,11 +381,13 @@ func (db *DB) Fetch(e access.Entry, vals []relation.Value) ([]relation.Tuple, er
 		if len(out) > e.N {
 			return nil, fmt.Errorf("store: %s violated: group has %d > %d tuples", e.String(), len(out), e.N)
 		}
-		db.counters.TupleReads += int64(len(out))
 		// Embedded fetches do not touch identifiable base tuples (a covering
 		// index serves them), so the trace is not charged; Prop 4.5 gives a
 		// time bound, not a D_Q witness.
-		return out, nil
+		if err := es.charge(db, Counters{TupleReads: int64(len(out)), IndexLookups: 1, TimeUnits: int64(e.T)}); err != nil {
+			return nil, err
+		}
+		return copyTuples(out), nil
 	}
 	name := index.KeyName(e.On)
 	ix := db.indexes[e.Rel][name]
@@ -264,56 +401,107 @@ func (db *DB) Fetch(e access.Entry, vals []relation.Value) ([]relation.Tuple, er
 	if len(out) > e.N {
 		return nil, fmt.Errorf("store: %s violated: group has %d > %d tuples", e.String(), len(out), e.N)
 	}
-	db.counters.TupleReads += int64(len(out))
-	if db.trace != nil {
-		for _, t := range out {
-			db.trace.record(e.Rel, t)
+	if err := es.charge(db, Counters{TupleReads: int64(len(out)), IndexLookups: 1, TimeUnits: int64(e.T)}); err != nil {
+		return nil, err
+	}
+	for _, t := range out {
+		es.record(e.Rel, t)
+	}
+	return copyTuples(out), nil
+}
+
+// copyTuples snapshots a result slice whose backing array belongs to a
+// live index bucket or relation: returned slices must stay valid after
+// the read lock is released, even if a concurrent ApplyUpdate shifts the
+// source in place. Tuples themselves are immutable, so a shallow copy
+// suffices.
+func copyTuples(ts []relation.Tuple) []relation.Tuple {
+	if len(ts) == 0 {
+		return nil
+	}
+	return append(make([]relation.Tuple, 0, len(ts)), ts...)
+}
+
+// Membership is MembershipInto with no per-call stats.
+func (db *DB) Membership(rel string, t relation.Tuple) (bool, error) {
+	return db.MembershipInto(nil, rel, t)
+}
+
+// MembershipInto probes whether t ∈ R using the implicit membership access
+// method (one constant-time probe). It charges one membership, one read if
+// present, and records the tuple in es's trace.
+func (db *DB) MembershipInto(es *ExecStats, rel string, t relation.Tuple) (bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r := db.data.Rel(rel)
+	if r == nil {
+		return false, fmt.Errorf("store: unknown relation %q", rel)
+	}
+	if !r.Contains(t) {
+		if err := es.charge(db, Counters{Memberships: 1, TimeUnits: 1}); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+	if err := es.charge(db, Counters{Memberships: 1, TimeUnits: 1, TupleReads: 1}); err != nil {
+		return false, err
+	}
+	es.record(rel, t)
+	return true, nil
+}
+
+// Scan is ScanInto with no per-call stats.
+func (db *DB) Scan(rel string) ([]relation.Tuple, error) {
+	return db.ScanInto(nil, rel)
+}
+
+// ScanInto returns every tuple of rel, charging a full scan: |R| reads.
+// Naive evaluation uses this; bounded plans never do. Only the snapshot
+// copy holds the read lock — the O(|R|) witness recording runs after
+// release, so a huge traced scan does not stall writers (and, through
+// writer-pending semantics, every other reader).
+func (db *DB) ScanInto(es *ExecStats, rel string) ([]relation.Tuple, error) {
+	db.mu.RLock()
+	r := db.data.Rel(rel)
+	if r == nil {
+		db.mu.RUnlock()
+		return nil, fmt.Errorf("store: unknown relation %q", rel)
+	}
+	if err := es.charge(db, Counters{Scans: 1, TupleReads: int64(r.Len()), TimeUnits: int64(r.Len())}); err != nil {
+		db.mu.RUnlock()
+		return nil, err
+	}
+	out := copyTuples(r.Tuples())
+	db.mu.RUnlock()
+	if es != nil && es.Trace != nil {
+		for i, t := range out {
+			// Recording a full scan's witness is O(|R|): keep it
+			// interruptible so a deadline isn't stuck behind one relation.
+			if i%8192 == 8191 {
+				if err := es.ctxErr(); err != nil {
+					return nil, err
+				}
+			}
+			es.Trace.record(rel, t)
 		}
 	}
 	return out, nil
 }
 
-// Membership probes whether t ∈ R using the implicit membership access
-// method (one constant-time probe). It charges one membership, one read if
-// present, and records the tuple in the trace.
-func (db *DB) Membership(rel string, t relation.Tuple) (bool, error) {
-	r := db.data.Rel(rel)
-	if r == nil {
-		return false, fmt.Errorf("store: unknown relation %q", rel)
-	}
-	db.counters.Memberships++
-	db.counters.TimeUnits++
-	if !r.Contains(t) {
-		return false, nil
-	}
-	db.counters.TupleReads++
-	if db.trace != nil {
-		db.trace.record(rel, t)
-	}
-	return true, nil
-}
-
-// Scan returns every tuple of rel, charging a full scan: |R| reads. Naive
-// evaluation uses this; bounded plans never do.
-func (db *DB) Scan(rel string) ([]relation.Tuple, error) {
-	r := db.data.Rel(rel)
-	if r == nil {
-		return nil, fmt.Errorf("store: unknown relation %q", rel)
-	}
-	db.counters.Scans++
-	db.counters.TupleReads += int64(r.Len())
-	db.counters.TimeUnits += int64(r.Len())
-	if db.trace != nil {
-		for _, t := range r.Tuples() {
-			db.trace.record(rel, t)
-		}
-	}
-	return r.Tuples(), nil
+// ChargeScanned charges the counters of a full scan of n tuples without
+// touching the data — for callers replaying a memoized ScanInto snapshot
+// (eval.ScanSnapshot), keeping measurements identical while skipping the
+// O(|R|) copy.
+func (db *DB) ChargeScanned(es *ExecStats, n int) error {
+	return es.charge(db, Counters{Scans: 1, TupleReads: int64(n), TimeUnits: int64(n)})
 }
 
 // ApplyUpdate validates and applies u to the data, keeping every index in
-// sync incrementally (cost proportional to |ΔD|, not |D|).
+// sync incrementally (cost proportional to |ΔD|, not |D|). It excludes
+// concurrent readers for the duration.
 func (db *DB) ApplyUpdate(u *relation.Update) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := u.Validate(db.data); err != nil {
 		return err
 	}

@@ -1,7 +1,10 @@
 package store
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/access"
@@ -74,26 +77,23 @@ func TestFetchEnforcesN(t *testing.T) {
 
 func TestTraceCollectsDQ(t *testing.T) {
 	db := testDB(t)
-	tr := db.StartTrace()
+	es := &ExecStats{Trace: NewTrace()}
 	ef := access.Plain("friend", []string{"id1"}, 5000, 1)
 	ep := access.Plain("person", []string{"id"}, 1, 1)
-	friends, err := db.Fetch(ef, []relation.Value{relation.Int(1)})
+	friends, err := db.FetchInto(es, ef, []relation.Value{relation.Int(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range friends {
-		if _, err := db.Fetch(ep, []relation.Value{f[1]}); err != nil {
+		if _, err := db.FetchInto(es, ep, []relation.Value{f[1]}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Fetch friend(1) twice: distinct count must not double.
-	if _, err := db.Fetch(ef, []relation.Value{relation.Int(1)}); err != nil {
+	if _, err := db.FetchInto(es, ef, []relation.Value{relation.Int(1)}); err != nil {
 		t.Fatal(err)
 	}
-	got := db.StopTrace()
-	if got != tr {
-		t.Fatal("StopTrace returned different trace")
-	}
+	tr := es.Trace
 	if tr.Distinct() != 4 { // 2 friend + 2 person
 		t.Fatalf("Distinct = %d, per-rel %v", tr.Distinct(), tr.PerRelation())
 	}
@@ -101,6 +101,76 @@ func TestTraceCollectsDQ(t *testing.T) {
 	if dq.Size() != 4 || !dq.Subset(db.Data()) {
 		t.Errorf("DQ = %v", dq)
 	}
+	// Per-call counters saw exactly this call's work (6 reads: 2+2 friend
+	// fetches + 2 person fetches), independent of the global counters.
+	if es.Counters.TupleReads != 6 || es.Counters.IndexLookups != 4 {
+		t.Errorf("per-call counters = %s", es.Counters)
+	}
+}
+
+func TestExecStatsBudget(t *testing.T) {
+	db := testDB(t)
+	ef := access.Plain("friend", []string{"id1"}, 5000, 1)
+	es := &ExecStats{MaxReads: 3}
+	if _, err := db.FetchInto(es, ef, []relation.Value{relation.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	// Second fetch crosses the 3-read budget (2 + 2 > 3).
+	_, err := db.FetchInto(es, ef, []relation.Value{relation.Int(1)})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	// A nil ExecStats is never budget-limited.
+	if _, err := db.Fetch(ef, []relation.Value{relation.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecStatsCtx(t *testing.T) {
+	db := testDB(t)
+	ef := access.Plain("friend", []string{"id1"}, 5000, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	es := &ExecStats{Ctx: ctx}
+	if _, err := db.FetchInto(es, ef, []relation.Value{relation.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if _, err := db.FetchInto(es, ef, []relation.Value{relation.Int(1)}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("fetch after cancel: want ErrCanceled, got %v", err)
+	}
+	if _, err := db.ScanInto(es, "friend"); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("scan after cancel: want ErrCanceled, got %v", err)
+	}
+	if _, err := db.MembershipInto(es, "friend", relation.Ints(1, 2)); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("membership after cancel: want ErrCanceled, got %v", err)
+	}
+}
+
+// Concurrent readers over a shared DB must not corrupt each other's
+// per-call stats (run under -race).
+func TestConcurrentReads(t *testing.T) {
+	db := testDB(t)
+	ef := access.Plain("friend", []string{"id1"}, 5000, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				es := &ExecStats{Trace: NewTrace()}
+				got, err := db.FetchInto(es, ef, []relation.Value{relation.Int(1)})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(got) != 2 || es.Counters.TupleReads != 2 || es.Trace.Distinct() != 2 {
+					t.Errorf("per-call stats corrupted: %d tuples, %s, |D_Q|=%d", len(got), es.Counters, es.Trace.Distinct())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestMembershipAndScan(t *testing.T) {
@@ -125,6 +195,68 @@ func TestMembershipAndScan(t *testing.T) {
 	if c.Scans != 1 || c.TupleReads != 3 {
 		t.Errorf("scan counters = %s", c)
 	}
+}
+
+// Readers run concurrently with a writer applying updates: fetched
+// slices are snapshots, so in-place index/relation mutation must never
+// corrupt a reader's result (run under -race).
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	db := testDB(t)
+	ef := access.Plain("friend", []string{"id1"}, 5000, 1)
+	stop := make(chan struct{})
+	var wg, writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() { // writer: churn friend(1, 2) so the id1=1 group shifts in place
+		defer writerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := db.ApplyUpdate(relation.NewUpdate().Delete("friend", relation.Ints(1, 2))); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := db.ApplyUpdate(relation.NewUpdate().Insert("friend", relation.Ints(1, 2))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				es := &ExecStats{Trace: NewTrace()}
+				got, err := db.FetchInto(es, ef, []relation.Value{relation.Int(1)})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Depending on interleaving the group has 1 or 2 tuples, but
+				// every tuple must be intact and belong to the group.
+				if len(got) < 1 || len(got) > 2 {
+					t.Errorf("snapshot size %d", len(got))
+					return
+				}
+				for _, tu := range got {
+					if len(tu) != 2 || tu[0] != relation.Int(1) {
+						t.Errorf("corrupted snapshot tuple %v", tu)
+						return
+					}
+				}
+				if _, err := db.ScanInto(nil, "friend"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait() // readers run to completion against the live writer
+	close(stop)
+	writerWG.Wait()
 }
 
 func TestApplyUpdateKeepsIndexesInSync(t *testing.T) {

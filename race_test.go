@@ -1,0 +1,79 @@
+package scaleindep
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// A single shared Engine serves 8 concurrent executors of one prepared
+// query with different bindings; answers, per-call costs and witness sets
+// must stay independent. This is the serving-shape guarantee of the API
+// redesign — run under `go test -race ./...`.
+func TestConcurrentEngineServing(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.Persons = 400
+	cfg.Seed = 5
+	db, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(db, workload.Access(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(workload.Q1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := eng.Prepare(q, NewVarSet("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Sequential oracle.
+	const people = 40
+	want := make([]int, people)
+	for p := 0; p < people; p++ {
+		ans, err := prep.Exec(ctx, Bindings{"p": Int(int64(p))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[p] = ans.Tuples.Len()
+	}
+
+	const executors = 8
+	var wg sync.WaitGroup
+	for g := 0; g < executors; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p := (g*13 + i) % people
+				ans, err := prep.Exec(ctx, Bindings{"p": Int(int64(p))})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if ans.Tuples.Len() != want[p] {
+					t.Errorf("executor %d: p=%d got %d answers, want %d", g, p, ans.Tuples.Len(), want[p])
+					return
+				}
+				if ans.Cost.TupleReads > prep.Plan().Bound.Reads {
+					t.Errorf("executor %d: p=%d cost %s exceeds static bound %s (counter cross-talk)", g, p, ans.Cost, prep.Plan().Bound)
+					return
+				}
+				// One-shot Answer path concurrently on the same engine: the
+				// plan cache must be race-free too.
+				if _, err := eng.Answer(q, Bindings{"p": Int(int64(p))}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

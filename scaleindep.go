@@ -6,19 +6,33 @@
 // It provides bounded (scale-independent) query evaluation under access
 // schemas, the QDSI/QSI/∆QSI/VQSI decision procedures, incremental
 // maintenance, and query rewriting using views — see DESIGN.md for the
-// full inventory and EXPERIMENTS.md for the reproduced results.
+// full inventory and EXPERIMENTS.md for the experiment index.
 //
 // This file is the public facade: a small, stable API over the internal
-// engine. The typical flow is
+// engine. The serving flow is modeled on database/sql: prepare once (the
+// worst-case exponential controllability analysis runs a single time and
+// compiles a bounded plan), then execute many times with fresh bindings.
+// A shared Engine is safe for concurrent use; every call gets its own
+// measured cost and witness set.
 //
 //	cat, _ := scaleindep.ParseCatalog(catalogText)     // schema + access schema
 //	db := relation data loaded or generated
 //	eng, _ := scaleindep.NewEngine(db, cat.Access)
 //	q, _ := scaleindep.ParseQuery("Q1(p, name) := ...")
-//	ans, _ := eng.Answer(q, scaleindep.Bindings{"p": scaleindep.Int(42)})
+//
+//	prep, err := eng.Prepare(q, scaleindep.NewVarSet("p"))
+//	if errors.Is(err, scaleindep.ErrNotControllable) {
+//		// no bounded plan exists for this controlling set
+//	}
+//	ans, _ := prep.Exec(ctx, scaleindep.Bindings{"p": scaleindep.Int(42)},
+//		scaleindep.WithMaxReads(10_000))   // runtime enforcement of the bound
 //
 // ans carries the answers, the executed bounded plan with its static cost
-// bound, the measured access counters, and the witness set D_Q.
+// bound, this call's access counters, and its witness set D_Q. The
+// one-shot eng.Answer / eng.AnswerContext path remains and benefits
+// transparently from an engine-level LRU plan cache. Failures wrap the
+// typed sentinels ErrNotControllable, ErrBudgetExceeded, ErrCanceled and
+// ErrUnboundHead for errors.Is dispatch.
 package scaleindep
 
 import (
@@ -58,17 +72,51 @@ type (
 	// VarSet is a set of variable names.
 	VarSet = query.VarSet
 	// Engine answers controlled queries boundedly over an instrumented
-	// store.
+	// store. Safe for concurrent use.
 	Engine = core.Engine
-	// Answer is the result of one bounded evaluation: tuples, plan,
-	// measured cost and the witness set D_Q.
+	// PreparedQuery is a query analyzed and compiled once, executable many
+	// times concurrently (Engine.Prepare).
+	PreparedQuery = core.PreparedQuery
+	// ExecOption configures one execution: WithMaxReads, WithoutTrace,
+	// WithNaiveFallback.
+	ExecOption = core.ExecOption
+	// Answer is the result of one bounded evaluation: tuples, plan, this
+	// call's measured cost and witness set D_Q.
 	Answer = core.Answer
 	// Derivation is a controllability proof, compilable to a bounded plan.
 	Derivation = core.Derivation
+	// ExecStats is a per-call execution context for direct store access.
+	ExecStats = store.ExecStats
 	// Catalog is a parsed schema + access schema.
 	Catalog = parser.Catalog
 	// Store is an instrumented database with indices and access counters.
 	Store = store.DB
+)
+
+// Typed error taxonomy: every load-bearing failure of Prepare/Exec wraps
+// one of these sentinels — dispatch with errors.Is.
+var (
+	// ErrNotControllable: no bounded plan exists for the requested
+	// controlling set.
+	ErrNotControllable = core.ErrNotControllable
+	// ErrBudgetExceeded: a WithMaxReads runtime budget was crossed.
+	ErrBudgetExceeded = core.ErrBudgetExceeded
+	// ErrCanceled: the context was canceled or timed out mid-evaluation
+	// (also matches context.Canceled / context.DeadlineExceeded).
+	ErrCanceled = core.ErrCanceled
+	// ErrUnboundHead: the plan left a head variable unbound.
+	ErrUnboundHead = core.ErrUnboundHead
+)
+
+// Execution options for PreparedQuery.Exec and Engine.AnswerContext.
+var (
+	// WithMaxReads enforces a runtime budget of n tuple reads on the call.
+	WithMaxReads = core.WithMaxReads
+	// WithoutTrace skips witness-set (D_Q) bookkeeping on the hot path.
+	WithoutTrace = core.WithoutTrace
+	// WithNaiveFallback falls back to naive evaluation when the query is
+	// not controllable (still budget-limited; Answer.Plan is nil).
+	WithNaiveFallback = core.WithNaiveFallback
 )
 
 // Int builds an integer value.
@@ -114,6 +162,7 @@ func NaiveAnswers(data *Database, q *Query, fixed Bindings) (*relation.TupleSet,
 
 // Controllable reports whether q is x̄-controlled under the engine's access
 // schema for x̄ = the given variables, returning the witnessing derivation.
+// Failure wraps ErrNotControllable.
 func Controllable(eng *Engine, q *Query, x VarSet) (*Derivation, error) {
 	return eng.Controllable(q, x)
 }
