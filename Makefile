@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench serving
+.PHONY: check build test race vet bench bench-smoke serving shardscale
 
 ## check: the CI gate — vet, build, and race-enabled tests.
 check: vet build race
@@ -20,5 +20,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
+## bench-smoke: the CI benchmark gate — every benchmark runs once.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
 serving:
 	$(GO) run ./cmd/sibench -serving
+
+## shardscale: concurrent-client throughput vs shard count.
+shardscale:
+	$(GO) run ./cmd/sibench -shardscale

@@ -278,6 +278,40 @@ func BenchmarkServingPreparedNoTrace(b *testing.B) {
 	}
 }
 
+// BenchmarkServingPreparedSharded4 is the prepared hot path over the
+// 4-shard backend: Q1's fetches all route (friend by id1, person by id),
+// so the delta against BenchmarkServingPreparedNoTrace is the pure
+// routing overhead of the sharded backend on single-shard fast paths.
+func BenchmarkServingPreparedSharded4(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	cfg.Persons = 10000
+	cfg.Seed = 7
+	db, err := workload.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := NewShardedEngine(db, workload.Access(cfg), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := ParseQuery(workload.Q1Src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep, err := eng.Prepare(q, NewVarSet("p"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prep.Exec(ctx, Bindings{"p": Int(int64(i % 1000))}, WithoutTrace()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Facade smoke test: the public API answers Q1 correctly end to end.
 func TestFacadeEndToEnd(t *testing.T) {
 	cfg := workload.DefaultConfig()

@@ -4,13 +4,20 @@
 // EXPERIMENTS.md. With -serving it instead benchmarks the serving API:
 // per-call analysis vs the transparent plan cache vs a prepared query.
 //
+// With -shardscale it compares concurrent-client serving throughput on
+// the single-node backend against the hash-sharded backend at 1/2/4/8
+// shards, with and without concurrent writers — the shard-scaling
+// experiment of EXPERIMENTS.md.
+//
 // Usage:
 //
-//	sibench            # full suite, plain-text tables
-//	sibench -quick     # smaller sizes
-//	sibench -markdown  # markdown tables
-//	sibench -only F1a  # one experiment
-//	sibench -serving   # prepared vs unprepared serving throughput
+//	sibench              # full suite, plain-text tables
+//	sibench -quick       # smaller sizes
+//	sibench -markdown    # markdown tables
+//	sibench -only F1a    # one experiment
+//	sibench -serving     # prepared vs unprepared serving throughput
+//	sibench -serving -shards 4   # ... over the sharded backend
+//	sibench -shardscale  # throughput vs shard count under parallel clients
 package main
 
 import (
@@ -18,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
@@ -25,6 +34,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/query"
 	"repro/internal/relation"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/workload"
 )
@@ -34,10 +44,21 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	only := flag.String("only", "", "run a single experiment by id (T1, F1a, F1b, F1c, X4.4, X4.5, X5.4, X6.1, XGLT)")
 	serving := flag.Bool("serving", false, "benchmark the serving API instead (prepared vs unprepared)")
+	shards := flag.Int("shards", 0, "with -serving: run over the hash-sharded backend with this many shards (0 = single-node)")
+	shardScale := flag.Bool("shardscale", false, "benchmark concurrent-client throughput vs shard count (1/2/4/8) at fixed |D|")
+	clients := flag.Int("clients", 8, "with -shardscale: number of parallel query clients")
+	writers := flag.Int("writers", 2, "with -shardscale: number of concurrent update writers in the mixed workload")
 	flag.Parse()
 
+	if *shardScale {
+		if err := shardScaleBench(*quick, *clients, *writers); err != nil {
+			fmt.Fprintf(os.Stderr, "sibench: shardscale: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *serving {
-		if err := servingBench(*quick); err != nil {
+		if err := servingBench(*quick, *shards); err != nil {
 			fmt.Fprintf(os.Stderr, "sibench: serving: %v\n", err)
 			os.Exit(1)
 		}
@@ -74,8 +95,9 @@ func main() {
 // servingBench measures the serving lifecycle on the Q1 workload: the
 // same repeated-execution loop with (a) the plan cache disabled — every
 // call pays the controllability analysis, (b) the transparent engine
-// cache, and (c) an explicitly prepared query.
-func servingBench(quick bool) error {
+// cache, and (c) an explicitly prepared query. With shards > 0 the loops
+// run over the hash-sharded backend instead of the single-node store.
+func servingBench(quick bool, shards int) error {
 	persons := 10000
 	iters := 20000
 	if quick {
@@ -88,7 +110,12 @@ func servingBench(quick bool) error {
 	if err != nil {
 		return err
 	}
-	st, err := store.Open(db, workload.Access(cfg))
+	var st store.Backend
+	if shards > 0 {
+		st, err = shard.Open(db, workload.Access(cfg), shards)
+	} else {
+		st, err = store.Open(db, workload.Access(cfg))
+	}
 	if err != nil {
 		return err
 	}
@@ -147,7 +174,11 @@ func servingBench(quick bool) error {
 		return err
 	}
 
-	fmt.Printf("serving Q1 on |D| = %d, %d executions each:\n\n", st.Size(), iters)
+	backend := "single-node"
+	if shards > 0 {
+		backend = fmt.Sprintf("%d-shard", shards)
+	}
+	fmt.Printf("serving Q1 on |D| = %d (%s backend), %d executions each:\n\n", st.Size(), backend, iters)
 	fmt.Printf("%-34s %12s %14s\n", "mode", "per call", "vs unprepared")
 	for _, r := range []struct {
 		name string
@@ -160,6 +191,161 @@ func servingBench(quick bool) error {
 	} {
 		per := r.d / time.Duration(iters)
 		fmt.Printf("%-34s %12s %13.1fx\n", r.name, per, float64(tU)/float64(r.d))
+	}
+	return nil
+}
+
+// shardScaleBench holds |D|, the client count and the total work fixed
+// and varies the backend: single-node, then 1/2/4/8 hash shards. Every
+// configuration performs the same fixed workload — each of `clients`
+// goroutines executes a fixed count of prepared Q1 calls — first
+// read-only, then mixed with `writers` goroutines concurrently applying
+// (and undoing) a fixed count of 48-tuple single-entity friend batches.
+// Wall-clock time for the whole batch gives queries/second; each
+// measurement is the best of `rounds` runs (the usual guard against
+// scheduler noise). The mixed column is where per-shard write locks pay
+// off: on the single node every ApplyUpdate excludes all readers; on n
+// shards it excludes only the readers of one shard.
+func shardScaleBench(quick bool, clients, writers int) error {
+	persons := 20000
+	perClient := 1500
+	perWriter := 400
+	rounds := 4
+	if quick {
+		persons, perClient, perWriter, rounds = 4000, 400, 100, 2
+	}
+	cfg := workload.DefaultConfig()
+	cfg.Persons = persons
+	cfg.Seed = 7
+	data, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	acc := workload.Access(cfg)
+	q, err := parser.ParseQuery(workload.Q1Src)
+	if err != nil {
+		return err
+	}
+
+	type cfgRow struct {
+		name   string
+		open   func() (store.Backend, error)
+		qps    float64
+		mixQPS float64
+	}
+	rows := []*cfgRow{
+		{name: "single-node", open: func() (store.Backend, error) { return store.Open(data.Clone(), acc) }},
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		n := n
+		rows = append(rows, &cfgRow{
+			name: fmt.Sprintf("%d shard(s)", n),
+			open: func() (store.Backend, error) { return shard.Open(data.Clone(), acc, n) },
+		})
+	}
+
+	totalQueries := clients * perClient
+	for _, row := range rows {
+		b, err := row.open()
+		if err != nil {
+			return err
+		}
+		prep, err := core.NewEngine(b).Prepare(q, query.NewVarSet("p"))
+		if err != nil {
+			return err
+		}
+		// firstErr keeps the first failure from any goroutine. A mutex (not
+		// atomic.Value) because failing goroutines may carry different
+		// concrete error types.
+		var errMu sync.Mutex
+		var firstErr error
+		fail := func(err error) {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+		}
+		serve := func(withWriters bool) time.Duration {
+			var wg sync.WaitGroup
+			start := time.Now()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					ctx := context.Background()
+					for i := 0; i < perClient; i++ {
+						p := relation.Int(int64((c*7919 + i) % persons))
+						if _, err := prep.Exec(ctx, query.Bindings{"p": p}, core.WithoutTrace()); err != nil {
+							fail(err)
+							return
+						}
+					}
+				}(c)
+			}
+			if withWriters {
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						base := int64(1_000_000 + 10_000*w)
+						for i := 0; i < perWriter; i++ {
+							// One entity's friend list per batch: routes to one
+							// shard, the write shape per-shard locks help most;
+							// 48 tuples holds the write lock long enough that a
+							// global lock visibly stalls readers while staying
+							// within the schema's MaxFriends=50 bound.
+							u := relation.NewUpdate()
+							id := base + int64(i%1000)
+							for k := int64(0); k < 48; k++ {
+								u.Insert("friend", relation.Tuple{relation.Int(id), relation.Int(k)})
+							}
+							if err := b.ApplyUpdate(u); err != nil {
+								fail(err)
+								return
+							}
+							if err := b.ApplyUpdate(u.Inverse()); err != nil {
+								fail(err)
+								return
+							}
+						}
+					}(w)
+				}
+			}
+			wg.Wait()
+			return time.Since(start)
+		}
+		// Fail fast between rounds: a failing backend should not burn the
+		// remaining rounds and the whole mixed phase before reporting.
+		best := func(withWriters bool) (float64, error) {
+			bestT := time.Duration(0)
+			for r := 0; r < rounds; r++ {
+				t := serve(withWriters)
+				errMu.Lock()
+				err := firstErr
+				errMu.Unlock()
+				if err != nil {
+					return 0, err
+				}
+				if bestT == 0 || t < bestT {
+					bestT = t
+				}
+			}
+			return float64(totalQueries) / bestT.Seconds(), nil
+		}
+		if row.qps, err = best(false); err != nil {
+			return fmt.Errorf("%s: %w", row.name, err)
+		}
+		if row.mixQPS, err = best(true); err != nil {
+			return fmt.Errorf("%s: %w", row.name, err)
+		}
+	}
+
+	fmt.Printf("shard scaling: Q1 serving at |D| = %d, %d clients x %d queries, %d writers x %d update batches, GOMAXPROCS=%d\n\n",
+		data.Size(), clients, perClient, writers, 2*perWriter, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-14s %14s %20s\n", "backend", "read-only q/s", "mixed q/s (writers)")
+	for _, row := range rows {
+		fmt.Printf("%-14s %14.0f %20.0f\n", row.name, row.qps, row.mixQPS)
 	}
 	return nil
 }

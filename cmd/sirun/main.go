@@ -25,11 +25,13 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/parser"
 	"repro/internal/query"
 	"repro/internal/relation"
+	"repro/internal/shard"
 	"repro/internal/store"
 	"repro/internal/workload"
 )
@@ -44,17 +46,33 @@ func main() {
 	maxReads := flag.Int64("max-reads", 0, "runtime tuple-read budget (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "evaluation deadline (0 = none)")
 	fallback := flag.Bool("fallback", false, "fall back to naive evaluation when not controllable")
+	shards := flag.Int("shards", 0, "serve from a hash-sharded store with this many shards (0 = single-node)")
 	flag.Parse()
 
-	var st *store.DB
+	var db *relation.Database
+	var acc *access.Schema
 	var err error
 	if *dataDir != "" {
-		st, err = loadData(*dataDir)
+		db, acc, err = loadData(*dataDir)
 	} else {
-		st, err = generate(*persons, *seed)
+		db, acc, err = generate(*persons, *seed)
 	}
 	if err != nil {
 		fatal(err)
+	}
+	var st store.Backend
+	if *shards > 0 {
+		sh, err := shard.Open(db, acc, *shards)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("backend: %d shards, routing %v, sizes %v\n", sh.NumShards(), routeSummary(sh), sh.ShardSizes())
+		st = sh
+	} else {
+		st, err = store.Open(db, acc)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	q, err := parser.ParseQuery(*querySrc)
 	if err != nil {
@@ -146,46 +164,51 @@ func main() {
 	}
 }
 
-func generate(persons int, seed int64) (*store.DB, error) {
+func generate(persons int, seed int64) (*relation.Database, *access.Schema, error) {
 	cfg := workload.DefaultConfig()
 	cfg.Persons = persons
 	cfg.Seed = seed
 	db, err := workload.Generate(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return store.Open(db, workload.Access(cfg))
+	return db, workload.Access(cfg), nil
 }
 
-func loadData(dir string) (*store.DB, error) {
+func loadData(dir string) (*relation.Database, *access.Schema, error) {
 	catText, err := os.ReadFile(filepath.Join(dir, "catalog.txt"))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cat, err := parser.ParseCatalog(string(catText))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	db := relation.NewDatabase(cat.Relational)
 	for _, name := range cat.Relational.Names() {
 		f, err := os.Open(filepath.Join(dir, name+".csv"))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		err = relation.ReadCSV(f, db.Rel(name))
 		f.Close()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	st, err := store.Open(db, cat.Access)
-	if err != nil {
-		return nil, err
+	if err := cat.Access.Conforms(db); err != nil {
+		return nil, nil, fmt.Errorf("data does not conform to its access schema: %w", err)
 	}
-	if err := st.Conforms(); err != nil {
-		return nil, fmt.Errorf("data does not conform to its access schema: %w", err)
+	return db, cat.Access, nil
+}
+
+// routeSummary maps each relation to its routing-key attributes.
+func routeSummary(s *shard.Store) map[string][]string {
+	out := make(map[string][]string, s.Schema().Len())
+	for _, name := range s.Schema().Names() {
+		out[name] = s.Route(name)
 	}
-	return st, nil
+	return out
 }
 
 func parseBindings(s string) (query.Bindings, error) {

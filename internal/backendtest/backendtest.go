@@ -1,0 +1,275 @@
+// Package backendtest is the conformance suite every store.Backend must
+// pass: a table-driven harness asserting that a backend under test is
+// observationally identical to the single-node reference on the
+// experiment workload — identical answers AND identical TupleReads on the
+// bounded plans of Q1–Q4 and on naive full-scan evaluation, reads within
+// the static bound M, runtime budget enforcement (ErrBudgetExceeded),
+// deadline interruption (ErrCanceled), and answer/accounting stability
+// under updates.
+//
+// Wire it up per backend:
+//
+//	func TestConformance(t *testing.T) {
+//	    backendtest.Run(t, func(d *relation.Database, a *access.Schema) (store.Backend, error) {
+//	        return shard.Open(d, a, 4)
+//	    })
+//	}
+package backendtest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// OpenFunc opens the backend under test over data and access schema.
+type OpenFunc func(data *relation.Database, acc *access.Schema) (store.Backend, error)
+
+// Q4Src extends the paper's Q1–Q3 with a fourth serving shape: all
+// restaurants a person visited, controlled by the person alone — a
+// two-hop plan through the visit-by-id and restr-by-rid constraints.
+const Q4Src = "Q4(p, rn) := exists rid, yy, mm, dd, city, rating (visit(p, rid, yy, mm, dd) and restr(rid, rn, city, rating))"
+
+// queryCase is one (query, controlling set, binding generator) row.
+type queryCase struct {
+	name string
+	src  string
+	ctrl []string
+	bind func(i int) query.Bindings
+}
+
+func cases(cfg workload.Config) []queryCase {
+	p := func(i int) query.Bindings {
+		return query.Bindings{"p": relation.Int(int64(i % cfg.Persons))}
+	}
+	return []queryCase{
+		{"Q1", workload.Q1Src, []string{"p"}, p},
+		{"Q2", workload.Q2Src, []string{"p"}, p},
+		{"Q3", workload.Q3Src, []string{"p", "yy"}, func(i int) query.Bindings {
+			return query.Bindings{
+				"p":  relation.Int(int64(i % cfg.Persons)),
+				"yy": relation.Int(int64(cfg.Years[i%len(cfg.Years)])),
+			}
+		}},
+		{"Q4", Q4Src, []string{"p"}, p},
+	}
+}
+
+// Run exercises the backend opened by open against the single-node
+// reference on the same generated data.
+func Run(t *testing.T, open OpenFunc) {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Persons = 240
+	cfg.Seed = 11
+	data, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := workload.Access(cfg)
+	ref, err := store.Open(data.Clone(), acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := open(data.Clone(), acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engRef, engB := core.NewEngine(ref), core.NewEngine(b)
+
+	t.Run("bounded", func(t *testing.T) { boundedConformance(t, cfg, engRef, engB) })
+	t.Run("naive", func(t *testing.T) { naiveConformance(t, ref, b) })
+	t.Run("budget", func(t *testing.T) { budgetEnforcement(t, cfg, engB) })
+	t.Run("deadline", func(t *testing.T) { deadlineInterruption(t, cfg, engB, b) })
+	t.Run("updates", func(t *testing.T) { updateConformance(t, cfg, engRef, engB) })
+}
+
+// boundedConformance proves the core property: for every experiment query
+// and many bindings, the backend under test returns the same answers,
+// charges the same TupleReads, and stays within the plan's static bound M.
+func boundedConformance(t *testing.T, cfg workload.Config, engRef, engB *core.Engine) {
+	ctx := context.Background()
+	for _, qc := range cases(cfg) {
+		q := mustQuery(t, qc.src)
+		prepRef := mustPrepare(t, engRef, q, qc.ctrl)
+		prepB := mustPrepare(t, engB, q, qc.ctrl)
+		if got, want := prepB.Plan().Bound.Reads, prepRef.Plan().Bound.Reads; got != want {
+			t.Fatalf("%s: static bound %d on backend, %d on reference (the bound is a property of the plan, not the backend)", qc.name, got, want)
+		}
+		for i := 0; i < 24; i++ {
+			fixed := qc.bind(i * 7)
+			ansRef, err := prepRef.Exec(ctx, fixed)
+			if err != nil {
+				t.Fatalf("%s %v on reference: %v", qc.name, fixed, err)
+			}
+			ansB, err := prepB.Exec(ctx, fixed)
+			if err != nil {
+				t.Fatalf("%s %v on backend: %v", qc.name, fixed, err)
+			}
+			if !ansB.Tuples.Equal(ansRef.Tuples) {
+				t.Fatalf("%s %v: %d answers on backend, %d on reference", qc.name, fixed, ansB.Tuples.Len(), ansRef.Tuples.Len())
+			}
+			if ansB.Cost.TupleReads != ansRef.Cost.TupleReads {
+				t.Fatalf("%s %v: backend charged %d tuple reads, reference %d", qc.name, fixed, ansB.Cost.TupleReads, ansRef.Cost.TupleReads)
+			}
+			if ansB.Cost.TupleReads > prepB.Plan().Bound.Reads {
+				t.Fatalf("%s %v: %d reads exceed static bound %d", qc.name, fixed, ansB.Cost.TupleReads, prepB.Plan().Bound.Reads)
+			}
+			if ansB.DQ.Distinct() != ansRef.DQ.Distinct() {
+				t.Fatalf("%s %v: witness |D_Q| %d on backend, %d on reference", qc.name, fixed, ansB.DQ.Distinct(), ansRef.DQ.Distinct())
+			}
+		}
+	}
+}
+
+// naiveConformance runs the full-scan oracle through both backends:
+// answers and scan accounting (TupleReads, TimeUnits) must agree.
+func naiveConformance(t *testing.T, ref, b store.Backend) {
+	q := mustQuery(t, workload.Q1Src)
+	for _, p := range []int64{3, 41, 99} {
+		fixed := query.Bindings{"p": relation.Int(p)}
+		esRef, esB := &store.ExecStats{}, &store.ExecStats{}
+		ansRef, err := eval.Answers(eval.NewStoreSource(ref, esRef), q, fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ansB, err := eval.Answers(eval.NewStoreSource(b, esB), q, fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ansB.Equal(ansRef) {
+			t.Fatalf("naive Q1 p=%d: answers differ", p)
+		}
+		if esB.Counters.TupleReads != esRef.Counters.TupleReads {
+			t.Fatalf("naive Q1 p=%d: %d reads on backend, %d on reference", p, esB.Counters.TupleReads, esRef.Counters.TupleReads)
+		}
+		if esB.Counters.TimeUnits != esRef.Counters.TimeUnits {
+			t.Fatalf("naive Q1 p=%d: %d time units on backend, %d on reference", p, esB.Counters.TimeUnits, esRef.Counters.TimeUnits)
+		}
+	}
+}
+
+// budgetEnforcement sets the runtime budget one read below a measured
+// execution: the re-execution must fail with ErrBudgetExceeded.
+func budgetEnforcement(t *testing.T, cfg workload.Config, engB *core.Engine) {
+	ctx := context.Background()
+	for _, qc := range cases(cfg) {
+		q := mustQuery(t, qc.src)
+		prep := mustPrepare(t, engB, q, qc.ctrl)
+		var fixed query.Bindings
+		var reads int64
+		for i := 0; i < 60 && reads == 0; i++ {
+			fixed = qc.bind(i)
+			ans, err := prep.Exec(ctx, fixed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reads = ans.Cost.TupleReads
+		}
+		if reads == 0 {
+			t.Fatalf("%s: no binding with nonzero reads found", qc.name)
+		}
+		if _, err := prep.Exec(ctx, fixed, core.WithMaxReads(reads-1)); !errors.Is(err, core.ErrBudgetExceeded) {
+			t.Fatalf("%s with budget %d: err = %v, want ErrBudgetExceeded", qc.name, reads-1, err)
+		}
+		if _, err := prep.Exec(ctx, fixed, core.WithMaxReads(reads)); err != nil {
+			t.Fatalf("%s with exact budget %d: %v", qc.name, reads, err)
+		}
+	}
+}
+
+// deadlineInterruption verifies an expired context stops both the bounded
+// path and a raw backend scan with ErrCanceled.
+func deadlineInterruption(t *testing.T, cfg workload.Config, engB *core.Engine, b store.Backend) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := mustQuery(t, workload.Q1Src)
+	prep := mustPrepare(t, engB, q, []string{"p"})
+	if _, err := prep.Exec(ctx, query.Bindings{"p": relation.Int(1)}); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("bounded exec under canceled ctx: err = %v, want ErrCanceled", err)
+	}
+	es := &store.ExecStats{Ctx: ctx}
+	if _, err := b.ScanInto(es, "friend"); !errors.Is(err, store.ErrCanceled) {
+		t.Fatalf("scan under canceled ctx: err = %v, want ErrCanceled", err)
+	}
+}
+
+// updateConformance applies the same ΔD to both backends and re-checks
+// answer and accounting identity, then undoes it.
+func updateConformance(t *testing.T, cfg workload.Config, engRef, engB *core.Engine) {
+	ctx := context.Background()
+	u := relation.NewUpdate()
+	u.Insert("person", relation.Tuple{relation.Int(70001), relation.Str("new-p"), relation.Str("NYC")})
+	for i := int64(0); i < 5; i++ {
+		u.Insert("friend", relation.Tuple{relation.Int(7), relation.Int(70001 + i)})
+	}
+	for i := int64(1); i < 5; i++ {
+		u.Insert("person", relation.Tuple{relation.Int(70001 + i), relation.Str(fmt.Sprintf("new-%d", i)), relation.Str("LA")})
+	}
+	for _, eng := range []*core.Engine{engRef, engB} {
+		if err := eng.DB.ApplyUpdate(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := mustQuery(t, workload.Q1Src)
+	prepRef := mustPrepare(t, engRef, q, []string{"p"})
+	prepB := mustPrepare(t, engB, q, []string{"p"})
+	for _, p := range []int64{7, 70001, 3} {
+		fixed := query.Bindings{"p": relation.Int(p)}
+		ansRef, err := prepRef.Exec(ctx, fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ansB, err := prepB.Exec(ctx, fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ansB.Tuples.Equal(ansRef.Tuples) || ansB.Cost.TupleReads != ansRef.Cost.TupleReads {
+			t.Fatalf("after update, Q1 p=%d: answers/reads diverge (%d/%d reads)", p, ansB.Cost.TupleReads, ansRef.Cost.TupleReads)
+		}
+	}
+	inv := u.Inverse()
+	for _, eng := range []*core.Engine{engRef, engB} {
+		if err := eng.DB.ApplyUpdate(inv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !engB.DB.CloneData().Equal(engRef.DB.CloneData()) {
+		t.Fatal("backends diverged after update + inverse")
+	}
+}
+
+func mustQuery(t *testing.T, src string) *query.Query {
+	t.Helper()
+	if cq, err := parser.ParseCQ(src); err == nil {
+		q, err := cq.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func mustPrepare(t *testing.T, eng *core.Engine, q *query.Query, ctrl []string) *core.PreparedQuery {
+	t.Helper()
+	p, err := eng.Prepare(q, query.NewVarSet(ctrl...))
+	if err != nil {
+		t.Fatalf("prepare %s for %v: %v", q.Name, ctrl, err)
+	}
+	return p
+}

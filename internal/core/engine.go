@@ -26,7 +26,10 @@ import (
 // answers queries, but with plan caching permanently disabled (every call
 // re-runs the analysis).
 type Engine struct {
-	DB *store.DB
+	// DB is the storage backend queries execute against: the single-node
+	// store.DB or any other store.Backend (e.g. the hash-sharded
+	// shard.Store).
+	DB store.Backend
 	An *Analyzer
 
 	plans *planCache
@@ -36,9 +39,9 @@ type Engine struct {
 // plans an engine retains by default.
 const DefaultPlanCacheSize = 128
 
-// NewEngine builds an engine over the store, analyzing under its access
-// schema.
-func NewEngine(db *store.DB) *Engine {
+// NewEngine builds an engine over a storage backend, analyzing under its
+// access schema.
+func NewEngine(db store.Backend) *Engine {
 	return &Engine{
 		DB:    db,
 		An:    NewAnalyzer(db.Access()),

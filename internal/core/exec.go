@@ -17,7 +17,7 @@ import (
 // is what makes concurrent evaluations over a shared store safe.
 type executor struct {
 	ctx context.Context
-	st  *store.DB
+	st  store.Backend
 	es  *store.ExecStats
 }
 
@@ -38,7 +38,7 @@ func (x *executor) checkCtx() error {
 // values (env) for a superset of the derivation's controlling set. It is
 // ExecContext with a background context and no per-call stats: only the
 // store-global counters are charged.
-func Exec(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings, error) {
+func Exec(st store.Backend, d *Derivation, env query.Bindings) ([]query.Bindings, error) {
 	return ExecContext(context.Background(), st, d, env, nil)
 }
 
@@ -47,7 +47,7 @@ func Exec(st *store.DB, d *Derivation, env query.Bindings) ([]query.Bindings, er
 // each defined on exactly the free variables of the derived formula. A nil
 // es charges only the store-global counters; a nil ctx is treated as
 // context.Background().
-func ExecContext(ctx context.Context, st *store.DB, d *Derivation, env query.Bindings, es *store.ExecStats) ([]query.Bindings, error) {
+func ExecContext(ctx context.Context, st store.Backend, d *Derivation, env query.Bindings, es *store.ExecStats) ([]query.Bindings, error) {
 	if missing := d.Ctrl.Minus(env.Vars()); !missing.IsEmpty() {
 		return nil, fmt.Errorf("core: exec needs values for controlling variables %s", missing)
 	}

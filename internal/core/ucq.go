@@ -117,7 +117,7 @@ func alignHead(d *query.CQ, head []string, idx int) (*query.CQ, error) {
 
 // ExecUCQ evaluates the union under a fixed binding of a controlling set
 // of the union: the bounded union of the disjuncts' bounded answers.
-func ExecUCQ(st *store.DB, res *UCQResult, x query.Bindings) (*relation.TupleSet, error) {
+func ExecUCQ(st store.Backend, res *UCQResult, x query.Bindings) (*relation.TupleSet, error) {
 	derivs := res.Controls(x.Vars())
 	if derivs == nil {
 		return nil, fmt.Errorf("core: union not %s-controlled", x.Vars())

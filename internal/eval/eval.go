@@ -59,13 +59,14 @@ func (s DBSource) Contains(rel string, t relation.Tuple) (bool, error) {
 	return r.Contains(t), nil
 }
 
-// StoreSource adapts an instrumented store: scans and probes are counted
-// against the store's counters, so naive evaluation's data appetite is
+// StoreSource adapts an instrumented storage backend (single-node
+// store.DB, sharded shard.Store, ...): scans and probes are counted
+// against the backend's counters, so naive evaluation's data appetite is
 // measured. When Stats is non-nil, the work (and witness trace, if its
 // Trace is set) is additionally charged to that call — the per-call
 // protocol of store.ExecStats, immune to interleaved evaluations.
 type StoreSource struct {
-	DB    *store.DB
+	DB    store.Backend
 	Stats *store.ExecStats
 	// Snap, when non-nil, memoizes each relation's scan snapshot so
 	// repeated Tuples calls within one evaluation skip the O(|R|)
@@ -87,7 +88,7 @@ func NewScanSnapshot() *ScanSnapshot {
 // per-call stats (nil is allowed: global counters only) and a fresh scan
 // snapshot, so repeated scans are charged but copied once. Build a new
 // one per evaluation.
-func NewStoreSource(db *store.DB, stats *store.ExecStats) StoreSource {
+func NewStoreSource(db store.Backend, stats *store.ExecStats) StoreSource {
 	return StoreSource{DB: db, Stats: stats, Snap: NewScanSnapshot()}
 }
 

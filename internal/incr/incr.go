@@ -26,6 +26,7 @@ import (
 	"repro/internal/qdsi"
 	"repro/internal/query"
 	"repro/internal/relation"
+	"repro/internal/store"
 )
 
 // occurrencePlan precompiles the maintenance query for one occurrence of
@@ -106,7 +107,16 @@ func NewCQMaintainer(eng *core.Engine, q *query.CQ, fixed query.Bindings) (*CQMa
 	m.verify = full.Controls(fixedVars.Union(q.HeadVars()))
 
 	// Offline precomputation of the initial answer.
-	ans, err := eval.AnswersCQ(eval.DBSource{DB: eng.DB.Data()}, q, fixed)
+	// Offline precomputation wants an uncounted read view. The single-node
+	// store exposes its data in place; other backends (sharded) provide a
+	// merged snapshot copy.
+	var view *relation.Database
+	if db, ok := eng.DB.(*store.DB); ok {
+		view = db.Data()
+	} else {
+		view = eng.DB.CloneData()
+	}
+	ans, err := eval.AnswersCQ(eval.DBSource{DB: view}, q, fixed)
 	if err != nil {
 		return nil, err
 	}

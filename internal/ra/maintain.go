@@ -223,7 +223,7 @@ func (ns *nodeState) setDelta(ins, del []relation.Tuple) {
 // updated for processed children).
 func (m *Maintainer) newContains(ns *nodeState, t relation.Tuple) (bool, error) {
 	if rel, ok := ns.expr.(*Rel); ok {
-		return m.st.Membership(rel.Schema.Name, t)
+		return store.Membership(m.st, rel.Schema.Name, t)
 	}
 	return ns.result.Contains(t), nil
 }
@@ -329,7 +329,7 @@ func (m *Maintainer) fetchBase(rel *Rel, keyAttrs []string, key map[string]relat
 		for i, a := range e.On {
 			vals[i] = key[a]
 		}
-		fetched, err := m.st.Fetch(e, vals)
+		fetched, err := store.Fetch(m.st, e, vals)
 		if err != nil {
 			return nil, err
 		}
@@ -343,7 +343,7 @@ func (m *Maintainer) fetchBase(rel *Rel, keyAttrs []string, key map[string]relat
 		return out, nil
 	}
 	// No usable entry: counted full scan.
-	all, err := m.st.Scan(rel.Schema.Name)
+	all, err := store.Scan(m.st, rel.Schema.Name)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,447 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/access"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// Store implements store.Backend.
+var _ store.Backend = (*Store)(nil)
+
+// Schema returns the relational schema.
+func (s *Store) Schema() *relation.Schema { return s.schema }
+
+// Access returns the access schema shared by every shard.
+func (s *Store) Access() *access.Schema { return s.acc }
+
+// Size returns |D| summed across shards.
+func (s *Store) Size() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Size()
+	}
+	return n
+}
+
+// NumShards returns the number of shards.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Route returns the routing-key attributes of rel (nil if unknown).
+func (s *Store) Route(rel string) []string {
+	return append([]string(nil), s.routes[rel].attrs...)
+}
+
+// ShardSizes returns the tuple count per shard: the partition balance.
+func (s *Store) ShardSizes() []int {
+	out := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.Size()
+	}
+	return out
+}
+
+// ShardCounters returns each shard's accumulated global counters. Work
+// charged at merge level (scatter-gathered fetches, scan replays) belongs
+// to no shard and appears only in Counters().
+func (s *Store) ShardCounters() []store.Counters {
+	out := make([]store.Counters, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.Counters()
+	}
+	return out
+}
+
+// Counters returns the backend-global counters: per-shard totals plus
+// merge-level charges.
+func (s *Store) Counters() store.Counters {
+	c := s.extra.Load()
+	for _, sh := range s.shards {
+		c.Add(sh.Counters())
+	}
+	return c
+}
+
+// ResetCounters zeroes every shard's counters and the merge-level
+// accumulator, returning the previous merged value.
+func (s *Store) ResetCounters() store.Counters {
+	c := s.extra.SwapZero()
+	for _, sh := range s.shards {
+		c.Add(sh.ResetCounters())
+	}
+	return c
+}
+
+// EntriesFor returns the access entries available for rel, most selective
+// first. Every shard shares the access schema, so shard 0 answers.
+func (s *Store) EntriesFor(rel string) []access.Entry { return s.shards[0].EntriesFor(rel) }
+
+// EnsureIndex builds (or reuses) a plain index on attrs of every shard.
+func (s *Store) EnsureIndex(rel string, attrs []string) error {
+	for _, sh := range s.shards {
+		if err := sh.EnsureIndex(rel, attrs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CloneData returns a consistent snapshot of the merged data set. Each
+// shard is snapshotted under its own read lock; tuples never move between
+// shards, so the union is a coherent database.
+func (s *Store) CloneData() *relation.Database {
+	merged := relation.NewDatabase(s.schema)
+	for _, sh := range s.shards {
+		part := sh.CloneData()
+		for _, name := range s.schema.Names() {
+			for _, t := range part.Rel(name).Tuples() {
+				merged.MustInsert(name, t)
+			}
+		}
+	}
+	return merged
+}
+
+// Conforms checks cardinality conformance of the merged data to the
+// access schema. Per-shard conformance is necessary but not sufficient —
+// a group split across shards (entry attributes not covering the routing
+// key) is only bounded in the union — so the check merges first.
+func (s *Store) Conforms() error {
+	return s.acc.Conforms(s.CloneData())
+}
+
+// shardForKey routes an encoded key to its shard.
+func (s *Store) shardForKey(key string) *store.DB {
+	return s.shards[shardIndex(key, len(s.shards))]
+}
+
+// routeFromBound returns the shard holding the group σ_X=ā(R) when the
+// bound attributes X cover rel's routing key, or nil when the access must
+// scatter.
+func (s *Store) routeFromBound(rt route, on []string, vals []relation.Value) *store.DB {
+	key := make(relation.Tuple, len(rt.attrs))
+	for i, a := range rt.attrs {
+		found := false
+		for j, b := range on {
+			if a == b {
+				key[i] = vals[j]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return s.shardForKey(key.Key())
+}
+
+// FetchInto performs the indexed retrieval licensed by entry e. When the
+// entry's bound attributes cover the relation's routing key the fetch is
+// served by exactly one shard with the caller's own stats (the
+// single-shard fast path, identical to single-node in every counter);
+// otherwise it scatter-gathers in parallel across all shards and merges
+// the partial groups, their counters and the cardinality check.
+func (s *Store) FetchInto(es *store.ExecStats, e access.Entry, vals []relation.Value) ([]relation.Tuple, error) {
+	rt, ok := s.routes[e.Rel]
+	if !ok {
+		return nil, fmt.Errorf("shard: unknown relation %q", e.Rel)
+	}
+	if len(vals) != len(e.On) {
+		return nil, fmt.Errorf("shard: fetch %s with %d values, want %d", e.Rel, len(vals), len(e.On))
+	}
+	if sh := s.routeFromBound(rt, e.On, vals); sh != nil {
+		return sh.FetchInto(es, e, vals)
+	}
+	if len(s.shards) == 1 {
+		return s.shards[0].FetchInto(es, e, vals)
+	}
+	if e.IsEmbedded() {
+		return s.scatterFetchEmbedded(es, e, vals)
+	}
+	return s.scatterFetchPlain(es, e, vals)
+}
+
+// scatterFetchPlain gathers one plain group from every shard. Base tuples
+// are partitioned, so the concatenation (in shard order) is exactly the
+// single-node result with no duplicates. Partials are fetched uncounted
+// and the union is charged once at merge level, after the cardinality
+// check — the same order as the single-node backend, where an N-violation
+// fails before anything is charged (so it can never be masked as a
+// budget error).
+func (s *Store) scatterFetchPlain(es *store.ExecStats, e access.Entry, vals []relation.Value) ([]relation.Tuple, error) {
+	parts := make([][]relation.Tuple, len(s.shards))
+	err := s.fanOut(es, func(i int, sh *store.DB, child *store.ExecStats) error {
+		ts, err := sh.FetchUncounted(e, vals)
+		parts[i] = ts
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total > e.N {
+		return nil, fmt.Errorf("shard: %s violated: group has %d > %d tuples across shards", e.String(), total, e.N)
+	}
+	if err := es.ChargeTo(&s.extra, store.Counters{
+		TupleReads:   int64(total),
+		IndexLookups: int64(len(s.shards)),
+		TimeUnits:    int64(len(s.shards)) * int64(e.T),
+	}); err != nil {
+		return nil, err
+	}
+	out := make([]relation.Tuple, 0, total)
+	for _, p := range parts {
+		for _, t := range p {
+			es.RecordTouched(e.Rel, t)
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// scatterFetchEmbedded gathers one embedded (projected) group. The same
+// projected tuple may be served by several shards — the base tuples
+// behind it can land anywhere — so the partial results are fetched
+// uncounted, deduplicated in shard order, and the deduplicated group is
+// charged once at merge level: TupleReads equal the single-node charge,
+// while IndexLookups and TimeUnits reflect the n physical lookups.
+func (s *Store) scatterFetchEmbedded(es *store.ExecStats, e access.Entry, vals []relation.Value) ([]relation.Tuple, error) {
+	n := len(s.shards)
+	parts := make([][]relation.Tuple, n)
+	// The branches fetch uncounted (the child stats never see a charge);
+	// fanOut still provides the parallelism, sibling cancellation and
+	// deadline check, and the single charge happens after the dedup below.
+	err := s.fanOut(es, func(i int, sh *store.DB, child *store.ExecStats) error {
+		ts, err := sh.FetchUncounted(e, vals)
+		parts[i] = ts
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []relation.Tuple
+	for _, p := range parts {
+		for _, t := range p {
+			k := t.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, t)
+			}
+		}
+	}
+	if len(out) > e.N {
+		return nil, fmt.Errorf("shard: %s violated: group has %d > %d tuples across shards", e.String(), len(out), e.N)
+	}
+	if err := es.ChargeTo(&s.extra, store.Counters{
+		TupleReads:   int64(len(out)),
+		IndexLookups: int64(n),
+		TimeUnits:    int64(n) * int64(e.T),
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MembershipInto probes t ∈ rel on the one shard that could hold it — a
+// full tuple always determines its routing key — charging exactly the
+// single-node cost: one membership, one read when present.
+func (s *Store) MembershipInto(es *store.ExecStats, rel string, t relation.Tuple) (bool, error) {
+	rt, ok := s.routes[rel]
+	if !ok {
+		return false, fmt.Errorf("shard: unknown relation %q", rel)
+	}
+	rs, _ := s.schema.Rel(rel)
+	if len(t) != rs.Arity() {
+		// Malformed probe: any shard answers "absent" with the same charge.
+		return s.shards[0].MembershipInto(es, rel, t)
+	}
+	return s.shardForKey(t.Project(rt.pos).Key()).MembershipInto(es, rel, t)
+}
+
+// ScanInto scans rel on every shard in parallel and concatenates the
+// partitions in shard order. TupleReads and TimeUnits total exactly |R|
+// as on a single node; the Scans counter records one partial scan per
+// shard.
+func (s *Store) ScanInto(es *store.ExecStats, rel string) ([]relation.Tuple, error) {
+	if _, ok := s.routes[rel]; !ok {
+		return nil, fmt.Errorf("shard: unknown relation %q", rel)
+	}
+	if len(s.shards) == 1 {
+		return s.shards[0].ScanInto(es, rel)
+	}
+	parts := make([][]relation.Tuple, len(s.shards))
+	err := s.fanOut(es, func(i int, sh *store.DB, child *store.ExecStats) error {
+		ts, err := sh.ScanInto(child, rel)
+		parts[i] = ts
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]relation.Tuple, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// ChargeScanned charges the counters of a replayed full scan of n tuples:
+// what ScanInto would charge for the same data, one partial scan per
+// shard, booked at merge level.
+func (s *Store) ChargeScanned(es *store.ExecStats, n int) error {
+	return es.ChargeTo(&s.extra, store.Counters{
+		Scans:      int64(len(s.shards)),
+		TupleReads: int64(n),
+		TimeUnits:  int64(n),
+	})
+}
+
+// ApplyUpdate splits ΔD by routing key, pre-validates every per-shard
+// piece, then applies the pieces concurrently — writes to different
+// shards proceed in parallel under per-shard write locks instead of one
+// global lock. Validation failures are reported before anything is
+// applied; an apply-phase failure (possible only with concurrent writers
+// racing the validation) may leave other shards' pieces applied.
+//
+// Atomicity is per shard, not per update: a concurrent reader may
+// observe a multi-shard ΔD with some shards' pieces applied and others
+// not (the single-node backend, holding one exclusive lock, never
+// exposes such a state). Single-shard updates — the common single-entity
+// write — remain fully atomic.
+func (s *Store) ApplyUpdate(u *relation.Update) error {
+	subs := make([]*relation.Update, len(s.shards))
+	sub := func(i int) *relation.Update {
+		if subs[i] == nil {
+			subs[i] = relation.NewUpdate()
+		}
+		return subs[i]
+	}
+	split := func(m map[string][]relation.Tuple, del bool) error {
+		for rel, ts := range m {
+			rt, ok := s.routes[rel]
+			if !ok {
+				return fmt.Errorf("shard: unknown relation %q", rel)
+			}
+			rs, _ := s.schema.Rel(rel)
+			for _, t := range ts {
+				if len(t) != rs.Arity() {
+					return fmt.Errorf("shard: update tuple %s has arity %d, want %d for %s", t, len(t), rs.Arity(), rel)
+				}
+				i := shardIndex(t.Project(rt.pos).Key(), len(s.shards))
+				if del {
+					sub(i).Delete(rel, t)
+				} else {
+					sub(i).Insert(rel, t)
+				}
+			}
+		}
+		return nil
+	}
+	if err := split(u.Del, true); err != nil {
+		return err
+	}
+	if err := split(u.Ins, false); err != nil {
+		return err
+	}
+	touched := make([]int, 0, len(s.shards))
+	for i, su := range subs {
+		if su == nil {
+			continue
+		}
+		if err := s.shards[i].ValidateUpdate(su); err != nil {
+			return err
+		}
+		touched = append(touched, i)
+	}
+	// The common serving write — one entity's tuples — lands on one shard:
+	// apply inline, contending only that shard's lock.
+	if len(touched) == 1 {
+		i := touched[0]
+		return s.shards[i].ApplyUpdate(subs[i])
+	}
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for _, i := range touched {
+		wg.Add(1)
+		go func(i int, su *relation.Update) {
+			defer wg.Done()
+			errs[i] = s.shards[i].ApplyUpdate(su)
+		}(i, subs[i])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fanOut runs one branch per shard concurrently, forking the caller's
+// stats for each branch and joining them back in shard order (counters,
+// trace, budget). The first branch error cancels the siblings through a
+// derived context — errgroup semantics without the dependency. The error
+// reported is the first non-cancellation error in shard order, so the
+// root cause wins over secondary ErrCanceled noise.
+func (s *Store) fanOut(es *store.ExecStats, run func(i int, sh *store.DB, child *store.ExecStats) error) error {
+	children := make([]*store.ExecStats, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var cancel context.CancelFunc
+	var branchCtx context.Context
+	if es != nil && es.Ctx != nil {
+		branchCtx, cancel = context.WithCancel(es.Ctx)
+		defer cancel()
+	}
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		child := es.Fork()
+		if child != nil && branchCtx != nil {
+			child.Ctx = branchCtx
+		}
+		children[i] = child
+		wg.Add(1)
+		go func(i int, child *store.ExecStats) {
+			defer wg.Done()
+			if err := run(i, s.shards[i], child); err != nil {
+				errs[i] = err
+				if cancel != nil {
+					cancel()
+				}
+			}
+		}(i, child)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, store.ErrCanceled) {
+			firstErr = err
+			break
+		}
+	}
+	for _, child := range children {
+		if err := es.Join(child); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

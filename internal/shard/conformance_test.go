@@ -1,0 +1,107 @@
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/backendtest"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+// The sharded backend must be observationally identical to the
+// single-node reference — same answers, same TupleReads, same budget and
+// deadline behavior — at every shard count.
+func TestShardedConformance(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			backendtest.Run(t, func(data *relation.Database, acc *access.Schema) (store.Backend, error) {
+				return shard.Open(data, acc, n)
+			})
+		})
+	}
+}
+
+// Scale independence across partitioning: at fixed bindings, the tuple
+// reads of each bounded experiment query stay exactly constant — and
+// within the plan's static bound M — as the same database is spread over
+// 1, 2, 4 and 8 shards.
+func TestReadsInvariantAcrossShardCounts(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.Persons = 240
+	cfg.Seed = 11
+	data, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := workload.Access(cfg)
+	ctx := context.Background()
+
+	srcs := map[string]struct {
+		src  string
+		ctrl []string
+		bind query.Bindings
+	}{
+		"Q1": {workload.Q1Src, []string{"p"}, query.Bindings{"p": relation.Int(7)}},
+		"Q2": {workload.Q2Src, []string{"p"}, query.Bindings{"p": relation.Int(7)}},
+		"Q3": {workload.Q3Src, []string{"p", "yy"}, query.Bindings{"p": relation.Int(7), "yy": relation.Int(2013)}},
+		"Q4": {backendtest.Q4Src, []string{"p"}, query.Bindings{"p": relation.Int(7)}},
+	}
+	type obs struct {
+		reads int64
+		bound int64
+	}
+	got := make(map[string][]obs)
+	for _, n := range []int{1, 2, 4, 8} {
+		s, err := shard.Open(data.Clone(), acc, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := core.NewEngine(s)
+		for name, c := range srcs {
+			q := parseAny(t, c.src)
+			prep, err := eng.Prepare(q, query.NewVarSet(c.ctrl...))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			ans, err := prep.Exec(ctx, c.bind)
+			if err != nil {
+				t.Fatalf("%s on %d shards: %v", name, n, err)
+			}
+			if ans.Cost.TupleReads > prep.Plan().Bound.Reads {
+				t.Fatalf("%s on %d shards: %d reads > static bound %d", name, n, ans.Cost.TupleReads, prep.Plan().Bound.Reads)
+			}
+			got[name] = append(got[name], obs{ans.Cost.TupleReads, prep.Plan().Bound.Reads})
+		}
+	}
+	for name, series := range got {
+		for i := 1; i < len(series); i++ {
+			if series[i] != series[0] {
+				t.Errorf("%s: reads/bound vary with shard count: %v", name, series)
+			}
+		}
+	}
+}
+
+func parseAny(t *testing.T, src string) *query.Query {
+	t.Helper()
+	if cq, err := parser.ParseCQ(src); err == nil {
+		q, err := cq.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}

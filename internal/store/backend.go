@@ -1,0 +1,102 @@
+package store
+
+import (
+	"repro/internal/access"
+	"repro/internal/relation"
+)
+
+// Backend is the storage interface the evaluators and the engine run
+// against: the read/update path of the original single-node *DB, extracted
+// so alternative backends (hash-sharded in internal/shard; disk-backed or
+// remote in the future) plug into the same engine, counters, witness
+// traces, read budgets and cancellation semantics.
+//
+// Contract, shared by every implementation:
+//
+//   - FetchInto returns exactly σ_X=ā(R) (or π_Y(σ_X=ā(R)) for an embedded
+//     entry), charging |result| tuple reads and enforcing the entry's
+//     cardinality bound N.
+//   - MembershipInto is one probe: one membership charged, plus one tuple
+//     read when present.
+//   - ScanInto returns all of R, charging |R| tuple reads.
+//   - All three charge the per-call *ExecStats (nil allowed: global
+//     counters only), honor its MaxReads budget (failing with
+//     ErrBudgetExceeded) and its Ctx (failing with ErrCanceled), and
+//     record touched base tuples in its Trace.
+//   - Returned slices are snapshots: they stay valid after concurrent
+//     ApplyUpdate calls.
+//   - TupleReads charged for the same logical access are identical across
+//     backends; bookkeeping counters that reflect physical topology
+//     (IndexLookups, Scans, TimeUnits under scatter-gather) may differ.
+//     The conformance suite in internal/backendtest checks this.
+//
+// A Backend is safe for concurrent use.
+type Backend interface {
+	// Schema returns the relational schema.
+	Schema() *relation.Schema
+	// Access returns the access schema the backend realizes.
+	Access() *access.Schema
+	// Size returns |D|.
+	Size() int
+
+	// FetchInto performs the indexed retrieval licensed by entry e with
+	// values for e.On, charging es.
+	FetchInto(es *ExecStats, e access.Entry, vals []relation.Value) ([]relation.Tuple, error)
+	// MembershipInto probes t ∈ rel, charging es.
+	MembershipInto(es *ExecStats, rel string, t relation.Tuple) (bool, error)
+	// ScanInto returns every tuple of rel, charging a full scan to es.
+	ScanInto(es *ExecStats, rel string) ([]relation.Tuple, error)
+	// ChargeScanned charges the counters of a full scan of n tuples without
+	// touching data — for memoized scan-snapshot replays (eval.ScanSnapshot).
+	ChargeScanned(es *ExecStats, n int) error
+
+	// ApplyUpdate validates and applies ΔD, keeping indices in sync.
+	// Atomicity with respect to concurrent readers is per locking domain:
+	// the single-node DB applies ΔD under one exclusive lock, while a
+	// partitioned backend applies per-shard pieces under per-shard locks —
+	// a concurrent reader may observe an update to several shards
+	// partially applied. Each individual read still sees a coherent
+	// snapshot of every shard it touches.
+	ApplyUpdate(u *relation.Update) error
+	// EnsureIndex builds (or reuses) a plain index on attrs of rel.
+	EnsureIndex(rel string, attrs []string) error
+
+	// EntriesFor returns the access entries available for rel, most
+	// selective first (the planner consumes this).
+	EntriesFor(rel string) []access.Entry
+	// CloneData returns a consistent, synchronized snapshot copy of the
+	// whole data set (merged across shards for a partitioned backend).
+	// Uncounted: for conformance checks and offline precomputation, not
+	// the query path.
+	CloneData() *relation.Database
+	// Conforms checks cardinality conformance of the data to the access
+	// schema.
+	Conforms() error
+
+	// Counters returns the accumulated backend-global counters.
+	Counters() Counters
+	// ResetCounters zeroes the global counters, returning their previous
+	// value.
+	ResetCounters() Counters
+}
+
+// The single-node DB is the reference Backend.
+var _ Backend = (*DB)(nil)
+
+// Fetch is FetchInto with no per-call stats: only the backend-global
+// counters are charged and no trace is recorded. This is the one no-stats
+// entry point shared by every backend — accounting cannot diverge between
+// implementations.
+func Fetch(b Backend, e access.Entry, vals []relation.Value) ([]relation.Tuple, error) {
+	return b.FetchInto(nil, e, vals)
+}
+
+// Membership is MembershipInto with no per-call stats.
+func Membership(b Backend, rel string, t relation.Tuple) (bool, error) {
+	return b.MembershipInto(nil, rel, t)
+}
+
+// Scan is ScanInto with no per-call stats.
+func Scan(b Backend, rel string) ([]relation.Tuple, error) {
+	return b.ScanInto(nil, rel)
+}

@@ -1,0 +1,20 @@
+package store_test
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/backendtest"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// The single-node DB is the reference backend; running it through the
+// conformance suite pins the contract the suite encodes (self-identity,
+// budget, deadline, update semantics) so other backends diff against a
+// verified baseline.
+func TestSingleNodeConformance(t *testing.T) {
+	backendtest.Run(t, func(data *relation.Database, acc *access.Schema) (store.Backend, error) {
+		return store.Open(data, acc)
+	})
+}

@@ -78,13 +78,19 @@ type ExecStats struct {
 	// witness set D_Q. Leave nil to skip witness bookkeeping on hot paths.
 	Trace *Trace
 	// MaxReads, when positive, bounds Counters.TupleReads: the read that
-	// crosses it fails with ErrBudgetExceeded.
+	// crosses it fails with ErrBudgetExceeded. Zero or negative means
+	// unlimited.
 	MaxReads int64
 	// Ctx, when non-nil, is checked on every charge (and periodically
 	// inside large scans): a canceled or expired context fails the access
 	// with ErrCanceled. This is what lets a deadline interrupt even a
 	// single unbounded scan on the naive path.
 	Ctx context.Context
+
+	// exhausted marks a Fork child whose parent had no budget left: any
+	// read at all fails. Internal so negative MaxReads keeps meaning
+	// "unlimited" on the public field.
+	exhausted bool
 }
 
 // ctxErr reports the call's cancellation state.
@@ -98,10 +104,15 @@ func (es *ExecStats) ctxErr() error {
 	return nil
 }
 
-// charge adds c to both the store-global counters and (when es is non-nil)
-// the per-call counters, enforcing the call's read budget and deadline.
-func (es *ExecStats) charge(db *DB, c Counters) error {
-	db.counters.add(c)
+// ChargeTo adds c to the global accumulator g (when non-nil) and to the
+// per-call counters (when es is non-nil), enforcing the call's read budget
+// and deadline. This is the one charging primitive every backend uses: the
+// single-node DB passes its own counters, the sharded backend its
+// merge-level accumulator.
+func (es *ExecStats) ChargeTo(g *AtomicCounters, c Counters) error {
+	if g != nil {
+		g.Add(c)
+	}
 	if es == nil {
 		return nil
 	}
@@ -109,10 +120,68 @@ func (es *ExecStats) charge(db *DB, c Counters) error {
 		return err
 	}
 	es.Counters.Add(c)
+	return es.checkBudget()
+}
+
+// checkBudget enforces MaxReads against the accumulated per-call reads.
+// An exhausted fork child (the parent had no budget left) fails on any
+// read at all.
+func (es *ExecStats) checkBudget() error {
 	if es.MaxReads > 0 && es.Counters.TupleReads > es.MaxReads {
 		return fmt.Errorf("store: %w: %d tuple reads > %d allowed", ErrBudgetExceeded, es.Counters.TupleReads, es.MaxReads)
 	}
+	if es.exhausted && es.Counters.TupleReads > 0 {
+		return fmt.Errorf("store: %w: %d tuple reads > 0 allowed", ErrBudgetExceeded, es.Counters.TupleReads)
+	}
 	return nil
+}
+
+// Fork returns per-call stats for one branch of a scatter-gather fan-out:
+// it shares the parent's context, carries its own trace when the parent
+// traces, and inherits the parent's remaining read budget. Branches charge
+// their own shard's global counters as they go; the per-call view is
+// reassembled by Join. A nil parent forks to nil (uncounted branch).
+//
+// Each branch gets the full remaining budget, so under parallel fan-out
+// the first over-budget branch fails with ErrBudgetExceeded while sibling
+// reads are bounded by (#branches × remaining); the merged total is
+// re-checked by Join.
+func (es *ExecStats) Fork() *ExecStats {
+	if es == nil {
+		return nil
+	}
+	child := &ExecStats{Ctx: es.Ctx}
+	if es.Trace != nil {
+		child.Trace = NewTrace()
+	}
+	if es.MaxReads > 0 {
+		rem := es.MaxReads - es.Counters.TupleReads
+		if rem <= 0 {
+			child.exhausted = true // any further read fails
+		} else {
+			child.MaxReads = rem
+		}
+	}
+	return child
+}
+
+// Join merges a forked branch back into the parent: counters accumulate,
+// traces union, and the merged total is checked against the parent's
+// budget and deadline. Globals are not re-charged — the branch already
+// charged them where the work happened. Join calls must not race each
+// other; gather branches first, then join sequentially.
+func (es *ExecStats) Join(child *ExecStats) error {
+	if es == nil || child == nil {
+		return nil
+	}
+	es.Counters.Add(child.Counters)
+	if es.Trace != nil && child.Trace != nil {
+		es.Trace.Merge(child.Trace)
+	}
+	if err := es.ctxErr(); err != nil {
+		return err
+	}
+	return es.checkBudget()
 }
 
 // record notes a touched base tuple in the call's trace, if any.
@@ -122,6 +191,12 @@ func (es *ExecStats) record(rel string, t relation.Tuple) {
 	}
 	es.Trace.record(rel, t)
 }
+
+// RecordTouched notes a touched base tuple in the call's trace (nil-safe).
+// For backends that assemble a logical access at merge level — fetching
+// shard partials uncounted, then charging the union once — rather than
+// through the DB read methods, which record automatically.
+func (es *ExecStats) RecordTouched(rel string, t relation.Tuple) { es.record(rel, t) }
 
 // Trace records the distinct base tuples touched by one evaluation; its
 // contents are exactly the witness set D_Q ⊆ D of the paper.
@@ -150,6 +225,20 @@ func (tr *Trace) Distinct() int {
 	return n
 }
 
+// Merge unions o into tr (o is left unchanged). Used by scatter-gather
+// backends to reassemble one evaluation's witness set from per-shard
+// traces.
+func (tr *Trace) Merge(o *Trace) {
+	if o == nil {
+		return
+	}
+	for rel, s := range o.touched {
+		for _, t := range s.Tuples() {
+			tr.record(rel, t)
+		}
+	}
+}
+
 // PerRelation returns the distinct touched-tuple count per relation.
 func (tr *Trace) PerRelation() map[string]int {
 	out := make(map[string]int, len(tr.touched))
@@ -171,9 +260,9 @@ func (tr *Trace) Database(schema *relation.Schema) *relation.Database {
 	return db
 }
 
-// atomicCounters is the store-global accumulator, safe for concurrent
-// charging.
-type atomicCounters struct {
+// AtomicCounters is a backend-global accumulator, safe for concurrent
+// charging. The zero value is ready to use.
+type AtomicCounters struct {
 	tupleReads   atomic.Int64
 	indexLookups atomic.Int64
 	scans        atomic.Int64
@@ -181,7 +270,8 @@ type atomicCounters struct {
 	timeUnits    atomic.Int64
 }
 
-func (a *atomicCounters) add(c Counters) {
+// Add accumulates c.
+func (a *AtomicCounters) Add(c Counters) {
 	if c.TupleReads != 0 {
 		a.tupleReads.Add(c.TupleReads)
 	}
@@ -199,7 +289,8 @@ func (a *atomicCounters) add(c Counters) {
 	}
 }
 
-func (a *atomicCounters) load() Counters {
+// Load returns a snapshot of the accumulated counters.
+func (a *AtomicCounters) Load() Counters {
 	return Counters{
 		TupleReads:   a.tupleReads.Load(),
 		IndexLookups: a.indexLookups.Load(),
@@ -209,7 +300,8 @@ func (a *atomicCounters) load() Counters {
 	}
 }
 
-func (a *atomicCounters) swapZero() Counters {
+// SwapZero zeroes the counters, returning their previous value.
+func (a *AtomicCounters) SwapZero() Counters {
 	return Counters{
 		TupleReads:   a.tupleReads.Swap(0),
 		IndexLookups: a.indexLookups.Swap(0),
@@ -233,7 +325,7 @@ type DB struct {
 	// projected indices for embedded entries: rel -> "X->Y" name -> index
 	projIndexes map[string]map[string]*projIndex
 
-	counters atomicCounters
+	counters AtomicCounters
 }
 
 // Open wraps data with the given access schema, validating every entry and
@@ -273,6 +365,15 @@ func MustOpen(data *relation.Database, acc *access.Schema) *DB {
 // concurrently with ApplyUpdate.
 func (db *DB) Data() *relation.Database { return db.data }
 
+// CloneData returns a consistent snapshot copy of the data, synchronized
+// against concurrent ApplyUpdate. Uncounted: for conformance checks and
+// offline tooling, not the query path.
+func (db *DB) CloneData() *relation.Database {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.data.Clone()
+}
+
 // Access returns the access schema.
 func (db *DB) Access() *access.Schema { return db.acc }
 
@@ -287,12 +388,12 @@ func (db *DB) Size() int {
 }
 
 // Counters returns the accumulated global counters.
-func (db *DB) Counters() Counters { return db.counters.load() }
+func (db *DB) Counters() Counters { return db.counters.Load() }
 
 // ResetCounters zeroes the global counters and returns their previous
 // value. Per-call accounting should prefer ExecStats, which needs no
 // resetting and is immune to interleaved calls.
-func (db *DB) ResetCounters() Counters { return db.counters.swapZero() }
+func (db *DB) ResetCounters() Counters { return db.counters.SwapZero() }
 
 // Conforms checks cardinality conformance of the data to the access schema.
 func (db *DB) Conforms() error {
@@ -347,12 +448,6 @@ func (db *DB) EnsureIndex(rel string, attrs []string) error {
 	return nil
 }
 
-// Fetch is FetchInto with no per-call stats: only the global counters are
-// charged and no trace is recorded.
-func (db *DB) Fetch(e access.Entry, vals []relation.Value) ([]relation.Tuple, error) {
-	return db.FetchInto(nil, e, vals)
-}
-
 // FetchInto performs the indexed retrieval licensed by entry e with the
 // given values for e.On, in order, charging the work to es (and the global
 // counters). It returns:
@@ -384,7 +479,7 @@ func (db *DB) FetchInto(es *ExecStats, e access.Entry, vals []relation.Value) ([
 		// Embedded fetches do not touch identifiable base tuples (a covering
 		// index serves them), so the trace is not charged; Prop 4.5 gives a
 		// time bound, not a D_Q witness.
-		if err := es.charge(db, Counters{TupleReads: int64(len(out)), IndexLookups: 1, TimeUnits: int64(e.T)}); err != nil {
+		if err := es.ChargeTo(&db.counters, Counters{TupleReads: int64(len(out)), IndexLookups: 1, TimeUnits: int64(e.T)}); err != nil {
 			return nil, err
 		}
 		return copyTuples(out), nil
@@ -401,11 +496,44 @@ func (db *DB) FetchInto(es *ExecStats, e access.Entry, vals []relation.Value) ([
 	if len(out) > e.N {
 		return nil, fmt.Errorf("store: %s violated: group has %d > %d tuples", e.String(), len(out), e.N)
 	}
-	if err := es.charge(db, Counters{TupleReads: int64(len(out)), IndexLookups: 1, TimeUnits: int64(e.T)}); err != nil {
+	if err := es.ChargeTo(&db.counters, Counters{TupleReads: int64(len(out)), IndexLookups: 1, TimeUnits: int64(e.T)}); err != nil {
 		return nil, err
 	}
 	for _, t := range out {
 		es.record(e.Rel, t)
+	}
+	return copyTuples(out), nil
+}
+
+// FetchUncounted performs the retrieval licensed by entry e without
+// charging any counters and without enforcing e's cardinality bound. It is
+// a backend-building primitive, not a query-path method: a scatter-gather
+// backend retrieving one logical group from several shards must merge (and
+// for embedded entries deduplicate) the partial results before it knows
+// the true cost and cardinality of the access, so it fetches raw and
+// charges once at merge level. Everything user-facing goes through
+// FetchInto.
+func (db *DB) FetchUncounted(e access.Entry, vals []relation.Value) ([]relation.Tuple, error) {
+	if len(vals) != len(e.On) {
+		return nil, fmt.Errorf("store: fetch %s with %d values, want %d", e.Rel, len(vals), len(e.On))
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if e.IsEmbedded() {
+		name := index.KeyName(e.On) + "->" + index.KeyName(e.Proj)
+		pi := db.projIndexes[e.Rel][name]
+		if pi == nil {
+			return nil, fmt.Errorf("store: no projected index for %s", e.String())
+		}
+		return copyTuples(pi.lookup(vals)), nil
+	}
+	ix := db.indexes[e.Rel][index.KeyName(e.On)]
+	if ix == nil {
+		return nil, fmt.Errorf("store: no index for %s", e.String())
+	}
+	out, err := ix.Lookup(vals)
+	if err != nil {
+		return nil, err
 	}
 	return copyTuples(out), nil
 }
@@ -422,11 +550,6 @@ func copyTuples(ts []relation.Tuple) []relation.Tuple {
 	return append(make([]relation.Tuple, 0, len(ts)), ts...)
 }
 
-// Membership is MembershipInto with no per-call stats.
-func (db *DB) Membership(rel string, t relation.Tuple) (bool, error) {
-	return db.MembershipInto(nil, rel, t)
-}
-
 // MembershipInto probes whether t ∈ R using the implicit membership access
 // method (one constant-time probe). It charges one membership, one read if
 // present, and records the tuple in es's trace.
@@ -438,21 +561,16 @@ func (db *DB) MembershipInto(es *ExecStats, rel string, t relation.Tuple) (bool,
 		return false, fmt.Errorf("store: unknown relation %q", rel)
 	}
 	if !r.Contains(t) {
-		if err := es.charge(db, Counters{Memberships: 1, TimeUnits: 1}); err != nil {
+		if err := es.ChargeTo(&db.counters, Counters{Memberships: 1, TimeUnits: 1}); err != nil {
 			return false, err
 		}
 		return false, nil
 	}
-	if err := es.charge(db, Counters{Memberships: 1, TimeUnits: 1, TupleReads: 1}); err != nil {
+	if err := es.ChargeTo(&db.counters, Counters{Memberships: 1, TimeUnits: 1, TupleReads: 1}); err != nil {
 		return false, err
 	}
 	es.record(rel, t)
 	return true, nil
-}
-
-// Scan is ScanInto with no per-call stats.
-func (db *DB) Scan(rel string) ([]relation.Tuple, error) {
-	return db.ScanInto(nil, rel)
 }
 
 // ScanInto returns every tuple of rel, charging a full scan: |R| reads.
@@ -467,7 +585,7 @@ func (db *DB) ScanInto(es *ExecStats, rel string) ([]relation.Tuple, error) {
 		db.mu.RUnlock()
 		return nil, fmt.Errorf("store: unknown relation %q", rel)
 	}
-	if err := es.charge(db, Counters{Scans: 1, TupleReads: int64(r.Len()), TimeUnits: int64(r.Len())}); err != nil {
+	if err := es.ChargeTo(&db.counters, Counters{Scans: 1, TupleReads: int64(r.Len()), TimeUnits: int64(r.Len())}); err != nil {
 		db.mu.RUnlock()
 		return nil, err
 	}
@@ -493,7 +611,17 @@ func (db *DB) ScanInto(es *ExecStats, rel string) ([]relation.Tuple, error) {
 // (eval.ScanSnapshot), keeping measurements identical while skipping the
 // O(|R|) copy.
 func (db *DB) ChargeScanned(es *ExecStats, n int) error {
-	return es.charge(db, Counters{Scans: 1, TupleReads: int64(n), TimeUnits: int64(n)})
+	return es.ChargeTo(&db.counters, Counters{Scans: 1, TupleReads: int64(n), TimeUnits: int64(n)})
+}
+
+// ValidateUpdate checks u against the current data without applying it,
+// under a shared lock. A sharded backend pre-validates every per-shard
+// piece before applying any of them; with concurrent writers the check is
+// advisory (ApplyUpdate re-validates under its exclusive lock).
+func (db *DB) ValidateUpdate(u *relation.Update) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return u.Validate(db.data)
 }
 
 // ApplyUpdate validates and applies u to the data, keeping every index in

@@ -42,7 +42,7 @@ func testDB(t *testing.T) *DB {
 func TestFetchPlain(t *testing.T) {
 	db := testDB(t)
 	e := access.Plain("friend", []string{"id1"}, 5000, 1)
-	got, err := db.Fetch(e, []relation.Value{relation.Int(1)})
+	got, err := Fetch(db, e, []relation.Value{relation.Int(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestFetchPlain(t *testing.T) {
 	if c.TupleReads != 2 || c.IndexLookups != 1 || c.TimeUnits != 1 {
 		t.Errorf("counters = %s", c)
 	}
-	if _, err := db.Fetch(e, nil); err == nil {
+	if _, err := Fetch(db, e, nil); err == nil {
 		t.Error("wrong value count accepted")
 	}
 }
@@ -70,7 +70,7 @@ func TestFetchEnforcesN(t *testing.T) {
 	if err := db.Conforms(); err == nil {
 		t.Fatal("Conforms should fail: two friends, limit 1")
 	}
-	if _, err := db.Fetch(e, []relation.Value{relation.Int(1)}); err == nil {
+	if _, err := Fetch(db, e, []relation.Value{relation.Int(1)}); err == nil {
 		t.Fatal("Fetch should enforce N")
 	}
 }
@@ -121,7 +121,7 @@ func TestExecStatsBudget(t *testing.T) {
 		t.Fatalf("want ErrBudgetExceeded, got %v", err)
 	}
 	// A nil ExecStats is never budget-limited.
-	if _, err := db.Fetch(ef, []relation.Value{relation.Int(1)}); err != nil {
+	if _, err := Fetch(db, ef, []relation.Value{relation.Int(1)}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -175,11 +175,11 @@ func TestConcurrentReads(t *testing.T) {
 
 func TestMembershipAndScan(t *testing.T) {
 	db := testDB(t)
-	ok, err := db.Membership("friend", relation.Ints(1, 2))
+	ok, err := Membership(db, "friend", relation.Ints(1, 2))
 	if err != nil || !ok {
 		t.Fatalf("Membership: %v %v", ok, err)
 	}
-	ok, err = db.Membership("friend", relation.Ints(9, 9))
+	ok, err = Membership(db, "friend", relation.Ints(9, 9))
 	if err != nil || ok {
 		t.Fatalf("Membership absent: %v %v", ok, err)
 	}
@@ -187,7 +187,7 @@ func TestMembershipAndScan(t *testing.T) {
 	if c.Memberships != 2 || c.TupleReads != 1 {
 		t.Errorf("membership counters = %s", c)
 	}
-	ts, err := db.Scan("friend")
+	ts, err := Scan(db, "friend")
 	if err != nil || len(ts) != 3 {
 		t.Fatalf("Scan: %v %v", ts, err)
 	}
@@ -268,7 +268,7 @@ func TestApplyUpdateKeepsIndexesInSync(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := access.Plain("friend", []string{"id1"}, 5000, 1)
-	got, err := db.Fetch(e, []relation.Value{relation.Int(1)})
+	got, err := Fetch(db, e, []relation.Value{relation.Int(1)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +296,7 @@ func TestEmbeddedFetch(t *testing.T) {
 	acc.MustAdd(days)
 	db := MustOpen(data, acc)
 
-	got, err := db.Fetch(days, []relation.Value{relation.Int(2013)})
+	got, err := Fetch(db, days, []relation.Value{relation.Int(2013)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +314,7 @@ func TestEmbeddedFetch(t *testing.T) {
 	if err := db.ApplyUpdate(u); err != nil {
 		t.Fatal(err)
 	}
-	got, _ = db.Fetch(days, []relation.Value{relation.Int(2013)})
+	got, _ = Fetch(db, days, []relation.Value{relation.Int(2013)})
 	if len(got) != 2 {
 		t.Fatalf("after shared delete: %v", got)
 	}
@@ -323,7 +323,7 @@ func TestEmbeddedFetch(t *testing.T) {
 	if err := db.ApplyUpdate(u2); err != nil {
 		t.Fatal(err)
 	}
-	got, _ = db.Fetch(days, []relation.Value{relation.Int(2013)})
+	got, _ = Fetch(db, days, []relation.Value{relation.Int(2013)})
 	if len(got) != 1 {
 		t.Fatalf("after full delete: %v", got)
 	}
@@ -351,7 +351,7 @@ func TestProjIndexQuick(t *testing.T) {
 			t.Fatal(err)
 		}
 		yy := relation.Int(int64(2010 + rng.Intn(3)))
-		got, err := db.Fetch(days, []relation.Value{yy})
+		got, err := Fetch(db, days, []relation.Value{yy})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/query"
 	"repro/internal/relation"
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -89,8 +90,20 @@ type (
 	ExecStats = store.ExecStats
 	// Catalog is a parsed schema + access schema.
 	Catalog = parser.Catalog
-	// Store is an instrumented database with indices and access counters.
+	// Store is an instrumented single-node database with indices and
+	// access counters: the reference Backend.
 	Store = store.DB
+	// Backend is the storage interface the engine runs against; OpenSharded
+	// and Open both return one. Custom backends plug in via NewEngineOn.
+	Backend = store.Backend
+	// ShardedStore is a hash-partitioned Backend: n independent shards,
+	// single-shard fast paths for key accesses, parallel scatter-gather
+	// reads, per-shard write locks.
+	ShardedStore = shard.Store
+	// ShardOption configures OpenSharded (e.g. WithRoute).
+	ShardOption = shard.Option
+	// Counters are accumulated access-path work measurements.
+	Counters = store.Counters
 )
 
 // Typed error taxonomy: every load-bearing failure of Prepare/Exec wraps
@@ -141,12 +154,28 @@ func ParseCQ(src string) (*CQ, error) { return parser.ParseCQ(src) }
 // NewDatabase returns an empty instance of the schema.
 func NewDatabase(s *Schema) *Database { return relation.NewDatabase(s) }
 
+// NewUpdate returns an empty update ΔD; fill it with Insert/Delete.
+func NewUpdate() *Update { return relation.NewUpdate() }
+
 // Open wraps a database with an access schema, building the indices the
 // schema calls for.
 func Open(data *Database, acc *AccessSchema) (*Store, error) { return store.Open(data, acc) }
 
-// NewEngine opens the data under the access schema and returns a bounded
-// evaluation engine.
+// OpenSharded hash-partitions the data across n independent shards under
+// the access schema. Tuples are routed by each relation's
+// access-constraint key attributes (overridable with WithRoute), so key
+// fetches and membership probes touch one shard, other reads
+// scatter-gather in parallel, and updates to different shards apply
+// concurrently. The result is a Backend: pass it to NewEngineOn.
+func OpenSharded(data *Database, acc *AccessSchema, n int, opts ...ShardOption) (*ShardedStore, error) {
+	return shard.Open(data, acc, n, opts...)
+}
+
+// WithRoute overrides the routing key of one relation for OpenSharded.
+func WithRoute(rel string, attrs ...string) ShardOption { return shard.WithRoute(rel, attrs...) }
+
+// NewEngine opens the data under the access schema on the single-node
+// backend and returns a bounded evaluation engine.
 func NewEngine(data *Database, acc *AccessSchema) (*Engine, error) {
 	st, err := store.Open(data, acc)
 	if err != nil {
@@ -154,6 +183,20 @@ func NewEngine(data *Database, acc *AccessSchema) (*Engine, error) {
 	}
 	return core.NewEngine(st), nil
 }
+
+// NewShardedEngine opens the data hash-partitioned across n shards and
+// returns a bounded evaluation engine over the sharded backend.
+func NewShardedEngine(data *Database, acc *AccessSchema, n int, opts ...ShardOption) (*Engine, error) {
+	st, err := shard.Open(data, acc, n, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewEngine(st), nil
+}
+
+// NewEngineOn returns a bounded evaluation engine over any storage
+// backend (single-node, sharded, or custom).
+func NewEngineOn(b Backend) *Engine { return core.NewEngine(b) }
 
 // NaiveAnswers evaluates a query by scans — the unbounded baseline.
 func NaiveAnswers(data *Database, q *Query, fixed Bindings) (*relation.TupleSet, error) {
