@@ -312,6 +312,160 @@ func BenchmarkServingPreparedSharded4(b *testing.B) {
 	}
 }
 
+// --- Cursor (streaming) serving benchmarks: the same prepared Q1 through
+// the Rows API. Drain shows the cursor protocol's overhead against Exec;
+// First shows what early termination buys — strictly fewer tuple reads
+// per call, since the fetches behind unread answers are never issued. ---
+
+// BenchmarkServingRowsDrain fully drains a cursor per call: same reads
+// and answers as BenchmarkServingPreparedNoTrace, through Next/Tuple.
+func BenchmarkServingRowsDrain(b *testing.B) {
+	eng, _ := socialEngine(b, 10000)
+	q, err := ParseQuery(workload.Q1Src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep, err := eng.Prepare(q, NewVarSet("p"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := prep.Query(ctx, Bindings{"p": Int(int64(i % 1000))}, WithoutTrace())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for rows.Next() {
+		}
+		if err := rows.Err(); err != nil {
+			b.Fatal(err)
+		}
+		rows.Close()
+	}
+}
+
+// BenchmarkServingFirst stops after the first answer; the read savings
+// against the full drain are reported as reads/op.
+func BenchmarkServingFirst(b *testing.B) {
+	eng, _ := socialEngine(b, 10000)
+	q, err := ParseQuery(workload.Q1Src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep, err := eng.Prepare(q, NewVarSet("p"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var reads int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := prep.Query(ctx, Bindings{"p": Int(int64(i % 1000))}, WithoutTrace(), WithLimit(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows.Next()
+		if err := rows.Err(); err != nil {
+			b.Fatal(err)
+		}
+		reads += rows.Cost().TupleReads
+		rows.Close()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(reads)/float64(b.N), "reads/op")
+}
+
+// BenchmarkServingExecReads is BenchmarkServingPreparedNoTrace with the
+// full drain's reads/op reported, for comparison against
+// BenchmarkServingFirst: the delta is the early-exit saving.
+func BenchmarkServingExecReads(b *testing.B) {
+	eng, _ := socialEngine(b, 10000)
+	q, err := ParseQuery(workload.Q1Src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep, err := eng.Prepare(q, NewVarSet("p"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var reads int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ans, err := prep.Exec(ctx, Bindings{"p": Int(int64(i % 1000))}, WithoutTrace())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reads += ans.Cost.TupleReads
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(reads)/float64(b.N), "reads/op")
+}
+
+// TestFacadeStreaming drives the cursor API end to end through the public
+// facade: Rows.All() answers match Exec, and early exit reads less.
+func TestFacadeStreaming(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.Persons = 300
+	db, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(db, workload.Access(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery(workload.Q1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := eng.Prepare(q, NewVarSet("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for p := int64(0); p < 60; p++ {
+		fixed := Bindings{"p": Int(p)}
+		ans, err := prep.Exec(ctx, fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := prep.Query(ctx, fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := relation.NewTupleSet(0)
+		for tu, err := range rows.All() {
+			if err != nil {
+				t.Fatal(err)
+			}
+			got.Add(tu)
+		}
+		if !got.Equal(ans.Tuples) {
+			t.Fatalf("p=%d: streamed %v, exec %v", p, got.Tuples(), ans.Tuples.Tuples())
+		}
+		if rows.Cost().TupleReads != ans.Cost.TupleReads {
+			t.Fatalf("p=%d: rows read %d, exec %d", p, rows.Cost().TupleReads, ans.Cost.TupleReads)
+		}
+		if ans.Tuples.Len() < 2 {
+			continue
+		}
+		first, err := eng.First(ctx, q, fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ans.Tuples.Contains(first) {
+			t.Fatalf("p=%d: First %v not an answer", p, first)
+		}
+		return
+	}
+	t.Fatal("no multi-answer binding found")
+}
+
 // Facade smoke test: the public API answers Q1 correctly end to end.
 func TestFacadeEndToEnd(t *testing.T) {
 	cfg := workload.DefaultConfig()

@@ -18,6 +18,7 @@
 //	sibench -serving     # prepared vs unprepared serving throughput
 //	sibench -serving -shards 4   # ... over the sharded backend
 //	sibench -shardscale  # throughput vs shard count under parallel clients
+//	sibench -limit 1     # early-exit serving: cursor WithLimit(n) vs full drain on Q1
 package main
 
 import (
@@ -48,8 +49,16 @@ func main() {
 	shardScale := flag.Bool("shardscale", false, "benchmark concurrent-client throughput vs shard count (1/2/4/8) at fixed |D|")
 	clients := flag.Int("clients", 8, "with -shardscale: number of parallel query clients")
 	writers := flag.Int("writers", 2, "with -shardscale: number of concurrent update writers in the mixed workload")
+	limit := flag.Int("limit", 0, "benchmark early-exit serving instead: Rows WithLimit(n)/First vs a full Exec drain on Q1")
 	flag.Parse()
 
+	if *limit > 0 {
+		if err := limitBench(*quick, *shards, *limit); err != nil {
+			fmt.Fprintf(os.Stderr, "sibench: limit: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *shardScale {
 		if err := shardScaleBench(*quick, *clients, *writers); err != nil {
 			fmt.Fprintf(os.Stderr, "sibench: shardscale: %v\n", err)
@@ -192,6 +201,139 @@ func servingBench(quick bool, shards int) error {
 		per := r.d / time.Duration(iters)
 		fmt.Printf("%-34s %12s %13.1fx\n", r.name, per, float64(tU)/float64(r.d))
 	}
+	return nil
+}
+
+// limitBench measures what early termination buys on the serving path:
+// the same prepared Q1 executed over the same binding sequence (a) as a
+// full Exec drain, (b) as a cursor stopped after n answers (WithLimit),
+// and (c) as First (n = 1). Reads are the paper's currency, so the table
+// reports average TupleReads per call next to wall-clock — the limited
+// cursor must charge strictly fewer reads than the drain whenever the
+// answer set is larger than n.
+func limitBench(quick bool, shards, n int) error {
+	persons := 10000
+	iters := 20000
+	if quick {
+		persons, iters = 2000, 4000
+	}
+	cfg := workload.DefaultConfig()
+	cfg.Persons = persons
+	cfg.Seed = 7
+	db, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	var st store.Backend
+	if shards > 0 {
+		st, err = shard.Open(db, workload.Access(cfg), shards)
+	} else {
+		st, err = store.Open(db, workload.Access(cfg))
+	}
+	if err != nil {
+		return err
+	}
+	q, err := parser.ParseQuery(workload.Q1Src)
+	if err != nil {
+		return err
+	}
+	prep, err := core.NewEngine(st).Prepare(q, query.NewVarSet("p"))
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	bind := func(i int) query.Bindings {
+		return query.Bindings{"p": relation.Int(int64(i % 1000))}
+	}
+
+	type row struct {
+		name    string
+		reads   int64
+		answers int64
+		d       time.Duration
+	}
+	measure := func(name string, once func(i int) (reads, answers int64, err error)) (row, error) {
+		r := row{name: name}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			reads, answers, err := once(i)
+			if err != nil {
+				return r, fmt.Errorf("%s: %w", name, err)
+			}
+			r.reads += reads
+			r.answers += answers
+		}
+		r.d = time.Since(start)
+		return r, nil
+	}
+
+	full, err := measure("Exec (full drain)", func(i int) (int64, int64, error) {
+		ans, err := prep.Exec(ctx, bind(i), core.WithoutTrace())
+		if err != nil {
+			return 0, 0, err
+		}
+		return ans.Cost.TupleReads, int64(ans.Tuples.Len()), nil
+	})
+	if err != nil {
+		return err
+	}
+	limited, err := measure(fmt.Sprintf("Rows WithLimit(%d)", n), func(i int) (int64, int64, error) {
+		rows, err := prep.Query(ctx, bind(i), core.WithoutTrace(), core.WithLimit(n))
+		if err != nil {
+			return 0, 0, err
+		}
+		defer rows.Close()
+		answers := int64(0)
+		for rows.Next() {
+			answers++
+		}
+		if err := rows.Err(); err != nil {
+			return 0, 0, err
+		}
+		return rows.Cost().TupleReads, answers, nil
+	})
+	if err != nil {
+		return err
+	}
+	first, err := measure("First", func(i int) (int64, int64, error) {
+		rows, err := prep.Query(ctx, bind(i), core.WithoutTrace(), core.WithLimit(1))
+		if err != nil {
+			return 0, 0, err
+		}
+		defer rows.Close()
+		if rows.Next() {
+			return rows.Cost().TupleReads, 1, nil
+		}
+		return rows.Cost().TupleReads, 0, rows.Err()
+	})
+	if err != nil {
+		return err
+	}
+
+	backend := "single-node"
+	if shards > 0 {
+		backend = fmt.Sprintf("%d-shard", shards)
+	}
+	fmt.Printf("early-exit serving Q1 on |D| = %d (%s backend), %d executions each:\n\n", st.Size(), backend, iters)
+	fmt.Printf("%-22s %14s %14s %12s\n", "mode", "avg reads/call", "avg answers", "per call")
+	for _, r := range []row{full, limited, first} {
+		fmt.Printf("%-22s %14.2f %14.2f %12s\n",
+			r.name,
+			float64(r.reads)/float64(iters),
+			float64(r.answers)/float64(iters),
+			(r.d / time.Duration(iters)).Round(time.Nanosecond))
+	}
+	if limited.answers == full.answers {
+		// n never truncated anything: every drain fit under the limit, so
+		// reads are legitimately equal — not a failure of early exit.
+		fmt.Printf("\nlimit %d was never reached (every answer set fit under it); lower -limit to measure early exit.\n", n)
+		return nil
+	}
+	if limited.reads >= full.reads {
+		return fmt.Errorf("early exit saved nothing: limited %d reads vs full %d", limited.reads, full.reads)
+	}
+	fmt.Printf("\nWithLimit(%d) read %.1f%% of the full drain's tuples; the unread fetches were never issued.\n",
+		n, 100*float64(limited.reads)/float64(full.reads))
 	return nil
 }
 

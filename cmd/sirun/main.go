@@ -13,6 +13,11 @@
 //	sirun -data data/ -query "Q1(p, name) := exists id (friend(p, id) and person(id, name, 'NYC'))" -fix "p=7"
 //	sirun -persons 10000 -query ... -fix "p=7"         # generate instead of loading
 //	sirun -query ... -fix "p=7" -max-reads 1000 -timeout 5s
+//	sirun -query ... -fix "p=7" -limit 3               # stream the first 3 answers and stop reading
+//
+// With -limit N the cursor API is used instead: answers stream out as the
+// bounded plan pulls them, and evaluation — including its tuple reads and
+// budget consumption — stops after the N-th answer.
 package main
 
 import (
@@ -47,6 +52,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "evaluation deadline (0 = none)")
 	fallback := flag.Bool("fallback", false, "fall back to naive evaluation when not controllable")
 	shards := flag.Int("shards", 0, "serve from a hash-sharded store with this many shards (0 = single-node)")
+	limit := flag.Int("limit", 0, "stream at most this many answers through the cursor API and stop charging reads (0 = drain everything)")
 	flag.Parse()
 
 	var db *relation.Database
@@ -99,6 +105,13 @@ func main() {
 	}
 	if *fallback {
 		opts = append(opts, core.WithNaiveFallback())
+	}
+
+	if *limit > 0 {
+		if err := streamAnswers(ctx, eng, q, fixed, *limit, opts); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	start := time.Now()
@@ -162,6 +175,55 @@ func main() {
 		}
 		fmt.Println("  answers match the bounded evaluation ✓")
 	}
+}
+
+// streamAnswers drives the cursor API: answers print the moment the plan
+// produces them, with the cumulative measured reads next to each, and
+// evaluation stops — reads and all — after the limit.
+func streamAnswers(ctx context.Context, eng *core.Engine, q *query.Query, fixed query.Bindings, limit int, opts []core.ExecOption) error {
+	start := time.Now()
+	rows, err := eng.QueryContext(ctx, q, fixed, append(opts, core.WithLimit(limit))...)
+	switch {
+	case errors.Is(err, core.ErrNotControllable):
+		return fmt.Errorf("%w\n  (re-run with -fallback to stream it naively anyway)", err)
+	case err != nil:
+		return err
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+		if n == 1 {
+			fmt.Printf("first answer after %s:\n", time.Since(start).Round(time.Microsecond))
+		}
+		fmt.Printf("  %s%s   (cumulative reads: %d)\n",
+			strings.Join(rows.Head(), ","), rows.Tuple(), rows.Cost().TupleReads)
+	}
+	switch err := rows.Err(); {
+	case errors.Is(err, core.ErrBudgetExceeded):
+		return fmt.Errorf("%w after %d answers\n  (raise -max-reads)", err, n)
+	case errors.Is(err, core.ErrCanceled):
+		return fmt.Errorf("%w after %d answers\n  (raise -timeout)", err, n)
+	case err != nil:
+		return err
+	}
+	if n >= limit {
+		fmt.Printf("\n%d answer(s) in %s: limit %d reached — remaining evaluation, if any, was never run or charged\n",
+			n, time.Since(start).Round(time.Microsecond), limit)
+	} else {
+		fmt.Printf("\n%d answer(s) in %s: the answer set ended before the limit (%d)\n",
+			n, time.Since(start).Round(time.Microsecond), limit)
+	}
+	fmt.Printf("  measured: %s\n", rows.Cost())
+	if dq := rows.DQ(); dq != nil {
+		fmt.Printf("  |D_Q| = %d distinct base tuples (per relation: %v)\n", dq.Distinct(), dq.PerRelation())
+	}
+	if rows.Plan() != nil {
+		fmt.Printf("  static full-drain bound: %s\n", rows.Plan().Bound)
+	} else {
+		fmt.Println("  (naive fallback: no bounded plan)")
+	}
+	return nil
 }
 
 func generate(persons int, seed int64) (*relation.Database, *access.Schema, error) {

@@ -102,4 +102,23 @@ access person(id -> *) limit 1 time 1
 		log.Fatal(err)
 	}
 	fmt.Printf("\nWithoutTrace: %d answers, DQ recorded: %v\n", fast.Tuples.Len(), fast.DQ != nil)
+
+	// 8. Streaming: Query opens a cursor instead of materializing — the
+	//    plan executes lazily, charging reads only as answers are pulled,
+	//    and WithLimit stops the evaluation (and its reads) early. Range
+	//    over rows.All(), or drive Next/Tuple/Err/Close by hand.
+	rows, err := prep.Query(ctx, scaleindep.Bindings{"p": scaleindep.Int(1)},
+		scaleindep.WithLimit(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nstreaming Q1(1) with LIMIT 2:")
+	for t, err := range rows.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s   (reads so far: %d)\n", t, rows.Cost().TupleReads)
+	}
+	fmt.Printf("stopped after %d reads — the person lookups for friends beyond the limit were never issued\n",
+		rows.Cost().TupleReads)
 }

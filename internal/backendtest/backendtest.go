@@ -92,6 +92,134 @@ func Run(t *testing.T, open OpenFunc) {
 	t.Run("budget", func(t *testing.T) { budgetEnforcement(t, cfg, engB) })
 	t.Run("deadline", func(t *testing.T) { deadlineInterruption(t, cfg, engB, b) })
 	t.Run("updates", func(t *testing.T) { updateConformance(t, cfg, engRef, engB) })
+	t.Run("streaming", func(t *testing.T) { streamingConformance(t, cfg, engRef, engB) })
+	t.Run("scanseq", func(t *testing.T) { scanSeqConformance(t, b) })
+}
+
+// streamingConformance pins the cursor path to the materializing path on
+// the backend under test: a drained Rows is bit-identical to Exec
+// (answers, TupleReads, witness size) on every experiment query, and an
+// early-terminated cursor (WithLimit(1) / First) charges strictly fewer
+// reads than the full drain on multi-answer bindings.
+func streamingConformance(t *testing.T, cfg workload.Config, engRef, engB *core.Engine) {
+	ctx := context.Background()
+	for _, qc := range cases(cfg) {
+		q := mustQuery(t, qc.src)
+		prepRef := mustPrepare(t, engRef, q, qc.ctrl)
+		prepB := mustPrepare(t, engB, q, qc.ctrl)
+		earlyExitChecked := false
+		for i := 0; i < 24; i++ {
+			fixed := qc.bind(i * 7)
+			ansRef, err := prepRef.Exec(ctx, fixed)
+			if err != nil {
+				t.Fatalf("%s %v on reference: %v", qc.name, fixed, err)
+			}
+			rows, err := prepB.Query(ctx, fixed)
+			if err != nil {
+				t.Fatalf("%s %v on backend: %v", qc.name, fixed, err)
+			}
+			got := relation.NewTupleSet(0)
+			for rows.Next() {
+				got.Add(rows.Tuple())
+			}
+			if err := rows.Err(); err != nil {
+				t.Fatalf("%s %v: cursor failed: %v", qc.name, fixed, err)
+			}
+			if !got.Equal(ansRef.Tuples) {
+				t.Fatalf("%s %v: %d streamed answers, %d from reference Exec", qc.name, fixed, got.Len(), ansRef.Tuples.Len())
+			}
+			if rows.Cost().TupleReads != ansRef.Cost.TupleReads {
+				t.Fatalf("%s %v: cursor charged %d tuple reads, reference Exec %d", qc.name, fixed, rows.Cost().TupleReads, ansRef.Cost.TupleReads)
+			}
+			if rows.DQ().Distinct() != ansRef.DQ.Distinct() {
+				t.Fatalf("%s %v: cursor witness |D_Q| %d, reference %d", qc.name, fixed, rows.DQ().Distinct(), ansRef.DQ.Distinct())
+			}
+			if earlyExitChecked || ansRef.Tuples.Len() < 2 {
+				continue
+			}
+			// Early termination: one answer must cost strictly less than all
+			// of them (granted the full drain charged more than one read).
+			lim, err := prepB.Query(ctx, fixed, core.WithLimit(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			for lim.Next() {
+				n++
+			}
+			if err := lim.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if n != 1 {
+				t.Fatalf("%s %v: WithLimit(1) delivered %d answers", qc.name, fixed, n)
+			}
+			if lim.Cost().TupleReads >= ansRef.Cost.TupleReads {
+				t.Fatalf("%s %v: limited cursor charged %d reads, full drain %d — early exit saved nothing",
+					qc.name, fixed, lim.Cost().TupleReads, ansRef.Cost.TupleReads)
+			}
+			tup, err := prepB.First(ctx, fixed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ansRef.Tuples.Contains(tup) {
+				t.Fatalf("%s %v: First = %v, not an answer", qc.name, fixed, tup)
+			}
+			earlyExitChecked = true
+		}
+		if !earlyExitChecked {
+			t.Fatalf("%s: no multi-answer binding exercised the early-exit check; widen the sampled bindings", qc.name)
+		}
+	}
+}
+
+// scanSeqConformance checks the streaming-scan contract on the backend
+// under test: a full drain of store.ScanSeq charges exactly what its own
+// ScanInto charges and yields the same tuple set; an abandoned stream
+// charges no more than the drain. (Cross-backend scan accounting is
+// covered by naiveConformance.)
+func scanSeqConformance(t *testing.T, b store.Backend) {
+	for _, rel := range []string{"friend", "person"} {
+		esScan := &store.ExecStats{Trace: store.NewTrace()}
+		want, err := b.ScanInto(esScan, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		esSeq := &store.ExecStats{Trace: store.NewTrace()}
+		got := relation.NewTupleSet(0)
+		for tu, err := range store.ScanSeq(b, esSeq, rel) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			got.Add(tu)
+		}
+		wantSet := relation.NewTupleSet(len(want))
+		wantSet.AddAll(want)
+		if !got.Equal(wantSet) {
+			t.Fatalf("%s: ScanSeq yielded %d distinct tuples, ScanInto %d", rel, got.Len(), wantSet.Len())
+		}
+		if esSeq.Counters != esScan.Counters {
+			t.Fatalf("%s: ScanSeq charged %+v, ScanInto %+v", rel, esSeq.Counters, esScan.Counters)
+		}
+		if esSeq.Trace.Distinct() != esScan.Trace.Distinct() {
+			t.Fatalf("%s: ScanSeq witness %d, ScanInto %d", rel, esSeq.Trace.Distinct(), esScan.Trace.Distinct())
+		}
+		// Abandoning after one tuple charges at most one chunk (single-node)
+		// or one shard partial — never more than the full scan, and for the
+		// large experiment relation strictly less.
+		esPart := &store.ExecStats{}
+		for _, err := range store.ScanSeq(b, esPart, rel) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if esPart.Counters.TupleReads > esScan.Counters.TupleReads {
+			t.Fatalf("%s: abandoned stream charged %d reads, full scan %d", rel, esPart.Counters.TupleReads, esScan.Counters.TupleReads)
+		}
+		if rel == "friend" && esPart.Counters.TupleReads >= esScan.Counters.TupleReads {
+			t.Fatalf("%s: abandoned stream charged %d of %d reads — nothing was deferred", rel, esPart.Counters.TupleReads, esScan.Counters.TupleReads)
+		}
+	}
 }
 
 // boundedConformance proves the core property: for every experiment query

@@ -65,7 +65,17 @@ type execOpts struct {
 	maxReads      int64
 	noTrace       bool
 	naiveFallback bool
+	limit         int
 }
+
+// WithLimit stops the evaluation after n distinct answers have been
+// produced — and, because execution is a lazy cursor pipeline, stops
+// charging TupleReads and the WithMaxReads budget at that point too (the
+// LIMIT of the serving API). On the cursor path (Query/QueryContext) Next
+// returns false after the n-th answer; on the drain path (Exec/
+// AnswerContext) the Answer holds the first n answers found. n <= 0 means
+// unlimited.
+func WithLimit(n int) ExecOption { return func(o *execOpts) { o.limit = n } }
 
 // WithMaxReads enforces a runtime budget of n tuple reads on the call:
 // the read that crosses it fails with ErrBudgetExceeded. This is the
@@ -99,7 +109,9 @@ type Answer struct {
 	Cost store.Counters
 	// DQ is the witness set: the distinct base tuples this call touched.
 	// Q(ā, D) = Q(ā, DQ) and |DQ| ≤ Plan.Bound.Reads. Nil under
-	// WithoutTrace.
+	// WithoutTrace. Under WithLimit(n) the evaluation stops early, so DQ
+	// witnesses only the answers actually produced: evaluating Q over DQ
+	// yields (at least) those n answers, not the full Q(ā, D).
 	DQ *store.Trace
 }
 
@@ -179,12 +191,25 @@ func (e *Engine) AnswerWith(q *query.Query, fixed query.Bindings, d *Derivation)
 }
 
 // naiveAnswer evaluates q by full scans through the instrumented store —
-// the WithNaiveFallback path. The call is still charged per-call stats
-// (and budget-limited, if requested); only the scale-independence
-// guarantee is gone. Cancellation is checked on every charged store
-// access (and periodically within large scans), since this is the one
-// path whose running time can grow with |D|.
+// the WithNaiveFallback path, a drain of naiveQuery. The call is still
+// charged per-call stats (and budget-limited, if requested); only the
+// scale-independence guarantee is gone.
 func (e *Engine) naiveAnswer(ctx context.Context, q *query.Query, fixed query.Bindings, o execOpts) (*Answer, error) {
+	rows, err := e.naiveQuery(ctx, q, fixed, o)
+	if err != nil {
+		return nil, err
+	}
+	return rows.drain()
+}
+
+// naiveQuery opens a cursor over naive (full-scan) evaluation through the
+// instrumented store. The backtracking join underneath is itself a lazy
+// generator: atom scans are issued only as the consumer pulls, so an
+// early-terminated naive cursor skips the scans of join branches it never
+// reached. Cancellation is checked on every charged store access (and
+// periodically within large scans), since this is the one path whose
+// running time can grow with |D|.
+func (e *Engine) naiveQuery(ctx context.Context, q *query.Query, fixed query.Bindings, o execOpts) (*Rows, error) {
 	es := &store.ExecStats{MaxReads: o.maxReads, Ctx: ctx}
 	if !o.noTrace {
 		es.Trace = store.NewTrace()
@@ -194,16 +219,8 @@ func (e *Engine) naiveAnswer(ctx context.Context, q *query.Query, fixed query.Bi
 			return nil, fmt.Errorf("core: %w: %w", ErrCanceled, err)
 		}
 	}
-	ts, err := eval.Answers(eval.NewStoreSource(e.DB, es), q, fixed)
-	if err != nil {
-		return nil, err
-	}
-	return &Answer{
-		Tuples:        ts,
-		RemainingHead: remainingHead(q.Head, fixed),
-		Cost:          es.Counters,
-		DQ:            es.Trace,
-	}, nil
+	seq := eval.Stream(eval.NewStoreSource(e.DB, es), q, fixed)
+	return newRows(remainingHead(q.Head, fixed), nil, es, seq, o.limit), nil
 }
 
 // QCntl decides the problem of Theorem 4.4: is there x̄ with |x̄| ≤ K such

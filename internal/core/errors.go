@@ -34,4 +34,8 @@ var (
 	// variable — the caller fixed a set that does not determine the head
 	// (e.g. a Boolean sub-derivation was chosen for a non-Boolean query).
 	ErrUnboundHead = errors.New("plan binding leaves a head variable unbound")
+
+	// ErrNoRows: First was called on a query with an empty answer set —
+	// the database/sql-style sentinel of the cursor API.
+	ErrNoRows = errors.New("no answers in result set")
 )

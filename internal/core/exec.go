@@ -15,6 +15,9 @@ import (
 // tree: the cancellation context and the per-call stats (counters, trace,
 // read budget) that the store read path charges. A fresh executor per call
 // is what makes concurrent evaluations over a shared store safe.
+//
+// Execution itself is streaming: see stream.go for the per-rule
+// generators; the eager entry points below are drains over them.
 type executor struct {
 	ctx context.Context
 	st  store.Backend
@@ -47,38 +50,24 @@ func Exec(st store.Backend, d *Derivation, env query.Bindings) ([]query.Bindings
 // each defined on exactly the free variables of the derived formula. A nil
 // es charges only the store-global counters; a nil ctx is treated as
 // context.Background().
+//
+// ExecContext is a full drain of the streaming executor: callers that can
+// consume answers incrementally (or stop early) should prefer the cursor
+// API (PreparedQuery.Query, Engine.QueryContext), which stops charging
+// reads the moment they stop pulling.
 func ExecContext(ctx context.Context, st store.Backend, d *Derivation, env query.Bindings, es *store.ExecStats) ([]query.Bindings, error) {
 	if missing := d.Ctrl.Minus(env.Vars()); !missing.IsEmpty() {
 		return nil, fmt.Errorf("core: exec needs values for controlling variables %s", missing)
 	}
 	x := &executor{ctx: ctx, st: st, es: es}
-	return x.execNode(d, env)
-}
-
-func (x *executor) execNode(d *Derivation, env query.Bindings) ([]query.Bindings, error) {
-	if err := x.checkCtx(); err != nil {
-		return nil, err
+	var out []query.Bindings
+	for b, err := range x.stream(d, env) {
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
 	}
-	switch d.Rule {
-	case RuleAtom:
-		return x.execAtom(d, env)
-	case RuleConditions:
-		return execConditions(d, env)
-	case RuleConj:
-		return x.execConj(d, env)
-	case RuleDisj:
-		return x.execDisj(d, env)
-	case RuleSafeNeg:
-		return x.execSafeNeg(d, env)
-	case RuleExists:
-		return x.execExists(d, env)
-	case RuleForall:
-		return x.execForall(d, env)
-	case RuleEmbedded:
-		return x.execChase(d.Chase, env)
-	default:
-		return nil, fmt.Errorf("core: exec unknown rule %q", d.Rule)
-	}
+	return out, nil
 }
 
 // restrict returns env restricted to vars.
@@ -100,66 +89,6 @@ func bindingKey(b query.Bindings, sortedVars []string) string {
 		t[i] = b[v]
 	}
 	return t.Key()
-}
-
-// dedup removes duplicate bindings (all defined on the same variable set).
-func dedup(bs []query.Bindings, vars query.VarSet) []query.Bindings {
-	sorted := vars.Sorted()
-	seen := make(map[string]bool, len(bs))
-	out := bs[:0:0]
-	for _, b := range bs {
-		k := bindingKey(b, sorted)
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, b)
-		}
-	}
-	return out
-}
-
-func (x *executor) execAtom(d *Derivation, env query.Bindings) ([]query.Bindings, error) {
-	a := d.F.(*query.Atom)
-	rs, _ := x.st.Schema().Rel(a.Rel)
-	onPos, err := rs.Positions(d.Entry.On)
-	if err != nil {
-		return nil, err
-	}
-	free := a.FreeVars()
-	// Fully specified atom under env: a single membership probe suffices.
-	if free.SubsetOf(env.Vars()) {
-		t := make(relation.Tuple, len(a.Args))
-		for i, arg := range a.Args {
-			if arg.IsVar() {
-				t[i] = env[arg.Name()]
-			} else {
-				t[i] = arg.Value()
-			}
-		}
-		ok, err := x.st.MembershipInto(x.es, a.Rel, t)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return nil, nil
-		}
-		return []query.Bindings{restrict(env, free)}, nil
-	}
-	vals, err := tupleForPositions(a, onPos, env)
-	if err != nil {
-		return nil, err
-	}
-	tuples, err := x.st.FetchInto(x.es, d.Entry, vals)
-	if err != nil {
-		return nil, err
-	}
-	var out []query.Bindings
-	for _, tu := range tuples {
-		b, ok := unifyAtom(a, tu, env)
-		if ok {
-			out = append(out, b)
-		}
-	}
-	return dedup(out, free), nil
 }
 
 // unifyAtom matches a full base tuple against the atom's arguments under
@@ -255,44 +184,6 @@ func termVal(t query.Term, env query.Bindings) (relation.Value, error) {
 	return v, nil
 }
 
-func (x *executor) execConj(d *Derivation, env query.Bindings) ([]query.Bindings, error) {
-	first, second := d.Children[0], d.Children[1]
-	bs0, err := x.execNode(first, env)
-	if err != nil {
-		return nil, err
-	}
-	free := d.F.FreeVars()
-	var out []query.Bindings
-	for _, b0 := range bs0 {
-		merged := env.Clone()
-		for k, v := range b0 {
-			merged[k] = v
-		}
-		bs1, err := x.execNode(second, merged)
-		if err != nil {
-			return nil, err
-		}
-		for _, b1 := range bs1 {
-			b := make(query.Bindings, len(b0)+len(b1))
-			for k, v := range b0 {
-				b[k] = v
-			}
-			conflict := false
-			for k, v := range b1 {
-				if prev, ok := b[k]; ok && prev != v {
-					conflict = true
-					break
-				}
-				b[k] = v
-			}
-			if !conflict {
-				out = append(out, restrict(mergedWith(env, b), free))
-			}
-		}
-	}
-	return dedup(out, free), nil
-}
-
 // mergedWith overlays b on env without mutating either.
 func mergedWith(env, b query.Bindings) query.Bindings {
 	out := env.Clone()
@@ -300,197 +191,6 @@ func mergedWith(env, b query.Bindings) query.Bindings {
 		out[k] = v
 	}
 	return out
-}
-
-func (x *executor) execDisj(d *Derivation, env query.Bindings) ([]query.Bindings, error) {
-	free := d.F.FreeVars()
-	var out []query.Bindings
-	for _, c := range d.Children {
-		bs, err := x.execNode(c, env)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, bs...)
-	}
-	return dedup(out, free), nil
-}
-
-func (x *executor) execSafeNeg(d *Derivation, env query.Bindings) ([]query.Bindings, error) {
-	pos, negInner := d.Children[0], d.Children[1]
-	bs, err := x.execNode(pos, env)
-	if err != nil {
-		return nil, err
-	}
-	free := d.F.FreeVars()
-	var out []query.Bindings
-	for _, b := range bs {
-		negRes, err := x.execNode(negInner, mergedWith(env, b))
-		if err != nil {
-			return nil, err
-		}
-		if len(negRes) == 0 {
-			out = append(out, restrict(mergedWith(env, b), free))
-		}
-	}
-	return dedup(out, free), nil
-}
-
-func (x *executor) execExists(d *Derivation, env query.Bindings) ([]query.Bindings, error) {
-	ex := d.F.(*query.Exists)
-	inner := env.Clone()
-	for _, z := range ex.Vars {
-		delete(inner, z)
-	}
-	bs, err := x.execNode(d.Children[0], inner)
-	if err != nil {
-		return nil, err
-	}
-	free := d.F.FreeVars()
-	out := make([]query.Bindings, 0, len(bs))
-	for _, b := range bs {
-		out = append(out, restrict(b, free))
-	}
-	return dedup(out, free), nil
-}
-
-func (x *executor) execForall(d *Derivation, env query.Bindings) ([]query.Bindings, error) {
-	fa := d.F.(*query.Forall)
-	inner := env.Clone()
-	for _, y := range fa.Vars {
-		delete(inner, y)
-	}
-	qBind, err := x.execNode(d.Children[0], inner)
-	if err != nil {
-		return nil, err
-	}
-	for _, b := range qBind {
-		res, err := x.execNode(d.Children[1], mergedWith(inner, b))
-		if err != nil {
-			return nil, err
-		}
-		if len(res) == 0 {
-			return nil, nil // some ȳ satisfies Q but not Q′
-		}
-	}
-	free := d.F.FreeVars()
-	return []query.Bindings{restrict(env, free)}, nil
-}
-
-func (x *executor) execChase(plan *ChasePlan, env query.Bindings) ([]query.Bindings, error) {
-	// Seed candidate: constants from equalities plus the caller's values
-	// for the plan's variables.
-	seed := make(query.Bindings)
-	for v, val := range plan.EqConsts {
-		seed[v] = val
-	}
-	for v, val := range env {
-		if prev, ok := seed[v]; ok && prev != val {
-			return nil, nil
-		}
-		seed[v] = val
-	}
-	cands := []query.Bindings{seed}
-	for _, step := range plan.Steps {
-		if err := x.checkCtx(); err != nil {
-			return nil, err
-		}
-		if len(cands) == 0 {
-			return nil, nil
-		}
-		var next []query.Bindings
-		if step.Atom == nil {
-			// Equality propagation: bind the unbound side or filter.
-			for _, c := range cands {
-				lv, lok := c[step.EqL]
-				rv, rok := c[step.EqR]
-				switch {
-				case lok && rok:
-					if lv == rv {
-						next = append(next, c)
-					}
-				case lok:
-					c2 := c.Clone()
-					c2[step.EqR] = lv
-					next = append(next, c2)
-				case rok:
-					c2 := c.Clone()
-					c2[step.EqL] = rv
-					next = append(next, c2)
-				default:
-					return nil, fmt.Errorf("core: equality %s = %s with both sides unbound", step.EqL, step.EqR)
-				}
-			}
-			cands = next
-			continue
-		}
-		for _, c := range cands {
-			vals, err := tupleForPositions(step.Atom, step.OnPos, c)
-			if err != nil {
-				return nil, err
-			}
-			fetched, err := x.st.FetchInto(x.es, step.Entry, vals)
-			if err != nil {
-				return nil, err
-			}
-			for _, tu := range fetched {
-				c2, ok := unifyProjected(step, tu, c)
-				if ok {
-					next = append(next, c2)
-				}
-			}
-		}
-		cands = next
-	}
-	// Equality checks (both sides are bound by construction).
-	var filtered []query.Bindings
-	for _, c := range cands {
-		ok := true
-		for _, ev := range plan.EqVars {
-			if c[ev[0]] != c[ev[1]] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			filtered = append(filtered, c)
-		}
-	}
-	cands = filtered
-	// Membership verification for atoms not covered by a verifying fetch.
-	var out []query.Bindings
-	for _, c := range cands {
-		if err := x.checkCtx(); err != nil {
-			return nil, err
-		}
-		ok := true
-		for _, ai := range plan.MembershipAtoms {
-			a := plan.Atoms[ai]
-			t := make(relation.Tuple, len(a.Args))
-			for i, arg := range a.Args {
-				if arg.IsVar() {
-					v, bound := c[arg.Name()]
-					if !bound {
-						return nil, fmt.Errorf("core: chase left %q unbound for membership of %s", arg.Name(), a)
-					}
-					t[i] = v
-				} else {
-					t[i] = arg.Value()
-				}
-			}
-			present, err := x.st.MembershipInto(x.es, a.Rel, t)
-			if err != nil {
-				return nil, err
-			}
-			if !present {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, restrict(c, plan.Free))
-		}
-	}
-	return dedup(out, plan.Free), nil
 }
 
 // unifyProjected matches a fetched (possibly projected) tuple against the

@@ -3,12 +3,9 @@ package core
 import (
 	"container/list"
 	"context"
-	"fmt"
 	"sync"
 
 	"repro/internal/query"
-	"repro/internal/relation"
-	"repro/internal/store"
 )
 
 // PreparedQuery is a query analyzed and compiled once, executable many
@@ -24,8 +21,9 @@ type PreparedQuery struct {
 	plan *Plan
 }
 
-// Query returns the prepared query.
-func (p *PreparedQuery) Query() *query.Query { return p.q }
+// Stmt returns the underlying query statement. (The Query method is the
+// cursor-opening executor, as in database/sql.)
+func (p *PreparedQuery) Stmt() *query.Query { return p.q }
 
 // Ctrl returns (a copy of) the controlling set the plan was prepared
 // for; Exec needs a value for each of its variables.
@@ -39,6 +37,8 @@ func (p *PreparedQuery) Plan() *Plan { return p.plan }
 
 // Exec runs the prepared plan under ctx with values for the controlling
 // set (and optionally more of the head), skipping re-analysis entirely.
+// It is a full drain of the cursor Query opens: identical answers,
+// counters and witness set, materialized into one Answer.
 func (p *PreparedQuery) Exec(ctx context.Context, fixed query.Bindings, opts ...ExecOption) (*Answer, error) {
 	var o execOpts
 	for _, f := range opts {
@@ -48,39 +48,11 @@ func (p *PreparedQuery) Exec(ctx context.Context, fixed query.Bindings, opts ...
 }
 
 func (p *PreparedQuery) exec(ctx context.Context, fixed query.Bindings, o execOpts) (*Answer, error) {
-	es := &store.ExecStats{MaxReads: o.maxReads, Ctx: ctx}
-	if !o.noTrace {
-		es.Trace = store.NewTrace()
-	}
-	bs, err := ExecContext(ctx, p.eng.DB, p.d, fixed, es)
+	rows, err := p.query(ctx, fixed, o)
 	if err != nil {
 		return nil, err
 	}
-	head := remainingHead(p.q.Head, fixed)
-	out := relation.NewTupleSet(len(bs))
-	for _, b := range bs {
-		t := make(relation.Tuple, len(head))
-		ok := true
-		for i, h := range head {
-			v, bound := b[h]
-			if !bound {
-				ok = false
-				break
-			}
-			t[i] = v
-		}
-		if !ok {
-			return nil, fmt.Errorf("core: %w: binding {%s} for head of %s", ErrUnboundHead, varsSorted(b), p.q.Name)
-		}
-		out.Add(t)
-	}
-	return &Answer{
-		Tuples:        out,
-		RemainingHead: head,
-		Plan:          p.plan,
-		Cost:          es.Counters,
-		DQ:            es.Trace,
-	}, nil
+	return rows.drain()
 }
 
 // planKey builds the cache key (query name, controlling set).

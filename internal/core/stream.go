@@ -1,0 +1,429 @@
+package core
+
+import (
+	"fmt"
+	"iter"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// This file is the streaming half of the executor: every derivation rule
+// is compiled to a resumable generator (iter.Seq2) instead of a
+// materialize-then-return loop. Work — store fetches, membership probes,
+// and therefore TupleReads, budget consumption and witness recording — is
+// charged only as the sequence is pulled, so a consumer that stops early
+// (Rows with WithLimit, First, a canceled context) stops charging.
+//
+// A full drain performs the eager executor's loops unchanged, only
+// suspended between pulls, so answers — and, for the positive rules
+// (atoms, conj, disj, exists, the chase), the exact multiset of store
+// accesses — of Exec/ExecContext, now thin drains over these generators,
+// are identical. Two rules charge strictly LESS than the pre-cursor
+// executor by design: safe negation and the universal check probe their
+// inner plan for a single witness (firstOf) instead of evaluating it to
+// completion. Reads stay within the static bound, and Exec ≡ a drained
+// Rows always holds; only continuity with read counts measured before
+// the cursor redesign is scoped to negation-free plans.
+
+// bindingSeq streams the satisfying bindings of a derivation node. At most
+// one non-nil error is yielded, as the final element; a binding element
+// always has a nil error.
+type bindingSeq = iter.Seq2[query.Bindings, error]
+
+// emptySeq yields nothing.
+func emptySeq(yield func(query.Bindings, error) bool) {}
+
+// oneSeq yields a single binding.
+func oneSeq(b query.Bindings) bindingSeq {
+	return func(yield func(query.Bindings, error) bool) {
+		yield(b, nil)
+	}
+}
+
+// failSeq yields a single error.
+func failSeq(err error) bindingSeq {
+	return func(yield func(query.Bindings, error) bool) {
+		yield(nil, err)
+	}
+}
+
+// dedupSeq suppresses duplicate bindings (all defined on the same variable
+// set), streaming: the first occurrence passes through immediately, later
+// duplicates are dropped. Errors pass through and terminate the stream.
+func dedupSeq(s bindingSeq, vars query.VarSet) bindingSeq {
+	sorted := vars.Sorted()
+	return func(yield func(query.Bindings, error) bool) {
+		seen := make(map[string]bool)
+		for b, err := range s {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			k := bindingKey(b, sorted)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if !yield(b, nil) {
+				return
+			}
+		}
+	}
+}
+
+// firstOf pulls at most one element from s: the emptiness probe used by
+// negation and universal checks. It reports whether s is non-empty without
+// enumerating the rest — early termination inside the plan, not just at
+// its root.
+func firstOf(s bindingSeq) (nonEmpty bool, err error) {
+	for _, e := range s {
+		if e != nil {
+			return false, e
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// stream compiles the derivation node to its generator. Each yielded
+// binding is defined on exactly the free variables of d.F, deduplicated.
+func (x *executor) stream(d *Derivation, env query.Bindings) bindingSeq {
+	if err := x.checkCtx(); err != nil {
+		return failSeq(err)
+	}
+	switch d.Rule {
+	case RuleAtom:
+		return x.streamAtom(d, env)
+	case RuleConditions:
+		bs, err := execConditions(d, env)
+		if err != nil {
+			return failSeq(err)
+		}
+		if len(bs) == 0 {
+			return emptySeq
+		}
+		return oneSeq(bs[0])
+	case RuleConj:
+		return x.streamConj(d, env)
+	case RuleDisj:
+		return x.streamDisj(d, env)
+	case RuleSafeNeg:
+		return x.streamSafeNeg(d, env)
+	case RuleExists:
+		return x.streamExists(d, env)
+	case RuleForall:
+		return x.streamForall(d, env)
+	case RuleEmbedded:
+		return x.streamChase(d.Chase, env)
+	default:
+		return failSeq(fmt.Errorf("core: exec unknown rule %q", d.Rule))
+	}
+}
+
+// streamAtom is the per-atom fetch cursor: the indexed fetch (or the
+// single membership probe, when env fully specifies the atom) runs when
+// the sequence is first pulled, then unified bindings are handed out one
+// at a time.
+func (x *executor) streamAtom(d *Derivation, env query.Bindings) bindingSeq {
+	a := d.F.(*query.Atom)
+	free := a.FreeVars()
+	// Fully specified atom under env: a single membership probe suffices —
+	// at most one binding, so no dedup wrapper.
+	if free.SubsetOf(env.Vars()) {
+		return func(yield func(query.Bindings, error) bool) {
+			t := make(relation.Tuple, len(a.Args))
+			for i, arg := range a.Args {
+				if arg.IsVar() {
+					t[i] = env[arg.Name()]
+				} else {
+					t[i] = arg.Value()
+				}
+			}
+			ok, err := x.st.MembershipInto(x.es, a.Rel, t)
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if ok {
+				yield(restrict(env, free), nil)
+			}
+		}
+	}
+	return dedupSeq(func(yield func(query.Bindings, error) bool) {
+		rs, _ := x.st.Schema().Rel(a.Rel)
+		onPos, err := rs.Positions(d.Entry.On)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		vals, err := tupleForPositions(a, onPos, env)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		tuples, err := x.st.FetchInto(x.es, d.Entry, vals)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		for _, tu := range tuples {
+			b, ok := unifyAtom(a, tu, env)
+			if ok && !yield(b, nil) {
+				return
+			}
+		}
+	}, free)
+}
+
+// streamConj pipelines the nested-loop join: for every binding of the
+// first child, the second child's cursor is opened under the extended
+// environment — its fetches happen only when (and if) the consumer pulls
+// this far.
+func (x *executor) streamConj(d *Derivation, env query.Bindings) bindingSeq {
+	first, second := d.Children[0], d.Children[1]
+	free := d.F.FreeVars()
+	return dedupSeq(func(yield func(query.Bindings, error) bool) {
+		for b0, err := range x.stream(first, env) {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			merged := mergedWith(env, b0)
+			for b1, err := range x.stream(second, merged) {
+				if err != nil {
+					yield(nil, err)
+					return
+				}
+				b := make(query.Bindings, len(b0)+len(b1))
+				for k, v := range b0 {
+					b[k] = v
+				}
+				conflict := false
+				for k, v := range b1 {
+					if prev, ok := b[k]; ok && prev != v {
+						conflict = true
+						break
+					}
+					b[k] = v
+				}
+				if conflict {
+					continue
+				}
+				if !yield(restrict(mergedWith(env, b), free), nil) {
+					return
+				}
+			}
+		}
+	}, free)
+}
+
+// streamDisj chains the disjunct cursors with streaming cross-disjunct
+// deduplication: an answer produced by an earlier disjunct is suppressed
+// when a later one re-derives it, without materializing either side.
+func (x *executor) streamDisj(d *Derivation, env query.Bindings) bindingSeq {
+	free := d.F.FreeVars()
+	return dedupSeq(func(yield func(query.Bindings, error) bool) {
+		for _, c := range d.Children {
+			for b, err := range x.stream(c, env) {
+				if err != nil {
+					yield(nil, err)
+					return
+				}
+				if !yield(b, nil) {
+					return
+				}
+			}
+		}
+	}, free)
+}
+
+// streamSafeNeg filters the positive child through an emptiness probe of
+// the negated child: the probe pulls at most one witness, so a satisfied
+// negation stops charging as soon as any counterexample is read.
+func (x *executor) streamSafeNeg(d *Derivation, env query.Bindings) bindingSeq {
+	pos, negInner := d.Children[0], d.Children[1]
+	free := d.F.FreeVars()
+	return dedupSeq(func(yield func(query.Bindings, error) bool) {
+		for b, err := range x.stream(pos, env) {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			nonEmpty, err := firstOf(x.stream(negInner, mergedWith(env, b)))
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if nonEmpty {
+				continue
+			}
+			if !yield(restrict(mergedWith(env, b), free), nil) {
+				return
+			}
+		}
+	}, free)
+}
+
+func (x *executor) streamExists(d *Derivation, env query.Bindings) bindingSeq {
+	ex := d.F.(*query.Exists)
+	inner := env.Clone()
+	for _, z := range ex.Vars {
+		delete(inner, z)
+	}
+	free := d.F.FreeVars()
+	return dedupSeq(func(yield func(query.Bindings, error) bool) {
+		for b, err := range x.stream(d.Children[0], inner) {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if !yield(restrict(b, free), nil) {
+				return
+			}
+		}
+	}, free)
+}
+
+// streamForall yields at most one binding (the restriction of env): the
+// universal check streams the Q bindings and probes each Q′ for a single
+// witness, failing fast on the first ȳ with none.
+func (x *executor) streamForall(d *Derivation, env query.Bindings) bindingSeq {
+	fa := d.F.(*query.Forall)
+	inner := env.Clone()
+	for _, y := range fa.Vars {
+		delete(inner, y)
+	}
+	free := d.F.FreeVars()
+	return func(yield func(query.Bindings, error) bool) {
+		for b, err := range x.stream(d.Children[0], inner) {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			nonEmpty, err := firstOf(x.stream(d.Children[1], mergedWith(inner, b)))
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if !nonEmpty {
+				return // some ȳ satisfies Q but not Q′
+			}
+		}
+		yield(restrict(env, free), nil)
+	}
+}
+
+// streamChase runs the chase plan depth-first: a candidate is driven
+// through the remaining steps (and the final equality/membership
+// verification) before the next tuple of an earlier fetch is considered,
+// so the first answer surfaces after one root-to-leaf pass instead of
+// after every step has run over every candidate. A full drain performs
+// exactly the breadth-first executor's fetches.
+func (x *executor) streamChase(plan *ChasePlan, env query.Bindings) bindingSeq {
+	// Seed candidate: constants from equalities plus the caller's values
+	// for the plan's variables.
+	seed := make(query.Bindings)
+	for v, val := range plan.EqConsts {
+		seed[v] = val
+	}
+	for v, val := range env {
+		if prev, ok := seed[v]; ok && prev != val {
+			return emptySeq
+		}
+		seed[v] = val
+	}
+	return dedupSeq(func(yield func(query.Bindings, error) bool) {
+		// rec drives candidate c through steps[i:]; it returns false when
+		// the consumer stopped (or an error was yielded) and the whole
+		// recursion must unwind.
+		var rec func(i int, c query.Bindings) bool
+		rec = func(i int, c query.Bindings) bool {
+			if err := x.checkCtx(); err != nil {
+				yield(nil, err)
+				return false
+			}
+			if i == len(plan.Steps) {
+				return x.finishChase(plan, c, yield)
+			}
+			step := plan.Steps[i]
+			if step.Atom == nil {
+				// Equality propagation: bind the unbound side or filter.
+				lv, lok := c[step.EqL]
+				rv, rok := c[step.EqR]
+				switch {
+				case lok && rok:
+					if lv != rv {
+						return true
+					}
+					return rec(i+1, c)
+				case lok:
+					c2 := c.Clone()
+					c2[step.EqR] = lv
+					return rec(i+1, c2)
+				case rok:
+					c2 := c.Clone()
+					c2[step.EqL] = rv
+					return rec(i+1, c2)
+				default:
+					yield(nil, fmt.Errorf("core: equality %s = %s with both sides unbound", step.EqL, step.EqR))
+					return false
+				}
+			}
+			vals, err := tupleForPositions(step.Atom, step.OnPos, c)
+			if err != nil {
+				yield(nil, err)
+				return false
+			}
+			fetched, err := x.st.FetchInto(x.es, step.Entry, vals)
+			if err != nil {
+				yield(nil, err)
+				return false
+			}
+			for _, tu := range fetched {
+				c2, ok := unifyProjected(step, tu, c)
+				if ok && !rec(i+1, c2) {
+					return false
+				}
+			}
+			return true
+		}
+		rec(0, seed)
+	}, plan.Free)
+}
+
+// finishChase verifies one fully chased candidate — the equality checks
+// and the membership probes of atoms not covered by a verifying fetch —
+// and yields its restriction to the plan's free variables.
+func (x *executor) finishChase(plan *ChasePlan, c query.Bindings, yield func(query.Bindings, error) bool) bool {
+	for _, ev := range plan.EqVars {
+		if c[ev[0]] != c[ev[1]] {
+			return true
+		}
+	}
+	for _, ai := range plan.MembershipAtoms {
+		a := plan.Atoms[ai]
+		t := make(relation.Tuple, len(a.Args))
+		for i, arg := range a.Args {
+			if arg.IsVar() {
+				v, bound := c[arg.Name()]
+				if !bound {
+					yield(nil, fmt.Errorf("core: chase left %q unbound for membership of %s", arg.Name(), a))
+					return false
+				}
+				t[i] = v
+			} else {
+				t[i] = arg.Value()
+			}
+		}
+		present, err := x.st.MembershipInto(x.es, a.Rel, t)
+		if err != nil {
+			yield(nil, err)
+			return false
+		}
+		if !present {
+			return true
+		}
+	}
+	return yield(restrict(c, plan.Free), nil)
+}

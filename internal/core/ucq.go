@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/query"
@@ -116,36 +117,55 @@ func alignHead(d *query.CQ, head []string, idx int) (*query.CQ, error) {
 }
 
 // ExecUCQ evaluates the union under a fixed binding of a controlling set
-// of the union: the bounded union of the disjuncts' bounded answers.
+// of the union: the bounded union of the disjuncts' bounded answers. It
+// is a full drain of StreamUCQ.
 func ExecUCQ(st store.Backend, res *UCQResult, x query.Bindings) (*relation.TupleSet, error) {
+	seq, err := StreamUCQ(context.Background(), st, res, x, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewTupleSet(0)
+	for t, err := range seq {
+		if err != nil {
+			return nil, err
+		}
+		out.Add(t)
+	}
+	return out, nil
+}
+
+// StreamUCQ opens a lazy answer stream over the union: the disjuncts'
+// cursors run in sequence and their answers are deduplicated on the fly
+// across disjuncts, so the union's answer set streams out without
+// materializing any disjunct — and an early-terminating consumer never
+// opens the cursors of later disjuncts at all. Work is charged to es (nil
+// charges only the backend-global counters). The resulting tuple set and,
+// for a full drain, the charged TupleReads are identical to ExecUCQ's:
+// deduplication is at answer level and every disjunct's plan still runs
+// in full once pulled.
+func StreamUCQ(ctx context.Context, st store.Backend, res *UCQResult, x query.Bindings, es *store.ExecStats) (tupleSeq, error) {
 	derivs := res.Controls(x.Vars())
 	if derivs == nil {
 		return nil, fmt.Errorf("core: union not %s-controlled", x.Vars())
 	}
-	out := relation.NewTupleSet(0)
-	for di, d := range derivs {
-		bs, err := Exec(st, d, x)
-		if err != nil {
-			return nil, err
-		}
-		for _, b := range bs {
-			t := make(relation.Tuple, len(res.Head))
-			ok := true
-			for i, h := range res.Head {
-				if v, has := b[h]; has {
-					t[i] = v
-				} else if v, has := x[h]; has {
-					t[i] = v
-				} else {
-					ok = false
-					break
+	ex := &executor{ctx: ctx, st: st, es: es}
+	// Chain the disjunct cursors into one binding stream; projectSeq then
+	// applies the same head projection and streaming tuple-level dedup the
+	// prepared-query cursor uses — here the dedup spans disjuncts, and x
+	// serves as the fallback for head variables the disjunct's plan did
+	// not re-derive.
+	union := func(yield func(query.Bindings, error) bool) {
+		for _, d := range derivs {
+			for b, err := range ex.stream(d, x) {
+				if err != nil {
+					yield(nil, err)
+					return
+				}
+				if !yield(b, nil) {
+					return
 				}
 			}
-			if !ok {
-				return nil, fmt.Errorf("core: disjunct %d produced binding missing head variable", di)
-			}
-			out.Add(t)
 		}
 	}
-	return out, nil
+	return projectSeq(union, res.Head, x, "the union"), nil
 }

@@ -261,117 +261,35 @@ func termValue(t query.Term, env query.Bindings) (relation.Value, error) {
 // falls back to enumerating assignments over the active domain, which is
 // exponential in the number of free variables — acceptable for an oracle,
 // and the reason the experiments use CQ-shaped naive baselines.
+//
+// Answers is a full drain of Stream (see stream.go): consumers that can
+// handle answers incrementally, or stop early, should iterate Stream
+// instead.
 func Answers(src Source, q *query.Query, fixed query.Bindings) (*relation.TupleSet, error) {
-	qf := q
-	if len(fixed) > 0 {
-		qf = q.Fix(fixed)
-	}
-	if cq, ok := query.AsCQ(qf); ok {
-		return AnswersCQ(src, cq, nil)
-	}
-	return answersFO(src, qf)
-}
-
-func answersFO(src Source, q *query.Query) (*relation.TupleSet, error) {
-	dom, err := Domain(src, q.Body)
-	if err != nil {
-		return nil, err
-	}
-	adom, err := ActiveDomain(src)
-	if err != nil {
-		return nil, err
-	}
-	out := relation.NewTupleSet(0)
-	env := make(query.Bindings, len(q.Head))
-	var rec func(i int) error
-	rec = func(i int) error {
-		if i == len(q.Head) {
-			ok, err := Truth(src, q.Body, env, dom)
-			if err != nil {
-				return err
-			}
-			if ok {
-				t := make(relation.Tuple, len(q.Head))
-				for j, v := range q.Head {
-					t[j] = env[v]
-				}
-				out.Add(t)
-			}
-			return nil
-		}
-		// Answers are tuples over adom(D) per the paper's definition.
-		for _, val := range adom {
-			env[q.Head[i]] = val
-			if err := rec(i + 1); err != nil {
-				return err
-			}
-		}
-		delete(env, q.Head[i])
-		return nil
-	}
-	if err := rec(0); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return drainTuples(Stream(src, q, fixed))
 }
 
 // AnswersCQ evaluates a conjunctive query by backtracking over its atoms,
 // with fixed providing initial bindings. Equality atoms are eliminated
-// up front; an unsatisfiable equality set yields the empty answer.
+// up front; an unsatisfiable equality set yields the empty answer. It is
+// a full drain of StreamCQ.
 func AnswersCQ(src Source, cq *query.CQ, fixed query.Bindings) (*relation.TupleSet, error) {
+	return drainTuples(StreamCQ(src, cq, fixed))
+}
+
+// answersFO is the generic FO enumeration oracle: a drain of streamFO.
+func answersFO(src Source, q *query.Query) (*relation.TupleSet, error) {
+	return drainTuples(streamFO(src, q))
+}
+
+// drainTuples materializes a lazy answer stream into a TupleSet.
+func drainTuples(seq func(yield func(relation.Tuple, error) bool)) (*relation.TupleSet, error) {
 	out := relation.NewTupleSet(0)
-	q := cq
-	if len(cq.Eqs) > 0 {
-		var ok bool
-		q, ok = cq.ApplyEqs()
-		if !ok {
-			return out, nil
-		}
-	}
-	env := make(query.Bindings, len(fixed))
-	for k, v := range fixed {
-		env[k] = v
-	}
-	order := atomOrder(q.Atoms, env)
-	var rec func(i int) error
-	rec = func(i int) error {
-		if i == len(order) {
-			t := make(relation.Tuple, len(q.Head))
-			for j, h := range q.Head {
-				if h.IsVar() {
-					v, ok := env[h.Name()]
-					if !ok {
-						return fmt.Errorf("eval: head variable %q unbound after all atoms", h.Name())
-					}
-					t[j] = v
-				} else {
-					t[j] = h.Value()
-				}
-			}
-			out.Add(t)
-			return nil
-		}
-		a := order[i]
-		ts, err := src.Tuples(a.Rel)
+	for t, err := range seq {
 		if err != nil {
-			return err
+			return nil, err
 		}
-		for _, tu := range ts {
-			bound, ok := matchAtom(a, tu, env)
-			if !ok {
-				continue
-			}
-			if err := rec(i + 1); err != nil {
-				return err
-			}
-			for _, v := range bound {
-				delete(env, v)
-			}
-		}
-		return nil
-	}
-	if err := rec(0); err != nil {
-		return nil, err
+		out.Add(t)
 	}
 	return out, nil
 }

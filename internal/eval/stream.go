@@ -1,0 +1,258 @@
+// Streaming naive evaluation: the backtracking joins of eval.go rewritten
+// as resumable generators. The eager entry points (Answers, AnswersCQ)
+// are full drains of these streams, so their answers and measured
+// counters are unchanged; a consumer that stops early (LIMIT serving,
+// First, cancellation) skips the scans of join branches it never reached.
+
+package eval
+
+import (
+	"fmt"
+	"iter"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// SeqSource is optionally implemented by sources whose relation scans can
+// be delivered incrementally (e.g. StoreSource over a scatter-gathering
+// sharded backend, where partials stream in as each shard finishes). The
+// outermost loop of a CQ join consumes it, decoupling time-to-first-
+// answer from the slowest shard's full scan.
+type SeqSource interface {
+	Source
+	// TupleSeq streams all tuples of rel, charging the scan as it is
+	// consumed. A full drain charges exactly what Tuples charges.
+	TupleSeq(rel string) iter.Seq2[relation.Tuple, error]
+}
+
+// TupleSeq implements SeqSource: the scan streams through the backend's
+// incremental path (store.ScanSeq) and is charged chunk by chunk as the
+// join pulls it. A memoized snapshot, when present, replays with the
+// usual full-scan charge; a fully drained stream populates the snapshot
+// so later scans of the same relation skip the copy.
+func (s StoreSource) TupleSeq(rel string) iter.Seq2[relation.Tuple, error] {
+	return func(yield func(relation.Tuple, error) bool) {
+		if s.Snap != nil {
+			if ts, ok := s.Snap.m[rel]; ok {
+				if err := s.DB.ChargeScanned(s.Stats, len(ts)); err != nil {
+					yield(nil, err)
+					return
+				}
+				for _, t := range ts {
+					if !yield(t, nil) {
+						return
+					}
+				}
+				return
+			}
+		}
+		var collected []relation.Tuple
+		for t, err := range store.ScanSeq(s.DB, s.Stats, rel) {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			collected = append(collected, t)
+			if !yield(t, nil) {
+				return // abandoned mid-scan: do not memoize a partial snapshot
+			}
+		}
+		if s.Snap != nil {
+			s.Snap.m[rel] = collected
+		}
+	}
+}
+
+// tupleStream scans rel as a lazy stream when the source supports it,
+// falling back to a materialized scan.
+func tupleStream(src Source, rel string) iter.Seq2[relation.Tuple, error] {
+	if ss, ok := src.(SeqSource); ok {
+		return ss.TupleSeq(rel)
+	}
+	return func(yield func(relation.Tuple, error) bool) {
+		ts, err := src.Tuples(rel)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		for _, t := range ts {
+			if !yield(t, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Stream returns the lazy, deduplicated answer stream of q with the head
+// variables in fixed bound: the cursor form of Answers. At most one
+// non-nil error is yielded, as the final element.
+func Stream(src Source, q *query.Query, fixed query.Bindings) iter.Seq2[relation.Tuple, error] {
+	qf := q
+	if len(fixed) > 0 {
+		qf = q.Fix(fixed)
+	}
+	if cq, ok := query.AsCQ(qf); ok {
+		return StreamCQ(src, cq, nil)
+	}
+	return streamFO(src, qf)
+}
+
+// StreamCQ evaluates a conjunctive query as a pipelined backtracking
+// join: answers are yielded as the innermost atom matches, the outermost
+// atom's scan streams (see SeqSource), and inner atoms' scans are issued
+// only when the join first reaches them — so an early-terminated consumer
+// charges only the scans of the branches it actually explored. A full
+// drain performs exactly the scans AnswersCQ performs.
+func StreamCQ(src Source, cq *query.CQ, fixed query.Bindings) iter.Seq2[relation.Tuple, error] {
+	return func(yield func(relation.Tuple, error) bool) {
+		q := cq
+		if len(cq.Eqs) > 0 {
+			var ok bool
+			q, ok = cq.ApplyEqs()
+			if !ok {
+				return
+			}
+		}
+		env := make(query.Bindings, len(fixed))
+		for k, v := range fixed {
+			env[k] = v
+		}
+		order := atomOrder(q.Atoms, env)
+		// Stream the outermost scan only when its relation is not joined
+		// again further in: inner atoms read through the memoized snapshot
+		// (src.Tuples), and a self-join must see ONE version of the
+		// relation even under concurrent writers — the eager evaluator
+		// guaranteed that by memoizing on first scan, and a suspended
+		// outer stream revisited after an ApplyUpdate would not.
+		streamOuter := len(order) > 0
+		if streamOuter {
+			for _, a := range order[1:] {
+				if a.Rel == order[0].Rel {
+					streamOuter = false
+					break
+				}
+			}
+		}
+		seen := make(map[string]bool)
+		// rec drives the join over order[i:]; it returns false when the
+		// consumer stopped or an error was yielded.
+		var rec func(i int) bool
+		emit := func() bool {
+			t := make(relation.Tuple, len(q.Head))
+			for j, h := range q.Head {
+				if h.IsVar() {
+					v, ok := env[h.Name()]
+					if !ok {
+						yield(nil, fmt.Errorf("eval: head variable %q unbound after all atoms", h.Name()))
+						return false
+					}
+					t[j] = v
+				} else {
+					t[j] = h.Value()
+				}
+			}
+			k := t.Key()
+			if seen[k] {
+				return true
+			}
+			seen[k] = true
+			return yield(t, nil)
+		}
+		step := func(i int, a *query.Atom, tu relation.Tuple) (cont bool) {
+			bound, ok := matchAtom(a, tu, env)
+			if !ok {
+				return true
+			}
+			cont = rec(i + 1)
+			for _, v := range bound {
+				delete(env, v)
+			}
+			return cont
+		}
+		rec = func(i int) bool {
+			if i == len(order) {
+				return emit()
+			}
+			a := order[i]
+			if i == 0 && streamOuter {
+				for tu, err := range tupleStream(src, a.Rel) {
+					if err != nil {
+						yield(nil, err)
+						return false
+					}
+					if !step(i, a, tu) {
+						return false
+					}
+				}
+				return true
+			}
+			ts, err := src.Tuples(a.Rel)
+			if err != nil {
+				yield(nil, err)
+				return false
+			}
+			for _, tu := range ts {
+				if !step(i, a, tu) {
+					return false
+				}
+			}
+			return true
+		}
+		rec(0)
+	}
+}
+
+// streamFO enumerates head assignments over the active domain lazily,
+// yielding each (deduplicated) satisfying tuple as it is found — the
+// cursor form of the exponential FO oracle.
+func streamFO(src Source, q *query.Query) iter.Seq2[relation.Tuple, error] {
+	return func(yield func(relation.Tuple, error) bool) {
+		dom, err := Domain(src, q.Body)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		adom, err := ActiveDomain(src)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		seen := make(map[string]bool)
+		env := make(query.Bindings, len(q.Head))
+		var rec func(i int) bool
+		rec = func(i int) bool {
+			if i == len(q.Head) {
+				ok, err := Truth(src, q.Body, env, dom)
+				if err != nil {
+					yield(nil, err)
+					return false
+				}
+				if !ok {
+					return true
+				}
+				t := make(relation.Tuple, len(q.Head))
+				for j, v := range q.Head {
+					t[j] = env[v]
+				}
+				k := t.Key()
+				if seen[k] {
+					return true
+				}
+				seen[k] = true
+				return yield(t, nil)
+			}
+			// Answers are tuples over adom(D) per the paper's definition.
+			for _, val := range adom {
+				env[q.Head[i]] = val
+				if !rec(i + 1) {
+					return false
+				}
+			}
+			delete(env, q.Head[i])
+			return true
+		}
+		rec(0)
+	}
+}

@@ -124,9 +124,18 @@ func NewCQMaintainer(eng *core.Engine, q *query.CQ, fixed query.Bindings) (*CQMa
 	return m, nil
 }
 
-// Answers returns the maintained answer set (over the non-fixed head
-// terms' values — the full head tuple with fixed variables included).
-func (m *CQMaintainer) Answers() *relation.TupleSet { return m.answers }
+// Answers returns a snapshot of the maintained answer set (over the
+// non-fixed head terms' values — the full head tuple with fixed variables
+// included). The copy is the caller's to keep: mutating it cannot corrupt
+// the maintainer's internal state, and it stays stable across later Apply
+// calls. Use Len/Contains for O(1) probes that skip the copy.
+func (m *CQMaintainer) Answers() *relation.TupleSet { return m.answers.Clone() }
+
+// Len returns the current number of maintained answers.
+func (m *CQMaintainer) Len() int { return m.answers.Len() }
+
+// Contains reports whether t is currently an answer.
+func (m *CQMaintainer) Contains(t relation.Tuple) bool { return m.answers.Contains(t) }
 
 // SupportsDeletions reports whether deletion maintenance is available
 // (Proposition 5.5(2)'s condition held at construction).

@@ -335,3 +335,62 @@ func TestDecideDeltaQSIBudget(t *testing.T) {
 		t.Fatal("expected budget exhaustion")
 	}
 }
+
+// TestAnswersSnapshotIsolated: the set Answers hands out is the caller's
+// copy — mutating it must not corrupt the maintainer, and it must stay
+// stable while later updates move the maintained set on.
+func TestAnswersSnapshotIsolated(t *testing.T) {
+	cat := mustCat(t, q2Catalog)
+	st := buildQ2DB(t, cat, 30, 8, 4)
+	eng := core.NewEngine(st)
+	fixed := query.Bindings{"p": relation.Int(3)}
+	m, err := NewCQMaintainer(eng, q2(t), fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Answers()
+	before := snap.Len()
+
+	// Vandalize the snapshot: drain it and add a bogus tuple.
+	for _, tu := range append([]relation.Tuple(nil), snap.Tuples()...) {
+		snap.Remove(tu)
+	}
+	snap.Add(relation.Ints(-1, -1))
+	if m.Len() != before {
+		t.Fatalf("mutating the snapshot changed the maintainer: %d answers, want %d", m.Len(), before)
+	}
+	if m.Contains(relation.Ints(-1, -1)) {
+		t.Fatal("bogus tuple leaked into the maintainer")
+	}
+
+	// Maintenance must still agree with recomputation after the vandalism.
+	u := relation.NewUpdate()
+	u.Insert("visit", relation.Ints(3, 1001))
+	if st.Data().Rel("visit").Contains(relation.Ints(3, 1001)) {
+		u = relation.NewUpdate()
+		u.Insert("visit", relation.Ints(3, 1003))
+	}
+	if _, _, err := m.Apply(u); err != nil {
+		t.Fatal(err)
+	}
+	want, err := eval.AnswersCQ(eval.DBSource{DB: st.Data()}, q2(t), fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Answers().Equal(want) {
+		t.Fatalf("after update: maintained %v vs recomputed %v", m.Answers().Tuples(), want.Tuples())
+	}
+
+	// An earlier snapshot is frozen: it must not see the update. The id is
+	// far outside the generated range, so the tuple is guaranteed absent
+	// and the assertion always runs.
+	snap2 := m.Answers()
+	u2 := relation.NewUpdate()
+	u2.Insert("visit", relation.Ints(999_999, 1005))
+	if _, _, err := m.Apply(u2); err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Len() != want.Len() {
+		t.Fatalf("snapshot moved with the maintainer: %d, want %d", snap2.Len(), want.Len())
+	}
+}

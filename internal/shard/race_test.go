@@ -99,3 +99,103 @@ func TestShardedReadersVsWriters(t *testing.T) {
 		t.Fatalf("size %d after balanced insert/delete rounds, want %d", s.Size(), data.Size())
 	}
 }
+
+// Streaming readers — ScanSeq consumers and Rows cursors, some abandoned
+// mid-stream — run against concurrent per-shard writers. Run under
+// `go test -race ./...`: the per-shard snapshot-then-yield scan
+// producers, the buffered partial channel and the lazy cursor pipeline
+// must never expose a torn view or leak work after Close.
+func TestShardedStreamingReadersVsWriters(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.Persons = 300
+	cfg.Seed = 23
+	data, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(data, workload.Access(cfg), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(s)
+	q, err := parser.ParseQuery(workload.Q1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := eng.Prepare(q, query.NewVarSet("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	const readers, writers, rounds = 6, 3, 40
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				p := (g*11 + i) % cfg.Persons
+				rows, err := prep.Query(ctx, query.Bindings{"p": relation.Int(int64(p))})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Half the cursors are drained, half abandoned after one pull.
+				for rows.Next() {
+					if i%2 == 1 {
+						break
+					}
+				}
+				if err := rows.Err(); err != nil {
+					t.Error(err)
+					rows.Close()
+					return
+				}
+				if rows.Cost().TupleReads > prep.Plan().Bound.Reads {
+					t.Errorf("reader %d: streamed cost exceeds static bound", g)
+				}
+				rows.Close()
+				if i%8 == 0 {
+					n := 0
+					for tu, err := range store.ScanSeq(s, &store.ExecStats{Ctx: ctx}, "friend") {
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						_ = tu
+						if n++; i%16 == 0 && n > 50 {
+							break // abandon the merged stream mid-partial
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(200000 + 1000*w)
+			for i := 0; i < rounds; i++ {
+				ins := relation.NewUpdate()
+				for k := int64(0); k < 8; k++ {
+					ins.Insert("friend", relation.Tuple{relation.Int(base + k), relation.Int(k)})
+				}
+				if err := s.ApplyUpdate(ins); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.ApplyUpdate(ins.Inverse()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if s.Size() != data.Size() {
+		t.Fatalf("size %d after balanced insert/delete rounds, want %d", s.Size(), data.Size())
+	}
+}

@@ -31,8 +31,22 @@
 // bound, this call's access counters, and its witness set D_Q. The
 // one-shot eng.Answer / eng.AnswerContext path remains and benefits
 // transparently from an engine-level LRU plan cache. Failures wrap the
-// typed sentinels ErrNotControllable, ErrBudgetExceeded, ErrCanceled and
-// ErrUnboundHead for errors.Is dispatch.
+// typed sentinels ErrNotControllable, ErrBudgetExceeded, ErrCanceled,
+// ErrUnboundHead and ErrNoRows for errors.Is dispatch.
+//
+// Results also stream: prep.Query / eng.QueryContext open a pull-based
+// Rows cursor (Next/Tuple/Err/Close, or range over rows.All()) behind
+// which the bounded plan executes lazily — store reads are charged only
+// as answers are pulled, so WithLimit(n), First, Close or a canceled
+// context stop the reads (and the WithMaxReads budget) the moment the
+// caller is satisfied, and time-to-first-answer no longer depends on the
+// size of the full answer set:
+//
+//	rows, _ := prep.Query(ctx, scaleindep.Bindings{"p": scaleindep.Int(42)},
+//		scaleindep.WithLimit(10))
+//	for t, err := range rows.All() {
+//		// first answers arrive while later fetches are still unissued
+//	}
 package scaleindep
 
 import (
@@ -78,9 +92,12 @@ type (
 	// PreparedQuery is a query analyzed and compiled once, executable many
 	// times concurrently (Engine.Prepare).
 	PreparedQuery = core.PreparedQuery
-	// ExecOption configures one execution: WithMaxReads, WithoutTrace,
-	// WithNaiveFallback.
+	// ExecOption configures one execution: WithMaxReads, WithLimit,
+	// WithoutTrace, WithNaiveFallback.
 	ExecOption = core.ExecOption
+	// Rows is a pull-based answer cursor (PreparedQuery.Query,
+	// Engine.QueryContext): reads are charged only as answers are pulled.
+	Rows = core.Rows
 	// Answer is the result of one bounded evaluation: tuples, plan, this
 	// call's measured cost and witness set D_Q.
 	Answer = core.Answer
@@ -119,6 +136,8 @@ var (
 	ErrCanceled = core.ErrCanceled
 	// ErrUnboundHead: the plan left a head variable unbound.
 	ErrUnboundHead = core.ErrUnboundHead
+	// ErrNoRows: First found no answers.
+	ErrNoRows = core.ErrNoRows
 )
 
 // Execution options for PreparedQuery.Exec and Engine.AnswerContext.
@@ -130,6 +149,9 @@ var (
 	// WithNaiveFallback falls back to naive evaluation when the query is
 	// not controllable (still budget-limited; Answer.Plan is nil).
 	WithNaiveFallback = core.WithNaiveFallback
+	// WithLimit stops the evaluation — and its read charges — after n
+	// distinct answers: the LIMIT of the serving API.
+	WithLimit = core.WithLimit
 )
 
 // Int builds an integer value.
