@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet bench bench-smoke serving shardscale
+.PHONY: check build test race vet staticcheck bench bench-smoke serving shardscale reorder
 
 ## check: the CI gate — vet, build, and race-enabled tests.
 check: vet build race
@@ -24,9 +24,17 @@ bench:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
+## staticcheck: run honnef.co/go/tools if installed (CI runs it always).
+staticcheck:
+	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... || echo "staticcheck not installed; CI runs it (https://staticcheck.dev)"
+
 serving:
 	$(GO) run ./cmd/sibench -serving
 
 ## shardscale: concurrent-client throughput vs shard count.
 shardscale:
 	$(GO) run ./cmd/sibench -shardscale
+
+## reorder: cost-ordered vs analysis-order plans, reads/op and µs/op.
+reorder:
+	$(GO) run ./cmd/sibench -reorder

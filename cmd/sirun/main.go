@@ -14,6 +14,8 @@
 //	sirun -persons 10000 -query ... -fix "p=7"         # generate instead of loading
 //	sirun -query ... -fix "p=7" -max-reads 1000 -timeout 5s
 //	sirun -query ... -fix "p=7" -limit 3               # stream the first 3 answers and stop reading
+//	sirun -query ... -fix "p=7" -explain               # print the compiled physical plan (EXPLAIN)
+//	sirun -query ... -fix "p=7" -explain -no-optimizer # ... the analysis-order plan instead
 //
 // With -limit N the cursor API is used instead: answers stream out as the
 // bounded plan pulls them, and evaluation — including its tuple reads and
@@ -53,6 +55,8 @@ func main() {
 	fallback := flag.Bool("fallback", false, "fall back to naive evaluation when not controllable")
 	shards := flag.Int("shards", 0, "serve from a hash-sharded store with this many shards (0 = single-node)")
 	limit := flag.Int("limit", 0, "stream at most this many answers through the cursor API and stop charging reads (0 = drain everything)")
+	explain := flag.Bool("explain", false, "print the compiled physical plan (operator tree, chosen order, static cost) before executing")
+	noOpt := flag.Bool("no-optimizer", false, "compile the analysis-emitted order instead of the cost-based plan")
 	flag.Parse()
 
 	var db *relation.Database
@@ -93,6 +97,9 @@ func main() {
 	fmt.Printf("fixed: %s\n\n", *fix)
 
 	eng := core.NewEngine(st)
+	if *noOpt {
+		eng.SetOptimizer(core.OptimizerOff)
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -108,7 +115,7 @@ func main() {
 	}
 
 	if *limit > 0 {
-		if err := streamAnswers(ctx, eng, q, fixed, *limit, opts); err != nil {
+		if err := streamAnswers(ctx, eng, q, fixed, *limit, *explain, opts); err != nil {
 			fatal(err)
 		}
 		return
@@ -120,6 +127,9 @@ func main() {
 	prepLabel := "prepared"
 	var ans *core.Answer
 	if err == nil {
+		if *explain {
+			fmt.Println(prep.Explain())
+		}
 		start = time.Now()
 		ans, err = prep.Exec(ctx, fixed, opts...)
 	} else if *fallback && errors.Is(err, core.ErrNotControllable) {
@@ -180,7 +190,7 @@ func main() {
 // streamAnswers drives the cursor API: answers print the moment the plan
 // produces them, with the cumulative measured reads next to each, and
 // evaluation stops — reads and all — after the limit.
-func streamAnswers(ctx context.Context, eng *core.Engine, q *query.Query, fixed query.Bindings, limit int, opts []core.ExecOption) error {
+func streamAnswers(ctx context.Context, eng *core.Engine, q *query.Query, fixed query.Bindings, limit int, explain bool, opts []core.ExecOption) error {
 	start := time.Now()
 	rows, err := eng.QueryContext(ctx, q, fixed, append(opts, core.WithLimit(limit))...)
 	switch {
@@ -190,6 +200,9 @@ func streamAnswers(ctx context.Context, eng *core.Engine, q *query.Query, fixed 
 		return err
 	}
 	defer rows.Close()
+	if explain {
+		fmt.Println(rows.Explain())
+	}
 	n := 0
 	for rows.Next() {
 		n++

@@ -68,7 +68,12 @@ access person(id -> *) limit 1 time 1
 	} else if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("derivation:")
+	// EXPLAIN: the physical operator plan the derivation compiled into —
+	// operator tree with per-operator static bounds, the cost-chosen
+	// access order, and (on a sharded backend) each fetch's routing.
+	fmt.Println("EXPLAIN:")
+	fmt.Print(prep.Explain())
+	fmt.Println("\nderivation it was compiled from:")
 	fmt.Print(prep.Derivation().Explain())
 
 	// 6. Execute many times with fresh bindings — no re-analysis, each

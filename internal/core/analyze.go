@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/query"
-	"repro/internal/relation"
 )
 
 // Rule names the controllability rule that produced a derivation node,
@@ -34,6 +33,7 @@ type Derivation struct {
 	F        query.Formula
 	Ctrl     query.VarSet
 	Entry    access.Entry  // RuleAtom: the access entry used
+	OnPos    []int         // RuleAtom: positions (within the atom) of Entry.On
 	Children []*Derivation // rule-dependent subderivations
 	Chase    *ChasePlan    // RuleEmbedded
 }
@@ -271,7 +271,7 @@ func (st *analysisState) atomDerivs(a *query.Atom) ([]*Derivation, error) {
 				ctrl[a.Args[p].Name()] = true
 			}
 		}
-		out = append(out, &Derivation{Rule: RuleAtom, F: a, Ctrl: ctrl, Entry: e})
+		out = append(out, &Derivation{Rule: RuleAtom, F: a, Ctrl: ctrl, Entry: e, OnPos: pos})
 	}
 	return out, nil
 }
@@ -490,21 +490,3 @@ func allArgsBoundOrConst(a *query.Atom, positions []int, bound query.VarSet) boo
 	return true
 }
 
-// tupleForPositions builds the lookup values for positions from constants
-// and bindings; every argument must be a constant or bound.
-func tupleForPositions(a *query.Atom, positions []int, env query.Bindings) ([]relation.Value, error) {
-	out := make([]relation.Value, len(positions))
-	for i, p := range positions {
-		t := a.Args[p]
-		if !t.IsVar() {
-			out[i] = t.Value()
-			continue
-		}
-		v, ok := env[t.Name()]
-		if !ok {
-			return nil, fmt.Errorf("core: variable %q unbound for fetch on %s", t.Name(), a)
-		}
-		out[i] = v
-	}
-	return out, nil
-}

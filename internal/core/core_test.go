@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/access"
 	"repro/internal/parser"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/relation"
 )
@@ -415,13 +416,15 @@ func TestEqualityOnlyControlled(t *testing.T) {
 }
 
 func TestMustInertRelationHelpers(t *testing.T) {
-	// Guard against regressions in tupleForPositions error reporting.
+	// Guard against regressions in the fetch-value builder's error
+	// reporting (now plan.TupleForPositions, shared by lookups and chase
+	// steps).
 	a := query.NewAtom("R", query.Var("x"), query.ConstInt(3))
-	if _, err := tupleForPositions(a, []int{0}, query.Bindings{}); err == nil {
+	if _, err := plan.TupleForPositions(a, []int{0}, query.Bindings{}); err == nil {
 		t.Error("unbound variable accepted")
 	}
-	vals, err := tupleForPositions(a, []int{1, 0}, query.Bindings{"x": relation.Int(7)})
+	vals, err := plan.TupleForPositions(a, []int{1, 0}, query.Bindings{"x": relation.Int(7)})
 	if err != nil || vals[0] != relation.Int(3) || vals[1] != relation.Int(7) {
-		t.Errorf("tupleForPositions = %v, %v", vals, err)
+		t.Errorf("TupleForPositions = %v, %v", vals, err)
 	}
 }

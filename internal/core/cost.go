@@ -2,46 +2,30 @@ package core
 
 import (
 	"fmt"
-	"math"
+
+	"repro/internal/plan"
 )
 
-// Cost is the static bound a derivation guarantees, expressed in the
-// N-values of the access schema (Theorem 4.2's "time that depends only on
-// A and Q"): Candidates bounds the number of candidate bindings the plan
-// can produce, Reads bounds the number of tuples fetched from the store.
-// Both are independent of |D| by construction.
-type Cost struct {
-	Candidates int64
-	Reads      int64
-}
+// Saturating cost arithmetic lives with the operator IR; the analyzer
+// shares it so derivation costs and plan bounds never diverge.
+const costCap = plan.CostCap
 
-// costCap saturates arithmetic well below overflow.
-const costCap = math.MaxInt64 / 4
+func satAdd(a, b int64) int64 { return plan.SatAdd(a, b) }
+func satMul(a, b int64) int64 { return plan.SatMul(a, b) }
 
-func satAdd(a, b int64) int64 {
-	if a > costCap-b {
-		return costCap
-	}
-	return a + b
-}
-
-func satMul(a, b int64) int64 {
-	if a == 0 || b == 0 {
-		return 0
-	}
-	if a > costCap/b {
-		return costCap
-	}
-	return a * b
-}
-
-// String renders the cost.
-func (c Cost) String() string {
-	return fmt.Sprintf("≤%d candidates, ≤%d reads", c.Candidates, c.Reads)
-}
+// Cost is the static bound a derivation (or its compiled physical plan)
+// guarantees, expressed in the N-values of the access schema (Theorem
+// 4.2's "time that depends only on A and Q"): Candidates bounds the
+// number of candidate bindings, Reads bounds the number of tuples fetched
+// from the store. Both are independent of |D| by construction. It is the
+// operator IR's cost type; the analyzer uses it to rank derivations
+// before compilation.
+type Cost = plan.Cost
 
 // CostOf computes the static bound of a derivation by structural
-// induction, mirroring the proof of Theorem 4.2.
+// induction, mirroring the proof of Theorem 4.2. It equals the Bound of
+// the derivation's 1:1 compiled operator plan (compile_test pins this);
+// an optimized plan may carry a tighter bound.
 func CostOf(d *Derivation) Cost {
 	switch d.Rule {
 	case RuleAtom:
@@ -52,20 +36,20 @@ func CostOf(d *Derivation) Cost {
 	case RuleConj:
 		c0, c1 := CostOf(d.Children[0]), CostOf(d.Children[1])
 		return Cost{
-			Candidates: satMul(c0.Candidates, c1.Candidates),
-			Reads:      satAdd(c0.Reads, satMul(c0.Candidates, c1.Reads)),
+			Candidates: plan.SatMul(c0.Candidates, c1.Candidates),
+			Reads:      plan.SatAdd(c0.Reads, plan.SatMul(c0.Candidates, c1.Reads)),
 		}
 	case RuleDisj:
 		c0, c1 := CostOf(d.Children[0]), CostOf(d.Children[1])
 		return Cost{
-			Candidates: satAdd(c0.Candidates, c1.Candidates),
-			Reads:      satAdd(c0.Reads, c1.Reads),
+			Candidates: plan.SatAdd(c0.Candidates, c1.Candidates),
+			Reads:      plan.SatAdd(c0.Reads, c1.Reads),
 		}
 	case RuleSafeNeg:
 		c0, c1 := CostOf(d.Children[0]), CostOf(d.Children[1])
 		return Cost{
 			Candidates: c0.Candidates,
-			Reads:      satAdd(c0.Reads, satMul(c0.Candidates, c1.Reads)),
+			Reads:      plan.SatAdd(c0.Reads, plan.SatMul(c0.Candidates, c1.Reads)),
 		}
 	case RuleExists:
 		return CostOf(d.Children[0])
@@ -73,7 +57,7 @@ func CostOf(d *Derivation) Cost {
 		c0, c1 := CostOf(d.Children[0]), CostOf(d.Children[1])
 		return Cost{
 			Candidates: 1,
-			Reads:      satAdd(c0.Reads, satMul(c0.Candidates, c1.Reads)),
+			Reads:      plan.SatAdd(c0.Reads, plan.SatMul(c0.Candidates, c1.Reads)),
 		}
 	case RuleEmbedded:
 		return chaseCost(d.Chase)
@@ -89,12 +73,12 @@ func chaseCost(p *ChasePlan) Cost {
 			continue // equality propagation is free
 		}
 		n := int64(s.Entry.N)
-		reads = satAdd(reads, satMul(cands, n))
+		reads = plan.SatAdd(reads, plan.SatMul(cands, n))
 		if len(s.Binds) > 0 {
-			cands = satMul(cands, n)
+			cands = plan.SatMul(cands, n)
 		}
 	}
 	// One membership probe per candidate per membership-verified atom.
-	reads = satAdd(reads, satMul(cands, int64(len(p.MembershipAtoms))))
+	reads = plan.SatAdd(reads, plan.SatMul(cands, int64(len(p.MembershipAtoms))))
 	return Cost{Candidates: cands, Reads: reads}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/eval"
 	"repro/internal/query"
@@ -33,6 +34,40 @@ type Engine struct {
 	An *Analyzer
 
 	plans *planCache
+	mode  atomic.Int32 // OptimizerMode; atomic so SetOptimizer is safe mid-serving
+}
+
+// OptimizerMode selects how Prepare turns a derivation into a physical
+// plan.
+type OptimizerMode int
+
+const (
+	// OptimizerOff compiles the analysis-emitted derivation 1:1: conjunct
+	// order and access entries exactly as analysis chose them. The
+	// baseline for reordering experiments (sibench -reorder).
+	OptimizerOff OptimizerMode = iota
+	// OptimizerOn (the default) reorders conjunct operators greedy
+	// min-bound-first using the access schema's N bounds, re-selects
+	// access entries as variables become bound, and upgrades fully bound
+	// atoms to membership probes. Deterministic across backends.
+	OptimizerOn
+	// OptimizerStats additionally refines entry bounds with live backend
+	// cardinality statistics (store.EntryStats) when the backend provides
+	// them. Ordering only: static bounds still come from N. Plans may
+	// differ between backends with different data layouts.
+	OptimizerStats
+)
+
+// String renders the mode for EXPLAIN output.
+func (m OptimizerMode) String() string {
+	switch m {
+	case OptimizerOn:
+		return "on"
+	case OptimizerStats:
+		return "on+stats"
+	default:
+		return "off"
+	}
 }
 
 // DefaultPlanCacheSize is the number of (query name, controlling set)
@@ -40,14 +75,25 @@ type Engine struct {
 const DefaultPlanCacheSize = 128
 
 // NewEngine builds an engine over a storage backend, analyzing under its
-// access schema.
+// access schema. The cost-based plan optimizer is on (OptimizerOn).
 func NewEngine(db store.Backend) *Engine {
-	return &Engine{
+	e := &Engine{
 		DB:    db,
 		An:    NewAnalyzer(db.Access()),
 		plans: newPlanCache(DefaultPlanCacheSize),
 	}
+	e.mode.Store(int32(OptimizerOn))
+	return e
 }
+
+// SetOptimizer selects the plan optimizer mode for subsequent Prepare
+// calls. Safe to call while other goroutines are serving: the mode is
+// read atomically, and cached plans are keyed per mode, so in-flight
+// calls use whichever mode they observed consistently.
+func (e *Engine) SetOptimizer(m OptimizerMode) { e.mode.Store(int32(m)) }
+
+// Optimizer reports the engine's current optimizer mode.
+func (e *Engine) Optimizer() OptimizerMode { return OptimizerMode(e.mode.Load()) }
 
 // SetPlanCacheSize resizes the plan cache; n <= 0 disables caching (every
 // Answer re-runs the analysis — useful for benchmarking the analysis
@@ -139,7 +185,8 @@ func (e *Engine) Controllable(q *query.Query, x query.VarSet) (*Derivation, erro
 // plans are cached on the engine keyed by (q.Name, x̄), so re-preparing —
 // or answering via Answer/AnswerContext — skips re-analysis.
 func (e *Engine) Prepare(q *query.Query, x query.VarSet) (*PreparedQuery, error) {
-	key := planKey(q, x)
+	mode := e.Optimizer() // one atomic read: key and compiled plan agree
+	key := planKey(q, x, mode)
 	if p, err, ok := e.plans.get(key, q); ok {
 		return p, err
 	}
@@ -152,7 +199,7 @@ func (e *Engine) Prepare(q *query.Query, x query.VarSet) (*PreparedQuery, error)
 		}
 		return nil, err
 	}
-	p := &PreparedQuery{eng: e, q: q, ctrl: x.Clone(), d: d, plan: NewPlan(d)}
+	p := &PreparedQuery{eng: e, q: q, ctrl: x.Clone(), d: d, plan: compilePlan(d, e.DB, mode)}
 	e.plans.put(key, q, p, nil)
 	return p, nil
 }
@@ -184,9 +231,11 @@ func (e *Engine) AnswerContext(ctx context.Context, q *query.Query, fixed query.
 }
 
 // AnswerWith evaluates using a previously obtained derivation (e.g. from
-// Controllable or a cached analysis), bypassing the plan cache.
+// Controllable or a cached analysis), bypassing the plan cache. The
+// derivation is compiled as-is (analysis order), with routing resolved
+// against the engine's backend.
 func (e *Engine) AnswerWith(q *query.Query, fixed query.Bindings, d *Derivation) (*Answer, error) {
-	p := &PreparedQuery{eng: e, q: q, ctrl: d.Ctrl, d: d, plan: NewPlan(d)}
+	p := &PreparedQuery{eng: e, q: q, ctrl: d.Ctrl, d: d, plan: compilePlan(d, e.DB, OptimizerOff)}
 	return p.exec(context.Background(), fixed, execOpts{})
 }
 

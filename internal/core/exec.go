@@ -6,36 +6,18 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/plan"
 	"repro/internal/query"
-	"repro/internal/relation"
 	"repro/internal/store"
 )
 
-// executor carries one evaluation's execution context down the derivation
-// tree: the cancellation context and the per-call stats (counters, trace,
-// read budget) that the store read path charges. A fresh executor per call
-// is what makes concurrent evaluations over a shared store safe.
-//
-// Execution itself is streaming: see stream.go for the per-rule
-// generators; the eager entry points below are drains over them.
-type executor struct {
-	ctx context.Context
-	st  store.Backend
-	es  *store.ExecStats
-}
-
-// checkCtx fails fast once the context is canceled or past its deadline.
-// It is called on every derivation node and every chase step, so a
-// long-running evaluation notices cancellation promptly.
-func (x *executor) checkCtx() error {
-	if x.ctx == nil {
-		return nil
-	}
-	if err := x.ctx.Err(); err != nil {
-		return fmt.Errorf("core: %w: %w", ErrCanceled, err)
-	}
-	return nil
-}
+// Execution is delegated to the physical operator layer: a derivation
+// compiles (compile.go) into an internal/plan operator tree, and the
+// entry points here are drains over its streaming interpreter. Work —
+// store fetches, membership probes, and therefore TupleReads, budget
+// consumption and witness recording — is charged only as answers are
+// pulled, so a consumer that stops early (Rows with WithLimit, First, a
+// canceled context) stops charging.
 
 // Exec evaluates a controllability derivation against the store, given
 // values (env) for a superset of the derivation's controlling set. It is
@@ -51,17 +33,20 @@ func Exec(st store.Backend, d *Derivation, env query.Bindings) ([]query.Bindings
 // es charges only the store-global counters; a nil ctx is treated as
 // context.Background().
 //
-// ExecContext is a full drain of the streaming executor: callers that can
-// consume answers incrementally (or stop early) should prefer the cursor
-// API (PreparedQuery.Query, Engine.QueryContext), which stops charging
-// reads the moment they stop pulling.
+// The derivation is compiled 1:1 (analysis order; no cost-based
+// reordering) and drained. Callers that can consume answers incrementally
+// (or stop early) should prefer the cursor API (PreparedQuery.Query,
+// Engine.QueryContext), which also caches the compiled — and, by default,
+// cost-optimized — plan instead of recompiling per call.
 func ExecContext(ctx context.Context, st store.Backend, d *Derivation, env query.Bindings, es *store.ExecStats) ([]query.Bindings, error) {
 	if missing := d.Ctrl.Minus(env.Vars()); !missing.IsEmpty() {
 		return nil, fmt.Errorf("core: exec needs values for controlling variables %s", missing)
 	}
-	x := &executor{ctx: ctx, st: st, es: es}
+	root := Compile(d)
+	plan.ResolveRoutes(root, st)
+	rt := plan.BackendRuntime{Ctx: ctx, B: st, Es: es}
 	var out []query.Bindings
-	for b, err := range x.stream(d, env) {
+	for b, err := range root.Stream(rt, env) {
 		if err != nil {
 			return nil, err
 		}
@@ -70,175 +55,45 @@ func ExecContext(ctx context.Context, st store.Backend, d *Derivation, env query
 	return out, nil
 }
 
-// restrict returns env restricted to vars.
-func restrict(env query.Bindings, vars query.VarSet) query.Bindings {
-	out := make(query.Bindings, vars.Len())
-	for v := range vars {
-		if val, ok := env[v]; ok {
-			out[v] = val
-		}
-	}
-	return out
-}
-
-// bindingKey canonically encodes a binding over the given sorted variable
-// list for deduplication.
-func bindingKey(b query.Bindings, sortedVars []string) string {
-	t := make(relation.Tuple, len(sortedVars))
-	for i, v := range sortedVars {
-		t[i] = b[v]
-	}
-	return t.Key()
-}
-
-// unifyAtom matches a full base tuple against the atom's arguments under
-// env, returning the binding over the atom's variables.
-func unifyAtom(a *query.Atom, tu relation.Tuple, env query.Bindings) (query.Bindings, bool) {
-	b := make(query.Bindings, len(a.Args))
-	for i, arg := range a.Args {
-		if !arg.IsVar() {
-			if arg.Value() != tu[i] {
-				return nil, false
-			}
-			continue
-		}
-		name := arg.Name()
-		if v, ok := env[name]; ok && v != tu[i] {
-			return nil, false
-		}
-		if v, ok := b[name]; ok && v != tu[i] {
-			return nil, false
-		}
-		b[name] = tu[i]
-	}
-	return b, true
-}
-
-func execConditions(d *Derivation, env query.Bindings) ([]query.Bindings, error) {
-	free := d.F.FreeVars()
-	if !free.SubsetOf(env.Vars()) {
-		return nil, fmt.Errorf("core: conditions rule with unbound variables %s", free.Minus(env.Vars()))
-	}
-	ok, err := evalEqOnly(d.F, env)
-	if err != nil {
-		return nil, err
-	}
-	if !ok {
-		return nil, nil
-	}
-	return []query.Bindings{restrict(env, free)}, nil
-}
-
-// evalEqOnly evaluates an equality-only formula under a full binding.
-func evalEqOnly(f query.Formula, env query.Bindings) (bool, error) {
-	switch n := f.(type) {
-	case *query.Eq:
-		l, err := termVal(n.L, env)
-		if err != nil {
-			return false, err
-		}
-		r, err := termVal(n.R, env)
-		if err != nil {
-			return false, err
-		}
-		return l == r, nil
-	case *query.Truth:
-		return n.Bool, nil
-	case *query.Not:
-		b, err := evalEqOnly(n.F, env)
-		return !b, err
-	case *query.And:
-		l, err := evalEqOnly(n.L, env)
-		if err != nil || !l {
-			return false, err
-		}
-		return evalEqOnly(n.R, env)
-	case *query.Or:
-		l, err := evalEqOnly(n.L, env)
-		if err != nil || l {
-			return l, err
-		}
-		return evalEqOnly(n.R, env)
-	case *query.Implies:
-		l, err := evalEqOnly(n.L, env)
-		if err != nil {
-			return false, err
-		}
-		if !l {
-			return true, nil
-		}
-		return evalEqOnly(n.R, env)
-	default:
-		return false, fmt.Errorf("core: non-equality node %T under conditions rule", f)
-	}
-}
-
-func termVal(t query.Term, env query.Bindings) (relation.Value, error) {
-	if !t.IsVar() {
-		return t.Value(), nil
-	}
-	v, ok := env[t.Name()]
-	if !ok {
-		return relation.Value{}, fmt.Errorf("core: unbound variable %q", t.Name())
-	}
-	return v, nil
-}
-
-// mergedWith overlays b on env without mutating either.
-func mergedWith(env, b query.Bindings) query.Bindings {
-	out := env.Clone()
-	for k, v := range b {
-		out[k] = v
-	}
-	return out
-}
-
-// unifyProjected matches a fetched (possibly projected) tuple against the
-// atom positions of a chase fetch step.
-func unifyProjected(step ChaseStep, tu relation.Tuple, c query.Bindings) (query.Bindings, bool) {
-	out := c
-	cloned := false
-	for j, p := range step.ProjPos {
-		arg := step.Atom.Args[p]
-		if !arg.IsVar() {
-			if arg.Value() != tu[j] {
-				return nil, false
-			}
-			continue
-		}
-		name := arg.Name()
-		if v, ok := out[name]; ok {
-			if v != tu[j] {
-				return nil, false
-			}
-			continue
-		}
-		if !cloned {
-			out = c.Clone()
-			cloned = true
-		}
-		out[name] = tu[j]
-	}
-	if !cloned {
-		out = c.Clone()
-	}
-	return out, true
-}
-
-// Plan describes a compiled bounded evaluation: the derivation plus its
-// static cost.
+// Plan is a compiled bounded evaluation: the controllability derivation
+// it was compiled from, the physical operator tree that executes it, and
+// the static cost bound of that tree. Bound is always derived from the
+// access schema's N values — an optimized plan may carry a tighter bound
+// than the raw derivation (membership upgrades), never a looser one than
+// its own operators guarantee.
 type Plan struct {
 	Derivation *Derivation
 	Bound      Cost
+	// Root is the physical operator tree the executor interprets.
+	Root plan.Node
+	// Mode records how Root was produced (analysis order vs cost-based).
+	Mode OptimizerMode
 }
 
-// NewPlan wraps a derivation.
-func NewPlan(d *Derivation) *Plan { return &Plan{Derivation: d, Bound: CostOf(d)} }
+// NewPlan compiles a derivation 1:1 into an executable plan (analysis
+// order, no backend-specific routing). The engine's Prepare path builds
+// optimized, route-resolved plans instead.
+func NewPlan(d *Derivation) *Plan {
+	root := Compile(d)
+	return &Plan{Derivation: d, Bound: root.Bound(), Root: root, Mode: OptimizerOff}
+}
 
-// Describe renders a human-readable plan.
+// Explain renders the physical operator tree with per-operator static
+// bounds and the chosen access order — the EXPLAIN of the serving API.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "physical plan (%s, optimizer %s)\n", p.Bound, p.Mode)
+	fmt.Fprintf(&b, "order: %s\n", strings.Join(plan.AtomOrder(p.Root), ", "))
+	b.WriteString(plan.Explain(p.Root))
+	return b.String()
+}
+
+// Describe renders a human-readable plan: the operator tree plus the
+// derivation it proves bounded.
 func (p *Plan) Describe() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "bounded plan (%s)\n", p.Bound)
+	b.WriteString(p.Explain())
+	b.WriteString("derived from:\n")
 	b.WriteString(p.Derivation.Explain())
 	return b.String()
 }

@@ -320,7 +320,7 @@ func TestPlanDescribe(t *testing.T) {
 	if len(desc) == 0 {
 		t.Fatal("empty plan description")
 	}
-	for _, want := range []string{"bounded plan", "friend", "person"} {
+	for _, want := range []string{"physical plan", "order:", "IndexLookup", "friend", "person", "derived from:"} {
 		if !containsSubstring(desc, want) {
 			t.Errorf("plan description missing %q:\n%s", want, desc)
 		}

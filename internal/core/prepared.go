@@ -3,7 +3,9 @@ package core
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/query"
 )
@@ -55,21 +57,44 @@ func (p *PreparedQuery) exec(ctx context.Context, fixed query.Bindings, o execOp
 	return rows.drain()
 }
 
-// planKey builds the cache key (query name, controlling set).
-func planKey(q *query.Query, x query.VarSet) string {
-	return q.Name + "\x00" + x.Key()
+// Explain renders the prepared physical plan: operator tree, per-operator
+// static bounds, and the chosen access order. The EXPLAIN of the serving
+// API (also surfaced by Rows.Explain and sirun -explain).
+func (p *PreparedQuery) Explain() string {
+	return fmt.Sprintf("%s controlled by %s\n%s", p.q.Name, p.ctrl, p.plan.Explain())
 }
 
+// planKey builds the cache key (query name, controlling set, optimizer
+// mode — plans compiled under different modes are distinct entries).
+func planKey(q *query.Query, x query.VarSet, mode OptimizerMode) string {
+	return fmt.Sprintf("%d\x00%s\x00%s", mode, q.Name, x.Key())
+}
+
+// PlanCacheStats are the engine plan cache's lifetime counters: cache
+// observability for serving dashboards (sibench -serving prints them).
+// Hits include negative entries (cached ErrNotControllable outcomes);
+// evictions count both LRU pressure and fingerprint-mismatch
+// invalidations.
+type PlanCacheStats struct {
+	Hits, Misses, Evictions int64
+}
+
+// PlanCacheStats reports the engine's plan-cache counters. Zero for an
+// engine without a cache.
+func (e *Engine) PlanCacheStats() PlanCacheStats { return e.plans.stats() }
+
 // planCache is a small LRU of analysis outcomes, keyed by (query name,
-// controlling set): successful entries hold the prepared query, negative
-// entries the ErrNotControllable result, so repeated fallback serving
-// does not re-run the exponential analysis either. Safe for concurrent
-// use.
+// controlling set, optimizer mode): successful entries hold the prepared
+// query, negative entries the ErrNotControllable result, so repeated
+// fallback serving does not re-run the exponential analysis either. Safe
+// for concurrent use.
 type planCache struct {
 	mu  sync.Mutex
 	cap int
 	ll  *list.List // front = most recently used
 	m   map[string]*list.Element
+
+	hits, misses, evictions atomic.Int64
 }
 
 type planEntry struct {
@@ -124,6 +149,7 @@ func (c *planCache) get(key string, q *query.Query) (p *PreparedQuery, err error
 	defer c.mu.Unlock()
 	el, found := c.m[key]
 	if !found {
+		c.misses.Add(1)
 		return nil, nil, false
 	}
 	en := el.Value.(*planEntry)
@@ -131,12 +157,27 @@ func (c *planCache) get(key string, q *query.Query) (p *PreparedQuery, err error
 		if en.fingerprint != q.String() {
 			c.ll.Remove(el)
 			delete(c.m, key)
+			c.evictions.Add(1)
+			c.misses.Add(1)
 			return nil, nil, false
 		}
 		en.q = q // textually identical: adopt the pointer for future fast hits
 	}
 	c.ll.MoveToFront(el)
+	c.hits.Add(1)
 	return en.p, en.err, true
+}
+
+// stats snapshots the cache counters (nil-safe).
+func (c *planCache) stats() PlanCacheStats {
+	if c == nil {
+		return PlanCacheStats{}
+	}
+	return PlanCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
 }
 
 // put caches an analysis outcome: a prepared query, or (p == nil) the
@@ -161,5 +202,6 @@ func (c *planCache) put(key string, q *query.Query, p *PreparedQuery, err error)
 		el := c.ll.Back()
 		c.ll.Remove(el)
 		delete(c.m, el.Value.(*planEntry).key)
+		c.evictions.Add(1)
 	}
 }

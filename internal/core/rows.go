@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"iter"
 
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/store"
@@ -206,6 +207,15 @@ func (r *Rows) Head() []string { return r.head }
 // fallback path.
 func (r *Rows) Plan() *Plan { return r.plan }
 
+// Explain renders the physical operator plan behind the cursor, or a
+// note that the cursor streams from the naive fallback.
+func (r *Rows) Explain() string {
+	if r.plan == nil {
+		return "naive fallback: full-scan evaluation, no bounded plan\n"
+	}
+	return r.plan.Explain()
+}
+
 // Cost returns the work charged to this cursor so far. It grows as the
 // cursor is pulled; after exhaustion it equals the cost Exec would have
 // reported.
@@ -249,7 +259,7 @@ func (r *Rows) drain() (*Answer, error) {
 // Head variables missing from a binding are looked up in fallback (nil
 // allowed — e.g. the caller-fixed x̄ values a disjunct's plan did not
 // re-derive); a variable found in neither fails with ErrUnboundHead.
-func projectSeq(bs bindingSeq, head []string, fallback query.Bindings, qname string) tupleSeq {
+func projectSeq(bs plan.Seq, head []string, fallback query.Bindings, qname string) tupleSeq {
 	return func(yield func(relation.Tuple, error) bool) {
 		seen := make(map[string]bool)
 		for b, err := range bs {
@@ -308,9 +318,9 @@ func (p *PreparedQuery) query(ctx context.Context, fixed query.Bindings, o execO
 	if !o.noTrace {
 		es.Trace = store.NewTrace()
 	}
-	x := &executor{ctx: ctx, st: p.eng.DB, es: es}
+	rt := plan.BackendRuntime{Ctx: ctx, B: p.eng.DB, Es: es}
 	head := remainingHead(p.q.Head, fixed)
-	return newRows(head, p.plan, es, projectSeq(x.stream(p.d, fixed), head, nil, p.q.Name), o.limit), nil
+	return newRows(head, p.plan, es, projectSeq(p.plan.Root.Stream(rt, fixed), head, nil, p.q.Name), o.limit), nil
 }
 
 // First executes the prepared plan until the first answer and stops —

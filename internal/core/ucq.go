@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/store"
@@ -134,13 +135,15 @@ func ExecUCQ(st store.Backend, res *UCQResult, x query.Bindings) (*relation.Tupl
 	return out, nil
 }
 
-// StreamUCQ opens a lazy answer stream over the union: the disjuncts'
-// cursors run in sequence and their answers are deduplicated on the fly
-// across disjuncts, so the union's answer set streams out without
-// materializing any disjunct — and an early-terminating consumer never
-// opens the cursors of later disjuncts at all. Work is charged to es (nil
-// charges only the backend-global counters). The resulting tuple set and,
-// for a full drain, the charged TupleReads are identical to ExecUCQ's:
+// StreamUCQ opens a lazy answer stream over the union: each disjunct's
+// derivation is compiled to its physical operator plan (analysis order,
+// routing resolved against st), the plans' cursors run in sequence, and
+// their answers are deduplicated on the fly across disjuncts, so the
+// union's answer set streams out without materializing any disjunct —
+// and an early-terminating consumer never opens the cursors of later
+// disjuncts at all. Work is charged to es (nil charges only the
+// backend-global counters). The resulting tuple set and, for a full
+// drain, the charged TupleReads are identical to ExecUCQ's:
 // deduplication is at answer level and every disjunct's plan still runs
 // in full once pulled.
 func StreamUCQ(ctx context.Context, st store.Backend, res *UCQResult, x query.Bindings, es *store.ExecStats) (tupleSeq, error) {
@@ -148,15 +151,20 @@ func StreamUCQ(ctx context.Context, st store.Backend, res *UCQResult, x query.Bi
 	if derivs == nil {
 		return nil, fmt.Errorf("core: union not %s-controlled", x.Vars())
 	}
-	ex := &executor{ctx: ctx, st: st, es: es}
+	roots := make([]plan.Node, len(derivs))
+	for i, d := range derivs {
+		roots[i] = Compile(d)
+		plan.ResolveRoutes(roots[i], st)
+	}
+	rt := plan.BackendRuntime{Ctx: ctx, B: st, Es: es}
 	// Chain the disjunct cursors into one binding stream; projectSeq then
 	// applies the same head projection and streaming tuple-level dedup the
 	// prepared-query cursor uses — here the dedup spans disjuncts, and x
 	// serves as the fallback for head variables the disjunct's plan did
 	// not re-derive.
 	union := func(yield func(query.Bindings, error) bool) {
-		for _, d := range derivs {
-			for b, err := range ex.stream(d, x) {
+		for _, root := range roots {
+			for b, err := range root.Stream(rt, x) {
 				if err != nil {
 					yield(nil, err)
 					return

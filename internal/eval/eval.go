@@ -294,39 +294,6 @@ func drainTuples(seq func(yield func(relation.Tuple, error) bool)) (*relation.Tu
 	return out, nil
 }
 
-// matchAtom attempts to match atom a against tuple tu under env, extending
-// env in place. It returns the variables newly bound (for backtracking) and
-// whether the match succeeded; on failure env is left unchanged.
-func matchAtom(a *query.Atom, tu relation.Tuple, env query.Bindings) (bound []string, ok bool) {
-	if len(a.Args) != len(tu) {
-		return nil, false
-	}
-	for i, arg := range a.Args {
-		if !arg.IsVar() {
-			if arg.Value() != tu[i] {
-				for _, v := range bound {
-					delete(env, v)
-				}
-				return nil, false
-			}
-			continue
-		}
-		name := arg.Name()
-		if v, has := env[name]; has {
-			if v != tu[i] {
-				for _, v := range bound {
-					delete(env, v)
-				}
-				return nil, false
-			}
-			continue
-		}
-		env[name] = tu[i]
-		bound = append(bound, name)
-	}
-	return bound, true
-}
-
 // atomOrder greedily orders atoms most-bound-first: repeatedly pick the
 // atom sharing the most variables with the already-bound set. This keeps
 // the backtracking join from degenerating into a cross product on the

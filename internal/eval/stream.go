@@ -1,8 +1,10 @@
-// Streaming naive evaluation: the backtracking joins of eval.go rewritten
-// as resumable generators. The eager entry points (Answers, AnswersCQ)
-// are full drains of these streams, so their answers and measured
-// counters are unchanged; a consumer that stops early (LIMIT serving,
-// First, cancellation) skips the scans of join branches it never reached.
+// Streaming naive evaluation: conjunctive queries compile to the same
+// physical operator IR (internal/plan) the bounded engine interprets —
+// NaiveScan leaves chained by pipelined NLJoins — and stream through its
+// resumable generators. The eager entry points (Answers, AnswersCQ) are
+// full drains of these streams, so their answers and measured counters
+// are unchanged; a consumer that stops early (LIMIT serving, First,
+// cancellation) skips the scans of join branches it never reached.
 
 package eval
 
@@ -10,6 +12,8 @@ import (
 	"fmt"
 	"iter"
 
+	"repro/internal/access"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/store"
@@ -99,12 +103,93 @@ func Stream(src Source, q *query.Query, fixed query.Bindings) iter.Seq2[relation
 	return streamFO(src, qf)
 }
 
-// StreamCQ evaluates a conjunctive query as a pipelined backtracking
-// join: answers are yielded as the innermost atom matches, the outermost
-// atom's scan streams (see SeqSource), and inner atoms' scans are issued
-// only when the join first reaches them — so an early-terminated consumer
-// charges only the scans of the branches it actually explored. A full
-// drain performs exactly the scans AnswersCQ performs.
+// sourceRuntime adapts a Source to the physical-plan runtime: the naive
+// fallback's joins interpret the same operator IR the bounded engine
+// runs, with NaiveScan leaves reading through the source's (memoized,
+// charged) scan path. Fetch is never called — naive plans contain no
+// indexed access.
+type sourceRuntime struct{ src Source }
+
+// Fetch implements plan.Runtime; unreachable for naive plans.
+func (rt sourceRuntime) Fetch(e access.Entry, vals []relation.Value, r store.FetchRoute) ([]relation.Tuple, error) {
+	return nil, fmt.Errorf("eval: indexed fetch %s in a naive plan", e.Rel)
+}
+
+// Member implements plan.Runtime.
+func (rt sourceRuntime) Member(rel string, t relation.Tuple) (bool, error) {
+	return rt.src.Contains(rel, t)
+}
+
+// Scan implements plan.Runtime: the streaming path (outermost scan of a
+// join) goes through SeqSource when available; inner scans read the
+// materialized (memoized) snapshot so a self-join sees one version of
+// the relation even under concurrent writers.
+func (rt sourceRuntime) Scan(rel string, stream bool) iter.Seq2[relation.Tuple, error] {
+	if stream {
+		return tupleStream(rt.src, rel)
+	}
+	return func(yield func(relation.Tuple, error) bool) {
+		ts, err := rt.src.Tuples(rel)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		for _, t := range ts {
+			if !yield(t, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Check implements plan.Runtime: cancellation is enforced on the charged
+// store accesses themselves (ExecStats.Ctx), as before the IR rewrite.
+func (rt sourceRuntime) Check() error { return nil }
+
+// compileCQ lowers a conjunctive query to its physical plan: one
+// NaiveScan leaf per atom in the greedy most-bound-first order, chained
+// by non-deduplicating NLJoins (the naive join deduplicates only at the
+// head, exactly like the reference backtracking evaluator). The
+// outermost scan is marked streaming when its relation is not joined
+// again further in: inner atoms read through the memoized snapshot, and
+// a self-join must see ONE version of the relation even under concurrent
+// writers — a suspended outer stream revisited after an ApplyUpdate
+// would not.
+func compileCQ(atoms []*query.Atom, env query.Bindings) plan.Node {
+	order := atomOrder(atoms, env)
+	streamOuter := len(order) > 0
+	if streamOuter {
+		for _, a := range order[1:] {
+			if a.Rel == order[0].Rel {
+				streamOuter = false
+				break
+			}
+		}
+	}
+	var root plan.Node
+	out := env.Vars().Clone()
+	for i, a := range order {
+		leaf := plan.NewNaiveScan(a, i == 0 && streamOuter)
+		if root == nil {
+			root = leaf
+			out = out.Union(leaf.Out())
+			continue
+		}
+		out = out.Union(leaf.Out())
+		j := plan.NewNLJoin(root, leaf, query.NewVarSet(), out)
+		j.NoDedup = true
+		root = j
+	}
+	return root
+}
+
+// StreamCQ evaluates a conjunctive query as a pipelined join over the
+// physical operator IR: the query compiles to a NaiveScan/NLJoin plan
+// (see compileCQ) and answers are yielded as the innermost scan matches.
+// Inner atoms' scans are issued only when the join first reaches them —
+// so an early-terminated consumer charges only the scans of the branches
+// it actually explored. A full drain performs exactly the scans
+// AnswersCQ performs.
 func StreamCQ(src Source, cq *query.CQ, fixed query.Bindings) iter.Seq2[relation.Tuple, error] {
 	return func(yield func(relation.Tuple, error) bool) {
 		q := cq
@@ -119,31 +204,16 @@ func StreamCQ(src Source, cq *query.CQ, fixed query.Bindings) iter.Seq2[relation
 		for k, v := range fixed {
 			env[k] = v
 		}
-		order := atomOrder(q.Atoms, env)
-		// Stream the outermost scan only when its relation is not joined
-		// again further in: inner atoms read through the memoized snapshot
-		// (src.Tuples), and a self-join must see ONE version of the
-		// relation even under concurrent writers — the eager evaluator
-		// guaranteed that by memoizing on first scan, and a suspended
-		// outer stream revisited after an ApplyUpdate would not.
-		streamOuter := len(order) > 0
-		if streamOuter {
-			for _, a := range order[1:] {
-				if a.Rel == order[0].Rel {
-					streamOuter = false
-					break
-				}
-			}
-		}
+		root := compileCQ(q.Atoms, env)
 		seen := make(map[string]bool)
-		// rec drives the join over order[i:]; it returns false when the
-		// consumer stopped or an error was yielded.
-		var rec func(i int) bool
-		emit := func() bool {
+		emit := func(b query.Bindings) bool {
 			t := make(relation.Tuple, len(q.Head))
 			for j, h := range q.Head {
 				if h.IsVar() {
-					v, ok := env[h.Name()]
+					v, ok := b[h.Name()]
+					if !ok {
+						v, ok = env[h.Name()]
+					}
 					if !ok {
 						yield(nil, fmt.Errorf("eval: head variable %q unbound after all atoms", h.Name()))
 						return false
@@ -160,47 +230,21 @@ func StreamCQ(src Source, cq *query.CQ, fixed query.Bindings) iter.Seq2[relation
 			seen[k] = true
 			return yield(t, nil)
 		}
-		step := func(i int, a *query.Atom, tu relation.Tuple) (cont bool) {
-			bound, ok := matchAtom(a, tu, env)
-			if !ok {
-				return true
-			}
-			cont = rec(i + 1)
-			for _, v := range bound {
-				delete(env, v)
-			}
-			return cont
+		if root == nil {
+			// No atoms: the (equality-filtered) head over env alone.
+			emit(env)
+			return
 		}
-		rec = func(i int) bool {
-			if i == len(order) {
-				return emit()
-			}
-			a := order[i]
-			if i == 0 && streamOuter {
-				for tu, err := range tupleStream(src, a.Rel) {
-					if err != nil {
-						yield(nil, err)
-						return false
-					}
-					if !step(i, a, tu) {
-						return false
-					}
-				}
-				return true
-			}
-			ts, err := src.Tuples(a.Rel)
+		rt := sourceRuntime{src: src}
+		for b, err := range root.Stream(rt, env) {
 			if err != nil {
 				yield(nil, err)
-				return false
+				return
 			}
-			for _, tu := range ts {
-				if !step(i, a, tu) {
-					return false
-				}
+			if !emit(b) {
+				return
 			}
-			return true
 		}
-		rec(0)
 	}
 }
 

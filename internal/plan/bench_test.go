@@ -1,0 +1,80 @@
+package plan_test
+
+// Plan-layer benchmarks, run by the CI bench smoke with -benchmem:
+// compile+optimize latency (the one-time Prepare cost the plan cache
+// amortizes) and execution of cost-ordered vs analysis-order plans on
+// the reordering showcase query.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+const q5Src = "Q5(p, rn) := exists f, rid, yy, mm, dd, city, rating (friend(p, f) and visit(f, rid, yy, mm, dd) and restr(rid, rn, city, rating) and not (exists fn (person(f, fn, 'NYC'))))"
+
+// BenchmarkCompilePlan measures Derivation→IR compilation alone.
+func BenchmarkCompilePlan(b *testing.B) {
+	st := socialStore(b, 200, 0)
+	eng := core.NewEngine(st)
+	q := mustQuery(b, q5Src)
+	d, err := eng.Controllable(q, query.NewVarSet("p"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if core.Compile(d) == nil {
+			b.Fatal("nil plan")
+		}
+	}
+}
+
+// BenchmarkPrepareOptimized measures the full Prepare path — analysis,
+// compile, optimize, route resolution — with the plan cache disabled.
+func BenchmarkPrepareOptimized(b *testing.B) {
+	st := socialStore(b, 200, 0)
+	eng := core.NewEngine(st)
+	eng.SetPlanCacheSize(0)
+	q := mustQuery(b, q5Src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Prepare(q, query.NewVarSet("p")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchExec runs the prepared Q5 under the given optimizer mode,
+// reporting reads/op next to time/op.
+func benchExec(b *testing.B, mode core.OptimizerMode) {
+	st := socialStore(b, 2000, 0)
+	eng := core.NewEngine(st)
+	eng.SetOptimizer(mode)
+	q := mustQuery(b, q5Src)
+	prep, err := eng.Prepare(q, query.NewVarSet("p"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var reads int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ans, err := prep.Exec(ctx, query.Bindings{"p": relation.Int(int64(i % 1000))}, core.WithoutTrace())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reads += ans.Cost.TupleReads
+	}
+	b.ReportMetric(float64(reads)/float64(b.N), "reads/op")
+}
+
+// BenchmarkExecAnalysisOrder executes Q5 exactly as analysis emitted it.
+func BenchmarkExecAnalysisOrder(b *testing.B) { benchExec(b, core.OptimizerOff) }
+
+// BenchmarkExecCostOrdered executes the cost-ordered Q5 plan (the
+// ¬person probe hoisted before the visit expansion).
+func BenchmarkExecCostOrdered(b *testing.B) { benchExec(b, core.OptimizerOn) }

@@ -1,0 +1,256 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// ChaseStep is one bounded action of a ChaseExec operator: either a fetch
+// through an access entry (Atom != nil) or a free equality-propagation
+// step. It is the physical form of the chase of Proposition 4.5.
+type ChaseStep struct {
+	// Fetch step (Atom != nil): retrieve via Entry with values for the
+	// variables/constants at OnPos; unify fetched tuples with ProjPos.
+	Atom    *query.Atom
+	AtomIdx int
+	Entry   access.Entry
+	OnPos   []int // positions (within the atom) of Entry.On
+	ProjPos []int // positions of Entry's effective Y
+	Binds   []string
+	// Verifies marks a fetch that fully verifies its atom (no membership
+	// probe needed).
+	Verifies bool
+	// Route is the plan-time routing decision for the fetch.
+	Route store.FetchRoute
+	// Equality-propagation step (Atom == nil): bind/check L = R.
+	EqL, EqR string
+}
+
+// String renders the step for EXPLAIN output.
+func (s ChaseStep) String() string {
+	if s.Atom == nil {
+		return fmt.Sprintf("propagate %s = %s", s.EqL, s.EqR)
+	}
+	verb := "fetch"
+	if s.Verifies {
+		verb = "fetch+verify"
+	}
+	out := fmt.Sprintf("%s %s via %s (binds %s)", verb, s.Atom, s.Entry.String(), strings.Join(s.Binds, ","))
+	switch s.Route.Kind {
+	case store.RouteSingle:
+		out += " [single-shard]"
+	case store.RouteScatter:
+		out += " [scatter]"
+	}
+	return out
+}
+
+// ChaseExec runs an embedded-controllability chase depth-first: a
+// candidate is driven through the remaining steps (and the final
+// equality/membership verification) before the next tuple of an earlier
+// fetch is considered, so the first answer surfaces after one
+// root-to-leaf pass instead of after every step has run over every
+// candidate.
+type ChaseExec struct {
+	// Atoms of the (equality-free-by-substitution) conjunction.
+	Atoms []*query.Atom
+	// Steps in execution order.
+	Steps []ChaseStep
+	// MembershipAtoms indexes Atoms that require a final membership probe.
+	MembershipAtoms []int
+	// Free is the set of variables whose values the chase outputs.
+	Free query.VarSet
+	// EqConsts binds variables equated to constants before execution.
+	EqConsts map[string]relation.Value
+	// EqVars are variable equalities checked on every candidate after the
+	// steps run (propagation steps bind, these verify).
+	EqVars [][2]string
+
+	ctrl query.VarSet
+}
+
+// NewChaseExec wraps a compiled chase; ctrl is the controlling set the
+// chase was built for.
+func NewChaseExec(ctrl query.VarSet) *ChaseExec { return &ChaseExec{ctrl: ctrl} }
+
+// Out implements Node.
+func (n *ChaseExec) Out() query.VarSet { return n.Free }
+
+// Need implements Node.
+func (n *ChaseExec) Need() query.VarSet { return n.ctrl }
+
+// Bound implements Node: candidates multiply along binding fetch steps;
+// each step's reads are charged once per candidate alive at that point,
+// plus one membership probe per candidate per membership-verified atom.
+func (n *ChaseExec) Bound() Cost {
+	cands, reads := int64(1), int64(0)
+	for _, s := range n.Steps {
+		if s.Atom == nil {
+			continue // equality propagation is free
+		}
+		en := int64(s.Entry.N)
+		reads = SatAdd(reads, SatMul(cands, en))
+		if len(s.Binds) > 0 {
+			cands = SatMul(cands, en)
+		}
+	}
+	reads = SatAdd(reads, SatMul(cands, int64(len(n.MembershipAtoms))))
+	return Cost{Candidates: cands, Reads: reads}
+}
+
+// Children implements Node.
+func (n *ChaseExec) Children() []Node { return nil }
+
+// Describe implements Node.
+func (n *ChaseExec) Describe() string {
+	return fmt.Sprintf("ChaseExec (%d steps, %d membership probes)", len(n.Steps), len(n.MembershipAtoms))
+}
+
+// Stream implements Node.
+func (n *ChaseExec) Stream(rt Runtime, env query.Bindings) Seq {
+	if err := rt.Check(); err != nil {
+		return failSeq(err)
+	}
+	// Seed candidate: constants from equalities plus the caller's values
+	// for the chase's variables.
+	seed := make(query.Bindings)
+	for v, val := range n.EqConsts {
+		seed[v] = val
+	}
+	for v, val := range env {
+		if prev, ok := seed[v]; ok && prev != val {
+			return emptySeq
+		}
+		seed[v] = val
+	}
+	return dedupSeq(func(yield func(query.Bindings, error) bool) {
+		// rec drives candidate c through Steps[i:]; it returns false when
+		// the consumer stopped (or an error was yielded) and the whole
+		// recursion must unwind.
+		var rec func(i int, c query.Bindings) bool
+		rec = func(i int, c query.Bindings) bool {
+			if err := rt.Check(); err != nil {
+				yield(nil, err)
+				return false
+			}
+			if i == len(n.Steps) {
+				return n.finish(rt, c, yield)
+			}
+			step := n.Steps[i]
+			if step.Atom == nil {
+				// Equality propagation: bind the unbound side or filter.
+				lv, lok := c[step.EqL]
+				rv, rok := c[step.EqR]
+				switch {
+				case lok && rok:
+					if lv != rv {
+						return true
+					}
+					return rec(i+1, c)
+				case lok:
+					c2 := c.Clone()
+					c2[step.EqR] = lv
+					return rec(i+1, c2)
+				case rok:
+					c2 := c.Clone()
+					c2[step.EqL] = rv
+					return rec(i+1, c2)
+				default:
+					yield(nil, fmt.Errorf("plan: equality %s = %s with both sides unbound", step.EqL, step.EqR))
+					return false
+				}
+			}
+			vals, err := TupleForPositions(step.Atom, step.OnPos, c)
+			if err != nil {
+				yield(nil, err)
+				return false
+			}
+			fetched, err := rt.Fetch(step.Entry, vals, step.Route)
+			if err != nil {
+				yield(nil, err)
+				return false
+			}
+			for _, tu := range fetched {
+				c2, ok := unifyProjected(step, tu, c)
+				if ok && !rec(i+1, c2) {
+					return false
+				}
+			}
+			return true
+		}
+		rec(0, seed)
+	}, n.Free)
+}
+
+// finish verifies one fully chased candidate — the equality checks and
+// the membership probes of atoms not covered by a verifying fetch — and
+// yields its restriction to the chase's free variables.
+func (n *ChaseExec) finish(rt Runtime, c query.Bindings, yield func(query.Bindings, error) bool) bool {
+	for _, ev := range n.EqVars {
+		if c[ev[0]] != c[ev[1]] {
+			return true
+		}
+	}
+	for _, ai := range n.MembershipAtoms {
+		a := n.Atoms[ai]
+		t := make(relation.Tuple, len(a.Args))
+		for i, arg := range a.Args {
+			if arg.IsVar() {
+				v, bound := c[arg.Name()]
+				if !bound {
+					yield(nil, fmt.Errorf("plan: chase left %q unbound for membership of %s", arg.Name(), a))
+					return false
+				}
+				t[i] = v
+			} else {
+				t[i] = arg.Value()
+			}
+		}
+		present, err := rt.Member(a.Rel, t)
+		if err != nil {
+			yield(nil, err)
+			return false
+		}
+		if !present {
+			return true
+		}
+	}
+	return yield(Restrict(c, n.Free), nil)
+}
+
+// unifyProjected matches a fetched (possibly projected) tuple against the
+// atom positions of a chase fetch step.
+func unifyProjected(step ChaseStep, tu relation.Tuple, c query.Bindings) (query.Bindings, bool) {
+	out := c
+	cloned := false
+	for j, p := range step.ProjPos {
+		arg := step.Atom.Args[p]
+		if !arg.IsVar() {
+			if arg.Value() != tu[j] {
+				return nil, false
+			}
+			continue
+		}
+		name := arg.Name()
+		if v, ok := out[name]; ok {
+			if v != tu[j] {
+				return nil, false
+			}
+			continue
+		}
+		if !cloned {
+			out = c.Clone()
+			cloned = true
+		}
+		out[name] = tu[j]
+	}
+	if !cloned {
+		out = c.Clone()
+	}
+	return out, true
+}

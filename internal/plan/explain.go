@@ -1,0 +1,64 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the operator tree, one operator per line with its
+// static cost bound, indented by depth — the EXPLAIN output surfaced
+// through the serving API and sirun -explain.
+func Explain(n Node) string {
+	var b strings.Builder
+	explain(&b, n, 0)
+	return b.String()
+}
+
+func explain(b *strings.Builder, n Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s%s — %s\n", indent, n.Describe(), n.Bound())
+	if ch, ok := n.(*ChaseExec); ok {
+		for _, s := range ch.Steps {
+			fmt.Fprintf(b, "%s  step: %s\n", indent, s)
+		}
+	}
+	for _, c := range n.Children() {
+		explain(b, c, depth+1)
+	}
+}
+
+// AtomOrder lists, left to right, the operator chain's data-access
+// operators (lookups, probes, scans and chase steps) in execution order —
+// the "chosen order" line of EXPLAIN output.
+func AtomOrder(n Node) []string {
+	var out []string
+	var walk func(Node)
+	walk = func(n Node) {
+		switch v := n.(type) {
+		case *IndexLookup:
+			out = append(out, v.Atom.String())
+		case *MembershipProbe:
+			out = append(out, v.Atom.String()+"?")
+		case *NaiveScan:
+			out = append(out, v.Atom.String())
+		case *Select:
+			out = append(out, v.Cond.String())
+		case *ChaseExec:
+			for _, s := range v.Steps {
+				if s.Atom != nil {
+					out = append(out, s.Atom.String())
+				}
+			}
+		case *AntiProbe:
+			walk(v.Pos)
+			out = append(out, "¬("+strings.Join(AtomOrder(v.Neg), ",")+")?")
+			return
+		default:
+			for _, c := range n.Children() {
+				walk(c)
+			}
+		}
+	}
+	walk(n)
+	return out
+}

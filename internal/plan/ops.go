@@ -1,0 +1,603 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// IndexLookup fetches the group σ_X=ā(R) licensed by Entry for every
+// candidate environment: one bounded indexed retrieval, unified against
+// the atom and deduplicated over the atom's variables. When the
+// environment happens to bind every variable of the atom, the lookup
+// degrades to a single membership probe at run time (one read instead of
+// a group fetch) — the plan-time MembershipProbe operator is compiled
+// when that is known statically.
+//
+// Route is the plan-time routing decision on a partitioned backend:
+// RouteSingle executes on exactly one shard (key positions precomputed),
+// RouteScatter fans out. Op renders as ScatterFetch in that case — same
+// mechanics, different physical footprint.
+type IndexLookup struct {
+	Atom  *query.Atom
+	Entry access.Entry
+	OnPos []int // positions (within the atom) of Entry.On
+	Route store.FetchRoute
+
+	ctrl query.VarSet
+	free query.VarSet
+}
+
+// NewIndexLookup builds the lookup operator; ctrl is the controlling set
+// it was compiled for (the variables at the entry's On positions).
+func NewIndexLookup(a *query.Atom, e access.Entry, onPos []int, ctrl query.VarSet) *IndexLookup {
+	return &IndexLookup{Atom: a, Entry: e, OnPos: onPos, ctrl: ctrl, free: a.FreeVars()}
+}
+
+// Out implements Node.
+func (n *IndexLookup) Out() query.VarSet { return n.free }
+
+// Need implements Node.
+func (n *IndexLookup) Need() query.VarSet { return n.ctrl }
+
+// Bound implements Node: at most N candidates, at most N reads.
+func (n *IndexLookup) Bound() Cost {
+	nn := int64(n.Entry.N)
+	return Cost{Candidates: nn, Reads: nn}
+}
+
+// Children implements Node.
+func (n *IndexLookup) Children() []Node { return nil }
+
+// Describe implements Node.
+func (n *IndexLookup) Describe() string {
+	name := "IndexLookup"
+	if n.Route.Kind == store.RouteScatter {
+		name = "ScatterFetch"
+	}
+	s := fmt.Sprintf("%s %s via %s", name, n.Atom, n.Entry.String())
+	if n.Route.Kind == store.RouteSingle {
+		s += " [single-shard]"
+	}
+	return s
+}
+
+// Stream implements Node.
+func (n *IndexLookup) Stream(rt Runtime, env query.Bindings) Seq {
+	if err := rt.Check(); err != nil {
+		return failSeq(err)
+	}
+	// Fully specified atom under env: a single membership probe suffices —
+	// at most one binding, so no dedup wrapper.
+	if n.free.SubsetOf(env.Vars()) {
+		return probeAtom(rt, n.Atom, env, n.free)
+	}
+	return dedupSeq(func(yield func(query.Bindings, error) bool) {
+		vals, err := TupleForPositions(n.Atom, n.OnPos, env)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		tuples, err := rt.Fetch(n.Entry, vals, n.Route)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		for _, tu := range tuples {
+			b, ok := UnifyAtom(n.Atom, tu, env)
+			if ok && !yield(b, nil) {
+				return
+			}
+		}
+	}, n.free)
+}
+
+// probeAtom runs the fully-bound membership probe shared by IndexLookup's
+// runtime fast path and the MembershipProbe operator.
+func probeAtom(rt Runtime, a *query.Atom, env query.Bindings, free query.VarSet) Seq {
+	return func(yield func(query.Bindings, error) bool) {
+		t := make(relation.Tuple, len(a.Args))
+		for i, arg := range a.Args {
+			if arg.IsVar() {
+				t[i] = env[arg.Name()]
+			} else {
+				t[i] = arg.Value()
+			}
+		}
+		ok, err := rt.Member(a.Rel, t)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		if ok {
+			yield(Restrict(env, free), nil)
+		}
+	}
+}
+
+// MembershipProbe checks a fully bound atom with a single tuple-presence
+// probe: the physical form of an atom every variable of which is already
+// bound when the operator runs. One membership charged, one read when
+// present, at most one candidate out.
+type MembershipProbe struct {
+	Atom *query.Atom
+	free query.VarSet
+}
+
+// NewMembershipProbe builds the probe operator.
+func NewMembershipProbe(a *query.Atom) *MembershipProbe {
+	return &MembershipProbe{Atom: a, free: a.FreeVars()}
+}
+
+// Out implements Node.
+func (n *MembershipProbe) Out() query.VarSet { return n.free }
+
+// Need implements Node: every variable of the atom.
+func (n *MembershipProbe) Need() query.VarSet { return n.free }
+
+// Bound implements Node.
+func (n *MembershipProbe) Bound() Cost { return Cost{Candidates: 1, Reads: 1} }
+
+// Children implements Node.
+func (n *MembershipProbe) Children() []Node { return nil }
+
+// Describe implements Node.
+func (n *MembershipProbe) Describe() string {
+	return fmt.Sprintf("MembershipProbe %s", n.Atom)
+}
+
+// Stream implements Node.
+func (n *MembershipProbe) Stream(rt Runtime, env query.Bindings) Seq {
+	if err := rt.Check(); err != nil {
+		return failSeq(err)
+	}
+	return probeAtom(rt, n.Atom, env, n.free)
+}
+
+// Select filters the environment through an equality-only condition (a
+// Boolean combination of equalities and truth constants): no data access,
+// at most one candidate out.
+type Select struct {
+	Cond query.Formula
+	free query.VarSet
+}
+
+// NewSelect builds the condition filter.
+func NewSelect(f query.Formula) *Select {
+	return &Select{Cond: f, free: f.FreeVars()}
+}
+
+// Out implements Node.
+func (n *Select) Out() query.VarSet { return n.free }
+
+// Need implements Node: conditions are controlled by all their variables.
+func (n *Select) Need() query.VarSet { return n.free }
+
+// Bound implements Node.
+func (n *Select) Bound() Cost { return Cost{Candidates: 1, Reads: 0} }
+
+// Children implements Node.
+func (n *Select) Children() []Node { return nil }
+
+// Describe implements Node.
+func (n *Select) Describe() string { return fmt.Sprintf("Select %s", n.Cond) }
+
+// Stream implements Node.
+func (n *Select) Stream(rt Runtime, env query.Bindings) Seq {
+	if err := rt.Check(); err != nil {
+		return failSeq(err)
+	}
+	if !n.free.SubsetOf(env.Vars()) {
+		return failSeq(fmt.Errorf("plan: Select with unbound variables %s", n.free.Minus(env.Vars())))
+	}
+	ok, err := evalEqOnly(n.Cond, env)
+	if err != nil {
+		return failSeq(err)
+	}
+	if !ok {
+		return emptySeq
+	}
+	b := Restrict(env, n.free)
+	return func(yield func(query.Bindings, error) bool) {
+		yield(b, nil)
+	}
+}
+
+// NLJoin pipelines a nested-loop join: for every binding of L, R's cursor
+// is opened under the extended environment — R's fetches happen only when
+// (and if) the consumer pulls this far. Output bindings are defined on
+// out (normally L.Out ∪ R.Out, or the enclosing formula's free variables)
+// and deduplicated unless NoDedup is set (the naive evaluator's joins
+// deduplicate only at the head).
+type NLJoin struct {
+	L, R    Node
+	NoDedup bool
+
+	ctrl query.VarSet
+	out  query.VarSet
+}
+
+// NewNLJoin builds the join; ctrl is the controlling set of the
+// conjunction, out the variable set of the joined bindings.
+func NewNLJoin(l, r Node, ctrl, out query.VarSet) *NLJoin {
+	return &NLJoin{L: l, R: r, ctrl: ctrl, out: out}
+}
+
+// Out implements Node.
+func (n *NLJoin) Out() query.VarSet { return n.out }
+
+// Need implements Node.
+func (n *NLJoin) Need() query.VarSet { return n.ctrl }
+
+// Bound implements Node: R runs once per L candidate.
+func (n *NLJoin) Bound() Cost {
+	c0, c1 := n.L.Bound(), n.R.Bound()
+	return Cost{
+		Candidates: SatMul(c0.Candidates, c1.Candidates),
+		Reads:      SatAdd(c0.Reads, SatMul(c0.Candidates, c1.Reads)),
+	}
+}
+
+// Children implements Node.
+func (n *NLJoin) Children() []Node { return []Node{n.L, n.R} }
+
+// Describe implements Node.
+func (n *NLJoin) Describe() string { return "NLJoin" }
+
+// Stream implements Node.
+func (n *NLJoin) Stream(rt Runtime, env query.Bindings) Seq {
+	if err := rt.Check(); err != nil {
+		return failSeq(err)
+	}
+	inner := func(yield func(query.Bindings, error) bool) {
+		for b0, err := range n.L.Stream(rt, env) {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			merged := mergedWith(env, b0)
+			for b1, err := range n.R.Stream(rt, merged) {
+				if err != nil {
+					yield(nil, err)
+					return
+				}
+				b := make(query.Bindings, len(b0)+len(b1))
+				for k, v := range b0 {
+					b[k] = v
+				}
+				conflict := false
+				for k, v := range b1 {
+					if prev, ok := b[k]; ok && prev != v {
+						conflict = true
+						break
+					}
+					b[k] = v
+				}
+				if conflict {
+					continue
+				}
+				if !yield(Restrict(mergedWith(env, b), n.out), nil) {
+					return
+				}
+			}
+		}
+	}
+	if n.NoDedup {
+		return inner
+	}
+	return dedupSeq(inner, n.out)
+}
+
+// StreamUnion chains its operands' cursors with streaming cross-branch
+// deduplication: an answer produced by an earlier branch is suppressed
+// when a later one re-derives it, without materializing either side — and
+// an early-terminating consumer never opens the cursors of later
+// branches.
+type StreamUnion struct {
+	Branches []Node
+
+	ctrl query.VarSet
+	out  query.VarSet
+}
+
+// NewStreamUnion builds the union; all branches yield bindings over out.
+func NewStreamUnion(branches []Node, ctrl, out query.VarSet) *StreamUnion {
+	return &StreamUnion{Branches: branches, ctrl: ctrl, out: out}
+}
+
+// Out implements Node.
+func (n *StreamUnion) Out() query.VarSet { return n.out }
+
+// Need implements Node.
+func (n *StreamUnion) Need() query.VarSet { return n.ctrl }
+
+// Bound implements Node: candidates and reads add across branches.
+func (n *StreamUnion) Bound() Cost {
+	var c Cost
+	for _, b := range n.Branches {
+		cb := b.Bound()
+		c.Candidates = SatAdd(c.Candidates, cb.Candidates)
+		c.Reads = SatAdd(c.Reads, cb.Reads)
+	}
+	return c
+}
+
+// Children implements Node.
+func (n *StreamUnion) Children() []Node { return n.Branches }
+
+// Describe implements Node.
+func (n *StreamUnion) Describe() string { return "StreamUnion (dedup)" }
+
+// Stream implements Node.
+func (n *StreamUnion) Stream(rt Runtime, env query.Bindings) Seq {
+	if err := rt.Check(); err != nil {
+		return failSeq(err)
+	}
+	return dedupSeq(func(yield func(query.Bindings, error) bool) {
+		for _, c := range n.Branches {
+			for b, err := range c.Stream(rt, env) {
+				if err != nil {
+					yield(nil, err)
+					return
+				}
+				if !yield(b, nil) {
+					return
+				}
+			}
+		}
+	}, n.out)
+}
+
+// AntiProbe implements safe negation Q ∧ ¬Q′ as an emptiness probe: for
+// every binding of Pos, Neg's cursor is pulled for at most one witness —
+// the binding passes iff none exists. A satisfied negation stops charging
+// as soon as any counterexample is read.
+type AntiProbe struct {
+	Pos, Neg Node
+
+	ctrl query.VarSet
+	out  query.VarSet
+}
+
+// NewAntiProbe builds the probe; out is the positive side's variable set.
+func NewAntiProbe(pos, neg Node, ctrl, out query.VarSet) *AntiProbe {
+	return &AntiProbe{Pos: pos, Neg: neg, ctrl: ctrl, out: out}
+}
+
+// Out implements Node.
+func (n *AntiProbe) Out() query.VarSet { return n.out }
+
+// Need implements Node.
+func (n *AntiProbe) Need() query.VarSet { return n.ctrl }
+
+// Bound implements Node: as the positive side, plus one probe of the
+// negated plan per candidate (whose worst case is its full bound).
+func (n *AntiProbe) Bound() Cost {
+	c0, c1 := n.Pos.Bound(), n.Neg.Bound()
+	return Cost{
+		Candidates: c0.Candidates,
+		Reads:      SatAdd(c0.Reads, SatMul(c0.Candidates, c1.Reads)),
+	}
+}
+
+// Children implements Node.
+func (n *AntiProbe) Children() []Node { return []Node{n.Pos, n.Neg} }
+
+// Describe implements Node.
+func (n *AntiProbe) Describe() string { return "AntiProbe (EmptinessProbe of ¬)" }
+
+// Stream implements Node.
+func (n *AntiProbe) Stream(rt Runtime, env query.Bindings) Seq {
+	if err := rt.Check(); err != nil {
+		return failSeq(err)
+	}
+	return dedupSeq(func(yield func(query.Bindings, error) bool) {
+		for b, err := range n.Pos.Stream(rt, env) {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			nonEmpty, err := firstOf(n.Neg.Stream(rt, mergedWith(env, b)))
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if nonEmpty {
+				continue
+			}
+			if !yield(Restrict(mergedWith(env, b), n.out), nil) {
+				return
+			}
+		}
+	}, n.out)
+}
+
+// Project restricts bindings to a target variable set, deduplicating: the
+// physical form of existential quantification (the dropped variables are
+// the quantified ones) and of the optimizer's final restriction after a
+// reordered join chain.
+type Project struct {
+	Child Node
+	// Drop lists variables removed from the environment before the child
+	// runs (the quantified variables; empty for a pure restriction).
+	Drop []string
+
+	ctrl query.VarSet
+	out  query.VarSet
+}
+
+// NewProject builds the projection.
+func NewProject(child Node, drop []string, ctrl, out query.VarSet) *Project {
+	return &Project{Child: child, Drop: drop, ctrl: ctrl, out: out}
+}
+
+// Out implements Node.
+func (n *Project) Out() query.VarSet { return n.out }
+
+// Need implements Node.
+func (n *Project) Need() query.VarSet { return n.ctrl }
+
+// Bound implements Node.
+func (n *Project) Bound() Cost { return n.Child.Bound() }
+
+// Children implements Node.
+func (n *Project) Children() []Node { return []Node{n.Child} }
+
+// Describe implements Node.
+func (n *Project) Describe() string {
+	return fmt.Sprintf("Project [%s]", strings.Join(n.out.Sorted(), ","))
+}
+
+// Stream implements Node.
+func (n *Project) Stream(rt Runtime, env query.Bindings) Seq {
+	if err := rt.Check(); err != nil {
+		return failSeq(err)
+	}
+	inner := env
+	if len(n.Drop) > 0 {
+		inner = env.Clone()
+		for _, z := range n.Drop {
+			delete(inner, z)
+		}
+	}
+	return dedupSeq(func(yield func(query.Bindings, error) bool) {
+		for b, err := range n.Child.Stream(rt, inner) {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if !yield(Restrict(b, n.out), nil) {
+				return
+			}
+		}
+	}, n.out)
+}
+
+// ForallCheck implements the universal rule ∀ȳ (Q → Q′): it streams the
+// generator Q's bindings and probes Q′ for a single witness under each,
+// failing fast on the first ȳ with none. At most one binding (the
+// restriction of the environment) is yielded.
+type ForallCheck struct {
+	Gen, Test Node
+	// Drop lists the universally quantified variables.
+	Drop []string
+
+	ctrl query.VarSet
+	out  query.VarSet
+}
+
+// NewForallCheck builds the check.
+func NewForallCheck(gen, test Node, drop []string, ctrl, out query.VarSet) *ForallCheck {
+	return &ForallCheck{Gen: gen, Test: test, Drop: drop, ctrl: ctrl, out: out}
+}
+
+// Out implements Node.
+func (n *ForallCheck) Out() query.VarSet { return n.out }
+
+// Need implements Node.
+func (n *ForallCheck) Need() query.VarSet { return n.ctrl }
+
+// Bound implements Node.
+func (n *ForallCheck) Bound() Cost {
+	c0, c1 := n.Gen.Bound(), n.Test.Bound()
+	return Cost{
+		Candidates: 1,
+		Reads:      SatAdd(c0.Reads, SatMul(c0.Candidates, c1.Reads)),
+	}
+}
+
+// Children implements Node.
+func (n *ForallCheck) Children() []Node { return []Node{n.Gen, n.Test} }
+
+// Describe implements Node.
+func (n *ForallCheck) Describe() string { return "ForallCheck (EmptinessProbe per ȳ)" }
+
+// Stream implements Node.
+func (n *ForallCheck) Stream(rt Runtime, env query.Bindings) Seq {
+	if err := rt.Check(); err != nil {
+		return failSeq(err)
+	}
+	inner := env.Clone()
+	for _, y := range n.Drop {
+		delete(inner, y)
+	}
+	return func(yield func(query.Bindings, error) bool) {
+		for b, err := range n.Gen.Stream(rt, inner) {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			nonEmpty, err := firstOf(n.Test.Stream(rt, mergedWith(inner, b)))
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if !nonEmpty {
+				return // some ȳ satisfies Q but not Q′
+			}
+		}
+		yield(Restrict(env, n.out), nil)
+	}
+}
+
+// NaiveScan is the naive evaluator's leaf: a full scan of the atom's
+// relation, each tuple unified against the atom under the current
+// environment. It has no bounded cost — it is never part of a bounded
+// plan — and reports a saturated read bound. StreamOK marks the outermost
+// scan of a join, which may be delivered incrementally by the runtime.
+type NaiveScan struct {
+	Atom     *query.Atom
+	StreamOK bool
+	free     query.VarSet
+}
+
+// NewNaiveScan builds the scan leaf.
+func NewNaiveScan(a *query.Atom, streamOK bool) *NaiveScan {
+	return &NaiveScan{Atom: a, StreamOK: streamOK, free: a.FreeVars()}
+}
+
+// Out implements Node.
+func (n *NaiveScan) Out() query.VarSet { return n.free }
+
+// Need implements Node: a scan needs nothing bound.
+func (n *NaiveScan) Need() query.VarSet { return query.NewVarSet() }
+
+// Bound implements Node: unbounded (saturated) — naive scans grow with
+// |D|.
+func (n *NaiveScan) Bound() Cost { return Cost{Candidates: costCap, Reads: costCap} }
+
+// Children implements Node.
+func (n *NaiveScan) Children() []Node { return nil }
+
+// Describe implements Node.
+func (n *NaiveScan) Describe() string {
+	s := fmt.Sprintf("NaiveScan %s", n.Atom)
+	if n.StreamOK {
+		s += " [streaming]"
+	}
+	return s
+}
+
+// Stream implements Node: no deduplication — the naive join deduplicates
+// only at the head, exactly like the reference backtracking evaluator.
+func (n *NaiveScan) Stream(rt Runtime, env query.Bindings) Seq {
+	if err := rt.Check(); err != nil {
+		return failSeq(err)
+	}
+	return func(yield func(query.Bindings, error) bool) {
+		for tu, err := range rt.Scan(n.Atom.Rel, n.StreamOK) {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			b, ok := UnifyAtom(n.Atom, tu, env)
+			if ok && !yield(b, nil) {
+				return
+			}
+		}
+	}
+}

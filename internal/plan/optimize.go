@@ -1,0 +1,431 @@
+package plan
+
+import (
+	"repro/internal/access"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// Optimizer rewrites a compiled operator tree into a cheaper equivalent.
+// It never touches what a plan computes — answers are preserved by
+// construction — only how: the order conjunct operators run in, which
+// access entry serves each lookup, and whether a fully determined atom is
+// probed instead of fetched.
+//
+// The ordering heuristic is greedy min-bound-first: conjunct chains
+// (nested NLJoins, with safe-negation probes flattened in as filter
+// members) are reordered so that, at every step, the runnable operator
+// with the smallest effective bound executes next — filters and probes
+// (bound ≈ 1, no new candidates) as soon as their variables are bound,
+// fetches in ascending effective-N order. "Effective" means the access
+// schema's N, optionally refined by live backend statistics (Stats);
+// statistics influence ordering only — the static bound reported by the
+// plan is always derived from N alone, so reads ≤ M stays a guarantee.
+//
+// As the greedy order is built, bound-variable knowledge propagates
+// sideways: each lookup re-selects, among the plain access entries of its
+// relation whose input attributes are bound at that point, the one with
+// the smallest effective bound (e.g. a key entry instead of a broader
+// secondary entry once the key variable is bound by an earlier
+// conjunct), and an atom all of whose variables are bound compiles to a
+// MembershipProbe. The rewrite is kept only when its estimated cost is
+// strictly below the analysis-emitted order's estimate under the same
+// entry re-selection rules — never-worse by construction of the estimate.
+type Optimizer struct {
+	// Acc is the access schema: the catalog of entries available for
+	// lookup re-selection.
+	Acc *access.Schema
+	// Stats, when non-nil, refines entry bounds with live backend
+	// cardinality statistics (store.EntryStats). Ordering only.
+	Stats store.EntryStats
+}
+
+// Optimize rewrites the tree rooted at n, returning the (possibly new)
+// root. Sub-operators not amenable to reordering are recursed into and
+// left structurally intact.
+func (o *Optimizer) Optimize(n Node) Node {
+	switch v := n.(type) {
+	case *NLJoin, *AntiProbe:
+		if opt, ok := o.chain(n); ok {
+			return opt
+		}
+		// Not a reorderable chain (opaque members): recurse in place.
+		switch v := n.(type) {
+		case *NLJoin:
+			v.L, v.R = o.Optimize(v.L), o.Optimize(v.R)
+		case *AntiProbe:
+			v.Pos, v.Neg = o.Optimize(v.Pos), o.Optimize(v.Neg)
+		}
+		return n
+	case *Project:
+		v.Child = o.Optimize(v.Child)
+		return n
+	case *ForallCheck:
+		v.Gen, v.Test = o.Optimize(v.Gen), o.Optimize(v.Test)
+		return n
+	case *StreamUnion:
+		for i, b := range v.Branches {
+			v.Branches[i] = o.Optimize(b)
+		}
+		return n
+	default:
+		return n
+	}
+}
+
+// effN is the effective bound of an entry: the schema's N, refined by
+// live statistics when available. Estimation only — never a bound.
+func (o *Optimizer) effN(e access.Entry) int64 {
+	n := int64(e.N)
+	if o.Stats != nil {
+		if m, ok := o.Stats.MaxGroup(e); ok && int64(m) < n {
+			n = int64(m)
+		}
+	}
+	return n
+}
+
+// member is one flattened conjunct of a join chain.
+type member struct {
+	node Node
+	anti bool // emptiness-probe filter (flattened safe negation)
+
+	// Lookup members (atom != nil) are re-plannable: entry and onPos may
+	// be re-selected per position.
+	atom  *query.Atom
+	entry access.Entry
+	onPos []int
+
+	need query.VarSet
+	out  query.VarSet
+}
+
+// flatten decomposes a nested NLJoin/AntiProbe tree into its conjunct
+// members, in analysis-emitted execution order. ok is false when the
+// chain contains a positive member the optimizer cannot reason about
+// (anything but lookups, probes and condition filters) — such chains are
+// left in analysis order.
+func flatten(n Node, out *[]member) (ok bool) {
+	switch v := n.(type) {
+	case *NLJoin:
+		if v.NoDedup {
+			return false
+		}
+		return flatten(v.L, out) && flatten(v.R, out)
+	case *AntiProbe:
+		if !flatten(v.Pos, out) {
+			return false
+		}
+		*out = append(*out, member{node: v.Neg, anti: true, need: v.Neg.Out(), out: query.NewVarSet()})
+		return true
+	case *IndexLookup:
+		*out = append(*out, member{node: v, atom: v.Atom, entry: v.Entry, onPos: v.OnPos, need: v.Need(), out: v.Out()})
+		return true
+	case *MembershipProbe:
+		*out = append(*out, member{node: v, atom: v.Atom, entry: access.Entry{}, need: v.Need(), out: v.Out()})
+		return true
+	case *Select:
+		*out = append(*out, member{node: v, need: v.Need(), out: v.Out()})
+		return true
+	default:
+		return false
+	}
+}
+
+// placedMember is a member with the access decision made for its position
+// in a concrete order.
+type placedMember struct {
+	member
+	probe    bool         // fully bound at this position: membership probe
+	selEntry access.Entry // entry selected for a lookup (probe == false)
+	selOnPos []int
+	reads    int64 // estimated reads per candidate reaching this operator
+	cands    int64 // estimated candidate multiplier
+}
+
+// chain attempts the reorder of a join chain rooted at n. It returns the
+// rebuilt chain and true when the chain was flattenable. The rewrite
+// (greedy order, or the analysis order with entries re-selected) is kept
+// only when its estimate strictly beats the analysis-emitted plan's
+// estimate — on a tie or a regression the original tree is returned
+// untouched, so the optimized plan is never estimated-worse than what
+// analysis emitted.
+func (o *Optimizer) chain(n Node) (Node, bool) {
+	// Optimize within opaque operands (the negated side of anti filters)
+	// first, mutating the tree in place: the rewrite survives even when
+	// the outer chain keeps its analysis order below.
+	o.optimizeNegs(n)
+	var members []member
+	if !flatten(n, &members) {
+		return nil, false
+	}
+	if len(members) < 2 {
+		return n, true
+	}
+	ctrl := n.Need()
+
+	baselineCost := int64(costCap)
+	if baseline, ok := o.analysisOrder(members, ctrl, true); ok {
+		baselineCost = estimate(baseline)
+	}
+	var best []placedMember
+	bestCost := baselineCost
+	if reselected, ok := o.analysisOrder(members, ctrl, false); ok {
+		if c := estimate(reselected); c < bestCost {
+			best, bestCost = reselected, c
+		}
+	}
+	if greedy, ok := o.greedyOrder(members, ctrl); ok {
+		if c := estimate(greedy); c < bestCost {
+			best, bestCost = greedy, c
+		}
+	}
+	if best == nil {
+		return n, true // analysis order stands, tree untouched
+	}
+	return o.rebuild(best, ctrl, n.Out()), true
+}
+
+// optimizeNegs descends a join chain's spine and optimizes every
+// AntiProbe's negated operand in place.
+func (o *Optimizer) optimizeNegs(n Node) {
+	switch v := n.(type) {
+	case *NLJoin:
+		o.optimizeNegs(v.L)
+		o.optimizeNegs(v.R)
+	case *AntiProbe:
+		o.optimizeNegs(v.Pos)
+		v.Neg = o.Optimize(v.Neg)
+	}
+}
+
+// analysisOrder places the members in analysis-emitted order, with the
+// analysis-chosen entries (keepEntry) or with per-position entry
+// re-selection. It returns false when some member is not runnable — a
+// malformed chain the optimizer leaves alone.
+func (o *Optimizer) analysisOrder(members []member, ctrl query.VarSet, keepEntry bool) ([]placedMember, bool) {
+	bound := ctrl.Clone()
+	out := make([]placedMember, 0, len(members))
+	for _, m := range members {
+		pm, ok := o.placeOne(m, bound, keepEntry)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, pm)
+		bound = bound.Union(m.out)
+	}
+	return out, true
+}
+
+// greedyOrder is the min-bound-first schedule: repeatedly run the
+// runnable member with the smallest estimated per-candidate reads (ties:
+// smallest candidate multiplier, then analysis position). Anti filters
+// are not eligible as the chain head — they need a positive stream to
+// filter. Returns false when the members cannot all be scheduled.
+func (o *Optimizer) greedyOrder(members []member, ctrl query.VarSet) ([]placedMember, bool) {
+	bound := ctrl.Clone()
+	used := make([]bool, len(members))
+	out := make([]placedMember, 0, len(members))
+	for len(out) < len(members) {
+		best := -1
+		var bestPM placedMember
+		for i, m := range members {
+			if used[i] || (m.anti && len(out) == 0) {
+				continue
+			}
+			pm, ok := o.placeOne(m, bound, false)
+			if !ok {
+				continue
+			}
+			if best < 0 || pm.reads < bestPM.reads ||
+				(pm.reads == bestPM.reads && pm.cands < bestPM.cands) {
+				best, bestPM = i, pm
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		used[best] = true
+		out = append(out, bestPM)
+		bound = bound.Union(members[best].out)
+	}
+	return out, true
+}
+
+// placeOne makes the access decision for m at a position where bound is
+// bound. keepEntry pins the analysis-chosen entry (the baseline).
+func (o *Optimizer) placeOne(m member, bound query.VarSet, keepEntry bool) (placedMember, bool) {
+	pm := placedMember{member: m, reads: 1, cands: 1}
+	switch {
+	case m.anti:
+		// Emptiness probe: requires every variable of the negated operand
+		// bound (only then is the per-candidate probe equivalent at any
+		// position). Estimated one read: the probe stops at the first
+		// witness.
+		if !m.need.SubsetOf(bound) {
+			return pm, false
+		}
+	case m.atom == nil:
+		// Condition filter: free.
+		if !m.need.SubsetOf(bound) {
+			return pm, false
+		}
+		pm.reads = 0
+	case m.atom.FreeVars().SubsetOf(bound):
+		// Fully determined: a single membership probe.
+		pm.probe = true
+	case m.entry.Rel == "":
+		// A MembershipProbe member placed where its atom is not fully
+		// bound: no entry to fetch through.
+		return pm, false
+	default:
+		e, onPos, ok := o.selectEntry(m, bound, keepEntry)
+		if !ok {
+			return pm, false
+		}
+		pm.selEntry, pm.selOnPos = e, onPos
+		pm.reads = o.effN(e)
+		if !m.out.SubsetOf(bound) {
+			pm.cands = pm.reads
+		}
+	}
+	return pm, true
+}
+
+// selectEntry picks the access entry serving a lookup at a position where
+// bound is bound: the analysis-chosen one (keepEntry), or the plain entry
+// with the smallest effective bound among those whose input attributes
+// are covered by constants and bound variables.
+func (o *Optimizer) selectEntry(m member, bound query.VarSet, keepEntry bool) (access.Entry, []int, bool) {
+	usable := func(onPos []int) bool {
+		for _, p := range onPos {
+			if t := m.atom.Args[p]; t.IsVar() && !bound.Contains(t.Name()) {
+				return false
+			}
+		}
+		return true
+	}
+	if keepEntry {
+		if !usable(m.onPos) {
+			return access.Entry{}, nil, false
+		}
+		return m.entry, m.onPos, true
+	}
+	rs, ok := o.Acc.Relational().Rel(m.atom.Rel)
+	if !ok {
+		return access.Entry{}, nil, false
+	}
+	var bestE access.Entry
+	var bestPos []int
+	bestN := int64(-1)
+	consider := func(e access.Entry, onPos []int) {
+		if n := o.effN(e); bestN < 0 || n < bestN {
+			bestE, bestPos, bestN = e, onPos, n
+		}
+	}
+	// The analysis-chosen entry is always a candidate (ties keep it:
+	// it is considered first).
+	if usable(m.onPos) {
+		consider(m.entry, m.onPos)
+	}
+	for _, e := range o.Acc.Entries() {
+		if e.Rel != m.atom.Rel || e.IsEmbedded() {
+			continue
+		}
+		onPos, err := rs.Positions(e.On)
+		if err != nil || !usable(onPos) {
+			continue
+		}
+		consider(e, onPos)
+	}
+	if bestN < 0 {
+		return access.Entry{}, nil, false
+	}
+	return bestE, bestPos, true
+}
+
+// estimate totals an order's cost: each operator's reads are charged once
+// per candidate reaching it; candidate counts multiply along the chain.
+func estimate(order []placedMember) int64 {
+	cands, total := int64(1), int64(0)
+	for _, pm := range order {
+		total = SatAdd(total, SatMul(cands, pm.reads))
+		cands = SatMul(cands, pm.cands)
+	}
+	return total
+}
+
+// rebuild materializes a placed order as a left-deep operator chain,
+// restoring the original output variable set with a final projection when
+// the chain's is wider.
+func (o *Optimizer) rebuild(order []placedMember, ctrl, out query.VarSet) Node {
+	var chainNode Node
+	for _, pm := range order {
+		var opNode Node
+		switch {
+		case pm.anti:
+			chainNode = NewAntiProbe(chainNode, pm.node, ctrl, chainNode.Out())
+			continue
+		case pm.atom == nil:
+			opNode = pm.node // condition filter, reused as compiled
+		case pm.probe:
+			opNode = NewMembershipProbe(pm.atom)
+		default:
+			lk := NewIndexLookup(pm.atom, pm.selEntry, pm.selOnPos, varsAt(pm.atom, pm.selOnPos))
+			opNode = lk
+		}
+		if chainNode == nil {
+			chainNode = opNode
+		} else {
+			chainNode = NewNLJoin(chainNode, opNode, ctrl, chainNode.Out().Union(opNode.Out()))
+		}
+	}
+	if !chainNode.Out().Equal(out) {
+		return NewProject(chainNode, nil, ctrl, out)
+	}
+	return chainNode
+}
+
+// varsAt collects the variables at the given atom positions.
+func varsAt(a *query.Atom, positions []int) query.VarSet {
+	out := make(query.VarSet)
+	for _, p := range positions {
+		if t := a.Args[p]; t.IsVar() {
+			out[t.Name()] = true
+		}
+	}
+	return out
+}
+
+// ResolveRoutes resolves, at plan time, the single-shard vs scatter
+// decision of every fetch operator in the tree against the backend: on a
+// partitioned backend (store.RoutePlanner) each IndexLookup and chase
+// fetch step is annotated RouteSingle (with precomputed key positions) or
+// RouteScatter; on a single-node backend everything is RouteLocal. The
+// per-call fetch path then never re-derives the decision.
+func ResolveRoutes(n Node, b store.Backend) {
+	rp, planned := b.(store.RoutePlanner)
+	route := func(e access.Entry) store.FetchRoute {
+		if planned {
+			return rp.PlanFetch(e)
+		}
+		return store.FetchRoute{Kind: store.RouteLocal}
+	}
+	var walk func(Node)
+	walk = func(n Node) {
+		switch v := n.(type) {
+		case *IndexLookup:
+			v.Route = route(v.Entry)
+		case *ChaseExec:
+			for i := range v.Steps {
+				if v.Steps[i].Atom != nil {
+					v.Steps[i].Route = route(v.Steps[i].Entry)
+				}
+			}
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+}

@@ -1,0 +1,374 @@
+// Package plan is the physical operator IR of the bounded-evaluation
+// engine: the executable form a controllability derivation (or a naive
+// conjunctive query) compiles into, separated from the *proof* that the
+// evaluation is bounded.
+//
+// The analyzer in internal/core decides that a query is boundedly
+// evaluable and emits a derivation; this package decides — and records —
+// *how* it is evaluated: which access entry serves each atom, in what
+// order the conjuncts run, where deduplication happens, and whether a
+// fetch on a partitioned backend is routed to a single shard or
+// scatter-gathered (resolved once at plan time, not per fetch). The
+// operators are:
+//
+//   - IndexLookup / ScatterFetch — one bounded indexed retrieval per
+//     candidate binding, with the routing decision annotated at plan time;
+//   - MembershipProbe — a single tuple-presence probe for a fully bound
+//     atom;
+//   - Select — an equality-only condition filter (no data access);
+//   - NLJoin — the pipelined nested-loop join of two operators;
+//   - StreamUnion — disjunct concatenation with streaming cross-branch
+//     deduplication;
+//   - AntiProbe — safe negation as an emptiness probe: at most one
+//     witness of the negated operand is read per candidate;
+//   - ForallCheck — the universal rule's generate-and-emptiness-probe
+//     loop;
+//   - ChaseExec — the depth-first chase of an embedded-controllability
+//     plan (Proposition 4.5), one ChaseStep per bounded action;
+//   - Project — existential projection / restriction to a target
+//     variable set, with deduplication;
+//   - NaiveScan — a full relation scan (the naive fallback's leaf; never
+//     part of a bounded plan).
+//
+// Every operator streams: Stream compiles to a resumable iter.Seq2
+// generator, so store work is charged only as the consumer pulls, and the
+// eager entry points in internal/core are plain drains. Every operator
+// also carries a static cost bound derived from the access schema's N
+// values alone (Theorem 4.2's M) — the optimizer in optimize.go may use
+// runtime cardinality statistics to *order* operators, but bounds are
+// always schema-derived, so "reads ≤ M" is a guarantee, not an estimate.
+package plan
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"math"
+
+	"repro/internal/access"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// Seq streams the satisfying bindings of an operator. At most one non-nil
+// error is yielded, as the final element; a binding element always has a
+// nil error.
+type Seq = iter.Seq2[query.Bindings, error]
+
+// Runtime is the data-access surface operators execute against. The
+// engine binds it to a store.Backend (BackendRuntime); the naive
+// evaluator binds it to an eval.Source. Implementations charge one call's
+// ExecStats (counters, witness trace, budget, deadline) on every access.
+type Runtime interface {
+	// Fetch performs the indexed retrieval licensed by e under the
+	// plan-time route r (RouteAuto lets the backend decide per call).
+	Fetch(e access.Entry, vals []relation.Value, r store.FetchRoute) ([]relation.Tuple, error)
+	// Member probes t ∈ rel.
+	Member(rel string, t relation.Tuple) (bool, error)
+	// Scan streams all tuples of rel. When stream is true the runtime may
+	// deliver the scan incrementally (charged as consumed); otherwise it
+	// must materialize a coherent snapshot up front. Only NaiveScan calls
+	// it.
+	Scan(rel string, stream bool) iter.Seq2[relation.Tuple, error]
+	// Check fails fast once the call's context is canceled or past its
+	// deadline. Called at every operator boundary.
+	Check() error
+}
+
+// BackendRuntime runs plans against a store.Backend with per-call stats:
+// the engine's runtime.
+type BackendRuntime struct {
+	Ctx context.Context
+	B   store.Backend
+	Es  *store.ExecStats
+}
+
+// Fetch implements Runtime. A resolved single-shard or scatter route goes
+// through the backend's plan-aware path (store.RoutePlanner), skipping
+// the per-fetch routing decision; everything else falls back to FetchInto.
+func (rt BackendRuntime) Fetch(e access.Entry, vals []relation.Value, r store.FetchRoute) ([]relation.Tuple, error) {
+	if r.Kind == store.RouteSingle || r.Kind == store.RouteScatter {
+		if rp, ok := rt.B.(store.RoutePlanner); ok {
+			return rp.FetchPlanned(rt.Es, e, vals, r)
+		}
+	}
+	return rt.B.FetchInto(rt.Es, e, vals)
+}
+
+// Member implements Runtime.
+func (rt BackendRuntime) Member(rel string, t relation.Tuple) (bool, error) {
+	return rt.B.MembershipInto(rt.Es, rel, t)
+}
+
+// Scan implements Runtime: the streaming path charges chunk by chunk via
+// store.ScanSeq; the materialized path is one counted ScanInto.
+func (rt BackendRuntime) Scan(rel string, stream bool) iter.Seq2[relation.Tuple, error] {
+	if stream {
+		return store.ScanSeq(rt.B, rt.Es, rel)
+	}
+	return func(yield func(relation.Tuple, error) bool) {
+		ts, err := rt.B.ScanInto(rt.Es, rel)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		for _, t := range ts {
+			if !yield(t, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Check implements Runtime: errors wrap store.ErrCanceled (and the
+// underlying ctx.Err()).
+func (rt BackendRuntime) Check() error {
+	if rt.Ctx == nil {
+		return nil
+	}
+	if err := rt.Ctx.Err(); err != nil {
+		return fmt.Errorf("plan: %w: %w", store.ErrCanceled, err)
+	}
+	return nil
+}
+
+// Cost is the static bound an operator guarantees, expressed in the
+// N-values of the access schema (Theorem 4.2's "time that depends only on
+// A and Q"): Candidates bounds the number of bindings the operator can
+// yield, Reads bounds the number of tuples it fetches. Both are
+// independent of |D| by construction.
+type Cost struct {
+	Candidates int64
+	Reads      int64
+}
+
+// CostCap saturates cost arithmetic well below overflow: a bound at the
+// cap means "effectively unbounded".
+const CostCap = math.MaxInt64 / 4
+
+// costCap is the internal shorthand.
+const costCap = CostCap
+
+// SatAdd adds with saturation at the cost cap.
+func SatAdd(a, b int64) int64 {
+	if a > costCap-b {
+		return costCap
+	}
+	return a + b
+}
+
+// SatMul multiplies with saturation at the cost cap.
+func SatMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > costCap/b {
+		return costCap
+	}
+	return a * b
+}
+
+// String renders the cost.
+func (c Cost) String() string {
+	return fmt.Sprintf("≤%d candidates, ≤%d reads", c.Candidates, c.Reads)
+}
+
+// Node is one physical operator. Stream opens the operator's cursor under
+// an environment binding (at least) the operator's Need variables; each
+// yielded binding is defined on exactly Out, deduplicated per the
+// operator's contract.
+type Node interface {
+	Stream(rt Runtime, env query.Bindings) Seq
+	// Out is the variable set every yielded binding is defined on.
+	Out() query.VarSet
+	// Need is the variable set the operator requires bound in env (the
+	// controlling set it was compiled for).
+	Need() query.VarSet
+	// Bound is the operator's static cost bound.
+	Bound() Cost
+	// Describe returns the operator's one-line EXPLAIN rendering (name and
+	// detail, without children or cost).
+	Describe() string
+	// Children returns the operand operators, in execution order.
+	Children() []Node
+}
+
+// emptySeq yields nothing.
+func emptySeq(yield func(query.Bindings, error) bool) {}
+
+// failSeq yields a single error.
+func failSeq(err error) Seq {
+	return func(yield func(query.Bindings, error) bool) {
+		yield(nil, err)
+	}
+}
+
+// dedupSeq suppresses duplicate bindings (all defined on the same
+// variable set), streaming: the first occurrence passes through
+// immediately, later duplicates are dropped. Errors pass through and
+// terminate the stream.
+func dedupSeq(s Seq, vars query.VarSet) Seq {
+	sorted := vars.Sorted()
+	return func(yield func(query.Bindings, error) bool) {
+		seen := make(map[string]bool)
+		for b, err := range s {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			k := BindingKey(b, sorted)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if !yield(b, nil) {
+				return
+			}
+		}
+	}
+}
+
+// firstOf pulls at most one element from s: the emptiness probe used by
+// AntiProbe and ForallCheck. It reports whether s is non-empty without
+// enumerating the rest — early termination inside the plan, not just at
+// its root.
+func firstOf(s Seq) (nonEmpty bool, err error) {
+	for _, e := range s {
+		if e != nil {
+			return false, e
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// Restrict returns env restricted to vars.
+func Restrict(env query.Bindings, vars query.VarSet) query.Bindings {
+	out := make(query.Bindings, vars.Len())
+	for v := range vars {
+		if val, ok := env[v]; ok {
+			out[v] = val
+		}
+	}
+	return out
+}
+
+// BindingKey canonically encodes a binding over the given sorted variable
+// list for deduplication.
+func BindingKey(b query.Bindings, sortedVars []string) string {
+	t := make(relation.Tuple, len(sortedVars))
+	for i, v := range sortedVars {
+		t[i] = b[v]
+	}
+	return t.Key()
+}
+
+// mergedWith overlays b on env without mutating either.
+func mergedWith(env, b query.Bindings) query.Bindings {
+	out := env.Clone()
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// UnifyAtom matches a full base tuple against the atom's arguments under
+// env, returning the binding over the atom's variables.
+func UnifyAtom(a *query.Atom, tu relation.Tuple, env query.Bindings) (query.Bindings, bool) {
+	if len(a.Args) != len(tu) {
+		return nil, false
+	}
+	b := make(query.Bindings, len(a.Args))
+	for i, arg := range a.Args {
+		if !arg.IsVar() {
+			if arg.Value() != tu[i] {
+				return nil, false
+			}
+			continue
+		}
+		name := arg.Name()
+		if v, ok := env[name]; ok && v != tu[i] {
+			return nil, false
+		}
+		if v, ok := b[name]; ok && v != tu[i] {
+			return nil, false
+		}
+		b[name] = tu[i]
+	}
+	return b, true
+}
+
+// TupleForPositions builds the lookup values for positions from constants
+// and bindings; every argument must be a constant or bound.
+func TupleForPositions(a *query.Atom, positions []int, env query.Bindings) ([]relation.Value, error) {
+	out := make([]relation.Value, len(positions))
+	for i, p := range positions {
+		t := a.Args[p]
+		if !t.IsVar() {
+			out[i] = t.Value()
+			continue
+		}
+		v, ok := env[t.Name()]
+		if !ok {
+			return nil, fmt.Errorf("plan: variable %q unbound for fetch on %s", t.Name(), a)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// evalEqOnly evaluates an equality-only formula under a full binding.
+func evalEqOnly(f query.Formula, env query.Bindings) (bool, error) {
+	switch n := f.(type) {
+	case *query.Eq:
+		l, err := termVal(n.L, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := termVal(n.R, env)
+		if err != nil {
+			return false, err
+		}
+		return l == r, nil
+	case *query.Truth:
+		return n.Bool, nil
+	case *query.Not:
+		b, err := evalEqOnly(n.F, env)
+		return !b, err
+	case *query.And:
+		l, err := evalEqOnly(n.L, env)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalEqOnly(n.R, env)
+	case *query.Or:
+		l, err := evalEqOnly(n.L, env)
+		if err != nil || l {
+			return l, err
+		}
+		return evalEqOnly(n.R, env)
+	case *query.Implies:
+		l, err := evalEqOnly(n.L, env)
+		if err != nil {
+			return false, err
+		}
+		if !l {
+			return true, nil
+		}
+		return evalEqOnly(n.R, env)
+	default:
+		return false, fmt.Errorf("plan: non-equality node %T under a Select operator", f)
+	}
+}
+
+func termVal(t query.Term, env query.Bindings) (relation.Value, error) {
+	if !t.IsVar() {
+		return t.Value(), nil
+	}
+	v, ok := env[t.Name()]
+	if !ok {
+		return relation.Value{}, fmt.Errorf("plan: unbound variable %q", t.Name())
+	}
+	return v, nil
+}

@@ -1,0 +1,281 @@
+package plan_test
+
+// The plan package is exercised end-to-end by internal/core's executor
+// tests, the backendtest conformance suite (planequiv) and the optimizer
+// property test; the tests here pin the contracts the rest of the system
+// leans on directly: cost-model parity between derivations and their
+// compiled plans, plan-time routing resolution, and the shape of EXPLAIN
+// output.
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+func socialStore(t testing.TB, persons int, shards int) store.Backend {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Persons = persons
+	cfg.Seed = 11
+	data, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := workload.Access(cfg)
+	if shards > 0 {
+		s, err := shard.Open(data, acc, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s, err := store.Open(data, acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustQuery(t testing.TB, src string) *query.Query {
+	t.Helper()
+	if cq, err := parser.ParseCQ(src); err == nil {
+		q, err := cq.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestCompileBoundMatchesCostOf pins cost-model parity: the 1:1 compiled
+// plan of every derivation the analyzer emits for the experiment queries
+// carries exactly the derivation's static bound. (The optimizer may then
+// tighten it — never loosen it.)
+func TestCompileBoundMatchesCostOf(t *testing.T) {
+	st := socialStore(t, 60, 0)
+	an := core.NewAnalyzer(st.Access())
+	for _, src := range []string{
+		workload.Q1Src, workload.Q2Src, workload.Q3Src,
+		"QB(p) := exists id (friend(p, id) and not (exists n (person(id, n, 'NYC'))))",
+		"QD(p, n) := exists id (friend(p, id) and (person(id, n, 'NYC') or person(id, n, 'LA')))",
+	} {
+		q := mustQuery(t, src)
+		res, err := an.AnalyzeQuery(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		for _, d := range res.Derivs {
+			got := core.Compile(d).Bound()
+			want := core.CostOf(d)
+			if got != want {
+				t.Errorf("%s ctrl %s: compiled bound %v != derivation cost %v", q.Name, d.Ctrl, got, want)
+			}
+		}
+	}
+}
+
+// TestOptimizedBoundNeverLooser: the engine's optimized plan bound is
+// never above the analysis-order bound for the same (query, ctrl).
+func TestOptimizedBoundNeverLooser(t *testing.T) {
+	st := socialStore(t, 60, 0)
+	engOn, engOff := core.NewEngine(st), core.NewEngine(st)
+	engOff.SetOptimizer(core.OptimizerOff)
+	for _, src := range []string{workload.Q1Src, workload.Q2Src, workload.Q3Src} {
+		q := mustQuery(t, src)
+		ctrl := query.NewVarSet("p")
+		if q.Name == "Q3" {
+			ctrl = query.NewVarSet("p", "yy")
+		}
+		pOn, err := engOn.Prepare(q, ctrl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pOff, err := engOff.Prepare(q, ctrl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pOn.Plan().Bound.Reads > pOff.Plan().Bound.Reads {
+			t.Errorf("%s: optimized bound %d looser than analysis bound %d", q.Name, pOn.Plan().Bound.Reads, pOff.Plan().Bound.Reads)
+		}
+	}
+}
+
+// TestResolveRoutesSharded pins plan-time routing: on a hash-sharded
+// backend a lookup through an entry covering the routing key is marked
+// single-shard, one that does not cover it is a ScatterFetch — and the
+// decision is visible in EXPLAIN.
+func TestResolveRoutesSharded(t *testing.T) {
+	st := socialStore(t, 60, 4)
+	eng := core.NewEngine(st)
+
+	q1 := mustQuery(t, workload.Q1Src)
+	p1, err := eng.Prepare(q1, query.NewVarSet("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := p1.Explain()
+	if !strings.Contains(ex, "[single-shard]") {
+		t.Errorf("Q1 on 4 shards: no single-shard route in EXPLAIN:\n%s", ex)
+	}
+	if strings.Contains(ex, "ScatterFetch") {
+		t.Errorf("Q1 on 4 shards: unexpected scatter in EXPLAIN:\n%s", ex)
+	}
+
+	// restr routes on rid; a by-city lookup cannot cover it and scatters.
+	qc := mustQuery(t, "QC(city, rn) := exists rid, rating (restr(rid, rn, city, rating))")
+	pc, err := eng.Prepare(qc, query.NewVarSet("city"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pc.Explain(), "ScatterFetch") {
+		t.Errorf("by-city lookup on 4 shards: no ScatterFetch in EXPLAIN:\n%s", pc.Explain())
+	}
+
+	// Single-node: everything is local, nothing scatters.
+	engLocal := core.NewEngine(socialStore(t, 60, 0))
+	pl, err := engLocal.Prepare(q1, query.NewVarSet("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(pl.Explain(), "shard") || strings.Contains(pl.Explain(), "Scatter") {
+		t.Errorf("single-node EXPLAIN mentions sharding:\n%s", pl.Explain())
+	}
+}
+
+// TestPlannedFetchEquivalence: executing through a pre-resolved route
+// charges exactly what the per-fetch routing decision charges.
+func TestPlannedFetchEquivalence(t *testing.T) {
+	st := socialStore(t, 60, 4).(*shard.Store)
+	rp := store.RoutePlanner(st)
+	for _, e := range st.Access().Entries() {
+		var vals []relation.Value
+		switch e.Rel {
+		case "friend", "person", "visit":
+			vals = []relation.Value{relation.Int(7)}
+		case "restr":
+			vals = []relation.Value{relation.Int(1_000_000)}
+		}
+		if len(e.On) != 1 {
+			continue
+		}
+		r := rp.PlanFetch(e)
+		esAuto, esPlanned := &store.ExecStats{}, &store.ExecStats{}
+		a, errA := st.FetchInto(esAuto, e, vals)
+		b, errB := rp.FetchPlanned(esPlanned, e, vals, r)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("%s: error mismatch %v vs %v", e.String(), errA, errB)
+		}
+		if len(a) != len(b) || esAuto.Counters != esPlanned.Counters {
+			t.Fatalf("%s: planned fetch diverges: %d/%d tuples, %+v vs %+v", e.String(), len(a), len(b), esAuto.Counters, esPlanned.Counters)
+		}
+	}
+}
+
+// TestMaxGroupStats: both backends report usable entry statistics, and
+// the sharded upper bound dominates the single-node exact maximum.
+func TestMaxGroupStats(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.Persons = 60
+	cfg.Seed = 11
+	data, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := workload.Access(cfg)
+	single, err := store.Open(data.Clone(), acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := shard.Open(data.Clone(), acc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	friendEntry := access.Plain("friend", []string{"id1"}, cfg.MaxFriends, 1)
+	mg, ok := single.MaxGroup(friendEntry)
+	if !ok || mg <= 0 || mg > cfg.MaxFriends {
+		t.Fatalf("single-node MaxGroup(friend) = %d, %v", mg, ok)
+	}
+	mgs, ok := sharded.MaxGroup(friendEntry)
+	if !ok || mgs < mg {
+		t.Fatalf("sharded MaxGroup(friend) = %d (ok=%v), below single-node %d", mgs, ok, mg)
+	}
+}
+
+// TestStatsModeStillConformant: OptimizerStats plans answer identically
+// to analysis order and stay within their bound (ordering may differ per
+// backend; correctness may not).
+func TestStatsModeStillConformant(t *testing.T) {
+	st := socialStore(t, 120, 0)
+	engStats, engOff := core.NewEngine(st), core.NewEngine(st)
+	engStats.SetOptimizer(core.OptimizerStats)
+	engOff.SetOptimizer(core.OptimizerOff)
+	ctx := context.Background()
+	for _, src := range []string{workload.Q1Src, workload.Q2Src, "Q5(p, rn) := exists f, rid, yy, mm, dd, city, rating (friend(p, f) and visit(f, rid, yy, mm, dd) and restr(rid, rn, city, rating) and not (exists fn (person(f, fn, 'NYC'))))"} {
+		q := mustQuery(t, src)
+		pS, err := engStats.Prepare(q, query.NewVarSet("p"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pO, err := engOff.Prepare(q, query.NewVarSet("p"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 12; i++ {
+			fixed := query.Bindings{"p": relation.Int(int64(i * 9))}
+			aS, err := pS.Exec(ctx, fixed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aO, err := pO.Exec(ctx, fixed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !aS.Tuples.Equal(aO.Tuples) {
+				t.Fatalf("%s %v: stats-mode answers differ", q.Name, fixed)
+			}
+			if aS.Cost.TupleReads > pS.Plan().Bound.Reads {
+				t.Fatalf("%s %v: stats-mode reads %d exceed bound %d", q.Name, fixed, aS.Cost.TupleReads, pS.Plan().Bound.Reads)
+			}
+		}
+	}
+}
+
+// TestExplainShape: the EXPLAIN output names the operators and the
+// chosen order.
+func TestExplainShape(t *testing.T) {
+	st := socialStore(t, 60, 0)
+	eng := core.NewEngine(st)
+	q := mustQuery(t, workload.Q2Src)
+	p, err := eng.Prepare(q, query.NewVarSet("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := p.Explain()
+	for _, want := range []string{"controlled by", "physical plan", "order:", "reads"} {
+		if !strings.Contains(ex, want) {
+			t.Errorf("EXPLAIN missing %q:\n%s", want, ex)
+		}
+	}
+	if plan.Explain(p.Plan().Root) == "" {
+		t.Error("empty operator tree")
+	}
+	if len(plan.AtomOrder(p.Plan().Root)) == 0 {
+		t.Error("empty atom order")
+	}
+}

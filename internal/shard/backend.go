@@ -120,43 +120,64 @@ func (s *Store) shardForKey(key string) *store.DB {
 	return s.shards[shardIndex(key, len(s.shards))]
 }
 
-// routeFromBound returns the shard holding the group σ_X=ā(R) when the
-// bound attributes X cover rel's routing key, or nil when the access must
-// scatter.
-func (s *Store) routeFromBound(rt route, on []string, vals []relation.Value) *store.DB {
-	key := make(relation.Tuple, len(rt.attrs))
-	for i, a := range rt.attrs {
-		found := false
-		for j, b := range on {
-			if a == b {
-				key[i] = vals[j]
-				found = true
-				break
-			}
-		}
-		if !found {
-			return nil
-		}
-	}
-	return s.shardForKey(key.Key())
-}
-
 // FetchInto performs the indexed retrieval licensed by entry e. When the
 // entry's bound attributes cover the relation's routing key the fetch is
 // served by exactly one shard with the caller's own stats (the
 // single-shard fast path, identical to single-node in every counter);
 // otherwise it scatter-gathers in parallel across all shards and merges
 // the partial groups, their counters and the cardinality check.
+//
+// The single-shard vs scatter decision is re-derived on every call here;
+// compiled physical plans resolve it once via PlanFetch and then execute
+// through FetchPlanned.
 func (s *Store) FetchInto(es *store.ExecStats, e access.Entry, vals []relation.Value) ([]relation.Tuple, error) {
+	return s.FetchPlanned(es, e, vals, s.PlanFetch(e))
+}
+
+// PlanFetch implements store.RoutePlanner: it resolves, once per compiled
+// plan operator, whether fetches through e are served by a single shard
+// (the entry's bound attributes cover the relation's routing key) or must
+// scatter-gather — and, for the single-shard case, precomputes the
+// positions of the routing-key values within e.On so the per-call path
+// does no attribute matching at all.
+func (s *Store) PlanFetch(e access.Entry) store.FetchRoute {
 	rt, ok := s.routes[e.Rel]
 	if !ok {
+		return store.FetchRoute{Kind: store.RouteScatter}
+	}
+	keyPos := make([]int, len(rt.attrs))
+	for i, a := range rt.attrs {
+		found := false
+		for j, b := range e.On {
+			if a == b {
+				keyPos[i] = j
+				found = true
+				break
+			}
+		}
+		if !found {
+			return store.FetchRoute{Kind: store.RouteScatter}
+		}
+	}
+	return store.FetchRoute{Kind: store.RouteSingle, KeyPos: keyPos}
+}
+
+// FetchPlanned implements store.RoutePlanner: FetchInto under a routing
+// decision already made at plan time. Counters, traces, budgets and
+// cardinality checks are identical to FetchInto's.
+func (s *Store) FetchPlanned(es *store.ExecStats, e access.Entry, vals []relation.Value, r store.FetchRoute) ([]relation.Tuple, error) {
+	if _, ok := s.routes[e.Rel]; !ok {
 		return nil, fmt.Errorf("shard: unknown relation %q", e.Rel)
 	}
 	if len(vals) != len(e.On) {
 		return nil, fmt.Errorf("shard: fetch %s with %d values, want %d", e.Rel, len(vals), len(e.On))
 	}
-	if sh := s.routeFromBound(rt, e.On, vals); sh != nil {
-		return sh.FetchInto(es, e, vals)
+	if r.Kind == store.RouteSingle {
+		key := make(relation.Tuple, len(r.KeyPos))
+		for i, p := range r.KeyPos {
+			key[i] = vals[p]
+		}
+		return s.shardForKey(key.Key()).FetchInto(es, e, vals)
 	}
 	if len(s.shards) == 1 {
 		return s.shards[0].FetchInto(es, e, vals)
@@ -165,6 +186,22 @@ func (s *Store) FetchInto(es *store.ExecStats, e access.Entry, vals []relation.V
 		return s.scatterFetchEmbedded(es, e, vals)
 	}
 	return s.scatterFetchPlain(es, e, vals)
+}
+
+// MaxGroup implements the optional store.EntryStats interface: the sum of
+// the per-shard maxima is an upper bound on the size of any logical group
+// of e (a group not covered by the routing key may be split across
+// shards, but each fragment is bounded by its shard's maximum).
+func (s *Store) MaxGroup(e access.Entry) (int, bool) {
+	total := 0
+	for _, sh := range s.shards {
+		n, ok := sh.MaxGroup(e)
+		if !ok {
+			return 0, false
+		}
+		total += n
+	}
+	return total, true
 }
 
 // scatterFetchPlain gathers one plain group from every shard. Base tuples

@@ -80,6 +80,67 @@ type Backend interface {
 	ResetCounters() Counters
 }
 
+// RouteKind classifies how a planned fetch reaches the data. The planner
+// resolves it once at plan-compile time; the per-call fetch path then
+// skips the routing decision entirely.
+type RouteKind uint8
+
+const (
+	// RouteAuto: unresolved — the backend decides per fetch (the pre-plan
+	// behavior, and the fallback for backends without a RoutePlanner).
+	RouteAuto RouteKind = iota
+	// RouteLocal: a single-node backend; there is nothing to route.
+	RouteLocal
+	// RouteSingle: the entry's bound attributes cover the relation's
+	// partitioning key — every fetch touches exactly one shard.
+	RouteSingle
+	// RouteScatter: the fetch must be scatter-gathered across all shards.
+	RouteScatter
+)
+
+// String renders the route for EXPLAIN output.
+func (k RouteKind) String() string {
+	switch k {
+	case RouteLocal:
+		return "local"
+	case RouteSingle:
+		return "single-shard"
+	case RouteScatter:
+		return "scatter"
+	default:
+		return "auto"
+	}
+}
+
+// FetchRoute is a plan-time routing decision for one access entry: the
+// kind, plus — for RouteSingle — the positions within e.On holding the
+// partitioning-key values (in key-attribute order), so the executing fetch
+// derives the target shard without re-matching attribute names.
+type FetchRoute struct {
+	Kind   RouteKind
+	KeyPos []int
+}
+
+// RoutePlanner is implemented by partitioned backends that can resolve
+// the single-shard vs scatter decision per access entry at plan time
+// (internal/plan asks during compilation). PlanFetch is a pure function
+// of the entry and the backend's routing configuration; FetchPlanned
+// executes a fetch under a previously planned route with the same
+// observable counters as FetchInto.
+type RoutePlanner interface {
+	PlanFetch(e access.Entry) FetchRoute
+	FetchPlanned(es *ExecStats, e access.Entry, vals []relation.Value, r FetchRoute) ([]relation.Tuple, error)
+}
+
+// EntryStats is optionally implemented by backends that can report actual
+// data statistics for an access entry: MaxGroup returns an upper bound on
+// the current size of any σ_X=ā group served by e (for the cost-based
+// optimizer's stats mode), with ok = false when unknown. Estimates only:
+// static read bounds always come from the access schema's N values.
+type EntryStats interface {
+	MaxGroup(e access.Entry) (n int, ok bool)
+}
+
 // The single-node DB is the reference Backend.
 var _ Backend = (*DB)(nil)
 

@@ -395,6 +395,35 @@ func (db *DB) Counters() Counters { return db.counters.Load() }
 // resetting and is immune to interleaved calls.
 func (db *DB) ResetCounters() Counters { return db.counters.SwapZero() }
 
+// MaxGroup implements the optional EntryStats interface: the size of the
+// largest group currently served by e's index — an exact, data-dependent
+// refinement of the entry's declared N, used by the cost-based optimizer's
+// stats mode to order plan operators. It never loosens anything: static
+// read bounds always come from N.
+func (db *DB) MaxGroup(e access.Entry) (int, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if e.IsEmbedded() {
+		name := index.KeyName(e.On) + "->" + index.KeyName(e.Proj)
+		pi := db.projIndexes[e.Rel][name]
+		if pi == nil {
+			return 0, false
+		}
+		max := 0
+		for _, b := range pi.buckets {
+			if len(b.order) > max {
+				max = len(b.order)
+			}
+		}
+		return max, true
+	}
+	ix := db.indexes[e.Rel][index.KeyName(e.On)]
+	if ix == nil {
+		return 0, false
+	}
+	return ix.MaxBucket(), true
+}
+
 // Conforms checks cardinality conformance of the data to the access schema.
 func (db *DB) Conforms() error {
 	db.mu.RLock()

@@ -47,6 +47,25 @@
 //	for t, err := range rows.All() {
 //		// first answers arrive while later fetches are still unissued
 //	}
+//
+// Behind Prepare sits a physical plan compiler: the controllability
+// derivation lowers to an operator IR (index lookups, membership probes,
+// pipelined nested-loop joins, emptiness probes, streaming unions, chase
+// steps) and a cost-based optimizer reorders conjuncts greedy
+// min-bound-first, re-selects access entries as variables become bound,
+// and — on a sharded backend — pins each fetch's single-shard vs scatter
+// routing at plan time. Inspect the result with prep.Explain() (also
+// rows.Explain(), sirun -explain):
+//
+//	fmt.Print(prep.Explain())
+//	// Q1 controlled by {p}
+//	// physical plan (≤5000 candidates, ≤10000 reads, optimizer on)
+//	// order: friend(p, id), person(id, name, 'NYC')
+//	// ...operator tree with per-operator bounds...
+//
+// Static bounds always come from the access schema's N values; optimizer
+// statistics (OptimizerStats) influence operator order only, so measured
+// reads stay within the plan's bound M on every backend.
 package scaleindep
 
 import (
@@ -121,6 +140,28 @@ type (
 	ShardOption = shard.Option
 	// Counters are accumulated access-path work measurements.
 	Counters = store.Counters
+	// OptimizerMode selects how Prepare compiles derivations into physical
+	// plans: OptimizerOff (analysis order), OptimizerOn (cost-based
+	// reordering on access-constraint N bounds — the default), or
+	// OptimizerStats (plus live backend cardinality statistics). Set it
+	// per engine with Engine.SetOptimizer.
+	OptimizerMode = core.OptimizerMode
+	// PlanCacheStats are the engine plan cache's hit/miss/evict counters
+	// (Engine.PlanCacheStats).
+	PlanCacheStats = core.PlanCacheStats
+)
+
+// Plan optimizer modes for Engine.SetOptimizer.
+const (
+	// OptimizerOff compiles the analysis-emitted derivation 1:1.
+	OptimizerOff = core.OptimizerOff
+	// OptimizerOn (default) reorders conjuncts greedy min-bound-first and
+	// re-selects access entries as variables become bound.
+	OptimizerOn = core.OptimizerOn
+	// OptimizerStats additionally refines ordering with live backend
+	// cardinality statistics; static bounds still come from the access
+	// schema.
+	OptimizerStats = core.OptimizerStats
 )
 
 // Typed error taxonomy: every load-bearing failure of Prepare/Exec wraps
