@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet staticcheck bench bench-smoke serving shardscale reorder
+.PHONY: check build test race vet staticcheck bench bench-smoke serving shardscale reorder live live-smoke
 
 ## check: the CI gate — vet, build, and race-enabled tests.
 check: vet build race
@@ -38,3 +38,12 @@ shardscale:
 ## reorder: cost-ordered vs analysis-order plans, reads/op and µs/op.
 reorder:
 	$(GO) run ./cmd/sibench -reorder
+
+## live: maintenance reads per commit vs full re-execution on watched Q2.
+live:
+	$(GO) run ./cmd/sibench -live
+
+## live-smoke: the CI gate — quick -live run; exits nonzero unless
+## maintenance is strictly cheaper than re-execution.
+live-smoke:
+	$(GO) run ./cmd/sibench -live -quick

@@ -1,6 +1,6 @@
 // Command sibench runs the full experiment suite: the Table 1 validation
 // tables, the Example 1.1 scaling series, and the per-theorem experiments
-// (see DESIGN.md §5 for the index). With -markdown it emits the body of
+// (see DESIGN.md §6 for the index). With -markdown it emits the body of
 // EXPERIMENTS.md. With -serving it instead benchmarks the serving API:
 // per-call analysis vs the transparent plan cache vs a prepared query.
 //
@@ -53,8 +53,17 @@ func main() {
 	limit := flag.Int("limit", 0, "benchmark early-exit serving instead: Rows WithLimit(n)/First vs a full Exec drain on Q1")
 	reorder := flag.Bool("reorder", false, "benchmark cost-ordered vs analysis-order physical plans (reads/op and µs/op on Q1-Q5); exits nonzero if reordering regresses reads")
 	useStats := flag.Bool("stats", false, "with -reorder: let the optimizer refine ordering with live backend cardinality statistics")
+	live := flag.Bool("live", false, "benchmark the commit-and-notify write path instead: maintenance reads per commit for watched Q2 queries vs full re-execution; exits nonzero unless maintenance is strictly cheaper")
+	watchers := flag.Int("watchers", 32, "with -live: number of live Q2 subscriptions")
 	flag.Parse()
 
+	if *live {
+		if err := liveBench(*quick, *shards, *watchers); err != nil {
+			fmt.Fprintf(os.Stderr, "sibench: live: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *reorder {
 		if err := reorderBench(*quick, *shards, *useStats); err != nil {
 			fmt.Fprintf(os.Stderr, "sibench: reorder: %v\n", err)
@@ -579,6 +588,13 @@ func shardScaleBench(quick bool, clients, writers int) error {
 					wg.Add(1)
 					go func(w int) {
 						defer wg.Done()
+						// Each writer commits through its own engine over the
+						// shared backend — independent serving processes, so
+						// commits do not serialize behind one engine's commit
+						// lock and the storage layer's per-shard write locks
+						// stay the contended resource being measured.
+						weng := core.NewEngine(b)
+						ctx := context.Background()
 						base := int64(1_000_000 + 10_000*w)
 						for i := 0; i < perWriter; i++ {
 							// One entity's friend list per batch: routes to one
@@ -591,11 +607,11 @@ func shardScaleBench(quick bool, clients, writers int) error {
 							for k := int64(0); k < 48; k++ {
 								u.Insert("friend", relation.Tuple{relation.Int(id), relation.Int(k)})
 							}
-							if err := b.ApplyUpdate(u); err != nil {
+							if _, err := weng.Commit(ctx, u); err != nil {
 								fail(err)
 								return
 							}
-							if err := b.ApplyUpdate(u.Inverse()); err != nil {
+							if _, err := weng.Commit(ctx, u.Inverse()); err != nil {
 								fail(err)
 								return
 							}
@@ -638,5 +654,143 @@ func shardScaleBench(quick bool, clients, writers int) error {
 	for _, row := range rows {
 		fmt.Printf("%-14s %14.0f %20.0f\n", row.name, row.qps, row.mixQPS)
 	}
+	return nil
+}
+
+// liveBench measures what the commit-and-notify write path buys over the
+// serve-by-re-execution strategy: W live Q2 subscriptions (A-rated NYC
+// restaurants visited by p's NYC friends) are watched while a randomized
+// mixed insert/delete commit stream runs through Engine.Commit. For every
+// commit the bench accumulates (a) the maintenance reads actually charged
+// to the watchers — each bounded by its N-derived per-delta bound — and
+// (b) the reads W fresh prepared re-executions of the same queries cost
+// on the post-commit state, i.e. what keeping W readers fresh would pay
+// without incremental maintenance. It reports commits/s for the pipeline
+// itself (re-execution probes excluded) and exits nonzero if maintenance
+// is not strictly cheaper per commit, or if any live snapshot ever
+// diverges from a fresh execution.
+func liveBench(quick bool, shards, watchers int) error {
+	persons := 10000 // |D| ≈ 151k, the reordering experiment's size
+	commits := 1200
+	if quick {
+		persons, commits = 2000, 400
+	}
+	cfg := workload.DefaultConfig()
+	cfg.Persons = persons
+	cfg.Seed = 7
+	db, err := workload.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	// The commit stream is generated against the initial state, before the
+	// backend takes ownership of db.
+	var hot []int64
+	for i := 0; i < watchers; i++ {
+		hot = append(hot, int64((i*7)%persons))
+	}
+	stream := workload.MixedCommits(db, cfg, commits, hot, 99)
+
+	var st store.Backend
+	if shards > 0 {
+		st, err = shard.Open(db, workload.Access(cfg), shards)
+	} else {
+		st, err = store.Open(db, workload.Access(cfg))
+	}
+	if err != nil {
+		return err
+	}
+	eng := core.NewEngine(st)
+	q, err := parseServing(workload.Q2Src)
+	if err != nil {
+		return err
+	}
+	prep, err := eng.Prepare(q, query.NewVarSet("p"))
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	type sub struct {
+		fixed query.Bindings
+		l     *core.Live
+	}
+	subs := make([]sub, 0, watchers)
+	for _, p := range hot {
+		fixed := query.Bindings{"p": relation.Int(p)}
+		l, err := prep.Watch(ctx, fixed)
+		if err != nil {
+			return fmt.Errorf("watch p=%d: %w", p, err)
+		}
+		defer l.Close()
+		subs = append(subs, sub{fixed: fixed, l: l})
+	}
+
+	var maintReads, reexecReads int64
+	var commitTime time.Duration
+	for _, u := range stream {
+		start := time.Now()
+		res, err := eng.Commit(ctx, u)
+		commitTime += time.Since(start)
+		if err != nil {
+			return err
+		}
+		maintReads += res.Maintenance.TupleReads
+		// The baseline: every watcher re-executes against the new state.
+		for _, s := range subs {
+			ans, err := prep.Exec(ctx, s.fixed, core.WithoutTrace())
+			if err != nil {
+				return err
+			}
+			reexecReads += ans.Cost.TupleReads
+		}
+	}
+
+	// Exactness: every snapshot must equal a fresh execution, and every
+	// delivered delta must have stayed within its bound.
+	var deltas int
+	var maxReads, maxBound int64
+	for _, s := range subs {
+		ans, err := prep.Exec(ctx, s.fixed)
+		if err != nil {
+			return err
+		}
+		if !s.l.Snapshot().Equal(ans.Tuples) {
+			return fmt.Errorf("live snapshot for %v diverged from fresh execution", s.fixed)
+		}
+		s.l.Close()
+		for d, err := range s.l.Deltas() {
+			if err != nil {
+				return err
+			}
+			if d.Cost.TupleReads > d.Bound {
+				return fmt.Errorf("delta seq %d charged %d reads over its bound %d", d.Seq, d.Cost.TupleReads, d.Bound)
+			}
+			if d.Cost.TupleReads > maxReads {
+				maxReads = d.Cost.TupleReads
+			}
+			if d.Bound > maxBound {
+				maxBound = d.Bound
+			}
+			deltas++
+		}
+	}
+
+	backend := "single-node"
+	if shards > 0 {
+		backend = fmt.Sprintf("%d-shard", shards)
+	}
+	n := float64(len(stream))
+	fmt.Printf("live Q2 maintenance on |D| = %d (%s backend): %d commits, %d watched subscriptions\n\n",
+		st.Size(), backend, len(stream), len(subs))
+	fmt.Printf("%-38s %14s\n", "", "per commit")
+	fmt.Printf("%-38s %14.1f\n", "maintenance reads (all watchers)", float64(maintReads)/n)
+	fmt.Printf("%-38s %14.1f\n", "full re-execution reads (baseline)", float64(reexecReads)/n)
+	fmt.Printf("%-38s %14s\n", "commit latency (incl. maintenance)", (commitTime / time.Duration(len(stream))).Round(time.Microsecond))
+	fmt.Printf("%-38s %14.0f\n", "commits/s", n/commitTime.Seconds())
+	fmt.Printf("\n%d deltas delivered; max per-delta reads %d, max bound %d — every snapshot ≡ fresh Exec\n",
+		deltas, maxReads, maxBound)
+	if maintReads >= reexecReads {
+		return fmt.Errorf("maintenance (%d reads) is not strictly cheaper than re-execution (%d reads)", maintReads, reexecReads)
+	}
+	fmt.Printf("maintenance pays %.1f%% of the re-execution baseline per commit\n", 100*float64(maintReads)/float64(reexecReads))
 	return nil
 }

@@ -16,10 +16,18 @@
 //	sirun -query ... -fix "p=7" -limit 3               # stream the first 3 answers and stop reading
 //	sirun -query ... -fix "p=7" -explain               # print the compiled physical plan (EXPLAIN)
 //	sirun -query ... -fix "p=7" -explain -no-optimizer # ... the analysis-order plan instead
+//	sirun -query ... -fix "p=7" -watch                 # live query: stream answer deltas until Ctrl-C
 //
 // With -limit N the cursor API is used instead: answers stream out as the
 // bounded plan pulls them, and evaluation — including its tuple reads and
 // budget consumption — stops after the N-th answer.
+//
+// With -watch the query is subscribed through the live-query API
+// (PreparedQuery.Watch): a background writer commits a randomized mixed
+// insert/delete stream through Engine.Commit and every answer delta
+// prints as it is maintained — with the bounded per-commit maintenance
+// cost next to it — until -watch-commits is exhausted or the process is
+// interrupted.
 package main
 
 import (
@@ -28,8 +36,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/access"
@@ -57,6 +67,9 @@ func main() {
 	limit := flag.Int("limit", 0, "stream at most this many answers through the cursor API and stop charging reads (0 = drain everything)")
 	explain := flag.Bool("explain", false, "print the compiled physical plan (operator tree, chosen order, static cost) before executing")
 	noOpt := flag.Bool("no-optimizer", false, "compile the analysis-emitted order instead of the cost-based plan")
+	watch := flag.Bool("watch", false, "watch the query live instead: a background writer commits a randomized update stream and the maintained answer deltas print until interrupted (generated data only)")
+	watchCommits := flag.Int("watch-commits", 0, "with -watch: stop after this many commits (0 = until interrupted)")
+	watchInterval := flag.Duration("watch-interval", 100*time.Millisecond, "with -watch: delay between commits")
 	flag.Parse()
 
 	var db *relation.Database
@@ -112,6 +125,22 @@ func main() {
 	}
 	if *fallback {
 		opts = append(opts, core.WithNaiveFallback())
+	}
+
+	if *watch {
+		if *dataDir != "" {
+			fatal(fmt.Errorf("-watch needs the generated social workload (drop -data): the background writer mutates that schema"))
+		}
+		if *maxReads > 0 || *fallback {
+			fatal(fmt.Errorf("-max-reads and -fallback configure one-shot executions; a -watch subscription's maintenance is budgeted at its own per-delta bound"))
+		}
+		cfg := workload.DefaultConfig()
+		cfg.Persons = *persons
+		cfg.Seed = *seed
+		if err := watchQuery(ctx, eng, q, fixed, *fix, cfg, *watchCommits, *watchInterval, *explain); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *limit > 0 {
@@ -236,6 +265,123 @@ func streamAnswers(ctx context.Context, eng *core.Engine, q *query.Query, fixed 
 	} else {
 		fmt.Println("  (naive fallback: no bounded plan)")
 	}
+	return nil
+}
+
+// watchQuery drives the live-query API: the query is prepared and watched
+// (re-execution fallback engaged automatically when it is not
+// incrementally maintainable), a background writer commits a randomized
+// mixed insert/delete stream through Engine.Commit, and every answer
+// delta streams to stdout with its maintenance cost and bound — until the
+// commit budget is exhausted or the process is interrupted (Ctrl-C).
+func watchQuery(parent context.Context, eng *core.Engine, q *query.Query, fixed query.Bindings, fixStr string, cfg workload.Config, maxCommits int, interval time.Duration, explain bool) error {
+	// The parent carries -timeout; the signal context layers Ctrl-C on top,
+	// so either ends the watch.
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	prep, err := eng.Prepare(q, fixed.Vars())
+	if errors.Is(err, core.ErrNotControllable) {
+		return fmt.Errorf("%w\n  (a live query needs a bounded plan for the fixed variables)", err)
+	}
+	if err != nil {
+		return err
+	}
+	if explain {
+		fmt.Println(prep.Explain())
+	}
+	live, err := prep.Watch(ctx, fixed, core.WithReexec())
+	if err != nil {
+		return err
+	}
+	defer live.Close()
+	mode := "delta maintenance"
+	switch {
+	case !live.Maintained():
+		mode = "bounded re-execution per commit"
+	case !live.SupportsDeletions():
+		mode = "delta maintenance; deletions resync by re-execution"
+	}
+	snap := live.Snapshot()
+	fmt.Printf("watching %s for %s (%s); initial answers: %d\n", q.Name, fixStr, mode, snap.Len())
+	for i, t := range snap.Tuples() {
+		if i == 5 {
+			fmt.Printf("  ... (%d more)\n", snap.Len()-5)
+			break
+		}
+		fmt.Printf("  %s%s\n", strings.Join(live.Head(), ","), t)
+	}
+	fmt.Println("\ncommitting a randomized update stream; Ctrl-C to stop")
+
+	// Background writer: batches of randomized commits generated against
+	// the current state, biased toward the watched bindings.
+	var hot []int64
+	if p, ok := fixed["p"]; ok {
+		hot = append(hot, p.AsInt())
+	}
+	writerDone := make(chan error, 1)
+	go func() {
+		// When the writer retires (budget spent, interrupted, or failed)
+		// it closes the handle so the delta loop below drains and ends.
+		defer live.Close()
+		committed := 0
+		batchSeed := cfg.Seed
+		for {
+			batch := workload.MixedCommits(eng.DB.CloneData(), cfg, 64, hot, batchSeed)
+			batchSeed++
+			for _, u := range batch {
+				if maxCommits > 0 && committed >= maxCommits {
+					writerDone <- nil
+					return
+				}
+				select {
+				case <-ctx.Done():
+					writerDone <- nil
+					return
+				case <-time.After(interval):
+				}
+				if _, err := eng.Commit(ctx, u); err != nil {
+					if errors.Is(err, core.ErrCanceled) {
+						writerDone <- nil
+					} else {
+						writerDone <- err
+					}
+					return
+				}
+				committed++
+			}
+		}
+	}()
+
+	start := time.Now()
+	deltas := 0
+	var reads int64
+	for d, err := range live.Deltas() {
+		if err != nil {
+			if errors.Is(err, core.ErrCanceled) {
+				break // interrupted: clean shutdown
+			}
+			return err
+		}
+		deltas++
+		reads += d.Cost.TupleReads
+		for _, t := range d.Ins {
+			fmt.Printf("  +%s%s   (commit %d: %d reads ≤ bound %d)\n",
+				strings.Join(live.Head(), ","), t, d.Seq, d.Cost.TupleReads, d.Bound)
+		}
+		for _, t := range d.Del {
+			fmt.Printf("  -%s%s   (commit %d: %d reads ≤ bound %d)\n",
+				strings.Join(live.Head(), ","), t, d.Seq, d.Cost.TupleReads, d.Bound)
+		}
+		if len(d.Ins) == 0 && len(d.Del) == 0 {
+			fmt.Printf("  =no answer change   (commit %d: %d reads ≤ bound %d)\n", d.Seq, d.Cost.TupleReads, d.Bound)
+		}
+	}
+	if err := <-writerDone; err != nil {
+		return fmt.Errorf("writer: %w", err)
+	}
+	live.Close()
+	fmt.Printf("\n%d deltas in %s; %d maintenance reads total; final answers: %d (folded through commit %d)\n",
+		deltas, time.Since(start).Round(time.Millisecond), reads, live.Snapshot().Len(), live.Seq())
 	return nil
 }
 

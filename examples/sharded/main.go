@@ -1,9 +1,14 @@
 // Example sharded serves bounded social-search queries from a
-// hash-partitioned 4-shard store while a background writer keeps applying
-// (and undoing) friend-list updates — the serving shape the sharded
-// backend exists for: reads stay bounded and route to single shards,
-// writes contend only per-shard locks, and the per-call counters prove
-// both.
+// hash-partitioned 4-shard store while a background writer keeps
+// committing (and undoing) friend-list updates through the engine's
+// transactional write path — the serving shape the sharded backend
+// exists for: reads stay bounded and route to single shards, writes
+// contend only per-shard locks, and the per-call counters prove both.
+//
+// A live dashboard rides along: one person's Q1 answers are watched
+// through the subscription API, so every commit touching their friend
+// list streams a bounded-maintenance delta while thousands of bounded
+// reads serve concurrently.
 //
 // Run with: go run ./examples/sharded
 package main
@@ -40,9 +45,45 @@ func main() {
 		fmt.Printf("  %-8s routed by %v\n", rel, st.Route(rel))
 	}
 
-	// Background writer: continuously grow and shrink one person's friend
-	// list. Each batch routes to a single shard, so it locks 1/4 of the
-	// store instead of all of it.
+	// Foreground: prepare once, execute many — while the writer runs.
+	q, err := scaleindep.ParseQuery(workload.Q1Src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prep, err := eng.Prepare(q, scaleindep.NewVarSet("p"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprepared %s: static bound %s\n\n", q.Name, prep.Plan().Bound)
+	ctx := context.Background()
+
+	// Live dashboard: watch one churned person's NYC friends. Every commit
+	// touching their friend list maintains this handle with bounded work
+	// and streams a delta; the consumer below counts them.
+	watchedID := int64(900003)
+	live, err := prep.Watch(ctx, scaleindep.Bindings{"p": scaleindep.Int(watchedID)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer live.Close()
+	var dashIns, dashDel, dashReads atomic.Int64
+	dashDone := make(chan struct{})
+	go func() {
+		defer close(dashDone)
+		for d, err := range live.Deltas() {
+			if err != nil {
+				log.Fatalf("dashboard: %v", err)
+			}
+			dashIns.Add(int64(len(d.Ins)))
+			dashDel.Add(int64(len(d.Del)))
+			dashReads.Add(d.Cost.TupleReads)
+		}
+	}()
+
+	// Background writer: continuously grow and shrink friend lists through
+	// the engine's commit pipeline. Each batch routes to a single shard,
+	// so it locks 1/4 of the store instead of all of it — and every batch
+	// carries a commit sequence number and notifies the dashboard.
 	stop := make(chan struct{})
 	writerDone := make(chan struct{})
 	var batches atomic.Int64
@@ -55,28 +96,16 @@ func main() {
 			default:
 			}
 			ins := newFriendBatch(int64(900000 + i%64))
-			if err := st.ApplyUpdate(ins); err != nil {
+			if _, err := eng.Commit(ctx, ins); err != nil {
 				log.Fatalf("writer: %v", err)
 			}
-			if err := st.ApplyUpdate(ins.Inverse()); err != nil {
+			if _, err := eng.Commit(ctx, ins.Inverse()); err != nil {
 				log.Fatalf("writer: %v", err)
 			}
 			batches.Add(2)
 		}
 	}()
 
-	// Foreground: prepare once, execute many — while the writer runs.
-	q, err := scaleindep.ParseQuery(workload.Q1Src)
-	if err != nil {
-		log.Fatal(err)
-	}
-	prep, err := eng.Prepare(q, scaleindep.NewVarSet("p"))
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nprepared %s: static bound %s\n\n", q.Name, prep.Plan().Bound)
-
-	ctx := context.Background()
 	deadline := time.Now().Add(300 * time.Millisecond)
 	calls := 0
 	var reads, maxReads int64
@@ -95,9 +124,24 @@ func main() {
 	close(stop)
 	<-writerDone
 
-	fmt.Printf("served %d bounded executions during %d concurrent update batches\n", calls, batches.Load())
+	fmt.Printf("served %d bounded executions during %d concurrent commits\n", calls, batches.Load())
 	fmt.Printf("  mean reads/call %.1f, max %d — every call ≤ the static bound %d\n",
 		float64(reads)/float64(calls), maxReads, prep.Plan().Bound.Reads)
+
+	// Dashboard wrap-up: the stream must land exactly on a fresh execution.
+	live.Close()
+	<-dashDone
+	finalAns, err := prep.Exec(ctx, scaleindep.Bindings{"p": scaleindep.Int(watchedID)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := live.Snapshot().Equal(finalAns.Tuples)
+	fmt.Printf("\nlive dashboard on Q1(p=%d): %d answers appeared / %d disappeared over %d commits folded\n",
+		watchedID, dashIns.Load(), dashDel.Load(), live.Seq())
+	fmt.Printf("  %d maintenance reads total; snapshot ≡ fresh Exec: %v\n", dashReads.Load(), exact)
+	if !exact {
+		log.Fatal("live snapshot diverged")
+	}
 
 	fmt.Println("\nper-shard counters (reads/lookups land where the tuples live):")
 	for i, c := range st.ShardCounters() {

@@ -102,6 +102,7 @@ func Run(t *testing.T, open OpenFunc) {
 	t.Run("streaming", func(t *testing.T) { streamingConformance(t, cfg, engRef, engB) })
 	t.Run("scanseq", func(t *testing.T) { scanSeqConformance(t, b) })
 	t.Run("planequiv", func(t *testing.T) { planEquivalence(t, cfg, engRef.DB, b) })
+	t.Run("livemaint", func(t *testing.T) { liveMaintenance(t, cfg, engRef, engB) })
 }
 
 // planEquivalence pins the plan-IR executor's optimizer: on every
@@ -417,8 +418,10 @@ func deadlineInterruption(t *testing.T, cfg workload.Config, engB *core.Engine, 
 	}
 }
 
-// updateConformance applies the same ΔD to both backends and re-checks
-// answer and accounting identity, then undoes it.
+// updateConformance commits the same ΔD through both engines' write
+// pipelines and re-checks answer and accounting identity, then undoes it.
+// The backend's commit-log sequence (store.Versioned) must advance
+// identically on both.
 func updateConformance(t *testing.T, cfg workload.Config, engRef, engB *core.Engine) {
 	ctx := context.Background()
 	u := relation.NewUpdate()
@@ -430,8 +433,18 @@ func updateConformance(t *testing.T, cfg workload.Config, engRef, engB *core.Eng
 		u.Insert("person", relation.Tuple{relation.Int(70001 + i), relation.Str(fmt.Sprintf("new-%d", i)), relation.Str("LA")})
 	}
 	for _, eng := range []*core.Engine{engRef, engB} {
-		if err := eng.DB.ApplyUpdate(u); err != nil {
+		res, err := eng.Commit(ctx, u)
+		if err != nil {
 			t.Fatal(err)
+		}
+		// The commit log is optional on the Backend contract; when the
+		// backend keeps one, the recorded LSN must be real and current.
+		if v, ok := eng.DB.(store.Versioned); ok {
+			if res.StoreSeq == 0 || res.StoreSeq != v.Version() {
+				t.Fatalf("commit recorded store LSN %d, backend reports %d", res.StoreSeq, v.Version())
+			}
+		} else if res.StoreSeq != 0 {
+			t.Fatalf("unversioned backend, but commit recorded store LSN %d", res.StoreSeq)
 		}
 	}
 	q := mustQuery(t, workload.Q1Src)
@@ -453,7 +466,7 @@ func updateConformance(t *testing.T, cfg workload.Config, engRef, engB *core.Eng
 	}
 	inv := u.Inverse()
 	for _, eng := range []*core.Engine{engRef, engB} {
-		if err := eng.DB.ApplyUpdate(inv); err != nil {
+		if _, err := eng.Commit(ctx, inv); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// DefaultRecostThreshold is the cumulative committed tuple volume per
+// relation (insertions + deletions since the last re-cost) after which
+// cached OptimizerStats plans are re-costed: their conjunct ordering was
+// derived from backend statistics measured at Prepare time, and heavy
+// drift can leave it stale (still correct and within its N-derived bound,
+// just no longer best).
+const DefaultRecostThreshold = 1024
+
+// CommitResult describes one applied commit.
+type CommitResult struct {
+	// Seq is the engine's commit sequence number: the total notification
+	// order every Live delta carries. Strictly monotonic, starting at 1.
+	Seq int64
+	// StoreSeq is the storage backend's own log sequence number for this
+	// ΔD (store.Versioned), 0 when the backend is unversioned. On a
+	// sharded backend this is the merged commit number; per-shard LSNs
+	// advance underneath where the tuples land.
+	StoreSeq int64
+	// Size is |ΔD|.
+	Size int
+	// Watchers is the number of Live subscriptions this commit notified
+	// (those whose query body the update touches).
+	Watchers int
+	// Maintenance is the total work charged maintaining those watchers'
+	// answer sets — every read counted, each watcher's share bounded by
+	// its N-derived per-delta bound.
+	Maintenance store.Counters
+	// Recosted reports whether this commit pushed some relation's update
+	// volume past the re-cost threshold, aging cached stats-ordered plans.
+	Recosted bool
+}
+
+// Commit is the engine's write path: it validates ΔD, applies it to the
+// storage backend (through the backend's versioned commit log when it
+// keeps one), assigns the commit a sequence number, tracks per-relation
+// update volume for plan re-costing, and incrementally maintains every
+// registered Live subscription — deletion candidates are probed against
+// the pre-commit state, insertion candidates and re-verification against
+// the post-commit state, and each watcher receives one Delta carrying the
+// commit's sequence number.
+//
+// Commits are serialized: the pipeline runs under the engine's commit
+// lock, so sequence numbers, maintained answer sets and delta streams
+// agree on one total order. Readers are not excluded — prepared
+// executions and open cursors proceed concurrently under the backend's
+// own locking — and maintenance work is bounded (reads ≤ each watcher's
+// DeltaBound), so the write path stays scale-independent: commit latency
+// grows with |ΔD| and the number of touched watchers, never with |D|.
+//
+// Validation failures wrap ErrInvalidUpdate and apply nothing. A
+// maintenance failure fails that watcher only (its Err reports the cause;
+// the commit itself stands). Writing through Backend.ApplyUpdate directly
+// bypasses this pipeline and leaves Live handles permanently stale —
+// mutate through Commit.
+func (e *Engine) Commit(ctx context.Context, u *relation.Update) (*CommitResult, error) {
+	if u == nil || u.Size() == 0 {
+		return nil, fmt.Errorf("core: empty ΔD: %w", ErrInvalidUpdate)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w: %w", ErrCanceled, err)
+	}
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+
+	// Phase 0 — validate before charging anyone: when watchers will do
+	// maintenance work for this update and the backend can pre-check ΔD
+	// (both built-in backends implement store.Validator), an invalid
+	// commit is rejected here, before any maintenance reads run or a
+	// watcher can be failed on behalf of an update that will never apply.
+	// Watcher-less commits skip straight to the apply, whose own
+	// validation is authoritative either way.
+	var touched []*Live
+	for _, l := range e.liveWatchers() {
+		if l.m.Touches(u) {
+			touched = append(touched, l)
+		}
+	}
+	if len(touched) > 0 {
+		if v, ok := e.DB.(store.Validator); ok {
+			if err := v.ValidateUpdate(u); err != nil {
+				return nil, fmt.Errorf("core: %w: %w", ErrInvalidUpdate, err)
+			}
+		}
+	}
+
+	// Phase 1 — pre-apply: deletion candidates for every touched watcher
+	// are computed against the OLD state. Each watcher charges its own
+	// ExecStats, budgeted at its N-derived per-delta bound and canceled by
+	// its own watch context, so one watcher cannot starve another.
+	type pending struct {
+		l       *Live
+		es      *store.ExecStats
+		bound   int64
+		delCand *relation.TupleSet
+	}
+	var work []pending
+	for _, l := range touched {
+		if err := l.m.canMaintain(u); err != nil {
+			l.fail(err)
+			continue
+		}
+		bound := l.m.DeltaBound(u)
+		es := &store.ExecStats{Ctx: l.ctx, MaxReads: bound}
+		delCand, err := l.m.preDelete(l.ctx, es, u)
+		if err != nil {
+			l.fail(err)
+			continue
+		}
+		work = append(work, pending{l: l, es: es, bound: bound, delCand: delCand})
+	}
+
+	// Phase 2 — apply, through the backend's commit log when it has one.
+	var storeSeq int64
+	if v, ok := e.DB.(store.Versioned); ok {
+		seq, err := v.ApplyVersioned(u)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w: %w", ErrInvalidUpdate, err)
+		}
+		storeSeq = seq
+	} else if err := e.DB.ApplyUpdate(u); err != nil {
+		return nil, fmt.Errorf("core: %w: %w", ErrInvalidUpdate, err)
+	}
+	seq := e.commitSeq.Add(1)
+	res := &CommitResult{Seq: seq, StoreSeq: storeSeq, Size: u.Size(), Recosted: e.trackVolume(u)}
+
+	// Phase 3 — post-apply: insertion candidates and deletion
+	// re-verification against the NEW state; each watcher's answer set
+	// moves and its delta is queued under that watcher's own lock, so
+	// Snapshot and Deltas readers serialize against maintenance without
+	// blocking each other or the backend.
+	for _, w := range work {
+		w.l.mu.Lock()
+		if w.l.closed || w.l.err != nil {
+			w.l.mu.Unlock()
+			continue
+		}
+		ins, del, err := w.l.m.postApply(w.l.ctx, w.es, u, w.delCand)
+		if err != nil {
+			w.l.failLocked(err)
+			w.l.mu.Unlock()
+			continue
+		}
+		w.l.seq = seq
+		w.l.cost.Add(w.es.Counters)
+		w.l.deliverLocked(Delta{
+			Seq:    seq,
+			Ins:    ins,
+			Del:    del,
+			Cost:   w.es.Counters,
+			Bound:  w.bound,
+			Reexec: w.l.m.useReexec(u),
+		})
+		w.l.mu.Unlock()
+		res.Watchers++
+		res.Maintenance.Add(w.es.Counters)
+	}
+	return res, nil
+}
+
+// CommitSeq returns the sequence number of the last commit (0 before the
+// first).
+func (e *Engine) CommitSeq() int64 { return e.commitSeq.Load() }
+
+// SetRecostThreshold sets the per-relation committed-volume threshold at
+// which cached OptimizerStats plans are re-costed; n <= 0 disables
+// re-costing. Engines built as struct literals start disabled; NewEngine
+// starts at DefaultRecostThreshold.
+func (e *Engine) SetRecostThreshold(n int64) {
+	e.driftMu.Lock()
+	defer e.driftMu.Unlock()
+	e.recostThreshold = n
+}
+
+// Recosts reports how many times committed update volume has crossed the
+// threshold and aged the cached stats-ordered plans.
+func (e *Engine) Recosts() int64 { return e.recosts.Load() }
+
+// CommittedVolume returns the cumulative committed tuple volume
+// (insertions + deletions) per relation since the engine was built.
+func (e *Engine) CommittedVolume() map[string]int64 {
+	e.driftMu.Lock()
+	defer e.driftMu.Unlock()
+	out := make(map[string]int64, len(e.volume))
+	for rel, n := range e.volume {
+		out[rel] = n
+	}
+	return out
+}
+
+// trackVolume accumulates u's per-relation volume and, when some
+// relation's drift since the last re-cost crosses the threshold, bumps
+// the stats epoch: every cached OptimizerStats plan becomes unreachable
+// (its key embeds the old epoch) and the next Prepare/Exec re-orders
+// against fresh backend statistics.
+func (e *Engine) trackVolume(u *relation.Update) bool {
+	e.driftMu.Lock()
+	defer e.driftMu.Unlock()
+	if e.volume == nil {
+		e.volume = make(map[string]int64)
+		e.drift = make(map[string]int64)
+	}
+	add := func(m map[string][]relation.Tuple) {
+		for rel, ts := range m {
+			e.volume[rel] += int64(len(ts))
+			e.drift[rel] += int64(len(ts))
+		}
+	}
+	add(u.Ins)
+	add(u.Del)
+	if e.recostThreshold <= 0 {
+		return false
+	}
+	crossed := false
+	for rel, d := range e.drift {
+		if d >= e.recostThreshold {
+			e.drift[rel] = 0
+			crossed = true
+		}
+	}
+	if crossed {
+		e.statsEpoch.Add(1)
+		e.recosts.Add(1)
+	}
+	return crossed
+}
+
+// register adds a Live subscription to the engine's watcher set,
+// assigning its id. Called under the commit lock (Watch), so a handle is
+// either notified of a commit or its initial snapshot already includes it.
+func (e *Engine) register(l *Live) {
+	e.watchMu.Lock()
+	defer e.watchMu.Unlock()
+	if e.watchers == nil {
+		e.watchers = make(map[int64]*Live)
+	}
+	e.watchID++
+	l.id = e.watchID
+	e.watchers[l.id] = l
+}
+
+// unregister removes a subscription (Close).
+func (e *Engine) unregister(id int64) {
+	e.watchMu.Lock()
+	defer e.watchMu.Unlock()
+	delete(e.watchers, id)
+}
+
+// liveWatchers snapshots the registered subscriptions in registration
+// order, pruning dead ones.
+func (e *Engine) liveWatchers() []*Live {
+	e.watchMu.Lock()
+	defer e.watchMu.Unlock()
+	out := make([]*Live, 0, len(e.watchers))
+	for id, l := range e.watchers {
+		if l.dead() {
+			delete(e.watchers, id)
+			continue
+		}
+		out = append(out, l)
+	}
+	// Registration order: notification (and delta delivery) is
+	// deterministic regardless of map iteration.
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Watchers reports the number of registered live subscriptions.
+func (e *Engine) Watchers() int {
+	e.watchMu.Lock()
+	defer e.watchMu.Unlock()
+	return len(e.watchers)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/eval"
@@ -35,6 +36,26 @@ type Engine struct {
 
 	plans *planCache
 	mode  atomic.Int32 // OptimizerMode; atomic so SetOptimizer is safe mid-serving
+
+	// Commit pipeline state (commit.go): commitMu serializes the
+	// validate→apply→notify pipeline and totally orders commit sequence
+	// numbers; watchers are the registered Live subscriptions.
+	commitMu  sync.Mutex
+	commitSeq atomic.Int64
+	watchMu   sync.Mutex
+	watchers  map[int64]*Live
+	watchID   int64
+
+	// Update-volume tracking for stats re-costing (commit.go): volume is
+	// the cumulative committed |ΔD| per relation, drift the portion since
+	// the last re-cost; once drift crosses recostThreshold the statsEpoch
+	// bumps, unreachably aging every cached OptimizerStats plan.
+	driftMu         sync.Mutex
+	volume          map[string]int64
+	drift           map[string]int64
+	recostThreshold int64
+	statsEpoch      atomic.Int64
+	recosts         atomic.Int64
 }
 
 // OptimizerMode selects how Prepare turns a derivation into a physical
@@ -78,9 +99,10 @@ const DefaultPlanCacheSize = 128
 // access schema. The cost-based plan optimizer is on (OptimizerOn).
 func NewEngine(db store.Backend) *Engine {
 	e := &Engine{
-		DB:    db,
-		An:    NewAnalyzer(db.Access()),
-		plans: newPlanCache(DefaultPlanCacheSize),
+		DB:              db,
+		An:              NewAnalyzer(db.Access()),
+		plans:           newPlanCache(DefaultPlanCacheSize),
+		recostThreshold: DefaultRecostThreshold,
 	}
 	e.mode.Store(int32(OptimizerOn))
 	return e
@@ -186,7 +208,7 @@ func (e *Engine) Controllable(q *query.Query, x query.VarSet) (*Derivation, erro
 // or answering via Answer/AnswerContext — skips re-analysis.
 func (e *Engine) Prepare(q *query.Query, x query.VarSet) (*PreparedQuery, error) {
 	mode := e.Optimizer() // one atomic read: key and compiled plan agree
-	key := planKey(q, x, mode)
+	key := e.planKey(q, x, mode)
 	if p, err, ok := e.plans.get(key, q); ok {
 		return p, err
 	}

@@ -38,4 +38,21 @@ var (
 	// ErrNoRows: First was called on a query with an empty answer set —
 	// the database/sql-style sentinel of the cursor API.
 	ErrNoRows = errors.New("no answers in result set")
+
+	// ErrWatchNotMaintainable: the query cannot be incrementally maintained
+	// under updates — some maintenance remainder is not controllable under
+	// the access schema (Proposition 5.5's condition fails), or the body is
+	// not a conjunction of atoms. Watch with WithReexec to serve the live
+	// query by bounded re-execution per commit instead.
+	ErrWatchNotMaintainable = errors.New("query is not incrementally maintainable under the access schema")
+
+	// ErrInvalidUpdate: Engine.Commit rejected ΔD before applying anything —
+	// empty update, unknown relation, arity mismatch, deleting an absent
+	// tuple or inserting a present one.
+	ErrInvalidUpdate = errors.New("update rejected by commit validation")
+
+	// ErrSlowConsumer: a Live subscription opened with WithDeltaBuffer fell
+	// behind the commit stream and its delta queue overflowed; the handle is
+	// failed rather than letting the buffer grow without bound.
+	ErrSlowConsumer = errors.New("live subscription fell behind the commit stream")
 )

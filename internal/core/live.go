@@ -1,0 +1,329 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"sync"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// Delta is one commit's effect on a live query's answer set: the answers
+// that appeared (Ins, disjoint from the previous snapshot) and disappeared
+// (Del, contained in it), both over the remaining head, in Seq order.
+type Delta struct {
+	// Seq is the commit sequence number this delta reflects; folding every
+	// delta ≤ Seq into the initial snapshot reproduces Snapshot at Seq.
+	Seq int64
+	// Ins and Del are the appeared and disappeared answers.
+	Ins, Del []relation.Tuple
+	// Cost is the maintenance work this commit charged for this
+	// subscription — every tuple read counted, Cost.TupleReads ≤ Bound.
+	Cost store.Counters
+	// Bound is the N-derived static bound maintenance ran under (the
+	// enforced MaxReads): per-delta-tuple remainder plan bounds, or the
+	// prepared plan's full bound M when Reexec.
+	Bound int64
+	// Reexec reports whether this commit was maintained by bounded
+	// re-execution (pure re-exec mode, or the deletion fallback of a
+	// maintainer without re-derivation support) rather than delta plans.
+	Reexec bool
+}
+
+// WatchOption configures one Watch subscription.
+type WatchOption func(*watchOpts)
+
+type watchOpts struct {
+	reexec bool
+	buffer int
+}
+
+// WithReexec lets Watch serve queries that are not incrementally
+// maintainable (body not a conjunction of atoms, or some maintenance
+// remainder not controllable) by bounded re-execution of the prepared
+// plan on every relevant commit instead of failing with
+// ErrWatchNotMaintainable. Reads per commit are then bounded by the
+// plan's static bound M rather than the (usually much smaller) delta
+// maintenance bound.
+func WithReexec() WatchOption { return func(o *watchOpts) { o.reexec = true } }
+
+// WithDeltaBuffer bounds the subscription's pending-delta queue at n: a
+// consumer that falls more than n deltas behind the commit stream fails
+// the handle with ErrSlowConsumer instead of growing the buffer without
+// bound. n <= 0 (the default) means unbounded.
+func WithDeltaBuffer(n int) WatchOption { return func(o *watchOpts) { o.buffer = n } }
+
+// Live is a handle on a live query: a maintained answer set plus the
+// stream of per-commit deltas, produced by PreparedQuery.Watch or
+// Engine.WatchContext. The engine's Commit pipeline keeps it fresh — the
+// initial answer set is computed through the prepared physical plan, and
+// every subsequent commit touching the query's relations moves the
+// snapshot by bounded maintenance work instead of re-execution.
+//
+// A Live is safe for concurrent use: Snapshot, Deltas, Err and Close may
+// race each other and the engine's commits — internal locking serializes
+// maintenance against readers (the concurrency contract the standalone
+// Maintainer does not give). Deltas is intended for a single consumer;
+// concurrent consumers are safe but split the stream between them.
+//
+// Close releases the subscription: the engine stops maintaining the
+// handle, already-queued deltas remain consumable, and Snapshot keeps
+// answering from the last maintained state. A canceled watch context
+// fails the handle with ErrCanceled instead.
+type Live struct {
+	eng  *Engine
+	m    *Maintainer
+	ctx  context.Context
+	stop func() bool // cancels the context.AfterFunc watcher
+	head []string
+
+	id     int64
+	bufCap int
+
+	mu     sync.Mutex
+	cond   sync.Cond
+	queue  []Delta
+	err    error
+	closed bool
+	seq    int64
+	cost   store.Counters
+}
+
+// Watch subscribes to the prepared query's answers for the given
+// controlling values: the returned Live holds the current answer set
+// (computed through the prepared plan, bounded) and is incrementally
+// maintained by every subsequent Engine.Commit. Registration is atomic
+// with respect to commits: the initial snapshot reflects exactly the
+// commits sequenced before the watch.
+//
+// The query must be incrementally maintainable (each per-occurrence
+// maintenance remainder controllable under the access schema) or the
+// watch fails with ErrWatchNotMaintainable — unless WithReexec, which
+// falls back to bounded re-execution per commit. A maintainable query
+// whose deletion re-verification condition fails (SupportsDeletions
+// false) is still watched: insert-only commits use delta maintenance and
+// deletion commits resync by one bounded re-execution.
+//
+// ctx scopes the subscription: when it is canceled the handle fails with
+// ErrCanceled and detaches from the engine.
+func (p *PreparedQuery) Watch(ctx context.Context, fixed query.Bindings, opts ...WatchOption) (*Live, error) {
+	var o watchOpts
+	for _, f := range opts {
+		f(&o)
+	}
+	if missing := p.d.Ctrl.Minus(fixed.Vars()); !missing.IsEmpty() {
+		return nil, fmt.Errorf("core: watch needs values for controlling variables %s", missing)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m, err := newLiveMaintainer(p, fixed, o.reexec)
+	if err != nil {
+		return nil, err
+	}
+	l := &Live{
+		eng:    p.eng,
+		m:      m,
+		ctx:    ctx,
+		head:   remainingHead(p.q.Head, fixed),
+		bufCap: o.buffer,
+	}
+	l.cond.L = &l.mu
+	e := p.eng
+	// Initial snapshot and registration under the commit lock: every
+	// commit is either fully reflected in the snapshot or will be
+	// delivered as a delta — none is lost or double-counted.
+	e.commitMu.Lock()
+	ans, err := p.exec(ctx, fixed, execOpts{noTrace: true})
+	if err != nil {
+		e.commitMu.Unlock()
+		return nil, err
+	}
+	m.answers = ans.Tuples
+	l.seq = e.commitSeq.Load()
+	e.register(l)
+	e.commitMu.Unlock()
+	l.stop = context.AfterFunc(ctx, func() {
+		l.fail(fmt.Errorf("core: watch context done: %w: %w", ErrCanceled, context.Cause(ctx)))
+	})
+	return l, nil
+}
+
+// newLiveMaintainer builds the maintenance plans for a watch: delta plans
+// when the query is a maintainable conjunction, with the prepared plan
+// attached as the deletion fallback; pure re-execution under WithReexec
+// otherwise.
+func newLiveMaintainer(p *PreparedQuery, fixed query.Bindings, allowReexec bool) (*Maintainer, error) {
+	cq, ok := query.AsCQ(p.q)
+	if !ok {
+		if !allowReexec {
+			return nil, fmt.Errorf("core: %s: body is not a conjunction of atoms (watch with WithReexec to maintain by re-execution): %w",
+				p.q.Name, ErrWatchNotMaintainable)
+		}
+		return newReexecMaintainer(p, fixed), nil
+	}
+	m, err := buildMaintPlans(p.eng, cq, fixed)
+	if err != nil {
+		if allowReexec {
+			return newReexecMaintainer(p, fixed), nil
+		}
+		return nil, err
+	}
+	m.reexec = p // deletion fallback per SupportsDeletions
+	return m, nil
+}
+
+// WatchContext prepares q for the controlling set fixed.Vars() (or reuses
+// the cached plan) and subscribes: Engine-level Watch.
+func (e *Engine) WatchContext(ctx context.Context, q *query.Query, fixed query.Bindings, opts ...WatchOption) (*Live, error) {
+	p, err := e.Prepare(q, fixed.Vars())
+	if err != nil {
+		return nil, err
+	}
+	return p.Watch(ctx, fixed, opts...)
+}
+
+// Snapshot returns the current maintained answer set over Head(), as of
+// the last commit folded in (Seq). The copy is the caller's to keep: it
+// stays stable while commits move the live set on.
+func (l *Live) Snapshot() *relation.TupleSet {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m.Answers()
+}
+
+// Head returns the answer attributes: head variables not fixed by the
+// watch bindings, in head order — the same shape Exec and Query produce.
+func (l *Live) Head() []string { return append([]string(nil), l.head...) }
+
+// Seq returns the sequence number of the last commit folded into the
+// snapshot.
+func (l *Live) Seq() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Cost returns the cumulative maintenance work charged to this
+// subscription since the watch began (the initial snapshot execution not
+// included).
+func (l *Live) Cost() store.Counters {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cost
+}
+
+// SupportsDeletions reports whether deletion commits are maintained by
+// per-tuple re-verification (true) or by the bounded re-execution
+// fallback (false).
+func (l *Live) SupportsDeletions() bool { return l.m.SupportsDeletions() }
+
+// Maintained reports whether the subscription runs on compiled delta
+// maintenance plans; false means every relevant commit resyncs by
+// bounded re-execution (the WithReexec mode).
+func (l *Live) Maintained() bool { return l.m.Maintained() }
+
+// Err returns the error that failed the subscription, if any: typed per
+// the serving taxonomy (ErrCanceled for a done watch context,
+// ErrBudgetExceeded if maintenance ever crossed its bound,
+// ErrSlowConsumer for an overflowed delta buffer). Nil while healthy and
+// after a plain Close.
+func (l *Live) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close detaches the subscription from the engine. Idempotent and always
+// safe: queued deltas remain consumable (Deltas drains, then stops),
+// Snapshot keeps serving the final maintained state, and no further
+// maintenance work is charged.
+func (l *Live) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	if l.stop != nil {
+		l.stop()
+	}
+	l.eng.unregister(l.id)
+	return nil
+}
+
+// Deltas streams the per-commit answer deltas in commit order, blocking
+// between commits:
+//
+//	for d, err := range live.Deltas() {
+//	    if err != nil { ... } // terminal: canceled, over budget, slow consumer
+//	    apply(d.Ins, d.Del)
+//	}
+//
+// The stream ends after a Close (remaining queued deltas are delivered
+// first) or yields one terminal error and stops. Breaking out of the loop
+// leaves the subscription live — resume by ranging again.
+func (l *Live) Deltas() iter.Seq2[Delta, error] {
+	return func(yield func(Delta, error) bool) {
+		for {
+			l.mu.Lock()
+			for len(l.queue) == 0 && l.err == nil && !l.closed {
+				l.cond.Wait()
+			}
+			if len(l.queue) > 0 {
+				d := l.queue[0]
+				l.queue = l.queue[1:]
+				l.mu.Unlock()
+				if !yield(d, nil) {
+					return
+				}
+				continue
+			}
+			err := l.err
+			l.mu.Unlock()
+			if err != nil {
+				yield(Delta{}, err)
+			}
+			return
+		}
+	}
+}
+
+// deliverLocked queues a delta (caller holds l.mu). An overflowing
+// bounded buffer fails the handle instead of growing.
+func (l *Live) deliverLocked(d Delta) {
+	if l.bufCap > 0 && len(l.queue) >= l.bufCap {
+		l.failLocked(fmt.Errorf("core: %d deltas pending: %w", len(l.queue), ErrSlowConsumer))
+		return
+	}
+	l.queue = append(l.queue, d)
+	l.cond.Broadcast()
+}
+
+// failLocked marks the subscription failed (first error wins) and wakes
+// consumers; the engine prunes failed handles lazily.
+func (l *Live) failLocked(err error) {
+	if l.err == nil && !l.closed {
+		l.err = err
+	}
+	l.cond.Broadcast()
+}
+
+// fail is failLocked behind the lock.
+func (l *Live) fail(err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.failLocked(err)
+}
+
+// dead reports whether the handle no longer needs maintenance.
+func (l *Live) dead() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed || l.err != nil
+}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// watchQ1 prepares and watches Q1 for one person on a fresh social store.
+func watchQ1(t *testing.T, nPersons int, p int64, opts ...WatchOption) (*Engine, *PreparedQuery, *Live) {
+	t.Helper()
+	cat := mustCatalog(t, facebookCatalog)
+	st := buildSocial(t, cat, nPersons, 6, 10, 3)
+	eng := NewEngine(st)
+	q := mustQ(t, "Q1(p, name) := exists id (friend(p, id) and person(id, name, 'NYC'))")
+	prep, err := eng.Prepare(q, query.NewVarSet("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := prep.Watch(context.Background(), query.Bindings{"p": relation.Int(p)}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, prep, l
+}
+
+// newPersonUpdate inserts a fresh NYC person and a friend edge from p.
+func newPersonUpdate(p, id int64) *relation.Update {
+	u := relation.NewUpdate()
+	u.Insert("person", relation.NewTuple(relation.Int(id), relation.Str("w"), relation.Str("NYC")))
+	u.Insert("friend", relation.Ints(p, id))
+	return u
+}
+
+func TestWatchMaintainsUnderCommits(t *testing.T) {
+	ctx := context.Background()
+	eng, prep, l := watchQ1(t, 40, 1)
+	defer l.Close()
+	fixed := query.Bindings{"p": relation.Int(1)}
+
+	if !l.SupportsDeletions() {
+		t.Fatal("Q1 watched for p must support deletion maintenance (body is p-controlled, a fortiori {p,name}-controlled)")
+	}
+	base := l.Seq()
+	u := newPersonUpdate(1, 900_001)
+	res, err := eng.Commit(ctx, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seq != base+1 || res.StoreSeq == 0 {
+		t.Fatalf("commit seq %d (base %d), store LSN %d", res.Seq, base, res.StoreSeq)
+	}
+	if res.Watchers != 1 {
+		t.Fatalf("commit notified %d watchers, want 1", res.Watchers)
+	}
+	if res.Maintenance.TupleReads == 0 {
+		t.Fatal("maintenance charged no reads — the delta plans did not run")
+	}
+	ans, err := prep.Exec(ctx, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := l.Snapshot(); !snap.Equal(ans.Tuples) {
+		t.Fatalf("snapshot %v diverged from fresh exec %v", snap.Tuples(), ans.Tuples.Tuples())
+	}
+	if !l.Snapshot().Contains(relation.Tuple{relation.Str("w")}) {
+		t.Fatal("inserted friend's name did not appear in the live snapshot")
+	}
+
+	// Deleting the edge takes the answer away again.
+	if _, err := eng.Commit(ctx, u.Inverse()); err != nil {
+		t.Fatal(err)
+	}
+	ans2, err := prep.Exec(ctx, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := l.Snapshot(); !snap.Equal(ans2.Tuples) {
+		t.Fatal("snapshot diverged after deletion commit")
+	}
+	if l.Seq() != base+2 {
+		t.Fatalf("live folded seq %d, want %d", l.Seq(), base+2)
+	}
+
+	// The two deltas stream in order, each within its bound, and the
+	// second undoes the first.
+	l.Close()
+	var ds []Delta
+	for d, err := range l.Deltas() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds = append(ds, d)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(ds))
+	}
+	if len(ds[0].Ins) != 1 || len(ds[0].Del) != 0 || len(ds[1].Del) != 1 || len(ds[1].Ins) != 0 {
+		t.Fatalf("deltas %+v do not reflect insert-then-delete", ds)
+	}
+	for _, d := range ds {
+		if d.Cost.TupleReads > d.Bound {
+			t.Fatalf("delta seq %d charged %d reads over bound %d", d.Seq, d.Cost.TupleReads, d.Bound)
+		}
+		if d.Reexec {
+			t.Fatalf("delta seq %d used re-execution; Q1 maintains by delta plans", d.Seq)
+		}
+	}
+	if c := l.Cost(); c.TupleReads != ds[0].Cost.TupleReads+ds[1].Cost.TupleReads {
+		t.Fatalf("cumulative cost %d != sum of delta costs", c.TupleReads)
+	}
+}
+
+func TestWatchSkipsIrrelevantCommits(t *testing.T) {
+	ctx := context.Background()
+	eng, _, l := watchQ1(t, 30, 2)
+	defer l.Close()
+	// restr is not in Q1's body: no delta, no maintenance work.
+	u := relation.NewUpdate()
+	u.Insert("restr", relation.NewTuple(relation.Int(7777), relation.Str("x"), relation.Str("NYC"), relation.Str("A")))
+	res, err := eng.Commit(ctx, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Watchers != 0 || res.Maintenance.TupleReads != 0 {
+		t.Fatalf("irrelevant commit notified %d watchers, charged %+v", res.Watchers, res.Maintenance)
+	}
+	l.Close()
+	for range l.Deltas() {
+		t.Fatal("irrelevant commit produced a delta")
+	}
+}
+
+func TestWatchNotMaintainableAndReexecFallback(t *testing.T) {
+	ctx := context.Background()
+	cat := mustCatalog(t, facebookCatalog)
+	st := buildSocial(t, cat, 40, 6, 10, 5)
+	eng := NewEngine(st)
+	// Negation is not a conjunction of atoms: not incrementally
+	// maintainable by delta plans.
+	q := mustQ(t, "QN(p, id) := friend(p, id) and not (exists n (person(id, n, 'NYC')))")
+	prep, err := eng.Prepare(q, query.NewVarSet("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := query.Bindings{"p": relation.Int(1)}
+	if _, err := prep.Watch(ctx, fixed); !errors.Is(err, ErrWatchNotMaintainable) {
+		t.Fatalf("watch on a negated body: err = %v, want ErrWatchNotMaintainable", err)
+	}
+	l, err := prep.Watch(ctx, fixed, WithReexec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.SupportsDeletions() {
+		t.Fatal("re-execution mode has no per-tuple deletion plans")
+	}
+	// Mixed commits: a non-NYC friend appears (answer appears), then the
+	// person moves to NYC via delete+insert (answer disappears).
+	u1 := relation.NewUpdate()
+	u1.Insert("person", relation.NewTuple(relation.Int(800_001), relation.Str("la"), relation.Str("LA")))
+	u1.Insert("friend", relation.Ints(1, 800_001))
+	u2 := relation.NewUpdate()
+	u2.Delete("person", relation.NewTuple(relation.Int(800_001), relation.Str("la"), relation.Str("LA")))
+	u2.Insert("person", relation.NewTuple(relation.Int(800_001), relation.Str("la"), relation.Str("NYC")))
+	for _, u := range []*relation.Update{u1, u2} {
+		if _, err := eng.Commit(ctx, u); err != nil {
+			t.Fatal(err)
+		}
+		ans, err := prep.Exec(ctx, fixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap := l.Snapshot(); !snap.Equal(ans.Tuples) {
+			t.Fatalf("re-exec snapshot %v diverged from fresh exec %v", snap.Tuples(), ans.Tuples.Tuples())
+		}
+	}
+	l.Close()
+	n := 0
+	for d, err := range l.Deltas() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Reexec {
+			t.Fatal("re-execution maintainer emitted a non-reexec delta")
+		}
+		if d.Bound != prep.Plan().Bound.Reads {
+			t.Fatalf("re-exec bound %d, want the plan bound %d", d.Bound, prep.Plan().Bound.Reads)
+		}
+		if d.Cost.TupleReads > d.Bound {
+			t.Fatalf("re-exec charged %d reads over bound %d", d.Cost.TupleReads, d.Bound)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("got %d deltas, want 2", n)
+	}
+}
+
+func TestWatchContextCancelFailsHandle(t *testing.T) {
+	cat := mustCatalog(t, facebookCatalog)
+	st := buildSocial(t, cat, 30, 5, 8, 7)
+	eng := NewEngine(st)
+	q := mustQ(t, "Q1(p, name) := exists id (friend(p, id) and person(id, name, 'NYC'))")
+	prep, err := eng.Prepare(q, query.NewVarSet("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	l, err := prep.Watch(ctx, query.Bindings{"p": relation.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Watchers() != 1 {
+		t.Fatalf("registered watchers = %d, want 1", eng.Watchers())
+	}
+	cancel()
+	// The AfterFunc runs asynchronously; consume the stream — it must end
+	// with ErrCanceled.
+	var terminal error
+	for _, err := range l.Deltas() {
+		terminal = err
+	}
+	if !errors.Is(terminal, ErrCanceled) {
+		t.Fatalf("delta stream ended with %v, want ErrCanceled", terminal)
+	}
+	if !errors.Is(l.Err(), ErrCanceled) {
+		t.Fatalf("Err() = %v, want ErrCanceled", l.Err())
+	}
+	// The dead handle is pruned at the next commit.
+	if _, err := eng.Commit(context.Background(), newPersonUpdate(1, 910_000)); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Watchers() != 0 {
+		t.Fatalf("dead watcher not pruned: %d registered", eng.Watchers())
+	}
+}
+
+func TestWatchSlowConsumer(t *testing.T) {
+	ctx := context.Background()
+	eng, _, l := watchQ1(t, 30, 1, WithDeltaBuffer(2))
+	defer l.Close()
+	for i := int64(0); i < 4; i++ {
+		if _, err := eng.Commit(ctx, newPersonUpdate(1, 920_000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !errors.Is(l.Err(), ErrSlowConsumer) {
+		t.Fatalf("Err() = %v, want ErrSlowConsumer after overflowing a 2-delta buffer", l.Err())
+	}
+	// The queued prefix is still consumable, then the terminal error.
+	n := 0
+	var terminal error
+	for _, err := range l.Deltas() {
+		if err != nil {
+			terminal = err
+			break
+		}
+		n++
+	}
+	if n != 2 || !errors.Is(terminal, ErrSlowConsumer) {
+		t.Fatalf("drained %d deltas (want 2), terminal %v", n, terminal)
+	}
+}
+
+func TestWatchCloseKeepsQueuedDeltas(t *testing.T) {
+	ctx := context.Background()
+	eng, _, l := watchQ1(t, 30, 1)
+	if _, err := eng.Commit(ctx, newPersonUpdate(1, 930_000)); err != nil {
+		t.Fatal(err)
+	}
+	snapAtClose := l.Snapshot()
+	l.Close()
+	l.Close() // idempotent
+	if l.Err() != nil {
+		t.Fatalf("Err after plain Close = %v, want nil", l.Err())
+	}
+	// Later commits no longer maintain the handle...
+	if _, err := eng.Commit(ctx, newPersonUpdate(1, 930_001)); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Snapshot().Equal(snapAtClose) {
+		t.Fatal("snapshot moved after Close")
+	}
+	// ...but the pre-Close delta is still there.
+	n := 0
+	for d, err := range l.Deltas() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Ins) != 1 {
+			t.Fatalf("queued delta %+v", d)
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("drained %d deltas after Close, want 1", n)
+	}
+}
+
+func TestCommitValidation(t *testing.T) {
+	ctx := context.Background()
+	cat := mustCatalog(t, facebookCatalog)
+	st := buildSocial(t, cat, 20, 5, 8, 9)
+	eng := NewEngine(st)
+	q := mustQ(t, "Q1(p, name) := exists id (friend(p, id) and person(id, name, 'NYC'))")
+	prep, err := eng.Prepare(q, query.NewVarSet("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := prep.Watch(ctx, query.Bindings{"p": relation.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := eng.Commit(ctx, relation.NewUpdate()); !errors.Is(err, ErrInvalidUpdate) {
+		t.Fatalf("empty commit: err = %v, want ErrInvalidUpdate", err)
+	}
+	bad := relation.NewUpdate().Delete("person", relation.NewTuple(
+		relation.Int(999_999), relation.Str("nope"), relation.Str("NYC")))
+	before := st.Version()
+	if _, err := eng.Commit(ctx, bad); !errors.Is(err, ErrInvalidUpdate) {
+		t.Fatalf("deleting an absent tuple: err = %v, want ErrInvalidUpdate", err)
+	}
+	if st.Version() != before || eng.CommitSeq() != 0 {
+		t.Fatalf("rejected commit moved the logs: store %d→%d, engine %d", before, st.Version(), eng.CommitSeq())
+	}
+	// Phase-0 validation rejected the commit before any watcher work ran:
+	// the touched watcher saw no maintenance, no delta, no failure.
+	if err := l.Err(); err != nil {
+		t.Fatalf("rejected commit failed a watcher: %v", err)
+	}
+	if c := l.Cost(); c.TupleReads != 0 || c.Memberships != 0 {
+		t.Fatalf("rejected commit charged watcher maintenance: %+v", c)
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := eng.Commit(canceled, newPersonUpdate(1, 940_000)); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled commit: err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestCommitTracksVolume(t *testing.T) {
+	ctx := context.Background()
+	cat := mustCatalog(t, facebookCatalog)
+	st := buildSocial(t, cat, 20, 5, 8, 11)
+	eng := NewEngine(st)
+	u := newPersonUpdate(1, 950_000)
+	if _, err := eng.Commit(ctx, u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Commit(ctx, u.Inverse()); err != nil {
+		t.Fatal(err)
+	}
+	vol := eng.CommittedVolume()
+	if vol["person"] != 2 || vol["friend"] != 2 {
+		t.Fatalf("committed volume %v, want person:2 friend:2", vol)
+	}
+}

@@ -65,9 +65,19 @@ func (p *PreparedQuery) Explain() string {
 }
 
 // planKey builds the cache key (query name, controlling set, optimizer
-// mode — plans compiled under different modes are distinct entries).
-func planKey(q *query.Query, x query.VarSet, mode OptimizerMode) string {
-	return fmt.Sprintf("%d\x00%s\x00%s", mode, q.Name, x.Key())
+// mode — plans compiled under different modes are distinct entries). For
+// OptimizerStats plans the engine's stats epoch is part of the key:
+// ordering was derived from live backend statistics, so when committed
+// update volume drifts past the re-cost threshold (commit.go) the epoch
+// bumps and every stale stats-ordered plan becomes unreachable — the next
+// Prepare/Exec re-costs against fresh statistics while mode-Off/On plans
+// (whose ordering is data-independent) stay cached.
+func (e *Engine) planKey(q *query.Query, x query.VarSet, mode OptimizerMode) string {
+	epoch := int64(0)
+	if mode == OptimizerStats {
+		epoch = e.statsEpoch.Load()
+	}
+	return fmt.Sprintf("%d\x00%d\x00%s\x00%s", mode, epoch, q.Name, x.Key())
 }
 
 // PlanCacheStats are the engine plan cache's lifetime counters: cache

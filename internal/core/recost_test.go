@@ -1,0 +1,133 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/store"
+)
+
+// TestStatsDriftRecost forces data drift past the engine's re-cost
+// threshold and observes the re-cost: a cached OptimizerStats plan whose
+// conjunct order was derived from Prepare-time MaxGroup statistics is
+// aged out by the committed update volume, and the next Prepare re-orders
+// against the fresh statistics — while mode-On plans (data-independent
+// ordering) stay cached across the same drift.
+func TestStatsDriftRecost(t *testing.T) {
+	ctx := context.Background()
+	cat := mustCatalog(t, `
+relation A(x, y)
+relation B(x, z)
+access A(x -> *) limit 100 time 1
+access B(x -> *) limit 100 time 1
+`)
+	db := relation.NewDatabase(cat.Relational)
+	// A starts with tiny groups (1 per x), B with fat ones (8 per x):
+	// stats ordering runs A before B.
+	for x := int64(0); x < 10; x++ {
+		db.MustInsert("A", relation.Ints(x, 1))
+		for j := int64(0); j < 8; j++ {
+			db.MustInsert("B", relation.Ints(x, j))
+		}
+	}
+	st, err := store.Open(db, cat.Access)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(st)
+	eng.SetOptimizer(OptimizerStats)
+	eng.SetRecostThreshold(10)
+	q := mustQ(t, "QD(x, y, z) := A(x, y) and B(x, z)")
+	x := query.NewVarSet("x")
+
+	orderOf := func(p *PreparedQuery) (aFirst bool) {
+		ex := p.Explain()
+		ia, ib := strings.Index(ex, "A("), strings.Index(ex, "B(")
+		if ia < 0 || ib < 0 {
+			t.Fatalf("explain lacks atom order:\n%s", ex)
+		}
+		return ia < ib
+	}
+
+	prep1, err := eng.Prepare(q, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orderOf(prep1) {
+		t.Fatalf("with MaxGroup(A)=1 < MaxGroup(B)=8, the stats order must run A first:\n%s", prep1.Explain())
+	}
+	again, err := eng.Prepare(q, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != prep1 {
+		t.Fatal("re-Prepare before drift missed the plan cache")
+	}
+	// A mode-On plan prepared now must survive the drift below.
+	eng.SetOptimizer(OptimizerOn)
+	prepOn, err := eng.Prepare(q, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetOptimizer(OptimizerStats)
+
+	// Drift: 30 committed insertions into A's x=0 group crosses the
+	// threshold of 10 and makes MaxGroup(A)=31 ≫ MaxGroup(B)=8.
+	u := relation.NewUpdate()
+	for k := int64(0); k < 30; k++ {
+		u.Insert("A", relation.Ints(0, 100+k))
+	}
+	res, err := eng.Commit(ctx, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recosted {
+		t.Fatal("commit past the threshold did not report a re-cost")
+	}
+	if eng.Recosts() != 1 {
+		t.Fatalf("Recosts() = %d, want 1", eng.Recosts())
+	}
+	if vol := eng.CommittedVolume(); vol["A"] != 30 {
+		t.Fatalf("committed volume %v, want A:30", vol)
+	}
+
+	prep2, err := eng.Prepare(q, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep2 == prep1 {
+		t.Fatal("stale stats-ordered plan survived the drift — not re-costed")
+	}
+	if orderOf(prep2) {
+		t.Fatalf("with MaxGroup(A)=31 > MaxGroup(B)=8, the re-costed order must run B first:\n%s", prep2.Explain())
+	}
+	// The re-costed order is genuinely cheaper on the drifted data.
+	fixed := query.Bindings{"x": relation.Int(0)}
+	aStale, err := prep1.Exec(ctx, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aFresh, err := prep2.Exec(ctx, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aFresh.Tuples.Equal(aStale.Tuples) {
+		t.Fatal("re-costed plan changed the answers")
+	}
+	if aFresh.Cost.TupleReads >= aStale.Cost.TupleReads {
+		t.Fatalf("re-costed plan reads %d, stale plan %d — re-costing bought nothing",
+			aFresh.Cost.TupleReads, aStale.Cost.TupleReads)
+	}
+	// Data-independent mode-On ordering was not aged.
+	eng.SetOptimizer(OptimizerOn)
+	prepOn2, err := eng.Prepare(q, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prepOn2 != prepOn {
+		t.Fatal("drift evicted a mode-On plan whose ordering does not depend on data statistics")
+	}
+}

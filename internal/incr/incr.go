@@ -5,12 +5,13 @@
 // Two layers are provided:
 //
 //   - CQMaintainer: the constructive side (Corollary 5.3, Proposition 5.5,
-//     Example 5.6). For a CQ Q and updates to base relations, the
-//     maintenance queries ΔQ replace one occurrence of an updated relation
-//     by the delta; each is x̄-controlled under A extended with the
-//     whole-delta entry, so each evaluates boundedly through the core
-//     engine. Deletions additionally require Q to be controlled by all its
-//     head variables (the re-derivation check of Proposition 5.5(2)).
+//     Example 5.6). The maintenance machinery itself — per-occurrence
+//     remainder plans compiled through the physical plan IR, bounded
+//     deletion re-verification, N-derived per-delta read bounds enforced
+//     at runtime — lives in internal/core (core.Maintainer), where the
+//     serving engine's Commit pipeline and the Live subscription API
+//     (PreparedQuery.Watch) drive it; CQMaintainer is the standalone
+//     wrapper keeping this package's historical full-head-tuple API.
 //
 //   - DecideDeltaQSI: the decision side (∆QSI, Theorems 5.1/5.2), a
 //     definition-level decider for small instances: for every candidate
@@ -19,6 +20,7 @@
 package incr
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -26,271 +28,86 @@ import (
 	"repro/internal/qdsi"
 	"repro/internal/query"
 	"repro/internal/relation"
-	"repro/internal/store"
 )
 
-// occurrencePlan precompiles the maintenance query for one occurrence of
-// an updatable relation in the CQ body.
-type occurrencePlan struct {
-	atom  *query.Atom
-	rest  query.Formula
-	deriv *core.Derivation
-}
-
 // CQMaintainer incrementally maintains Q(ā, D) for a conjunctive query
-// with fixed values ā for a controlling set x̄.
+// with fixed values ā for a controlling set x̄ — a standalone wrapper over
+// core.Maintainer that reports answers as full head tuples (fixed values
+// included), the historical shape of this package.
+//
+// A CQMaintainer is NOT safe for concurrent use: Apply must not race
+// Answers/Len/Contains readers. Concurrent serving wants the engine's
+// subscription API instead — PreparedQuery.Watch returns a *core.Live
+// handle whose internal locking serializes maintenance (driven by
+// Engine.Commit) against Snapshot and Deltas readers.
 type CQMaintainer struct {
-	eng   *core.Engine
-	q     *query.CQ
-	fixed query.Bindings
-
-	answers *relation.TupleSet
-	// occurrence plans per relation name
-	plans map[string][]occurrencePlan
-	// verification derivation for deletions (nil when deletions are not
-	// supported by the controllability conditions).
-	verify *core.Derivation
-	// head terms in output order
-	head []query.Term
+	m *core.Maintainer
 }
 
-// NewCQMaintainer checks the conditions of Proposition 5.5 and precompiles
-// the maintenance plans. The initial answer Q(ā, D) is computed by naive
-// evaluation (the paper's offline precomputation step).
+// NewCQMaintainer checks the conditions of Proposition 5.5 and compiles
+// the maintenance plans through the engine's physical plan layer. The
+// initial answer Q(ā, D) is computed by naive evaluation (the paper's
+// offline precomputation step). Failure wraps core.ErrWatchNotMaintainable
+// when the query is not incrementally scale-independent.
 func NewCQMaintainer(eng *core.Engine, q *query.CQ, fixed query.Bindings) (*CQMaintainer, error) {
-	if len(q.Eqs) > 0 {
-		applied, ok := q.ApplyEqs()
-		if !ok {
-			return nil, fmt.Errorf("incr: query %s is unsatisfiable", q.Name)
-		}
-		q = applied
-	}
-	m := &CQMaintainer{
-		eng:   eng,
-		q:     q,
-		fixed: fixed.Clone(),
-		plans: make(map[string][]occurrencePlan),
-		head:  q.Head,
-	}
-	an := eng.An
-	fixedVars := fixed.Vars()
-	// One maintenance plan per atom occurrence: the remaining conjunction
-	// must be controlled by x̄ ∪ vars(atom), since the delta tuple supplies
-	// the atom's variables (this is Q being x̄-scale-independent under
-	// A(R), Proposition 5.5(1)).
-	for i, a := range q.Atoms {
-		rest := make([]query.Formula, 0, len(q.Atoms)-1)
-		for j, b := range q.Atoms {
-			if j != i {
-				rest = append(rest, b)
-			}
-		}
-		restBody := query.AndAll(rest...)
-		res, err := an.Analyze(restBody)
-		if err != nil {
-			return nil, err
-		}
-		ctrl := fixedVars.Union(a.FreeVars())
-		d := res.Controls(ctrl)
-		if d == nil {
-			return nil, fmt.Errorf("incr: %s is not incrementally scale-independent for updates to %s: remainder %s not %s-controlled",
-				q.Name, a.Rel, restBody, ctrl)
-		}
-		m.plans[a.Rel] = append(m.plans[a.Rel], occurrencePlan{atom: a, rest: restBody, deriv: d})
-	}
-	// Deletion support (Proposition 5.5(2)): re-derivation of a candidate
-	// answer requires the whole body controlled by x̄ ∪ head variables.
-	full, err := an.Analyze(q.Formula())
+	m, err := core.NewMaintainer(eng, q, fixed)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("incr: %w", err)
 	}
-	m.verify = full.Controls(fixedVars.Union(q.HeadVars()))
-
-	// Offline precomputation of the initial answer.
-	// Offline precomputation wants an uncounted read view. The single-node
-	// store exposes its data in place; other backends (sharded) provide a
-	// merged snapshot copy.
-	var view *relation.Database
-	if db, ok := eng.DB.(*store.DB); ok {
-		view = db.Data()
-	} else {
-		view = eng.DB.CloneData()
-	}
-	ans, err := eval.AnswersCQ(eval.DBSource{DB: view}, q, fixed)
-	if err != nil {
-		return nil, err
-	}
-	m.answers = ans
-	return m, nil
+	return &CQMaintainer{m: m}, nil
 }
 
-// Answers returns a snapshot of the maintained answer set (over the
-// non-fixed head terms' values — the full head tuple with fixed variables
-// included). The copy is the caller's to keep: mutating it cannot corrupt
-// the maintainer's internal state, and it stays stable across later Apply
-// calls. Use Len/Contains for O(1) probes that skip the copy.
-func (m *CQMaintainer) Answers() *relation.TupleSet { return m.answers.Clone() }
+// Answers returns a snapshot of the maintained answer set as full head
+// tuples (fixed variables included). The copy is the caller's to keep:
+// mutating it cannot corrupt the maintainer's internal state, and it stays
+// stable across later Apply calls. Use Len/Contains for O(1) probes that
+// skip the copy.
+func (c *CQMaintainer) Answers() *relation.TupleSet {
+	rem := c.m.Answers()
+	out := relation.NewTupleSet(rem.Len())
+	for _, t := range rem.Tuples() {
+		out.Add(c.m.Expand(t))
+	}
+	return out
+}
 
 // Len returns the current number of maintained answers.
-func (m *CQMaintainer) Len() int { return m.answers.Len() }
+func (c *CQMaintainer) Len() int { return c.m.Len() }
 
-// Contains reports whether t is currently an answer.
-func (m *CQMaintainer) Contains(t relation.Tuple) bool { return m.answers.Contains(t) }
+// Contains reports whether the full head tuple t is currently an answer:
+// the fixed positions must carry ā and the remaining positions a
+// maintained answer.
+func (c *CQMaintainer) Contains(t relation.Tuple) bool {
+	if len(t) != len(c.m.Head()) {
+		return false
+	}
+	rem := c.m.Project(t)
+	return c.m.Contains(rem) && c.m.Expand(rem).Equal(t)
+}
 
 // SupportsDeletions reports whether deletion maintenance is available
 // (Proposition 5.5(2)'s condition held at construction).
-func (m *CQMaintainer) SupportsDeletions() bool { return m.verify != nil }
+func (c *CQMaintainer) SupportsDeletions() bool { return c.m.SupportsDeletions() }
 
-// Apply maintains the answers under u, applying u to the store. It returns
-// the answer delta (ins disjoint from the old answers, del contained in
-// them). Base accesses go through the counted store; the measured reads
-// per update are bounded by the plans' static bounds times |ΔD|.
-func (m *CQMaintainer) Apply(u *relation.Update) (ins, del []relation.Tuple, err error) {
-	if !u.IsInsertOnly() && m.verify == nil {
-		return nil, nil, fmt.Errorf("incr: %s supports insert-only updates (body not controlled by head variables)", m.q.Name)
-	}
-	// Deletion candidates are computed against the OLD database state.
-	delCandidates := relation.NewTupleSet(0)
-	for rel, ts := range u.Del {
-		for _, plan := range m.plans[rel] {
-			for _, t := range ts {
-				c, err := m.deltaAnswers(plan, t)
-				if err != nil {
-					return nil, nil, err
-				}
-				delCandidates.AddAll(c.Tuples())
-			}
-		}
-	}
-	if err := m.eng.DB.ApplyUpdate(u); err != nil {
+// Apply maintains the answers under u, committing u through the engine's
+// write pipeline (Engine.Commit: versioned apply, registered Live
+// watchers notified, update volume tracked). It returns the answer delta
+// as full head tuples (ins disjoint from the old answers, del contained
+// in them). Base accesses go through the counted store; the measured
+// reads per update are bounded by — and budgeted at — the compiled plans'
+// static bounds times |ΔD| (core.Maintainer.DeltaBound).
+func (c *CQMaintainer) Apply(u *relation.Update) (ins, del []relation.Tuple, err error) {
+	ri, rd, _, err := c.m.Apply(context.Background(), u)
+	if err != nil {
 		return nil, nil, err
 	}
-	// Insertion candidates against the NEW state.
-	insCandidates := relation.NewTupleSet(0)
-	for rel, ts := range u.Ins {
-		for _, plan := range m.plans[rel] {
-			for _, t := range ts {
-				c, err := m.deltaAnswers(plan, t)
-				if err != nil {
-					return nil, nil, err
-				}
-				insCandidates.AddAll(c.Tuples())
-			}
-		}
+	for _, t := range ri {
+		ins = append(ins, c.m.Expand(t))
 	}
-	for _, t := range insCandidates.Tuples() {
-		if !m.answers.Contains(t) {
-			ins = append(ins, t)
-			m.answers.Add(t)
-		}
-	}
-	// A deletion candidate disappears only if no alternative derivation
-	// survives: bounded re-verification with the full head fixed.
-	for _, t := range delCandidates.Tuples() {
-		if !m.answers.Contains(t) {
-			continue
-		}
-		if insCandidates.Contains(t) {
-			continue // re-derived via an insertion in the same update
-		}
-		still, err := m.rederive(t)
-		if err != nil {
-			return nil, nil, err
-		}
-		if !still {
-			del = append(del, t)
-			m.answers.Remove(t)
-		}
+	for _, t := range rd {
+		del = append(del, c.m.Expand(t))
 	}
 	return ins, del, nil
-}
-
-// deltaAnswers evaluates one maintenance plan for one delta tuple: unify
-// the occurrence atom with the tuple, then boundedly evaluate the
-// remainder.
-func (m *CQMaintainer) deltaAnswers(plan occurrencePlan, t relation.Tuple) (*relation.TupleSet, error) {
-	out := relation.NewTupleSet(0)
-	chi, ok := unifyArgs(plan.atom.Args, t)
-	if !ok {
-		return out, nil
-	}
-	env := m.fixed.Clone()
-	for k, v := range chi {
-		if prev, has := env[k]; has && prev != v {
-			return out, nil
-		}
-		env[k] = v
-	}
-	bs, err := core.Exec(m.eng.DB, plan.deriv, env)
-	if err != nil {
-		return nil, err
-	}
-	for _, b := range bs {
-		tu := make(relation.Tuple, len(m.head))
-		ok := true
-		for i, h := range m.head {
-			if !h.IsVar() {
-				tu[i] = h.Value()
-				continue
-			}
-			if v, has := b[h.Name()]; has {
-				tu[i] = v
-			} else if v, has := env[h.Name()]; has {
-				tu[i] = v
-			} else {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out.Add(tu)
-		}
-	}
-	return out, nil
-}
-
-// rederive checks boundedly whether answer t is still derivable.
-func (m *CQMaintainer) rederive(t relation.Tuple) (bool, error) {
-	env := m.fixed.Clone()
-	for i, h := range m.head {
-		if !h.IsVar() {
-			if h.Value() != t[i] {
-				return false, nil
-			}
-			continue
-		}
-		if prev, has := env[h.Name()]; has && prev != t[i] {
-			return false, nil
-		}
-		env[h.Name()] = t[i]
-	}
-	bs, err := core.Exec(m.eng.DB, m.verify, env)
-	if err != nil {
-		return false, err
-	}
-	return len(bs) > 0, nil
-}
-
-// unifyArgs matches atom arguments against a delta tuple, returning the
-// variable bindings.
-func unifyArgs(args []query.Term, t relation.Tuple) (query.Bindings, bool) {
-	if len(args) != len(t) {
-		return nil, false
-	}
-	b := make(query.Bindings, len(args))
-	for i, a := range args {
-		if !a.IsVar() {
-			if a.Value() != t[i] {
-				return nil, false
-			}
-			continue
-		}
-		if v, ok := b[a.Name()]; ok && v != t[i] {
-			return nil, false
-		}
-		b[a.Name()] = t[i]
-	}
-	return b, true
 }
 
 // DecideDeltaQSI decides the ∆QSI question on a concrete instance: for

@@ -394,3 +394,33 @@ func TestAnswersSnapshotIsolated(t *testing.T) {
 		t.Fatalf("snapshot moved with the maintainer: %d, want %d", snap2.Len(), want.Len())
 	}
 }
+
+// TestContainsChecksFixedPositions: Contains takes a FULL head tuple —
+// the fixed positions must carry ā, not just any value whose remaining
+// projection happens to be an answer.
+func TestContainsChecksFixedPositions(t *testing.T) {
+	cat := mustCat(t, q2Catalog)
+	st := buildQ2DB(t, cat, 30, 8, 6)
+	eng := core.NewEngine(st)
+	fixed := query.Bindings{"p": relation.Int(3)}
+	m, err := NewCQMaintainer(eng, q2(t), fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := m.Answers().Tuples()
+	if len(ans) == 0 {
+		t.Skip("p=3 has no answers under this seed; widen the data")
+	}
+	good := ans[0]
+	if !m.Contains(good) {
+		t.Fatalf("Contains(%v) = false for a reported answer", good)
+	}
+	bad := append(relation.Tuple(nil), good...)
+	bad[0] = relation.Int(999_999) // wrong fixed p, same rn
+	if m.Contains(bad) {
+		t.Fatalf("Contains(%v) = true despite a fixed-position mismatch", bad)
+	}
+	if m.Contains(good[:1]) {
+		t.Fatal("Contains accepted a tuple of the wrong arity")
+	}
+}

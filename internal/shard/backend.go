@@ -11,8 +11,12 @@ import (
 	"repro/internal/store"
 )
 
-// Store implements store.Backend.
-var _ store.Backend = (*Store)(nil)
+// Store implements store.Backend, with a merged commit log across shards.
+var (
+	_ store.Backend   = (*Store)(nil)
+	_ store.Versioned = (*Store)(nil)
+	_ store.Validator = (*Store)(nil)
+)
 
 // Schema returns the relational schema.
 func (s *Store) Schema() *relation.Schema { return s.schema }
@@ -360,6 +364,62 @@ func (s *Store) ChargeScanned(es *store.ExecStats, n int) error {
 // exposes such a state). Single-shard updates — the common single-entity
 // write — remain fully atomic.
 func (s *Store) ApplyUpdate(u *relation.Update) error {
+	_, err := s.ApplyVersioned(u)
+	return err
+}
+
+// ApplyVersioned implements store.Versioned: the per-shard pieces apply
+// through each shard's own versioned log (per-shard LSNs advance where
+// the tuples land), and one merged commit number is assigned to the whole
+// ΔD after every piece has applied — the merged notification point
+// Engine.Commit records. The merged number orders successful whole-backend
+// applies; it does not serialize against in-flight partial applies (see
+// the ApplyUpdate atomicity note).
+func (s *Store) ApplyVersioned(u *relation.Update) (int64, error) {
+	if err := s.applySharded(u); err != nil {
+		return 0, err
+	}
+	return s.commits.Add(1), nil
+}
+
+// Version implements store.Versioned: the merged commit count.
+func (s *Store) Version() int64 { return s.commits.Load() }
+
+// ShardVersions returns each shard's own storage LSN (advanced only when
+// a commit touched that shard).
+func (s *Store) ShardVersions() []int64 {
+	out := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.Version()
+	}
+	return out
+}
+
+// ValidateUpdate implements store.Validator: ΔD is split by routing key
+// and every per-shard piece is checked under that shard's shared lock,
+// without applying anything. Advisory with concurrent writers (the apply
+// path re-validates under per-shard write locks), exact under a
+// serialized commit pipeline — Engine.Commit uses it to reject an invalid
+// ΔD before charging any watcher maintenance work.
+func (s *Store) ValidateUpdate(u *relation.Update) error {
+	subs, err := s.splitByRoute(u)
+	if err != nil {
+		return err
+	}
+	for i, su := range subs {
+		if su == nil {
+			continue
+		}
+		if err := s.shards[i].ValidateUpdate(su); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitByRoute partitions ΔD into per-shard pieces by each relation's
+// routing key (nil entries for untouched shards).
+func (s *Store) splitByRoute(u *relation.Update) ([]*relation.Update, error) {
 	subs := make([]*relation.Update, len(s.shards))
 	sub := func(i int) *relation.Update {
 		if subs[i] == nil {
@@ -389,9 +449,19 @@ func (s *Store) ApplyUpdate(u *relation.Update) error {
 		return nil
 	}
 	if err := split(u.Del, true); err != nil {
-		return err
+		return nil, err
 	}
 	if err := split(u.Ins, false); err != nil {
+		return nil, err
+	}
+	return subs, nil
+}
+
+// applySharded is the split/validate/apply pipeline shared by ApplyUpdate
+// and ApplyVersioned.
+func (s *Store) applySharded(u *relation.Update) error {
+	subs, err := s.splitByRoute(u)
+	if err != nil {
 		return err
 	}
 	touched := make([]int, 0, len(s.shards))

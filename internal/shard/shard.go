@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/access"
 	"repro/internal/index"
@@ -46,6 +47,11 @@ type Store struct {
 	// (deduplicated embedded scatter fetches, scan-snapshot replays);
 	// Counters() folds it into the per-shard totals.
 	extra store.AtomicCounters
+
+	// commits is the merged commit-log sequence number: one increment per
+	// successful whole-backend apply, assigned after every per-shard piece
+	// has landed (store.Versioned).
+	commits atomic.Int64
 }
 
 // route is one relation's partitioning rule: tuples are placed by the

@@ -80,6 +80,30 @@ type Backend interface {
 	ResetCounters() Counters
 }
 
+// Validator is implemented by backends that can check an update against
+// the current data without applying it. With concurrent writers the check
+// is advisory — the apply path re-validates under its own locking — but
+// it lets Engine.Commit reject an invalid ΔD before charging any watcher
+// maintenance work (the commit pipeline's phase 0).
+type Validator interface {
+	ValidateUpdate(u *relation.Update) error
+}
+
+// Versioned is implemented by backends that maintain a commit-log
+// sequence number over their update stream. ApplyVersioned is ApplyUpdate
+// returning the log sequence number (LSN) assigned to the applied ΔD:
+// strictly monotonic, starting at 1, advanced only by successful applies.
+// On a partitioned backend the returned LSN is the merged (whole-backend)
+// commit number; each shard additionally keeps its own per-shard LSN.
+//
+// Engine.Commit prefers this interface when the backend provides it and
+// records the LSN in its CommitResult, so the engine's notification order
+// and the storage log can be correlated.
+type Versioned interface {
+	ApplyVersioned(u *relation.Update) (int64, error)
+	Version() int64
+}
+
 // RouteKind classifies how a planned fetch reaches the data. The planner
 // resolves it once at plan-compile time; the per-call fetch path then
 // skips the routing decision entirely.
@@ -141,8 +165,13 @@ type EntryStats interface {
 	MaxGroup(e access.Entry) (n int, ok bool)
 }
 
-// The single-node DB is the reference Backend.
-var _ Backend = (*DB)(nil)
+// The single-node DB is the reference Backend; it is versioned and
+// pre-validates.
+var (
+	_ Backend   = (*DB)(nil)
+	_ Versioned = (*DB)(nil)
+	_ Validator = (*DB)(nil)
+)
 
 // Fetch is FetchInto with no per-call stats: only the backend-global
 // counters are charged and no trace is recorded. This is the one no-stats

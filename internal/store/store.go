@@ -325,6 +325,10 @@ type DB struct {
 	// projected indices for embedded entries: rel -> "X->Y" name -> index
 	projIndexes map[string]map[string]*projIndex
 
+	// version is the commit-log sequence number of the last applied update,
+	// guarded by mu (writes hold the exclusive lock).
+	version int64
+
 	counters AtomicCounters
 }
 
@@ -657,13 +661,22 @@ func (db *DB) ValidateUpdate(u *relation.Update) error {
 // sync incrementally (cost proportional to |ΔD|, not |D|). It excludes
 // concurrent readers for the duration.
 func (db *DB) ApplyUpdate(u *relation.Update) error {
+	_, err := db.ApplyVersioned(u)
+	return err
+}
+
+// ApplyVersioned implements store.Versioned: ApplyUpdate returning the
+// log sequence number assigned to this ΔD. The LSN is advanced under the
+// same exclusive lock that applies the data, so it totally orders the
+// update stream: a reader that observes LSN n has every apply ≤ n visible.
+func (db *DB) ApplyVersioned(u *relation.Update) (int64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := u.Validate(db.data); err != nil {
-		return err
+		return 0, err
 	}
 	if err := db.data.Apply(u); err != nil {
-		return err
+		return 0, err
 	}
 	for rel, ts := range u.Del {
 		for _, t := range ts {
@@ -685,7 +698,16 @@ func (db *DB) ApplyUpdate(u *relation.Update) error {
 			}
 		}
 	}
-	return nil
+	db.version++
+	return db.version, nil
+}
+
+// Version implements store.Versioned: the LSN of the last applied update
+// (0 for a store that has never been written).
+func (db *DB) Version() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.version
 }
 
 // EntriesFor returns the access entries available for rel, most selective

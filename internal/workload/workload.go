@@ -204,3 +204,161 @@ const (
 	// Q3: as Q2 but for a given year (Example 4.1/4.6).
 	Q3Src = "Q3(rn, p, yy) := exists id, rid, pn, mm, dd (friend(p, id) and visit(id, rid, yy, mm, dd) and person(id, pn, 'NYC') and restr(rid, rn, 'NYC', 'A'))"
 )
+
+// MixedCommits generates a deterministic stream of n mixed insert/delete
+// commits, each valid against the state reached by applying its
+// predecessors to db (which is cloned, not mutated) and conforming to the
+// access schema of Access(cfg) at every prefix: friend edges come and go
+// under the MaxFriends cap, visits are inserted with per-person-distinct
+// dates (preserving the FD id,yy,mm,dd → rid) under the per-person visit
+// cap, and fresh persons appear occasionally. Each commit holds one to
+// four tuples.
+//
+// A share of the write traffic targets the hot person ids, so live
+// queries fixed on them see real churn; pass nil for a uniform stream.
+// This is the workload behind the backendtest livemaint subtest,
+// sibench -live and sirun -watch.
+func MixedCommits(db *relation.Database, cfg Config, n int, hot []int64, seed int64) []*relation.Update {
+	rng := rand.New(rand.NewSource(seed))
+	mirror := db.Clone()
+
+	// Incremental bookkeeping so op generation never rescans the mirror:
+	// sampling slices for deletions, degree/cap counters for insertions.
+	friends := append([]relation.Tuple(nil), mirror.Rel("friend").Tuples()...)
+	visits := append([]relation.Tuple(nil), mirror.Rel("visit").Tuples()...)
+	persons := make([]int64, 0, mirror.Rel("person").Len())
+	for _, t := range mirror.Rel("person").Tuples() {
+		persons = append(persons, t[0].AsInt())
+	}
+	restrs := make([]int64, 0, mirror.Rel("restr").Len())
+	for _, t := range mirror.Rel("restr").Tuples() {
+		restrs = append(restrs, t[0].AsInt())
+	}
+	deg := make(map[int64]int)
+	for _, t := range friends {
+		deg[t[0].AsInt()]++
+	}
+	visitCap := cfg.VisitsPerPerson + 64 // the visit(id) entry's N
+	vcount := make(map[int64]int)
+	usedDates := make(map[string]bool, len(visits))
+	dateKey := func(t relation.Tuple) string {
+		return relation.Tuple{t[0], t[2], t[3], t[4]}.Key()
+	}
+	for _, t := range visits {
+		vcount[t[0].AsInt()]++
+		usedDates[dateKey(t)] = true
+	}
+
+	pickPerson := func() int64 {
+		if len(hot) > 0 && rng.Intn(2) == 0 {
+			return hot[rng.Intn(len(hot))]
+		}
+		return persons[rng.Intn(len(persons))]
+	}
+	// Fresh person ids start above both the reserved range and every id
+	// already present, so repeated MixedCommits calls against an evolving
+	// database (sirun -watch regenerates batches from the current state)
+	// never re-emit an id a previous batch inserted.
+	freshID := int64(10_000_000)
+	for _, id := range persons {
+		if id > freshID {
+			freshID = id
+		}
+	}
+
+	var out []*relation.Update
+	for len(out) < n {
+		u := relation.NewUpdate()
+		// touched guards against one commit inserting and deleting the same
+		// tuple (invalid) or double-touching it.
+		touched := make(map[string]bool)
+		ops := 1 + rng.Intn(4)
+		for op := 0; op < ops; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2: // insert a friend edge
+				a := pickPerson()
+				b := persons[rng.Intn(len(persons))]
+				t := relation.Ints(a, b)
+				k := "friend\x00" + t.Key()
+				if a == b || deg[a] >= cfg.MaxFriends || touched[k] || mirror.Rel("friend").Contains(t) {
+					continue
+				}
+				touched[k] = true
+				u.Insert("friend", t)
+				mirror.MustInsert("friend", t)
+				friends = append(friends, t)
+				deg[a]++
+			case 3, 4: // delete a friend edge
+				if len(friends) == 0 {
+					continue
+				}
+				i := rng.Intn(len(friends))
+				t := friends[i]
+				k := "friend\x00" + t.Key()
+				if touched[k] {
+					continue
+				}
+				touched[k] = true
+				u.Delete("friend", t)
+				mirror.Rel("friend").Delete(t)
+				friends[i] = friends[len(friends)-1]
+				friends = friends[:len(friends)-1]
+				deg[t[0].AsInt()]--
+			case 5, 6, 7: // insert a visit on an unused date
+				id := pickPerson()
+				if vcount[id] >= visitCap {
+					continue
+				}
+				t := relation.NewTuple(
+					relation.Int(id),
+					relation.Int(restrs[rng.Intn(len(restrs))]),
+					relation.Int(int64(cfg.Years[rng.Intn(len(cfg.Years))])),
+					relation.Int(int64(1+rng.Intn(12))),
+					relation.Int(int64(1+rng.Intn(30))),
+				)
+				k := "visit\x00" + t.Key()
+				if touched[k] || usedDates[dateKey(t)] {
+					continue
+				}
+				touched[k] = true
+				usedDates[dateKey(t)] = true
+				u.Insert("visit", t)
+				mirror.MustInsert("visit", t)
+				visits = append(visits, t)
+				vcount[id]++
+			case 8: // delete a visit
+				if len(visits) == 0 {
+					continue
+				}
+				i := rng.Intn(len(visits))
+				t := visits[i]
+				k := "visit\x00" + t.Key()
+				if touched[k] {
+					continue
+				}
+				touched[k] = true
+				delete(usedDates, dateKey(t))
+				u.Delete("visit", t)
+				mirror.Rel("visit").Delete(t)
+				visits[i] = visits[len(visits)-1]
+				visits = visits[:len(visits)-1]
+				vcount[t[0].AsInt()]--
+			case 9: // a fresh person arrives
+				freshID++
+				t := relation.NewTuple(
+					relation.Int(freshID),
+					relation.Str(fmt.Sprintf("new-%d", freshID)),
+					relation.Str(cfg.Cities[rng.Intn(len(cfg.Cities))]),
+				)
+				u.Insert("person", t)
+				mirror.MustInsert("person", t)
+				persons = append(persons, freshID)
+			}
+		}
+		if u.Size() == 0 {
+			continue
+		}
+		out = append(out, u)
+	}
+	return out
+}

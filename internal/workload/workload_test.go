@@ -116,3 +116,35 @@ func TestRestaurantIDsDistinct(t *testing.T) {
 	}
 	_ = relation.Int(0)
 }
+
+// TestMixedCommitsRebatching pins the cross-call contract sirun -watch
+// depends on: regenerating a batch from the state an earlier batch
+// produced must stay valid — fresh person ids continue above the ids the
+// previous batch inserted instead of restarting at the reserved base.
+func TestMixedCommitsRebatching(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Persons = 120
+	cfg.Seed = 5
+	db, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Access(cfg)
+	for batch := int64(0); batch < 3; batch++ {
+		commits := MixedCommits(db, cfg, 60, []int64{7}, 100+batch)
+		if len(commits) != 60 {
+			t.Fatalf("batch %d: generated %d commits, want 60", batch, len(commits))
+		}
+		for i, u := range commits {
+			if err := u.Validate(db); err != nil {
+				t.Fatalf("batch %d commit %d invalid against the evolved state: %v", batch, i, err)
+			}
+			if err := db.Apply(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := acc.Conforms(db); err != nil {
+			t.Fatalf("batch %d: evolved database no longer conforms: %v", batch, err)
+		}
+	}
+}

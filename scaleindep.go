@@ -66,6 +66,36 @@
 // Static bounds always come from the access schema's N values; optimizer
 // statistics (OptimizerStats) influence operator order only, so measured
 // reads stay within the plan's bound M on every backend.
+//
+// The write path mirrors the read path's prepare-once discipline: mutate
+// through the transactional eng.Commit rather than the raw backend, and
+// subscribe to maintained answers with prep.Watch — the live-query
+// counterpart of the paper's incremental scale independence result
+// (ΔQSI): a bounded amount of maintenance work per commit keeps every
+// subscription's answers exact, so readers never re-execute:
+//
+//	live, _ := prep.Watch(ctx, scaleindep.Bindings{"p": scaleindep.Int(42)})
+//	defer live.Close()
+//	go func() {
+//	    for d, err := range live.Deltas() {   // blocks between commits
+//	        // d.Ins / d.Del moved the answer set; d.Cost.TupleReads ≤ d.Bound
+//	    }
+//	}()
+//	res, _ := eng.Commit(ctx, update)         // validate → apply → notify
+//	_ = live.Snapshot()                       // current answers, any time
+//
+// Commit validates ΔD (failures wrap ErrInvalidUpdate and apply nothing),
+// applies it through the backend's commit log (store.Versioned: one LSN
+// per commit, per-shard LSNs plus a merged commit number on the sharded
+// backend), assigns the engine-wide sequence number every Delta carries,
+// and incrementally maintains each watched query through compiled
+// maintenance plans — per-occurrence remainders ordered by the same
+// cost-based optimizer, charged against an N-derived per-delta bound that
+// is enforced as a runtime budget. Queries outside the maintainable class
+// watch with WithReexec (bounded re-execution per commit); a watch of an
+// unmaintainable query without it fails with ErrWatchNotMaintainable.
+// Commit also tracks committed update volume per relation and re-costs
+// cached OptimizerStats plans once drift crosses Engine.SetRecostThreshold.
 package scaleindep
 
 import (
@@ -149,7 +179,31 @@ type (
 	// PlanCacheStats are the engine plan cache's hit/miss/evict counters
 	// (Engine.PlanCacheStats).
 	PlanCacheStats = core.PlanCacheStats
+	// CommitResult describes one applied commit: engine sequence number,
+	// backend log sequence number, watchers notified and the bounded
+	// maintenance work charged (Engine.Commit).
+	CommitResult = core.CommitResult
+	// Live is a live-query handle (PreparedQuery.Watch,
+	// Engine.WatchContext): a maintained answer Snapshot plus a Deltas
+	// stream of per-commit changes, safe for concurrent use.
+	Live = core.Live
+	// Delta is one commit's effect on a live query's answers, with the
+	// maintenance cost charged and the N-derived bound it ran under.
+	Delta = core.Delta
+	// WatchOption configures a subscription: WithReexec, WithDeltaBuffer.
+	WatchOption = core.WatchOption
+	// Maintainer is the standalone (non-subscribed, not concurrency-safe)
+	// incremental maintenance engine behind Live (core.NewMaintainer).
+	Maintainer = core.Maintainer
+	// Versioned is implemented by backends keeping a commit-log sequence
+	// number (both built-in backends do).
+	Versioned = store.Versioned
 )
+
+// DefaultRecostThreshold is the default per-relation committed update
+// volume after which cached stats-ordered plans are re-costed
+// (Engine.SetRecostThreshold).
+const DefaultRecostThreshold = core.DefaultRecostThreshold
 
 // Plan optimizer modes for Engine.SetOptimizer.
 const (
@@ -179,6 +233,14 @@ var (
 	ErrUnboundHead = core.ErrUnboundHead
 	// ErrNoRows: First found no answers.
 	ErrNoRows = core.ErrNoRows
+	// ErrWatchNotMaintainable: the query cannot be incrementally
+	// maintained (watch with WithReexec for bounded re-execution instead).
+	ErrWatchNotMaintainable = core.ErrWatchNotMaintainable
+	// ErrInvalidUpdate: Engine.Commit rejected ΔD before applying anything.
+	ErrInvalidUpdate = core.ErrInvalidUpdate
+	// ErrSlowConsumer: a WithDeltaBuffer subscription fell behind the
+	// commit stream.
+	ErrSlowConsumer = core.ErrSlowConsumer
 )
 
 // Execution options for PreparedQuery.Exec and Engine.AnswerContext.
@@ -194,6 +256,24 @@ var (
 	// distinct answers: the LIMIT of the serving API.
 	WithLimit = core.WithLimit
 )
+
+// Subscription options for PreparedQuery.Watch and Engine.WatchContext.
+var (
+	// WithReexec maintains non-maintainable queries by bounded
+	// re-execution per relevant commit instead of failing the watch.
+	WithReexec = core.WithReexec
+	// WithDeltaBuffer bounds the pending-delta queue; overflow fails the
+	// handle with ErrSlowConsumer.
+	WithDeltaBuffer = core.WithDeltaBuffer
+)
+
+// NewMaintainer builds a standalone incremental maintainer for a
+// conjunctive query with fixed controlling values — the non-subscribed
+// variant of Watch (not safe for concurrent use; its Apply commits
+// through the engine's write pipeline).
+func NewMaintainer(eng *Engine, q *CQ, fixed Bindings) (*Maintainer, error) {
+	return core.NewMaintainer(eng, q, fixed)
+}
 
 // Int builds an integer value.
 func Int(v int64) Value { return relation.Int(v) }
