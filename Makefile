@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet staticcheck bench bench-smoke serving shardscale reorder live live-smoke
+.PHONY: check build test race vet staticcheck bench bench-smoke serving shardscale reorder live live-smoke serve serve-smoke
 
 ## check: the CI gate — vet, build, and race-enabled tests.
 check: vet build race
@@ -47,3 +47,13 @@ live:
 ## maintenance is strictly cheaper than re-execution.
 live-smoke:
 	$(GO) run ./cmd/sibench -live -quick
+
+## serve: load-test the HTTP serving tier — q/s, p50/p99, admission
+## reject counts under concurrent clients, a committer, and a watcher.
+serve:
+	$(GO) run ./cmd/sibench -serve
+
+## serve-smoke: the CI gate — quick -serve run; exits nonzero on a bound
+## violation, a misclassified rejection, or a goroutine leak through drain.
+serve-smoke:
+	$(GO) run ./cmd/sibench -serve -quick

@@ -1,6 +1,6 @@
 // Command sibench runs the full experiment suite: the Table 1 validation
 // tables, the Example 1.1 scaling series, and the per-theorem experiments
-// (see DESIGN.md §6 for the index). With -markdown it emits the body of
+// (see DESIGN.md §7 for the index). With -markdown it emits the body of
 // EXPERIMENTS.md. With -serving it instead benchmarks the serving API:
 // per-call analysis vs the transparent plan cache vs a prepared query.
 //
@@ -55,8 +55,18 @@ func main() {
 	useStats := flag.Bool("stats", false, "with -reorder: let the optimizer refine ordering with live backend cardinality statistics")
 	live := flag.Bool("live", false, "benchmark the commit-and-notify write path instead: maintenance reads per commit for watched Q2 queries vs full re-execution; exits nonzero unless maintenance is strictly cheaper")
 	watchers := flag.Int("watchers", 32, "with -live: number of live Q2 subscriptions")
+	serve := flag.Bool("serve", false, "load-test the HTTP serving tier instead: concurrent streaming clients vs a committer and a live watcher; reports q/s, p50/p99, admission rejects; exits nonzero on a bound violation, misclassified rejection, or goroutine leak")
+	tenants := flag.Int("tenants", 4, "with -serve: number of tenants the clients are spread over (tenant t0 gets a tight read budget)")
+	serveDur := flag.Duration("duration", 3*time.Second, "with -serve: load duration (quick caps it at 1s)")
 	flag.Parse()
 
+	if *serve {
+		if err := serveBench(*quick, *shards, *clients, *tenants, *serveDur); err != nil {
+			fmt.Fprintf(os.Stderr, "sibench: serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *live {
 		if err := liveBench(*quick, *shards, *watchers); err != nil {
 			fmt.Fprintf(os.Stderr, "sibench: live: %v\n", err)

@@ -1,0 +1,117 @@
+// Command siserve serves a scale-independent query engine over HTTP: the
+// network front of the repo's serving tier. It loads the Example 1.1
+// experiment workload (or a sharded copy), mounts internal/server on it,
+// and serves until interrupted — at which point it drains gracefully:
+// in-flight query streams finish, watchers receive a clean close event,
+// and new requests are refused with 503.
+//
+// Endpoints (see internal/server):
+//
+//	POST /prepare   compile a query for a controlling set; returns the
+//	                plan handle, the static read bound M, and EXPLAIN
+//	POST /query     stream an admitted execution as NDJSON
+//	POST /commit    apply a transactional update
+//	GET  /watch     subscribe to a live query over SSE
+//	GET  /statusz   unified engine + admission observability snapshot
+//
+// The default tenant policy is configurable from the command line; a
+// zero value means unlimited:
+//
+//	siserve -addr :8080 -shards 4 -max-bound 500 -read-budget 10000 -window 1s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/store"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 0, "serve over the hash-sharded backend with this many shards (0 = single-node)")
+	persons := flag.Int("persons", 1000, "workload size: number of persons in the generated dataset")
+	seed := flag.Int64("seed", 1, "workload generator seed")
+	maxBound := flag.Int64("max-bound", 0, "default tenant SLA: reject queries whose static read bound exceeds this (0 = unlimited)")
+	readBudget := flag.Int64("read-budget", 0, "default tenant SLA: cumulative admitted-read budget per window (0 = unlimited)")
+	window := flag.Duration("window", time.Second, "budget accounting window")
+	maxConcurrent := flag.Int("max-concurrent", 0, "default tenant SLA: max in-flight queries (0 = unlimited)")
+	watchBuffer := flag.Int("watch-buffer", 64, "per-watcher delta queue depth before coalescing")
+	flag.Parse()
+
+	if err := run(*addr, *shards, *persons, *seed, server.Config{
+		DefaultPolicy: server.TenantPolicy{
+			MaxBound:      *maxBound,
+			ReadBudget:    *readBudget,
+			Window:        *window,
+			MaxConcurrent: *maxConcurrent,
+		},
+		WatchBuffer: *watchBuffer,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "siserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, shards, persons int, seed int64, cfg server.Config) error {
+	wcfg := workload.DefaultConfig()
+	wcfg.Persons = persons
+	wcfg.Seed = seed
+	data, err := workload.Generate(wcfg)
+	if err != nil {
+		return err
+	}
+	acc := workload.Access(wcfg)
+	var b store.Backend
+	if shards > 0 {
+		b, err = shard.Open(data, acc, shards)
+	} else {
+		b, err = store.Open(data, acc)
+	}
+	if err != nil {
+		return err
+	}
+	cfg.Engine = core.NewEngine(b)
+	srv := server.NewServer(cfg)
+
+	hs := &http.Server{Addr: addr, Handler: srv}
+	backend := "single-node"
+	if shards > 0 {
+		backend = fmt.Sprintf("%d-shard", shards)
+	}
+	fmt.Printf("siserve: %s backend, |D| = %d tuples, serving on %s\n", backend, b.Size(), addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("siserve: draining (in-flight streams finish, watchers close)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "siserve: %v\n", err)
+	}
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	st := srv.Status()
+	fmt.Printf("siserve: drained; served %d handles, commit seq %d\n", st.Handles, st.Engine.CommitSeq)
+	return nil
+}

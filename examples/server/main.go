@@ -1,0 +1,129 @@
+// Server: the engine served over HTTP with success-tolerant admission
+// control. An in-process siserve tier is mounted on a loopback socket;
+// two tenants talk to it through the Go client: "gold" (generous SLA)
+// prepares Q1, streams answers over NDJSON, watches the live query over
+// SSE and sees a commit arrive as a delta; "bronze" (a 30-read
+// per-query ceiling) is rejected at prepare time — before any execution
+// — with the plan's static bound M in the typed error, because the
+// bound is known at compile time (the paper's controllability analysis
+// is what makes PIQL-style admission possible). The tier then drains
+// gracefully: the watcher gets a clean close, new work gets 503.
+//
+// Run: go run ./examples/server
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	scaleindep "repro"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Engine over the Example 1.1 workload.
+	cfg := workload.DefaultConfig()
+	cfg.Persons = 500
+	db, err := workload.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := scaleindep.NewEngine(db, workload.Access(cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The serving tier: gold is effectively unlimited, bronze may not run
+	// any query entitled to more than 30 reads.
+	srv := server.NewServer(server.Config{
+		Engine: eng,
+		Policies: map[string]server.TenantPolicy{
+			"gold":   {ReadBudget: 1_000_000, Window: time.Second},
+			"bronze": {MaxBound: 30},
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	ctx := context.Background()
+	fmt.Printf("siserve tier on %s (|D| = %d)\n\n", base, eng.DB.Size())
+
+	// Gold prepares Q1 and learns its static bound before running anything.
+	gold := client.New(base, client.WithTenant("gold"))
+	prep, err := gold.Prepare(ctx, workload.Q1Src, "p")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gold: prepared %s as %s — static bound M = %d reads\n", prep.Name, prep.Handle, prep.BoundReads)
+
+	// Stream the answer for p = 1 over the wire.
+	rows, err := prep.Query(ctx, scaleindep.Bindings{"p": scaleindep.Int(1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		fmt.Printf("gold:   answer %v\n", rows.Tuple())
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	st := rows.Stats()
+	rows.Close()
+	fmt.Printf("gold: %d answers in %d reads (≤ %d admitted)\n\n", n, st.Reads, st.Bound)
+
+	// Bronze cannot even prepare it: M exceeds its 30-read ceiling.
+	bronze := client.New(base, client.WithTenant("bronze"))
+	_, err = bronze.Prepare(ctx, workload.Q1Src, "p")
+	var adm *server.AdmissionError
+	if !errors.As(err, &adm) {
+		log.Fatalf("expected an admission rejection, got %v", err)
+	}
+	fmt.Printf("bronze: rejected before execution — bound %d > SLA limit %d (%v)\n\n",
+		adm.Bound, adm.Limit, errors.Is(err, scaleindep.ErrBudgetExceeded))
+
+	// Gold watches the live query; a commit lands as an SSE delta.
+	w, err := prep.Watch(ctx, scaleindep.Bindings{"p": scaleindep.Int(1)}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := scaleindep.NewUpdate()
+	u.Insert("person", scaleindep.Tuple{scaleindep.Int(700_001), scaleindep.Str("new-friend"), scaleindep.Str("NYC")})
+	u.Insert("friend", scaleindep.Tuple{scaleindep.Int(1), scaleindep.Int(700_001)})
+	cres, err := gold.Commit(ctx, u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := w.Next()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("watch: commit seq %d → delta +%d/-%d in %d reads (≤ %d)\n\n", cres.Seq, len(d.Ins), len(d.Del), d.Reads, d.Bound)
+
+	// Graceful drain: the watcher sees a clean close, new work gets 503.
+	go func() {
+		drainCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		srv.Drain(drainCtx)
+	}()
+	if _, err := w.Next(); err != nil {
+		fmt.Println("watch: closed cleanly by server drain")
+	}
+	w.Close()
+	if _, err := gold.Prepare(ctx, workload.Q2Src, "p"); err != nil {
+		fmt.Printf("drained tier refuses new work: %v\n", err)
+	}
+	hs.Shutdown(ctx)
+}

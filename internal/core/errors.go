@@ -51,8 +51,11 @@ var (
 	// tuple or inserting a present one.
 	ErrInvalidUpdate = errors.New("update rejected by commit validation")
 
-	// ErrSlowConsumer: a Live subscription opened with WithDeltaBuffer fell
-	// behind the commit stream and its delta queue overflowed; the handle is
-	// failed rather than letting the buffer grow without bound.
-	ErrSlowConsumer = errors.New("live subscription fell behind the commit stream")
+	// ErrSlowConsumer: a consumer fell behind a bounded delta stream beyond
+	// what coalescing can absorb. The engine's own Live queue no longer
+	// raises it — a full WithDeltaBuffer queue folds its oldest deltas into
+	// one net delta (Delta.Folded) instead of failing — but the sentinel
+	// remains in the taxonomy for serving layers (e.g. a network watch
+	// stream) that must shed consumers they cannot buffer for.
+	ErrSlowConsumer = errors.New("consumer fell behind the commit stream")
 )

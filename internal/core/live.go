@@ -6,6 +6,7 @@ import (
 	"iter"
 	"sync"
 
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/store"
@@ -31,6 +32,13 @@ type Delta struct {
 	// re-execution (pure re-exec mode, or the deletion fallback of a
 	// maintainer without re-derivation support) rather than delta plans.
 	Reexec bool
+	// Folded counts the additional commits coalesced into this delta by a
+	// bounded buffer (WithDeltaBuffer) under consumer lag: 0 for a single
+	// commit's delta; k > 0 means this delta carries the net effect of k+1
+	// consecutive commits ending at Seq (matching Ins/Del pairs per tuple
+	// cancel). Cost and Bound accumulate across the folded commits, so
+	// Cost.TupleReads ≤ Bound still holds.
+	Folded int
 }
 
 // WatchOption configures one Watch subscription.
@@ -51,9 +59,14 @@ type watchOpts struct {
 func WithReexec() WatchOption { return func(o *watchOpts) { o.reexec = true } }
 
 // WithDeltaBuffer bounds the subscription's pending-delta queue at n: a
-// consumer that falls more than n deltas behind the commit stream fails
-// the handle with ErrSlowConsumer instead of growing the buffer without
-// bound. n <= 0 (the default) means unbounded.
+// consumer that falls more than n deltas behind the commit stream has its
+// oldest pending deltas coalesced into one net delta (matching Ins/Del
+// pairs per tuple folded away, Delta.Folded counting the absorbed
+// commits) instead of growing the buffer without bound — a lagging
+// dashboard degrades to coarser deltas rather than failing with
+// ErrSlowConsumer. Replaying the folded stream over the initial snapshot
+// still reproduces the maintained answer set exactly. n <= 0 (the
+// default) means unbounded.
 func WithDeltaBuffer(n int) WatchOption { return func(o *watchOpts) { o.buffer = n } }
 
 // Live is a handle on a live query: a maintained answer set plus the
@@ -228,9 +241,10 @@ func (l *Live) Maintained() bool { return l.m.Maintained() }
 
 // Err returns the error that failed the subscription, if any: typed per
 // the serving taxonomy (ErrCanceled for a done watch context,
-// ErrBudgetExceeded if maintenance ever crossed its bound,
-// ErrSlowConsumer for an overflowed delta buffer). Nil while healthy and
-// after a plain Close.
+// ErrBudgetExceeded if maintenance ever crossed its bound). Nil while
+// healthy and after a plain Close. A bounded delta buffer no longer fails
+// the handle — overflow coalesces the queue (WithDeltaBuffer) instead of
+// raising ErrSlowConsumer.
 func (l *Live) Err() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -294,15 +308,73 @@ func (l *Live) Deltas() iter.Seq2[Delta, error] {
 	}
 }
 
-// deliverLocked queues a delta (caller holds l.mu). An overflowing
-// bounded buffer fails the handle instead of growing.
+// deliverLocked queues a delta (caller holds l.mu). When a bounded buffer
+// is full, the oldest two pending entries are folded into one net delta
+// (the incoming delta itself when the cap is 1), so a lagging consumer
+// sees coarser net deltas instead of an unbounded queue or a failed
+// handle; the newest entries keep per-commit granularity.
 func (l *Live) deliverLocked(d Delta) {
 	if l.bufCap > 0 && len(l.queue) >= l.bufCap {
-		l.failLocked(fmt.Errorf("core: %d deltas pending: %w", len(l.queue), ErrSlowConsumer))
-		return
+		if len(l.queue) >= 2 {
+			l.queue[1] = foldDeltas(l.queue[0], l.queue[1])
+			l.queue = append(l.queue[:0], l.queue[1:]...)
+		} else {
+			d = foldDeltas(l.queue[0], d)
+			l.queue = l.queue[:0]
+		}
 	}
 	l.queue = append(l.queue, d)
 	l.cond.Broadcast()
+}
+
+// foldDeltas merges two consecutive deltas into their net effect: a tuple
+// inserted by a and deleted by b (or vice versa) cancels; Cost and Bound
+// accumulate, Seq is the later commit's, and Folded counts the commits
+// absorbed. Folding commutes with replay — applying the folded delta to a
+// snapshot equals applying a then b.
+func foldDeltas(a, b Delta) Delta {
+	out := Delta{
+		Seq:    b.Seq,
+		Cost:   a.Cost,
+		Bound:  plan.SatAdd(a.Bound, b.Bound),
+		Reexec: a.Reexec || b.Reexec,
+		Folded: a.Folded + b.Folded + 1,
+	}
+	out.Cost.Add(b.Cost)
+	// Net change per tuple, in first-appearance order. Answer sets hold no
+	// duplicates and deltas are snapshot-consistent (Ins disjoint from the
+	// pre-state, Del contained in it), so the net count stays in {-1,0,+1}.
+	type entry struct {
+		t   relation.Tuple
+		net int
+	}
+	var order []string
+	net := make(map[string]*entry, len(a.Ins)+len(a.Del)+len(b.Ins)+len(b.Del))
+	fold := func(ts []relation.Tuple, sign int) {
+		for _, t := range ts {
+			k := t.Key()
+			e, ok := net[k]
+			if !ok {
+				e = &entry{t: t}
+				net[k] = e
+				order = append(order, k)
+			}
+			e.net += sign
+		}
+	}
+	fold(a.Ins, +1)
+	fold(a.Del, -1)
+	fold(b.Ins, +1)
+	fold(b.Del, -1)
+	for _, k := range order {
+		switch e := net[k]; {
+		case e.net > 0:
+			out.Ins = append(out.Ins, e.t)
+		case e.net < 0:
+			out.Del = append(out.Del, e.t)
+		}
+	}
+	return out
 }
 
 // failLocked marks the subscription failed (first error wins) and wakes

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 
 	"repro/internal/query"
@@ -31,6 +32,15 @@ func watchQ1(t *testing.T, nPersons int, p int64, opts ...WatchOption) (*Engine,
 func newPersonUpdate(p, id int64) *relation.Update {
 	u := relation.NewUpdate()
 	u.Insert("person", relation.NewTuple(relation.Int(id), relation.Str("w"), relation.Str("NYC")))
+	u.Insert("friend", relation.Ints(p, id))
+	return u
+}
+
+// namedPersonUpdate is newPersonUpdate with a distinct per-id name, so
+// every edge contributes its own answer tuple to a watched Q1.
+func namedPersonUpdate(p, id int64) *relation.Update {
+	u := relation.NewUpdate()
+	u.Insert("person", relation.NewTuple(relation.Int(id), relation.Str(fmt.Sprintf("w%d", id)), relation.Str("NYC")))
 	u.Insert("friend", relation.Ints(p, id))
 	return u
 }
@@ -239,30 +249,120 @@ func TestWatchContextCancelFailsHandle(t *testing.T) {
 	}
 }
 
-func TestWatchSlowConsumer(t *testing.T) {
+func TestWatchSlowConsumerCoalesces(t *testing.T) {
 	ctx := context.Background()
-	eng, _, l := watchQ1(t, 30, 1, WithDeltaBuffer(2))
+	eng, prep, l := watchQ1(t, 30, 1, WithDeltaBuffer(2))
 	defer l.Close()
 	for i := int64(0); i < 4; i++ {
-		if _, err := eng.Commit(ctx, newPersonUpdate(1, 920_000+i)); err != nil {
+		if _, err := eng.Commit(ctx, namedPersonUpdate(1, 920_000+i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if !errors.Is(l.Err(), ErrSlowConsumer) {
-		t.Fatalf("Err() = %v, want ErrSlowConsumer after overflowing a 2-delta buffer", l.Err())
+	// A lagging consumer no longer fails the handle: the oldest pending
+	// deltas fold into one net delta and the queue stays at capacity.
+	if err := l.Err(); err != nil {
+		t.Fatalf("Err() = %v, want healthy handle after overflowing a 2-delta buffer", err)
 	}
-	// The queued prefix is still consumable, then the terminal error.
-	n := 0
-	var terminal error
-	for _, err := range l.Deltas() {
+	l.Close()
+	var ds []Delta
+	for d, err := range l.Deltas() {
 		if err != nil {
-			terminal = err
-			break
+			t.Fatal(err)
 		}
-		n++
+		ds = append(ds, d)
 	}
-	if n != 2 || !errors.Is(terminal, ErrSlowConsumer) {
-		t.Fatalf("drained %d deltas (want 2), terminal %v", n, terminal)
+	if len(ds) != 2 {
+		t.Fatalf("drained %d deltas, want 2 (buffer capacity)", len(ds))
+	}
+	// 4 distinct insertions across 4 commits: the folded head delta
+	// carries the first 3, the tail keeps per-commit granularity.
+	if ds[0].Folded != 2 || len(ds[0].Ins) != 3 {
+		t.Fatalf("head delta folded %d commits with %d Ins, want 2 folded / 3 Ins", ds[0].Folded, len(ds[0].Ins))
+	}
+	if ds[1].Folded != 0 || len(ds[1].Ins) != 1 {
+		t.Fatalf("tail delta folded %d commits with %d Ins, want 0 / 1", ds[1].Folded, len(ds[1].Ins))
+	}
+	if ds[0].Seq >= ds[1].Seq {
+		t.Fatalf("folded stream out of order: seq %d then %d", ds[0].Seq, ds[1].Seq)
+	}
+	for _, d := range ds {
+		if d.Cost.TupleReads > d.Bound {
+			t.Fatalf("folded delta seq %d charged %d reads over accumulated bound %d", d.Seq, d.Cost.TupleReads, d.Bound)
+		}
+	}
+	// Replaying the folded stream over the pre-lag state reproduces the
+	// maintained snapshot (which equals a fresh execution).
+	ans, err := prep.Exec(ctx, query.Bindings{"p": relation.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Snapshot().Equal(ans.Tuples) {
+		t.Fatal("snapshot diverged from fresh exec under coalescing")
+	}
+}
+
+// TestWatchFoldedReplayConformance is the coalescing regression test: a
+// watcher with a 1-delta buffer lags behind a randomized insert/delete
+// commit stream whose net effects cancel and reappear; replaying the
+// folded delta stream over the initial snapshot must reproduce the final
+// maintained answer set, which must equal a fresh Exec.
+func TestWatchFoldedReplayConformance(t *testing.T) {
+	ctx := context.Background()
+	eng, prep, l := watchQ1(t, 30, 1, WithDeltaBuffer(1))
+	defer l.Close()
+	initial := l.Snapshot()
+
+	// Insert/delete churn: every edge is added, half are removed again,
+	// some re-added — matching Ins/Del pairs must fold away.
+	var updates []*relation.Update
+	for i := int64(0); i < 6; i++ {
+		updates = append(updates, namedPersonUpdate(1, 940_000+i))
+	}
+	for i := int64(0); i < 6; i += 2 {
+		updates = append(updates, namedPersonUpdate(1, 940_000+i).Inverse())
+	}
+	updates = append(updates, namedPersonUpdate(1, 940_000))
+	for _, u := range updates {
+		if _, err := eng.Commit(ctx, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("handle failed under lag: %v", err)
+	}
+	l.Close()
+	replay := initial.Clone()
+	folded := 0
+	for d, err := range l.Deltas() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		folded += d.Folded
+		for _, tu := range d.Del {
+			if !replay.Contains(tu) {
+				t.Fatalf("folded delta seq %d deletes %v, absent from replayed state", d.Seq, tu)
+			}
+			replay.Remove(tu)
+		}
+		for _, tu := range d.Ins {
+			if replay.Contains(tu) {
+				t.Fatalf("folded delta seq %d inserts %v, already in replayed state", d.Seq, tu)
+			}
+			replay.Add(tu)
+		}
+	}
+	if folded == 0 {
+		t.Fatal("no commits were folded — the buffer never overflowed; tighten the test")
+	}
+	ans, err := prep.Exec(ctx, query.Bindings{"p": relation.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replay.Equal(ans.Tuples) {
+		t.Fatalf("folded-stream replay yields %v, fresh exec %v", replay.Tuples(), ans.Tuples.Tuples())
+	}
+	if !l.Snapshot().Equal(ans.Tuples) {
+		t.Fatal("snapshot diverged from fresh exec")
 	}
 }
 

@@ -86,7 +86,9 @@ func (e *Engine) planKey(q *query.Query, x query.VarSet, mode OptimizerMode) str
 // evictions count both LRU pressure and fingerprint-mismatch
 // invalidations.
 type PlanCacheStats struct {
-	Hits, Misses, Evictions int64
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
 }
 
 // PlanCacheStats reports the engine's plan-cache counters. Zero for an

@@ -1,0 +1,58 @@
+package core
+
+import "repro/internal/store"
+
+// EngineStats is the engine's unified observability snapshot: one struct
+// carrying everything a serving dashboard needs — plan-cache counters,
+// the write path's sequence numbers and committed volume, and the live
+// subscription population. Engine.Stats assembles it from the engine's
+// atomic counters without stopping serving; the HTTP tier exposes it at
+// GET /statusz (expvar-compatible JSON) and sibench -serve prints it
+// after a load run.
+type EngineStats struct {
+	// Size is the backend's current |D| (total stored tuples).
+	Size int `json:"size"`
+	// PlanCache holds the plan cache's lifetime hit/miss/evict counters;
+	// PlanCacheLen is its current residency.
+	PlanCache    PlanCacheStats `json:"plan_cache"`
+	PlanCacheLen int            `json:"plan_cache_len"`
+	// Optimizer is the engine's current plan optimizer mode, rendered as
+	// its EXPLAIN string ("off", "on", "on+stats").
+	Optimizer string `json:"optimizer"`
+	// CommitSeq is the engine's last commit sequence number (0 before the
+	// first commit); StoreSeq the backend commit log's own LSN, 0 when the
+	// backend is unversioned.
+	CommitSeq int64 `json:"commit_seq"`
+	StoreSeq  int64 `json:"store_seq"`
+	// CommittedVolume is the cumulative committed tuple volume (insertions
+	// + deletions) per relation since the engine was built.
+	CommittedVolume map[string]int64 `json:"committed_volume"`
+	// Recosts counts how many times committed volume crossed the re-cost
+	// threshold and aged the cached stats-ordered plans.
+	Recosts int64 `json:"recosts"`
+	// Watchers is the number of registered live subscriptions.
+	Watchers int `json:"watchers"`
+}
+
+// Stats snapshots the engine's observability counters in one call. Safe
+// for concurrent use with serving; the snapshot is not atomic across
+// fields (a commit may land between reading CommitSeq and StoreSeq), but
+// every field is individually consistent.
+func (e *Engine) Stats() EngineStats {
+	s := EngineStats{
+		PlanCache:       e.PlanCacheStats(),
+		PlanCacheLen:    e.PlanCacheLen(),
+		Optimizer:       e.Optimizer().String(),
+		CommitSeq:       e.CommitSeq(),
+		CommittedVolume: e.CommittedVolume(),
+		Recosts:         e.Recosts(),
+		Watchers:        e.Watchers(),
+	}
+	if e.DB != nil {
+		s.Size = e.DB.Size()
+		if v, ok := e.DB.(store.Versioned); ok {
+			s.StoreSeq = v.Version()
+		}
+	}
+	return s
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestAdmitterBoundAndConcurrency pins the two stateless rules: the
+// per-query bound ceiling and the in-flight cap.
+func TestAdmitterBoundAndConcurrency(t *testing.T) {
+	a := newAdmitter(TenantPolicy{MaxBound: 10, MaxConcurrent: 2}, nil)
+	now := time.Now()
+
+	if err := a.checkBound("t", 10); err != nil {
+		t.Fatalf("bound at the ceiling rejected: %v", err)
+	}
+	err := a.checkBound("t", 11)
+	var adm *AdmissionError
+	if !errors.As(err, &adm) || adm.Reason != "bound" || adm.Bound != 11 || adm.Limit != 10 {
+		t.Fatalf("checkBound(11) = %v, want bound rejection carrying 11 > 10", err)
+	}
+	if !errors.Is(err, ErrAdmission) || !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatalf("bound rejection does not wrap the sentinels: %v", err)
+	}
+
+	if err := a.admit("t", 5, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.admit("t", 5, now); err != nil {
+		t.Fatal(err)
+	}
+	err = a.admit("t", 5, now)
+	if !errors.As(err, &adm) || adm.Reason != "concurrency" {
+		t.Fatalf("third concurrent admit = %v, want concurrency rejection", err)
+	}
+	// Concurrency rejections are not read-budget failures.
+	if errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatal("concurrency rejection wrongly wraps ErrBudgetExceeded")
+	}
+	a.release("t", 5, 3, 1)
+	if err := a.admit("t", 5, now); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+
+	st := a.stats()["t"]
+	if st.Admitted != 3 || st.RejectedConcurrency != 1 || st.RejectedBound != 1 || st.Inflight != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestAdmitterWindowBudget pins the reserve/refund ledger: admission
+// reserves the full effective bound, completion refunds the unused part,
+// and the window resets after its duration.
+func TestAdmitterWindowBudget(t *testing.T) {
+	a := newAdmitter(TenantPolicy{ReadBudget: 100, Window: time.Minute}, nil)
+	t0 := time.Now()
+
+	if err := a.admit("t", 60, t0); err != nil {
+		t.Fatal(err)
+	}
+	// 60 of 100 reserved: another 60 does not fit.
+	err := a.admit("t", 60, t0)
+	var adm *AdmissionError
+	if !errors.As(err, &adm) || adm.Reason != "budget" || adm.Limit != 40 {
+		t.Fatalf("over-budget admit = %v, want budget rejection with 40 remaining", err)
+	}
+	// The query measured only 10 reads: 50 refund, 110 total head-room
+	// is capped at the budget, so a 90 now fits.
+	a.release("t", 60, 10, 2)
+	if err := a.admit("t", 90, t0); err != nil {
+		t.Fatalf("admit after refund: %v", err)
+	}
+	a.release("t", 90, 90, 1)
+
+	// A fresh window forgets the spend entirely.
+	t1 := t0.Add(2 * time.Minute)
+	if err := a.admit("t", 100, t1); err != nil {
+		t.Fatalf("admit in fresh window: %v", err)
+	}
+	a.release("t", 100, 0, 0)
+
+	st := a.stats()["t"]
+	if st.MeasuredReads != 100 || st.MeasuredAnswers != 3 || st.RejectedBudget != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestAdmitterPerTenantPolicies checks tenants resolve their own policy
+// and fall back to the default.
+func TestAdmitterPerTenantPolicies(t *testing.T) {
+	a := newAdmitter(TenantPolicy{}, map[string]TenantPolicy{
+		"strict": {MaxBound: 1},
+	})
+	if err := a.checkBound("anyone", 1<<40); err != nil {
+		t.Fatalf("unlimited default rejected: %v", err)
+	}
+	if err := a.checkBound("strict", 2); err == nil {
+		t.Fatal("strict tenant admitted past its bound")
+	}
+}

@@ -96,6 +96,18 @@
 // unmaintainable query without it fails with ErrWatchNotMaintainable.
 // Commit also tracks committed update volume per relation and re-costs
 // cached OptimizerStats plans once drift crosses Engine.SetRecostThreshold.
+//
+// The same lifecycle is served over the network by internal/server and
+// cmd/siserve: POST /prepare returns a plan handle with the static bound
+// M and EXPLAIN, POST /query streams a Rows cursor as NDJSON, POST
+// /commit applies ΔD transactionally, GET /watch streams live deltas
+// over SSE, and GET /statusz serves Engine.Stats. Because M is known at
+// prepare time, the tier runs success-tolerant admission control: a
+// query whose bound exceeds its tenant's SLA (per-query ceiling,
+// windowed read budget, concurrency cap) is rejected up front with a
+// typed, machine-readable error carrying the bound. The Go client in
+// internal/server/client keeps this facade's shape (Prepare / Query /
+// Exec / Watch / Commit) so engine code ports to the wire unchanged.
 package scaleindep
 
 import (
@@ -189,7 +201,14 @@ type (
 	Live = core.Live
 	// Delta is one commit's effect on a live query's answers, with the
 	// maintenance cost charged and the N-derived bound it ran under.
+	// Delta.Folded > 0 marks a coalesced delta: the net effect of several
+	// consecutive commits, produced when a WithDeltaBuffer queue overflows.
 	Delta = core.Delta
+	// EngineStats is the engine's unified observability snapshot
+	// (Engine.Stats): backend size, plan-cache counters, commit sequence
+	// numbers, committed volume, live watcher population. The HTTP serving
+	// tier exposes it at GET /statusz.
+	EngineStats = core.EngineStats
 	// WatchOption configures a subscription: WithReexec, WithDeltaBuffer.
 	WatchOption = core.WatchOption
 	// Maintainer is the standalone (non-subscribed, not concurrency-safe)
@@ -238,8 +257,11 @@ var (
 	ErrWatchNotMaintainable = core.ErrWatchNotMaintainable
 	// ErrInvalidUpdate: Engine.Commit rejected ΔD before applying anything.
 	ErrInvalidUpdate = core.ErrInvalidUpdate
-	// ErrSlowConsumer: a WithDeltaBuffer subscription fell behind the
-	// commit stream.
+	// ErrSlowConsumer: a consumer fell behind a bounded delta stream
+	// beyond what coalescing can absorb. Engine-level WithDeltaBuffer
+	// subscriptions no longer raise it (overflow folds the oldest queued
+	// deltas into one net delta instead — see Delta.Folded); the sentinel
+	// remains for serving layers that must shed consumers.
 	ErrSlowConsumer = core.ErrSlowConsumer
 )
 
@@ -262,8 +284,10 @@ var (
 	// WithReexec maintains non-maintainable queries by bounded
 	// re-execution per relevant commit instead of failing the watch.
 	WithReexec = core.WithReexec
-	// WithDeltaBuffer bounds the pending-delta queue; overflow fails the
-	// handle with ErrSlowConsumer.
+	// WithDeltaBuffer bounds the pending-delta queue; on overflow the
+	// oldest queued deltas are folded into one net delta (Delta.Folded
+	// counts the absorbed commits), so a lagging consumer sees coarser
+	// deltas instead of a failed handle.
 	WithDeltaBuffer = core.WithDeltaBuffer
 )
 
