@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet staticcheck bench bench-smoke serving shardscale reorder live live-smoke serve serve-smoke
+.PHONY: check build test race vet staticcheck bench bench-smoke serving shardscale reorder live live-smoke serve serve-smoke metrics-smoke overhead-gate
 
 ## check: the CI gate — vet, build, and race-enabled tests.
 check: vet build race
@@ -57,3 +57,14 @@ serve:
 ## violation, a misclassified rejection, or a goroutine leak through drain.
 serve-smoke:
 	$(GO) run ./cmd/sibench -serve -quick
+
+## metrics-smoke: the CI exporter gate — drive a live serving tier, scrape
+## GET /metricsz over HTTP, strict-parse the Prometheus text exposition,
+## and fail on any malformed line, missing family, or miscounted traffic.
+metrics-smoke:
+	$(GO) run ./cmd/sibench -metricsz
+
+## overhead-gate: the CI instrumentation budget — default-on telemetry
+## must cost at most 5% wall time on the prepared-exec hot path.
+overhead-gate:
+	SI_OVERHEAD_GATE=1 $(GO) test -run TestInstrumentationOverheadGate -v .

@@ -1,7 +1,7 @@
 package scaleindep
 
 // Benchmarks regenerating every table/figure of the reproduction (see
-// DESIGN.md §7 for the experiment index). Each benchmark wraps one
+// DESIGN.md §8 for the experiment index). Each benchmark wraps one
 // experiment of internal/bench in quick mode, plus fine-grained benches
 // for the core engine paths and the prepared-query serving API. Run:
 //
@@ -12,12 +12,15 @@ package scaleindep
 
 import (
 	"context"
+	"math"
+	"os"
 	"testing"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/incr"
+	"repro/internal/obs"
 	"repro/internal/qdsi"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -275,6 +278,104 @@ func BenchmarkServingPreparedNoTrace(b *testing.B) {
 		if _, err := prep.Exec(ctx, Bindings{"p": Int(int64(i % 1000))}, WithoutTrace()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServingPreparedExec compares the prepared serving hot path
+// under the three instrumentation states:
+//
+//	bare      no telemetry installed (a library embedder's default)
+//	traced    engine telemetry on — QueryEvent per execution into a live
+//	          metrics observer, as siserve runs in production
+//	analyzed  EXPLAIN ANALYZE mode — per-operator counters and wall
+//	          clocks (opt-in diagnostics, not on the serving path)
+//
+// The bare→traced delta is the default-on instrumentation cost, budgeted
+// at ≤5% and CI-gated by TestInstrumentationOverheadGate (`make
+// overhead-gate`). The traced→analyzed delta is what a diagnostic run
+// pays; it has no budget.
+func BenchmarkServingPreparedExec(b *testing.B) {
+	b.Run("bare", func(b *testing.B) { benchPreparedExec(b, false, false) })
+	b.Run("traced", func(b *testing.B) { benchPreparedExec(b, true, false) })
+	b.Run("analyzed", func(b *testing.B) { benchPreparedExec(b, true, true) })
+}
+
+// benchObserver is a production-shaped telemetry sink: per-query latency
+// and reads histograms, as the serving tier's /metricsz observer records.
+type benchObserver struct {
+	lat, reads *obs.Histogram
+}
+
+func (o *benchObserver) ObserveQuery(ev core.QueryEvent) {
+	o.lat.ObserveDuration(ev.Wall)
+	o.reads.Observe(float64(ev.Cost.TupleReads))
+}
+func (o *benchObserver) ObserveCommit(core.CommitEvent) {}
+
+func benchPreparedExec(b *testing.B, telemetry, analyze bool) {
+	eng, _ := socialEngine(b, 10000)
+	if telemetry {
+		reg := obs.NewRegistry()
+		eng.SetTelemetry(core.TelemetryConfig{Observer: &benchObserver{
+			lat:   reg.Histogram("bench_query_latency_seconds", "bench").With(),
+			reads: reg.Histogram("bench_query_reads", "bench").With(),
+		}})
+	}
+	q, err := ParseQuery(workload.Q1Src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep, err := eng.Prepare(q, NewVarSet("p"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	opts := []ExecOption{WithoutTrace()}
+	if analyze {
+		opts = append(opts, WithAnalyze())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := prep.Query(ctx, Bindings{"p": Int(int64(i % 1000))}, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for rows.Next() {
+		}
+		if err := rows.Err(); err != nil {
+			b.Fatal(err)
+		}
+		rows.Close()
+	}
+}
+
+// TestInstrumentationOverheadGate is the CI overhead budget (set
+// SI_OVERHEAD_GATE to run; `make overhead-gate`): default-on telemetry —
+// the QueryEvent per execution siserve records into its metrics registry
+// — must cost at most 5% wall time over the bare prepared hot path. Both
+// lanes run back to back in-process, best of three rounds each, so
+// scheduler noise fails slow, not spuriously.
+func TestInstrumentationOverheadGate(t *testing.T) {
+	if os.Getenv("SI_OVERHEAD_GATE") == "" {
+		t.Skip("set SI_OVERHEAD_GATE=1 to run the instrumentation overhead gate")
+	}
+	best := func(telemetry bool) float64 {
+		ns := math.MaxFloat64
+		for round := 0; round < 3; round++ {
+			r := testing.Benchmark(func(b *testing.B) { benchPreparedExec(b, telemetry, false) })
+			if v := float64(r.T.Nanoseconds()) / float64(r.N); v < ns {
+				ns = v
+			}
+		}
+		return ns
+	}
+	bare := best(false)
+	traced := best(true)
+	overhead := traced/bare - 1
+	t.Logf("bare %.0f ns/op, traced %.0f ns/op, overhead %+.2f%%", bare, traced, 100*overhead)
+	if overhead > 0.05 {
+		t.Fatalf("default-on instrumentation overhead %.2f%% exceeds the 5%% budget", 100*overhead)
 	}
 }
 

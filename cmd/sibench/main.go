@@ -1,6 +1,6 @@
 // Command sibench runs the full experiment suite: the Table 1 validation
 // tables, the Example 1.1 scaling series, and the per-theorem experiments
-// (see DESIGN.md §7 for the index). With -markdown it emits the body of
+// (see DESIGN.md §8 for the index). With -markdown it emits the body of
 // EXPERIMENTS.md. With -serving it instead benchmarks the serving API:
 // per-call analysis vs the transparent plan cache vs a prepared query.
 //
@@ -33,6 +33,7 @@ import (
 	"repro/internal/backendtest"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -58,8 +59,16 @@ func main() {
 	serve := flag.Bool("serve", false, "load-test the HTTP serving tier instead: concurrent streaming clients vs a committer and a live watcher; reports q/s, p50/p99, admission rejects; exits nonzero on a bound violation, misclassified rejection, or goroutine leak")
 	tenants := flag.Int("tenants", 4, "with -serve: number of tenants the clients are spread over (tenant t0 gets a tight read budget)")
 	serveDur := flag.Duration("duration", 3*time.Second, "with -serve: load duration (quick caps it at 1s)")
+	metricsz := flag.Bool("metricsz", false, "smoke-test the /metricsz exporter instead: drive a live server, scrape it over HTTP, and strict-parse the exposition; exits nonzero on any malformed line, missing family, or miscounted traffic")
 	flag.Parse()
 
+	if *metricsz {
+		if err := metricsSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "sibench: metricsz: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *serve {
 		if err := serveBench(*quick, *shards, *clients, *tenants, *serveDur); err != nil {
 			fmt.Fprintf(os.Stderr, "sibench: serve: %v\n", err)
@@ -736,10 +745,13 @@ func liveBench(quick bool, shards, watchers int) error {
 
 	var maintReads, reexecReads int64
 	var commitTime time.Duration
+	lath := obs.NewHistogram()
 	for _, u := range stream {
 		start := time.Now()
 		res, err := eng.Commit(ctx, u)
-		commitTime += time.Since(start)
+		lat := time.Since(start)
+		commitTime += lat
+		lath.ObserveDuration(lat)
 		if err != nil {
 			return err
 		}
@@ -795,6 +807,8 @@ func liveBench(quick bool, shards, watchers int) error {
 	fmt.Printf("%-38s %14.1f\n", "maintenance reads (all watchers)", float64(maintReads)/n)
 	fmt.Printf("%-38s %14.1f\n", "full re-execution reads (baseline)", float64(reexecReads)/n)
 	fmt.Printf("%-38s %14s\n", "commit latency (incl. maintenance)", (commitTime / time.Duration(len(stream))).Round(time.Microsecond))
+	fmt.Printf("%-38s %14s\n", "commit latency p50", lath.QuantileDuration(0.50).Round(time.Microsecond))
+	fmt.Printf("%-38s %14s\n", "commit latency p99", lath.QuantileDuration(0.99).Round(time.Microsecond))
 	fmt.Printf("%-38s %14.0f\n", "commits/s", n/commitTime.Seconds())
 	fmt.Printf("\n%d deltas delivered; max per-delta reads %d, max bound %d — every snapshot ≡ fresh Exec\n",
 		deltas, maxReads, maxBound)

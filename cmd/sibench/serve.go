@@ -7,11 +7,11 @@ import (
 	"net"
 	"net/http"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/server"
@@ -82,7 +82,8 @@ func serveBench(quick bool, shards, clients, tenants int, dur time.Duration) err
 		"t0":     {ReadBudget: 4 * boundM, Window: 25 * time.Millisecond},
 		"strict": {MaxBound: 1},
 	}
-	srv := server.NewServer(server.Config{Engine: eng, Policies: policies})
+	reg := obs.NewRegistry()
+	srv := server.NewServer(server.Config{Engine: eng, Policies: policies, Metrics: reg})
 
 	baseline := runtime.NumGoroutine()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -101,9 +102,10 @@ func serveBench(quick bool, shards, clients, tenants int, dur time.Duration) err
 	fmt.Printf("serve: %s backend, |D| = %d, Q1 bound M = %d reads, %d clients over %d tenants for %s\n",
 		backend, b.Size(), boundM, clients, tenants, dur)
 
-	// Per-client results, merged after the run.
+	// Per-client results, merged after the run. Latencies go straight into
+	// a shared histogram (obs.Histogram is concurrency-safe), which also
+	// provides the p50/p99 at reporting time.
 	type result struct {
-		lats          []time.Duration
 		ok            int64
 		rejBound      int64
 		rejBudget     int64
@@ -112,6 +114,7 @@ func serveBench(quick bool, shards, clients, tenants int, dur time.Duration) err
 		badErrs       []error
 	}
 	results := make([]result, clients)
+	lath := obs.NewHistogram()
 	deadline := time.Now().Add(dur)
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
@@ -147,7 +150,7 @@ func serveBench(quick bool, shards, clients, tenants int, dur time.Duration) err
 					res.badErrs = append(res.badErrs, fmt.Errorf("client %d (%s) query %d: %w", c, tenant, i, err))
 					return
 				}
-				res.lats = append(res.lats, lat)
+				lath.ObserveDuration(lat)
 				res.ok++
 				if stats.Reads > stats.Bound {
 					res.boundViolated++
@@ -241,12 +244,10 @@ func serveBench(quick bool, shards, clients, tenants int, dur time.Duration) err
 	}
 
 	// Merge and report.
-	var all []time.Duration
 	var ok, rejBound, rejBudget, rejConc, boundViolated int64
 	var badErrs []error
 	for i := range results {
 		r := &results[i]
-		all = append(all, r.lats...)
 		ok += r.ok
 		rejBound += r.rejBound
 		rejBudget += r.rejBudget
@@ -254,17 +255,10 @@ func serveBench(quick bool, shards, clients, tenants int, dur time.Duration) err
 		boundViolated += r.boundViolated
 		badErrs = append(badErrs, r.badErrs...)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p float64) time.Duration {
-		if len(all) == 0 {
-			return 0
-		}
-		idx := int(p * float64(len(all)-1))
-		return all[idx]
-	}
 	rejected := rejBound + rejBudget + rejConc + 1 // +1: the strict probe
 	fmt.Printf("serve: %d queries ok (%.0f q/s), p50 %s, p99 %s\n",
-		ok, float64(ok)/dur.Seconds(), pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+		ok, float64(ok)/dur.Seconds(),
+		lath.QuantileDuration(0.50).Round(time.Microsecond), lath.QuantileDuration(0.99).Round(time.Microsecond))
 	fmt.Printf("serve: admission rejected %d (bound %d, budget %d, concurrency %d), %d commits, %d watch deltas (%d folded commits)\n",
 		rejected, rejBound+1, rejBudget, rejConc, commits, watchDeltas, watchFolded)
 	fmt.Printf("serve: engine after load: size %d, commit seq %d, plan cache %d entries (%d hits / %d misses), %d watchers\n",

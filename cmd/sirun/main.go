@@ -15,6 +15,7 @@
 //	sirun -query ... -fix "p=7" -max-reads 1000 -timeout 5s
 //	sirun -query ... -fix "p=7" -limit 3               # stream the first 3 answers and stop reading
 //	sirun -query ... -fix "p=7" -explain               # print the compiled physical plan (EXPLAIN)
+//	sirun -query ... -fix "p=7" -analyze               # EXPLAIN ANALYZE: static bound vs measured per operator
 //	sirun -query ... -fix "p=7" -explain -no-optimizer # ... the analysis-order plan instead
 //	sirun -query ... -fix "p=7" -watch                 # live query: stream answer deltas until Ctrl-C
 //
@@ -66,6 +67,7 @@ func main() {
 	shards := flag.Int("shards", 0, "serve from a hash-sharded store with this many shards (0 = single-node)")
 	limit := flag.Int("limit", 0, "stream at most this many answers through the cursor API and stop charging reads (0 = drain everything)")
 	explain := flag.Bool("explain", false, "print the compiled physical plan (operator tree, chosen order, static cost) before executing")
+	analyze := flag.Bool("analyze", false, "EXPLAIN ANALYZE: execute with per-operator runtime tracing and print static bound vs measured rows/reads/wall per operator")
 	noOpt := flag.Bool("no-optimizer", false, "compile the analysis-emitted order instead of the cost-based plan")
 	watch := flag.Bool("watch", false, "watch the query live instead: a background writer commits a randomized update stream and the maintained answer deltas print until interrupted (generated data only)")
 	watchCommits := flag.Int("watch-commits", 0, "with -watch: stop after this many commits (0 = until interrupted)")
@@ -160,7 +162,15 @@ func main() {
 			fmt.Println(prep.Explain())
 		}
 		start = time.Now()
-		ans, err = prep.Exec(ctx, fixed, opts...)
+		if *analyze {
+			var rendered string
+			rendered, ans, err = prep.Analyze(ctx, fixed, opts...)
+			if err == nil {
+				fmt.Println(rendered)
+			}
+		} else {
+			ans, err = prep.Exec(ctx, fixed, opts...)
+		}
 	} else if *fallback && errors.Is(err, core.ErrNotControllable) {
 		fmt.Printf("not controllable for %s; falling back to naive evaluation\n\n", fixed.Vars())
 		prepLabel = "analysis (not controllable)"

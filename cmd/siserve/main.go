@@ -13,6 +13,11 @@
 //	POST /commit    apply a transactional update
 //	GET  /watch     subscribe to a live query over SSE
 //	GET  /statusz   unified engine + admission observability snapshot
+//	GET  /metricsz  metrics registry in Prometheus text format
+//
+// With -admin, a second listener additionally serves /metricsz, /statusz
+// and the net/http/pprof profiling handlers, keeping profiling off the
+// serving address.
 //
 // The default tenant policy is configurable from the command line; a
 // zero value means unlimited:
@@ -25,13 +30,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/store"
@@ -40,6 +48,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	adminAddr := flag.String("admin", "", "admin listen address serving /metricsz, /statusz and /debug/pprof (empty = disabled; /metricsz is always on the main address too)")
 	shards := flag.Int("shards", 0, "serve over the hash-sharded backend with this many shards (0 = single-node)")
 	persons := flag.Int("persons", 1000, "workload size: number of persons in the generated dataset")
 	seed := flag.Int64("seed", 1, "workload generator seed")
@@ -48,9 +57,11 @@ func main() {
 	window := flag.Duration("window", time.Second, "budget accounting window")
 	maxConcurrent := flag.Int("max-concurrent", 0, "default tenant SLA: max in-flight queries (0 = unlimited)")
 	watchBuffer := flag.Int("watch-buffer", 64, "per-watcher delta queue depth before coalescing")
+	slowQuery := flag.Duration("slow-query", 100*time.Millisecond, "log queries at or above this wall time (0 = off)")
+	slowCommit := flag.Duration("slow-commit", 100*time.Millisecond, "log commits at or above this pipeline time (0 = off)")
 	flag.Parse()
 
-	if err := run(*addr, *shards, *persons, *seed, server.Config{
+	if err := run(*addr, *adminAddr, *shards, *persons, *seed, server.Config{
 		DefaultPolicy: server.TenantPolicy{
 			MaxBound:      *maxBound,
 			ReadBudget:    *readBudget,
@@ -58,13 +69,17 @@ func main() {
 			MaxConcurrent: *maxConcurrent,
 		},
 		WatchBuffer: *watchBuffer,
+		Metrics:     obs.NewRegistry(),
+		Logger:      slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		SlowQuery:   *slowQuery,
+		SlowCommit:  *slowCommit,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "siserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, shards, persons int, seed int64, cfg server.Config) error {
+func run(addr, adminAddr string, shards, persons int, seed int64, cfg server.Config) error {
 	wcfg := workload.DefaultConfig()
 	wcfg.Persons = persons
 	wcfg.Seed = seed
@@ -97,6 +112,27 @@ func run(addr string, shards, persons int, seed int64, cfg server.Config) error 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
 
+	// Admin mux: profiling and scrape endpoints on a separate listener,
+	// so pprof is never exposed on the serving address.
+	var admin *http.Server
+	if adminAddr != "" {
+		amux := http.NewServeMux()
+		amux.HandleFunc("/debug/pprof/", pprof.Index)
+		amux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		amux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		amux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		amux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		amux.HandleFunc("GET /metricsz", func(w http.ResponseWriter, r *http.Request) {
+			srv.ServeHTTP(w, r) // same registry + scrape-time collection as the main mux
+		})
+		amux.HandleFunc("GET /statusz", func(w http.ResponseWriter, r *http.Request) {
+			srv.ServeHTTP(w, r)
+		})
+		admin = &http.Server{Addr: adminAddr, Handler: amux}
+		fmt.Printf("siserve: admin on %s (/metricsz, /statusz, /debug/pprof)\n", adminAddr)
+		go admin.ListenAndServe()
+	}
+
 	select {
 	case err := <-errCh:
 		return err
@@ -110,6 +146,9 @@ func run(addr string, shards, persons int, seed int64, cfg server.Config) error 
 	}
 	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if admin != nil {
+		admin.Shutdown(drainCtx)
 	}
 	st := srv.Status()
 	fmt.Printf("siserve: drained; served %d handles, commit seq %d\n", st.Handles, st.Engine.CommitSeq)

@@ -102,6 +102,7 @@ func Run(t *testing.T, open OpenFunc) {
 	t.Run("streaming", func(t *testing.T) { streamingConformance(t, cfg, engRef, engB) })
 	t.Run("scanseq", func(t *testing.T) { scanSeqConformance(t, b) })
 	t.Run("planequiv", func(t *testing.T) { planEquivalence(t, cfg, engRef.DB, b) })
+	t.Run("analyze", func(t *testing.T) { analyzeConformance(t, cfg, b) })
 	t.Run("livemaint", func(t *testing.T) { liveMaintenance(t, cfg, engRef, engB) })
 }
 

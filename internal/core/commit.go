@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/relation"
 	"repro/internal/store"
@@ -17,28 +18,34 @@ import (
 // just no longer best).
 const DefaultRecostThreshold = 1024
 
-// CommitResult describes one applied commit.
+// CommitResult describes one applied commit. JSON tags are snake_case
+// throughout (as everywhere on the observability surface), so marshaling
+// a result — or any struct nesting one — matches /statusz conventions.
 type CommitResult struct {
 	// Seq is the engine's commit sequence number: the total notification
 	// order every Live delta carries. Strictly monotonic, starting at 1.
-	Seq int64
+	Seq int64 `json:"seq"`
 	// StoreSeq is the storage backend's own log sequence number for this
 	// ΔD (store.Versioned), 0 when the backend is unversioned. On a
 	// sharded backend this is the merged commit number; per-shard LSNs
 	// advance underneath where the tuples land.
-	StoreSeq int64
+	StoreSeq int64 `json:"store_seq"`
 	// Size is |ΔD|.
-	Size int
+	Size int `json:"size"`
 	// Watchers is the number of Live subscriptions this commit notified
 	// (those whose query body the update touches).
-	Watchers int
+	Watchers int `json:"watchers"`
 	// Maintenance is the total work charged maintaining those watchers'
 	// answer sets — every read counted, each watcher's share bounded by
 	// its N-derived per-delta bound.
-	Maintenance store.Counters
+	Maintenance store.Counters `json:"maintenance"`
 	// Recosted reports whether this commit pushed some relation's update
 	// volume past the re-cost threshold, aging cached stats-ordered plans.
-	Recosted bool
+	Recosted bool `json:"recosted"`
+	// Phases is the wall-time breakdown of the pipeline: validation, live
+	// maintenance against the pre-state, the store apply, and watcher
+	// notification. Phases.Total() is the commit's time under the lock.
+	Phases CommitPhases `json:"phases"`
 }
 
 // Commit is the engine's write path: it validates ΔD, applies it to the
@@ -76,6 +83,17 @@ func (e *Engine) Commit(ctx context.Context, u *relation.Update) (*CommitResult,
 	e.commitMu.Lock()
 	defer e.commitMu.Unlock()
 
+	// Phase timing is always on: a handful of clock reads per commit is
+	// noise next to the apply, and CommitResult.Phases is part of the
+	// result contract. Telemetry sinks additionally get a CommitEvent.
+	var phases CommitPhases
+	phaseStart := time.Now()
+	mark := func(d *time.Duration) {
+		now := time.Now()
+		*d = now.Sub(phaseStart)
+		phaseStart = now
+	}
+
 	// Phase 0 — validate before charging anyone: when watchers will do
 	// maintenance work for this update and the backend can pre-check ΔD
 	// (both built-in backends implement store.Validator), an invalid
@@ -92,10 +110,16 @@ func (e *Engine) Commit(ctx context.Context, u *relation.Update) (*CommitResult,
 	if len(touched) > 0 {
 		if v, ok := e.DB.(store.Validator); ok {
 			if err := v.ValidateUpdate(u); err != nil {
-				return nil, fmt.Errorf("core: %w: %w", ErrInvalidUpdate, err)
+				err = fmt.Errorf("core: %w: %w", ErrInvalidUpdate, err)
+				mark(&phases.Validate)
+				if o := e.telemetry(); o != nil {
+					o.observeCommit(CommitEvent{Size: u.Size(), Phases: phases, Err: err})
+				}
+				return nil, err
 			}
 		}
 	}
+	mark(&phases.Validate)
 
 	// Phase 1 — pre-apply: deletion candidates for every touched watcher
 	// are computed against the OLD state. Each watcher charges its own
@@ -122,20 +146,32 @@ func (e *Engine) Commit(ctx context.Context, u *relation.Update) (*CommitResult,
 		}
 		work = append(work, pending{l: l, es: es, bound: bound, delCand: delCand})
 	}
+	mark(&phases.Maintain)
 
 	// Phase 2 — apply, through the backend's commit log when it has one.
 	var storeSeq int64
 	if v, ok := e.DB.(store.Versioned); ok {
 		seq, err := v.ApplyVersioned(u)
 		if err != nil {
-			return nil, fmt.Errorf("core: %w: %w", ErrInvalidUpdate, err)
+			err = fmt.Errorf("core: %w: %w", ErrInvalidUpdate, err)
+			mark(&phases.Apply)
+			if o := e.telemetry(); o != nil {
+				o.observeCommit(CommitEvent{Size: u.Size(), Phases: phases, Err: err})
+			}
+			return nil, err
 		}
 		storeSeq = seq
 	} else if err := e.DB.ApplyUpdate(u); err != nil {
-		return nil, fmt.Errorf("core: %w: %w", ErrInvalidUpdate, err)
+		err = fmt.Errorf("core: %w: %w", ErrInvalidUpdate, err)
+		mark(&phases.Apply)
+		if o := e.telemetry(); o != nil {
+			o.observeCommit(CommitEvent{Size: u.Size(), Phases: phases, Err: err})
+		}
+		return nil, err
 	}
 	seq := e.commitSeq.Add(1)
 	res := &CommitResult{Seq: seq, StoreSeq: storeSeq, Size: u.Size(), Recosted: e.trackVolume(u)}
+	mark(&phases.Apply)
 
 	// Phase 3 — post-apply: insertion candidates and deletion
 	// re-verification against the NEW state; each watcher's answer set
@@ -167,6 +203,17 @@ func (e *Engine) Commit(ctx context.Context, u *relation.Update) (*CommitResult,
 		w.l.mu.Unlock()
 		res.Watchers++
 		res.Maintenance.Add(w.es.Counters)
+	}
+	mark(&phases.Notify)
+	res.Phases = phases
+	if o := e.telemetry(); o != nil {
+		o.observeCommit(CommitEvent{
+			Seq:         res.Seq,
+			Size:        res.Size,
+			Watchers:    res.Watchers,
+			Maintenance: res.Maintenance,
+			Phases:      phases,
+		})
 	}
 	return res, nil
 }

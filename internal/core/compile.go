@@ -97,5 +97,7 @@ func compilePlan(d *Derivation, b store.Backend, mode OptimizerMode) *Plan {
 	if b != nil {
 		plan.ResolveRoutes(root, b)
 	}
-	return &Plan{Derivation: d, Bound: root.Bound(), Root: root, Mode: mode}
+	// Operator IDs are assigned after optimization and routing, so the
+	// numbering matches the tree EXPLAIN (and EXPLAIN ANALYZE) renders.
+	return &Plan{Derivation: d, Bound: root.Bound(), Root: root, Mode: mode, NumOps: plan.AssignOpIDs(root)}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/eval"
 	"repro/internal/query"
@@ -56,6 +57,12 @@ type Engine struct {
 	recostThreshold int64
 	statsEpoch      atomic.Int64
 	recosts         atomic.Int64
+
+	// Telemetry sinks (observe.go): a snapshot of observer, structured
+	// logger and slow thresholds, swapped atomically so serving goroutines
+	// read it without locking. Nil means telemetry is off and the query
+	// path skips even the clock reads.
+	obs atomic.Pointer[engineObs]
 }
 
 // OptimizerMode selects how Prepare turns a derivation into a physical
@@ -134,6 +141,8 @@ type execOpts struct {
 	noTrace       bool
 	naiveFallback bool
 	limit         int
+	analyze       bool
+	requestID     string
 }
 
 // WithLimit stops the evaluation after n distinct answers have been
@@ -154,6 +163,20 @@ func WithMaxReads(n int64) ExecOption { return func(o *execOpts) { o.maxReads = 
 // WithoutTrace skips witness-set (D_Q) bookkeeping for the call: the
 // returned Answer has a nil DQ. Use on hot paths that only need answers.
 func WithoutTrace() ExecOption { return func(o *execOpts) { o.noTrace = true } }
+
+// WithAnalyze enables per-operator runtime tracing for the call: each
+// plan operator accumulates rows produced, tuple reads charged, wall
+// time and shard fan-out, rendered by Rows.Analyze (EXPLAIN ANALYZE).
+// Tracing costs one trace and one per-operator charge array per call
+// plus a timestamp per pulled row; without this option the trace
+// machinery allocates nothing.
+func WithAnalyze() ExecOption { return func(o *execOpts) { o.analyze = true } }
+
+// WithRequestID tags the call with an end-to-end request identifier: it
+// rides on the per-call ExecStats (surviving shard forks) and appears in
+// slow-query log lines and observer events, tying a wire request to the
+// store work it caused.
+func WithRequestID(id string) ExecOption { return func(o *execOpts) { o.requestID = id } }
 
 // WithNaiveFallback makes AnswerContext fall back to naive (full-scan)
 // evaluation when the query is not controllable for the fixed variables,
@@ -281,7 +304,7 @@ func (e *Engine) naiveAnswer(ctx context.Context, q *query.Query, fixed query.Bi
 // periodically within large scans), since this is the one path whose
 // running time can grow with |D|.
 func (e *Engine) naiveQuery(ctx context.Context, q *query.Query, fixed query.Bindings, o execOpts) (*Rows, error) {
-	es := &store.ExecStats{MaxReads: o.maxReads, Ctx: ctx}
+	es := &store.ExecStats{MaxReads: o.maxReads, Ctx: ctx, RequestID: o.requestID}
 	if !o.noTrace {
 		es.Trace = store.NewTrace()
 	}
@@ -291,7 +314,14 @@ func (e *Engine) naiveQuery(ctx context.Context, q *query.Query, fixed query.Bin
 		}
 	}
 	seq := eval.Stream(eval.NewStoreSource(e.DB, es), q, fixed)
-	return newRows(remainingHead(q.Head, fixed), nil, es, seq, o.limit), nil
+	r := newRows(remainingHead(q.Head, fixed), nil, es, seq, o.limit)
+	r.qname = q.Name
+	r.naive = true
+	if obs := e.telemetry(); obs != nil {
+		r.obs = obs
+		r.start = time.Now()
+	}
+	return r, nil
 }
 
 // QCntl decides the problem of Theorem 4.4: is there x̄ with |x̄| ≤ K such

@@ -68,6 +68,9 @@ type Plan struct {
 	Root plan.Node
 	// Mode records how Root was produced (analysis order vs cost-based).
 	Mode OptimizerMode
+	// NumOps is the number of operators in Root (pre-order IDs 0..NumOps-1),
+	// sizing the per-operator runtime trace of EXPLAIN ANALYZE.
+	NumOps int
 }
 
 // NewPlan compiles a derivation 1:1 into an executable plan (analysis
@@ -75,7 +78,7 @@ type Plan struct {
 // optimized, route-resolved plans instead.
 func NewPlan(d *Derivation) *Plan {
 	root := Compile(d)
-	return &Plan{Derivation: d, Bound: root.Bound(), Root: root, Mode: OptimizerOff}
+	return &Plan{Derivation: d, Bound: root.Bound(), Root: root, Mode: OptimizerOff, NumOps: plan.AssignOpIDs(root)}
 }
 
 // Explain renders the physical operator tree with per-operator static

@@ -64,6 +64,28 @@ func (p *PreparedQuery) Explain() string {
 	return fmt.Sprintf("%s controlled by %s\n%s", p.q.Name, p.ctrl, p.plan.Explain())
 }
 
+// Analyze executes the prepared plan once with per-operator runtime
+// tracing (WithAnalyze implied) and returns the EXPLAIN ANALYZE
+// rendering alongside the answer: static bound vs measured rows, reads,
+// wall time and fan-out per operator. The EXPLAIN ANALYZE of the serving
+// API (surfaced by sirun -analyze).
+func (p *PreparedQuery) Analyze(ctx context.Context, fixed query.Bindings, opts ...ExecOption) (string, *Answer, error) {
+	var o execOpts
+	for _, f := range opts {
+		f(&o)
+	}
+	o.analyze = true
+	rows, err := p.query(ctx, fixed, o)
+	if err != nil {
+		return "", nil, err
+	}
+	ans, err := rows.drain()
+	if err != nil {
+		return "", nil, err
+	}
+	return fmt.Sprintf("%s controlled by %s\n%s", p.q.Name, p.ctrl, rows.Analyze()), ans, nil
+}
+
 // planKey builds the cache key (query name, controlling set, optimizer
 // mode — plans compiled under different modes are distinct entries). For
 // OptimizerStats plans the engine's stats epoch is part of the key:

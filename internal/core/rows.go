@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"strings"
+	"time"
 
 	"repro/internal/plan"
 	"repro/internal/query"
@@ -43,6 +45,18 @@ type Rows struct {
 	n      int
 	limit  int
 	closed bool
+
+	// tr is the per-operator runtime trace, non-nil only under
+	// WithAnalyze; rendered by Analyze.
+	tr *plan.Trace
+
+	// Telemetry (observe.go): obs is the engine snapshot captured at open
+	// (nil when telemetry is off — then start is never read), qname the
+	// query name for the event, start the open timestamp.
+	obs   *engineObs
+	qname string
+	start time.Time
+	naive bool
 }
 
 // newRows wraps a lazy answer sequence (already deduplicated, projected
@@ -156,6 +170,17 @@ func (r *Rows) Close() error {
 	if r.stop != nil {
 		r.stop()
 	}
+	if r.obs != nil {
+		r.obs.observeQuery(QueryEvent{
+			Query:     r.qname,
+			RequestID: r.es.RequestID,
+			Wall:      time.Since(r.start),
+			Cost:      r.es.Counters,
+			Answers:   r.n,
+			Naive:     r.naive,
+			Err:       r.err,
+		})
+	}
 	return nil
 }
 
@@ -215,6 +240,37 @@ func (r *Rows) Explain() string {
 	}
 	return r.plan.Explain()
 }
+
+// Analyze renders the EXPLAIN ANALYZE view of the cursor: the physical
+// plan annotated per operator with the static bound next to the measured
+// rows produced, tuple reads charged, wall time and shard fan-out, plus
+// actual totals against the plan bound. Valid on a cursor opened with
+// WithAnalyze; meaningful after consumption (the counters grow as the
+// cursor is pulled, like Cost).
+func (r *Rows) Analyze() string {
+	if r.plan == nil {
+		return "naive fallback: full-scan evaluation, no bounded plan\n"
+	}
+	if r.tr == nil {
+		return "analyze: cursor was not opened with WithAnalyze\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "physical plan (%s, optimizer %s)\n", r.plan.Bound, r.plan.Mode)
+	fmt.Fprintf(&b, "order: %s\n", strings.Join(plan.AtomOrder(r.plan.Root), ", "))
+	b.WriteString(plan.ExplainAnalyze(r.plan.Root, r.tr, r.es.Ops))
+	fmt.Fprintf(&b, "actual: answers=%d %s (bound reads=%d)\n", r.n, r.es.Counters.String(), r.plan.Bound.Reads)
+	return b.String()
+}
+
+// OpCharges returns the per-operator charge breakdown accumulated so far
+// (indexed by pre-order operator ID), nil unless the cursor was opened
+// with WithAnalyze. The sum of the per-operator counters equals Cost()
+// bit-identically — every charge is attributed to exactly one operator.
+func (r *Rows) OpCharges() []store.OpCharge { return r.es.Ops }
+
+// OpTrace returns the runtime rows/wall trace accumulated so far, nil
+// unless the cursor was opened with WithAnalyze.
+func (r *Rows) OpTrace() *plan.Trace { return r.tr }
 
 // Cost returns the work charged to this cursor so far. It grows as the
 // cursor is pulled; after exhaustion it equals the cost Exec would have
@@ -314,13 +370,26 @@ func (p *PreparedQuery) query(ctx context.Context, fixed query.Bindings, o execO
 	if missing := p.d.Ctrl.Minus(fixed.Vars()); !missing.IsEmpty() {
 		return nil, fmt.Errorf("core: exec needs values for controlling variables %s", missing)
 	}
-	es := &store.ExecStats{MaxReads: o.maxReads, Ctx: ctx}
+	es := &store.ExecStats{MaxReads: o.maxReads, Ctx: ctx, RequestID: o.requestID}
 	if !o.noTrace {
 		es.Trace = store.NewTrace()
 	}
 	rt := plan.BackendRuntime{Ctx: ctx, B: p.eng.DB, Es: es}
+	var tr *plan.Trace
+	if o.analyze {
+		tr = plan.NewTrace(p.plan.NumOps)
+		es.Ops = make([]store.OpCharge, p.plan.NumOps)
+		rt.Tr = tr
+	}
 	head := remainingHead(p.q.Head, fixed)
-	return newRows(head, p.plan, es, projectSeq(p.plan.Root.Stream(rt, fixed), head, nil, p.q.Name), o.limit), nil
+	r := newRows(head, p.plan, es, projectSeq(p.plan.Root.Stream(rt, fixed), head, nil, p.q.Name), o.limit)
+	r.tr = tr
+	r.qname = p.q.Name
+	if obs := p.eng.telemetry(); obs != nil {
+		r.obs = obs
+		r.start = time.Now()
+	}
+	return r, nil
 }
 
 // First executes the prepared plan until the first answer and stops —

@@ -111,12 +111,12 @@ func Stream(src Source, q *query.Query, fixed query.Bindings) iter.Seq2[relation
 type sourceRuntime struct{ src Source }
 
 // Fetch implements plan.Runtime; unreachable for naive plans.
-func (rt sourceRuntime) Fetch(e access.Entry, vals []relation.Value, r store.FetchRoute) ([]relation.Tuple, error) {
+func (rt sourceRuntime) Fetch(_ int, e access.Entry, vals []relation.Value, r store.FetchRoute) ([]relation.Tuple, error) {
 	return nil, fmt.Errorf("eval: indexed fetch %s in a naive plan", e.Rel)
 }
 
 // Member implements plan.Runtime.
-func (rt sourceRuntime) Member(rel string, t relation.Tuple) (bool, error) {
+func (rt sourceRuntime) Member(_ int, rel string, t relation.Tuple) (bool, error) {
 	return rt.src.Contains(rel, t)
 }
 
@@ -124,7 +124,7 @@ func (rt sourceRuntime) Member(rel string, t relation.Tuple) (bool, error) {
 // join) goes through SeqSource when available; inner scans read the
 // materialized (memoized) snapshot so a self-join sees one version of
 // the relation even under concurrent writers.
-func (rt sourceRuntime) Scan(rel string, stream bool) iter.Seq2[relation.Tuple, error] {
+func (rt sourceRuntime) Scan(_ int, rel string, stream bool) iter.Seq2[relation.Tuple, error] {
 	if stream {
 		return tupleStream(rt.src, rel)
 	}
@@ -145,6 +145,10 @@ func (rt sourceRuntime) Scan(rel string, stream bool) iter.Seq2[relation.Tuple, 
 // Check implements plan.Runtime: cancellation is enforced on the charged
 // store accesses themselves (ExecStats.Ctx), as before the IR rewrite.
 func (rt sourceRuntime) Check() error { return nil }
+
+// Trace implements plan.Runtime: the naive evaluator never traces
+// per-operator statistics.
+func (rt sourceRuntime) Trace() *plan.Trace { return nil }
 
 // compileCQ lowers a conjunctive query to its physical plan: one
 // NaiveScan leaf per atom in the greedy most-bound-first order, chained

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4): a # HELP and # TYPE line per family, then one
+// sample line per series — and for histograms the cumulative _bucket
+// series (non-empty buckets plus +Inf), _sum and _count. Families and
+// series are emitted in sorted order so output is stable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.families() {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) write(w io.Writer) error {
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	f.mu.RLock()
+	children := make([]*child, 0, len(f.children))
+	for _, c := range f.children {
+		children = append(children, c)
+	}
+	f.mu.RUnlock()
+	sort.Slice(children, func(i, j int) bool {
+		return strings.Join(children[i].labelVals, "\x00") < strings.Join(children[j].labelVals, "\x00")
+	})
+	for _, c := range children {
+		if f.kind == KindHistogram {
+			if err := f.writeHistogram(w, c); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, c.labelVals, "", ""), formatValue(c.value())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeHistogram(w io.Writer, c *child) error {
+	les, counts := c.hist.bucketCumulative()
+	for i, le := range les {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, c.labelVals, "le", formatValue(le)), counts[i]); err != nil {
+			return err
+		}
+	}
+	total := c.hist.Count()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, c.labelVals, "le", "+Inf"), total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, c.labelVals, "", ""), formatValue(c.hist.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, c.labelVals, "", ""), total)
+	return err
+}
+
+// labelString renders {a="x",b="y"} (empty string when no labels), with
+// an optional extra label appended (the histogram le).
+func labelString(names, vals []string, extraName, extraVal string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Log-linear bucketing: four buckets per power of two, so every bucket's
+// upper bound is within ~19% of its lower bound — accurate enough for
+// p50/p99 over latencies and read counts, cheap enough for one atomic
+// increment per observation. The covered range is 2^minExp .. 2^maxExp
+// (about 15µs-scale fractions up to 2^40); values outside clamp into the
+// first/last bucket.
+const (
+	histSub    = 4
+	histMinExp = -20 // 2^-20 ≈ 1e-6: a microsecond, in seconds
+	histMaxExp = 40  // 2^40 ≈ 1.1e12
+	histSlots  = (histMaxExp-histMinExp)*histSub + 1
+)
+
+// Histogram is a fixed-footprint log-linear histogram, safe for
+// concurrent observation. The zero value is not usable; NewHistogram (or
+// a registry HistogramVec) allocates one.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Uint64 // float64 bits
+	zero  atomic.Int64  // observations ≤ 0 (their own bucket)
+	slots [histSlots]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// slotFor buckets a positive value: the smallest slot whose upper bound
+// 2^(minExp + (slot+1)/sub) is ≥ v.
+func slotFor(v float64) int {
+	s := int(math.Ceil(math.Log2(v)*histSub)) - histMinExp*histSub - 1
+	if s < 0 {
+		return 0
+	}
+	if s >= histSlots {
+		return histSlots - 1
+	}
+	return s
+}
+
+// upperBound is slot s's inclusive upper bound.
+func upperBound(s int) float64 {
+	return math.Pow(2, float64(histMinExp)+float64(s+1)/histSub)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	if v <= 0 || math.IsNaN(v) {
+		h.zero.Add(1)
+		return
+	}
+	h.slots[slotFor(v)].Add(1)
+}
+
+// ObserveDuration records a duration in seconds (the Prometheus base
+// unit for time).
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the p-quantile (0 ≤ p ≤ 1) as the upper bound of the
+// bucket holding the rank — an overestimate by at most one bucket width
+// (~19%). Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(p float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := h.zero.Load()
+	if cum >= rank {
+		return 0
+	}
+	for s := 0; s < histSlots; s++ {
+		cum += h.slots[s].Load()
+		if cum >= rank {
+			return upperBound(s)
+		}
+	}
+	return upperBound(histSlots - 1)
+}
+
+// QuantileDuration is Quantile for histograms observing seconds.
+func (h *Histogram) QuantileDuration(p float64) time.Duration {
+	return time.Duration(h.Quantile(p) * float64(time.Second))
+}
+
+// bucketCumulative returns the non-empty cumulative (le, count) pairs for
+// export: one pair per non-empty bucket, in increasing le order, plus the
+// implicit +Inf handled by the writer. A zero-bucket observation surfaces
+// under the first finite le.
+func (h *Histogram) bucketCumulative() (les []float64, counts []int64) {
+	cum := h.zero.Load()
+	if cum > 0 {
+		les = append(les, upperBound(0))
+		counts = append(counts, cum)
+	}
+	for s := 0; s < histSlots; s++ {
+		n := h.slots[s].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		ub := upperBound(s)
+		if len(les) > 0 && les[len(les)-1] == ub {
+			counts[len(counts)-1] = cum
+			continue
+		}
+		les = append(les, ub)
+		counts = append(counts, cum)
+	}
+	return les, counts
+}

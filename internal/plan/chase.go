@@ -57,6 +57,7 @@ func (s ChaseStep) String() string {
 // root-to-leaf pass instead of after every step has run over every
 // candidate.
 type ChaseExec struct {
+	opID
 	// Atoms of the (equality-free-by-substitution) conjunction.
 	Atoms []*query.Atom
 	// Steps in execution order.
@@ -111,8 +112,13 @@ func (n *ChaseExec) Describe() string {
 	return fmt.Sprintf("ChaseExec (%d steps, %d membership probes)", len(n.Steps), len(n.MembershipAtoms))
 }
 
-// Stream implements Node.
+// Stream implements Node. Every fetch step and membership probe of the
+// chase is charged to the single ChaseExec operator.
 func (n *ChaseExec) Stream(rt Runtime, env query.Bindings) Seq {
+	return traced(rt, n.id, n.stream(rt, env))
+}
+
+func (n *ChaseExec) stream(rt Runtime, env query.Bindings) Seq {
 	if err := rt.Check(); err != nil {
 		return failSeq(err)
 	}
@@ -170,7 +176,7 @@ func (n *ChaseExec) Stream(rt Runtime, env query.Bindings) Seq {
 				yield(nil, err)
 				return false
 			}
-			fetched, err := rt.Fetch(step.Entry, vals, step.Route)
+			fetched, err := rt.Fetch(n.id, step.Entry, vals, step.Route)
 			if err != nil {
 				yield(nil, err)
 				return false
@@ -211,7 +217,7 @@ func (n *ChaseExec) finish(rt Runtime, c query.Bindings, yield func(query.Bindin
 				t[i] = arg.Value()
 			}
 		}
-		present, err := rt.Member(a.Rel, t)
+		present, err := rt.Member(n.id, a.Rel, t)
 		if err != nil {
 			yield(nil, err)
 			return false

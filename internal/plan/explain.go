@@ -3,6 +3,9 @@ package plan
 import (
 	"fmt"
 	"strings"
+	"time"
+
+	"repro/internal/store"
 )
 
 // Explain renders the operator tree, one operator per line with its
@@ -24,6 +27,47 @@ func explain(b *strings.Builder, n Node, depth int) {
 	}
 	for _, c := range n.Children() {
 		explain(b, c, depth+1)
+	}
+}
+
+// ExplainAnalyze renders the operator tree like Explain, but follows each
+// operator's static bound with the actuals of one traced execution: rows
+// yielded to the consumer, tuple reads charged (attributed per operator by
+// the storage layer, so reads appear on the data-access operators that
+// caused them and sum exactly to the call's TupleReads), wall time inside
+// the operator's cursor (inclusive of children), and scatter fan-out where
+// any. tr and ops come from the execution's plan.Trace and
+// store.ExecStats.Ops; either may be nil/short, rendering zeros.
+func ExplainAnalyze(n Node, tr *Trace, ops []store.OpCharge) string {
+	var b strings.Builder
+	explainAnalyze(&b, n, tr, ops, 0)
+	return b.String()
+}
+
+func explainAnalyze(b *strings.Builder, n Node, tr *Trace, ops []store.OpCharge, depth int) {
+	indent := strings.Repeat("  ", depth)
+	id := n.OpID()
+	var st OpStat
+	if tr != nil && id >= 0 && id < len(tr.Ops) {
+		st = tr.Ops[id]
+	}
+	var oc store.OpCharge
+	if id >= 0 && id < len(ops) {
+		oc = ops[id]
+	}
+	fmt.Fprintf(b, "%s%s — %s | actual: rows=%d reads=%d wall=%s",
+		indent, n.Describe(), n.Bound(), st.Rows, oc.Counters.TupleReads, st.Wall.Round(time.Microsecond))
+	if oc.Forks > 0 {
+		fmt.Fprintf(b, " fan-out=%d", oc.Forks)
+	}
+	b.WriteByte('\n')
+	if ch, ok := n.(*ChaseExec); ok {
+		for _, s := range ch.Steps {
+			fmt.Fprintf(b, "%s  step: %s\n", indent, s)
+		}
+	}
+	for _, c := range n.Children() {
+		explainAnalyze(b, c, tr, ops, depth+1)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 // RouteScatter fans out. Op renders as ScatterFetch in that case — same
 // mechanics, different physical footprint.
 type IndexLookup struct {
+	opID
 	Atom  *query.Atom
 	Entry access.Entry
 	OnPos []int // positions (within the atom) of Entry.On
@@ -68,13 +69,17 @@ func (n *IndexLookup) Describe() string {
 
 // Stream implements Node.
 func (n *IndexLookup) Stream(rt Runtime, env query.Bindings) Seq {
+	return traced(rt, n.id, n.stream(rt, env))
+}
+
+func (n *IndexLookup) stream(rt Runtime, env query.Bindings) Seq {
 	if err := rt.Check(); err != nil {
 		return failSeq(err)
 	}
 	// Fully specified atom under env: a single membership probe suffices —
 	// at most one binding, so no dedup wrapper.
 	if n.free.SubsetOf(env.Vars()) {
-		return probeAtom(rt, n.Atom, env, n.free)
+		return probeAtom(rt, n.id, n.Atom, env, n.free)
 	}
 	return dedupSeq(func(yield func(query.Bindings, error) bool) {
 		vals, err := TupleForPositions(n.Atom, n.OnPos, env)
@@ -82,7 +87,7 @@ func (n *IndexLookup) Stream(rt Runtime, env query.Bindings) Seq {
 			yield(nil, err)
 			return
 		}
-		tuples, err := rt.Fetch(n.Entry, vals, n.Route)
+		tuples, err := rt.Fetch(n.id, n.Entry, vals, n.Route)
 		if err != nil {
 			yield(nil, err)
 			return
@@ -97,8 +102,9 @@ func (n *IndexLookup) Stream(rt Runtime, env query.Bindings) Seq {
 }
 
 // probeAtom runs the fully-bound membership probe shared by IndexLookup's
-// runtime fast path and the MembershipProbe operator.
-func probeAtom(rt Runtime, a *query.Atom, env query.Bindings, free query.VarSet) Seq {
+// runtime fast path and the MembershipProbe operator; op is the id of the
+// operator the probe is charged to.
+func probeAtom(rt Runtime, op int, a *query.Atom, env query.Bindings, free query.VarSet) Seq {
 	return func(yield func(query.Bindings, error) bool) {
 		t := make(relation.Tuple, len(a.Args))
 		for i, arg := range a.Args {
@@ -108,7 +114,7 @@ func probeAtom(rt Runtime, a *query.Atom, env query.Bindings, free query.VarSet)
 				t[i] = arg.Value()
 			}
 		}
-		ok, err := rt.Member(a.Rel, t)
+		ok, err := rt.Member(op, a.Rel, t)
 		if err != nil {
 			yield(nil, err)
 			return
@@ -124,6 +130,7 @@ func probeAtom(rt Runtime, a *query.Atom, env query.Bindings, free query.VarSet)
 // bound when the operator runs. One membership charged, one read when
 // present, at most one candidate out.
 type MembershipProbe struct {
+	opID
 	Atom *query.Atom
 	free query.VarSet
 }
@@ -155,13 +162,14 @@ func (n *MembershipProbe) Stream(rt Runtime, env query.Bindings) Seq {
 	if err := rt.Check(); err != nil {
 		return failSeq(err)
 	}
-	return probeAtom(rt, n.Atom, env, n.free)
+	return traced(rt, n.id, probeAtom(rt, n.id, n.Atom, env, n.free))
 }
 
 // Select filters the environment through an equality-only condition (a
 // Boolean combination of equalities and truth constants): no data access,
 // at most one candidate out.
 type Select struct {
+	opID
 	Cond query.Formula
 	free query.VarSet
 }
@@ -188,6 +196,10 @@ func (n *Select) Describe() string { return fmt.Sprintf("Select %s", n.Cond) }
 
 // Stream implements Node.
 func (n *Select) Stream(rt Runtime, env query.Bindings) Seq {
+	return traced(rt, n.id, n.stream(rt, env))
+}
+
+func (n *Select) stream(rt Runtime, env query.Bindings) Seq {
 	if err := rt.Check(); err != nil {
 		return failSeq(err)
 	}
@@ -214,6 +226,7 @@ func (n *Select) Stream(rt Runtime, env query.Bindings) Seq {
 // and deduplicated unless NoDedup is set (the naive evaluator's joins
 // deduplicate only at the head).
 type NLJoin struct {
+	opID
 	L, R    Node
 	NoDedup bool
 
@@ -250,6 +263,10 @@ func (n *NLJoin) Describe() string { return "NLJoin" }
 
 // Stream implements Node.
 func (n *NLJoin) Stream(rt Runtime, env query.Bindings) Seq {
+	return traced(rt, n.id, n.stream(rt, env))
+}
+
+func (n *NLJoin) stream(rt Runtime, env query.Bindings) Seq {
 	if err := rt.Check(); err != nil {
 		return failSeq(err)
 	}
@@ -298,6 +315,7 @@ func (n *NLJoin) Stream(rt Runtime, env query.Bindings) Seq {
 // an early-terminating consumer never opens the cursors of later
 // branches.
 type StreamUnion struct {
+	opID
 	Branches []Node
 
 	ctrl query.VarSet
@@ -334,6 +352,10 @@ func (n *StreamUnion) Describe() string { return "StreamUnion (dedup)" }
 
 // Stream implements Node.
 func (n *StreamUnion) Stream(rt Runtime, env query.Bindings) Seq {
+	return traced(rt, n.id, n.stream(rt, env))
+}
+
+func (n *StreamUnion) stream(rt Runtime, env query.Bindings) Seq {
 	if err := rt.Check(); err != nil {
 		return failSeq(err)
 	}
@@ -357,6 +379,7 @@ func (n *StreamUnion) Stream(rt Runtime, env query.Bindings) Seq {
 // the binding passes iff none exists. A satisfied negation stops charging
 // as soon as any counterexample is read.
 type AntiProbe struct {
+	opID
 	Pos, Neg Node
 
 	ctrl query.VarSet
@@ -392,6 +415,10 @@ func (n *AntiProbe) Describe() string { return "AntiProbe (EmptinessProbe of ¬)
 
 // Stream implements Node.
 func (n *AntiProbe) Stream(rt Runtime, env query.Bindings) Seq {
+	return traced(rt, n.id, n.stream(rt, env))
+}
+
+func (n *AntiProbe) stream(rt Runtime, env query.Bindings) Seq {
 	if err := rt.Check(); err != nil {
 		return failSeq(err)
 	}
@@ -421,6 +448,7 @@ func (n *AntiProbe) Stream(rt Runtime, env query.Bindings) Seq {
 // the quantified ones) and of the optimizer's final restriction after a
 // reordered join chain.
 type Project struct {
+	opID
 	Child Node
 	// Drop lists variables removed from the environment before the child
 	// runs (the quantified variables; empty for a pure restriction).
@@ -454,6 +482,10 @@ func (n *Project) Describe() string {
 
 // Stream implements Node.
 func (n *Project) Stream(rt Runtime, env query.Bindings) Seq {
+	return traced(rt, n.id, n.stream(rt, env))
+}
+
+func (n *Project) stream(rt Runtime, env query.Bindings) Seq {
 	if err := rt.Check(); err != nil {
 		return failSeq(err)
 	}
@@ -482,6 +514,7 @@ func (n *Project) Stream(rt Runtime, env query.Bindings) Seq {
 // failing fast on the first ȳ with none. At most one binding (the
 // restriction of the environment) is yielded.
 type ForallCheck struct {
+	opID
 	Gen, Test Node
 	// Drop lists the universally quantified variables.
 	Drop []string
@@ -518,6 +551,10 @@ func (n *ForallCheck) Describe() string { return "ForallCheck (EmptinessProbe pe
 
 // Stream implements Node.
 func (n *ForallCheck) Stream(rt Runtime, env query.Bindings) Seq {
+	return traced(rt, n.id, n.stream(rt, env))
+}
+
+func (n *ForallCheck) stream(rt Runtime, env query.Bindings) Seq {
 	if err := rt.Check(); err != nil {
 		return failSeq(err)
 	}
@@ -550,6 +587,7 @@ func (n *ForallCheck) Stream(rt Runtime, env query.Bindings) Seq {
 // plan — and reports a saturated read bound. StreamOK marks the outermost
 // scan of a join, which may be delivered incrementally by the runtime.
 type NaiveScan struct {
+	opID
 	Atom     *query.Atom
 	StreamOK bool
 	free     query.VarSet
@@ -585,11 +623,15 @@ func (n *NaiveScan) Describe() string {
 // Stream implements Node: no deduplication — the naive join deduplicates
 // only at the head, exactly like the reference backtracking evaluator.
 func (n *NaiveScan) Stream(rt Runtime, env query.Bindings) Seq {
+	return traced(rt, n.id, n.stream(rt, env))
+}
+
+func (n *NaiveScan) stream(rt Runtime, env query.Bindings) Seq {
 	if err := rt.Check(); err != nil {
 		return failSeq(err)
 	}
 	return func(yield func(query.Bindings, error) bool) {
-		for tu, err := range rt.Scan(n.Atom.Rel, n.StreamOK) {
+		for tu, err := range rt.Scan(n.id, n.Atom.Rel, n.StreamOK) {
 			if err != nil {
 				yield(nil, err)
 				return

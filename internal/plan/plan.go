@@ -60,20 +60,28 @@ type Seq = iter.Seq2[query.Bindings, error]
 // engine binds it to a store.Backend (BackendRuntime); the naive
 // evaluator binds it to an eval.Source. Implementations charge one call's
 // ExecStats (counters, witness trace, budget, deadline) on every access.
+//
+// Every data access carries the id of the operator performing it (op),
+// so a tracing runtime can attribute reads per operator; untraced
+// runtimes ignore it.
 type Runtime interface {
 	// Fetch performs the indexed retrieval licensed by e under the
 	// plan-time route r (RouteAuto lets the backend decide per call).
-	Fetch(e access.Entry, vals []relation.Value, r store.FetchRoute) ([]relation.Tuple, error)
+	Fetch(op int, e access.Entry, vals []relation.Value, r store.FetchRoute) ([]relation.Tuple, error)
 	// Member probes t ∈ rel.
-	Member(rel string, t relation.Tuple) (bool, error)
+	Member(op int, rel string, t relation.Tuple) (bool, error)
 	// Scan streams all tuples of rel. When stream is true the runtime may
 	// deliver the scan incrementally (charged as consumed); otherwise it
 	// must materialize a coherent snapshot up front. Only NaiveScan calls
 	// it.
-	Scan(rel string, stream bool) iter.Seq2[relation.Tuple, error]
+	Scan(op int, rel string, stream bool) iter.Seq2[relation.Tuple, error]
 	// Check fails fast once the call's context is canceled or past its
 	// deadline. Called at every operator boundary.
 	Check() error
+	// Trace returns the per-operator runtime trace this execution fills,
+	// or nil when ANALYZE is off — the branch every operator takes on the
+	// untraced hot path.
+	Trace() *Trace
 }
 
 // BackendRuntime runs plans against a store.Backend with per-call stats:
@@ -82,12 +90,26 @@ type BackendRuntime struct {
 	Ctx context.Context
 	B   store.Backend
 	Es  *store.ExecStats
+	// Tr, when non-nil, turns ANALYZE on: operators record rows and wall
+	// time into it, and data accesses pin Es.CurOp so the storage layer
+	// attributes every charge to the operator that caused it. Allocate it
+	// (NewTrace) together with Es.Ops, one slot per operator.
+	Tr *Trace
+}
+
+// pin attributes subsequent charges on the call's ExecStats to operator
+// op. A no-op unless the execution attributes per operator.
+func (rt BackendRuntime) pin(op int) {
+	if rt.Es != nil && rt.Es.Ops != nil {
+		rt.Es.CurOp = op
+	}
 }
 
 // Fetch implements Runtime. A resolved single-shard or scatter route goes
 // through the backend's plan-aware path (store.RoutePlanner), skipping
 // the per-fetch routing decision; everything else falls back to FetchInto.
-func (rt BackendRuntime) Fetch(e access.Entry, vals []relation.Value, r store.FetchRoute) ([]relation.Tuple, error) {
+func (rt BackendRuntime) Fetch(op int, e access.Entry, vals []relation.Value, r store.FetchRoute) ([]relation.Tuple, error) {
+	rt.pin(op)
 	if r.Kind == store.RouteSingle || r.Kind == store.RouteScatter {
 		if rp, ok := rt.B.(store.RoutePlanner); ok {
 			return rp.FetchPlanned(rt.Es, e, vals, r)
@@ -97,17 +119,35 @@ func (rt BackendRuntime) Fetch(e access.Entry, vals []relation.Value, r store.Fe
 }
 
 // Member implements Runtime.
-func (rt BackendRuntime) Member(rel string, t relation.Tuple) (bool, error) {
+func (rt BackendRuntime) Member(op int, rel string, t relation.Tuple) (bool, error) {
+	rt.pin(op)
 	return rt.B.MembershipInto(rt.Es, rel, t)
 }
 
 // Scan implements Runtime: the streaming path charges chunk by chunk via
 // store.ScanSeq; the materialized path is one counted ScanInto.
-func (rt BackendRuntime) Scan(rel string, stream bool) iter.Seq2[relation.Tuple, error] {
+func (rt BackendRuntime) Scan(op int, rel string, stream bool) iter.Seq2[relation.Tuple, error] {
+	rt.pin(op)
 	if stream {
-		return store.ScanSeq(rt.B, rt.Es, rel)
+		inner := store.ScanSeq(rt.B, rt.Es, rel)
+		if rt.Es == nil || rt.Es.Ops == nil {
+			return inner
+		}
+		// A streaming scan charges lazily, interleaved with whatever other
+		// operators run between pulls: re-pin attribution every time
+		// control returns to the scan so its deferred charges land on the
+		// scanning operator, not on whichever operator ran last.
+		return func(yield func(relation.Tuple, error) bool) {
+			rt.pin(op)
+			inner(func(t relation.Tuple, err error) bool {
+				ok := yield(t, err)
+				rt.pin(op)
+				return ok
+			})
+		}
 	}
 	return func(yield func(relation.Tuple, error) bool) {
+		rt.pin(op)
 		ts, err := rt.B.ScanInto(rt.Es, rel)
 		if err != nil {
 			yield(nil, err)
@@ -132,6 +172,9 @@ func (rt BackendRuntime) Check() error {
 	}
 	return nil
 }
+
+// Trace implements Runtime.
+func (rt BackendRuntime) Trace() *Trace { return rt.Tr }
 
 // Cost is the static bound an operator guarantees, expressed in the
 // N-values of the access schema (Theorem 4.2's "time that depends only on
@@ -192,6 +235,11 @@ type Node interface {
 	Describe() string
 	// Children returns the operand operators, in execution order.
 	Children() []Node
+	// OpID returns the operator's plan-wide id assigned by AssignOpIDs
+	// (pre-order position; 0 before numbering). Every operator gets it by
+	// embedding opID, which also seals the interface to this package.
+	OpID() int
+	setOpID(int)
 }
 
 // emptySeq yields nothing.

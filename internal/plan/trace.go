@@ -1,0 +1,91 @@
+package plan
+
+import (
+	"time"
+
+	"repro/internal/query"
+)
+
+// This file is the ANALYZE half of EXPLAIN: operator identity (stable
+// plan-wide ids), the per-execution runtime trace accumulated against
+// those ids, and the stream instrumentation that fills it. Everything here
+// is strictly pay-as-you-go: with tracing off, traced() returns the
+// operator's stream unchanged and the only cost is one nil check per
+// cursor open.
+
+// opID carries an operator's plan-wide id. Embedding it implements the
+// identity (and sealing) part of Node for every operator in this package.
+type opID struct{ id int }
+
+// OpID returns the operator's plan-wide id: its pre-order position in the
+// compiled tree, assigned once by AssignOpIDs. Operators never numbered
+// report 0; ids only become meaningful — and are only consumed — when a
+// plan was numbered and the execution allocated per-operator slots.
+func (o *opID) OpID() int { return o.id }
+
+func (o *opID) setOpID(i int) { o.id = i }
+
+// AssignOpIDs numbers the operator tree pre-order (root = 0) and returns
+// the operator count. The compiler calls it once per plan, after
+// optimization and route resolution have settled the final tree shape, so
+// ids are stable for the plan's lifetime and index the per-operator slots
+// of store.ExecStats.Ops and plan.Trace.Ops.
+func AssignOpIDs(root Node) int {
+	n := 0
+	var walk func(Node)
+	walk = func(nd Node) {
+		nd.setOpID(n)
+		n++
+		for _, c := range nd.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	return n
+}
+
+// Trace accumulates per-operator runtime statistics for one execution —
+// rows yielded and wall time per operator, indexed by OpID. The read-side
+// counters (tuple reads, lookups, fan-out) live in store.ExecStats.Ops,
+// charged by the storage layer itself so per-operator sums equal the
+// call's totals bit-identically. A Trace belongs to a single execution
+// and is not safe for concurrent use.
+type Trace struct {
+	Ops []OpStat
+}
+
+// NewTrace returns a trace with one slot per operator.
+func NewTrace(numOps int) *Trace { return &Trace{Ops: make([]OpStat, numOps)} }
+
+// OpStat is one operator's runtime tally.
+type OpStat struct {
+	// Rows counts the bindings the operator yielded to its consumer.
+	Rows int64
+	// Wall is the time spent inside the operator's cursor, inclusive of
+	// its children, exclusive of the consumer's work between pulls.
+	Wall time.Duration
+}
+
+// traced wraps an operator's binding stream with row counting and wall
+// timing when the runtime carries a trace; with tracing off it returns s
+// unchanged, so the untraced hot path allocates nothing extra.
+func traced(rt Runtime, op int, s Seq) Seq {
+	tr := rt.Trace()
+	if tr == nil || op < 0 || op >= len(tr.Ops) {
+		return s
+	}
+	st := &tr.Ops[op]
+	return func(yield func(b query.Bindings, err error) bool) {
+		start := time.Now()
+		s(func(b query.Bindings, err error) bool {
+			st.Wall += time.Since(start)
+			if err == nil {
+				st.Rows++
+			}
+			ok := yield(b, err)
+			start = time.Now()
+			return ok
+		})
+		st.Wall += time.Since(start)
+	}
+}

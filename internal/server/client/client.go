@@ -145,6 +145,13 @@ func WithMaxReads(n int64) QueryOption { return func(r *server.QueryRequest) { r
 // WithTimeout bounds the server-side execution deadline.
 func WithTimeout(ms int64) QueryOption { return func(r *server.QueryRequest) { r.TimeoutMS = ms } }
 
+// WithRequestID tags the execution with an end-to-end request
+// identifier: the server threads it through the engine's per-call stats
+// into slow-query log lines and echoes it back as X-SI-Request-ID.
+func WithRequestID(id string) QueryOption {
+	return func(r *server.QueryRequest) { r.RequestID = id }
+}
+
 // Rows is a streaming result cursor over the wire: the remote analogue
 // of core.Rows. Iterate with Next/Tuple, inspect Err, always Close.
 // Closing mid-stream tears the connection down, which cancels the

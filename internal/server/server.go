@@ -3,13 +3,16 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/query"
 )
@@ -28,6 +31,19 @@ type Config struct {
 	// core.WithDeltaBuffer: a lagging SSE consumer beyond it receives
 	// folded net deltas rather than an error. 0 defaults to 64.
 	WatchBuffer int
+	// Metrics, when non-nil, turns the tier's instrumentation on: query
+	// latency/reads histograms, admission and plan-cache counters, commit
+	// phase timings and watch lag are recorded into the registry, and
+	// GET /metricsz serves it in Prometheus text format. Nil disables
+	// recording and the endpoint.
+	Metrics *obs.Registry
+	// Logger receives the engine's structured slow-query / slow-commit
+	// records (log/slog) when the matching threshold is set.
+	Logger *slog.Logger
+	// SlowQuery and SlowCommit are the wall-time thresholds at or above
+	// which a query or commit is logged; zero disables that log class.
+	SlowQuery  time.Duration
+	SlowCommit time.Duration
 }
 
 // Server serves an engine over HTTP. It implements http.Handler; see the
@@ -38,6 +54,7 @@ type Server struct {
 	adm      *admitter
 	watchBuf int
 	mux      *http.ServeMux
+	met      *metrics // nil when Config.Metrics was nil
 
 	// mu guards draining and the in-flight WaitGroup Add (so Drain's Wait
 	// cannot race a new request), plus the handle registry.
@@ -81,13 +98,33 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("POST /commit", s.handleCommit)
 	s.mux.HandleFunc("GET /watch", s.handleWatch)
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
+	if cfg.Metrics != nil {
+		s.met = newMetrics(cfg.Metrics)
+		s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	}
+	// Telemetry flows through the engine's hook: the metrics sink gets
+	// every query/commit event, the logger the slow ones. Installed here
+	// so mounting the tier is the one switch that turns serving
+	// observability on.
+	if s.met != nil || cfg.Logger != nil {
+		tc := core.TelemetryConfig{
+			Logger:     cfg.Logger,
+			SlowQuery:  cfg.SlowQuery,
+			SlowCommit: cfg.SlowCommit,
+		}
+		if s.met != nil {
+			tc.Observer = s.met
+		}
+		cfg.Engine.SetTelemetry(tc)
+	}
 	return s
 }
 
 // ServeHTTP dispatches one request. A draining server refuses everything
-// but /statusz with 503 so load balancers can still scrape it.
+// but /statusz and /metricsz with 503 so load balancers and metric
+// scrapers can still watch it.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/statusz" {
+	if r.URL.Path != "/statusz" && r.URL.Path != "/metricsz" {
 		s.mu.Lock()
 		if s.draining {
 			s.mu.Unlock()
@@ -158,6 +195,35 @@ func tenantOf(r *http.Request) string {
 	return "default"
 }
 
+// requestID resolves the call's request identifier: the X-SI-Request-ID
+// header wins, then the request body's request_id.
+func requestID(r *http.Request, bodyID string) string {
+	if id := r.Header.Get("X-SI-Request-ID"); id != "" {
+		return id
+	}
+	return bodyID
+}
+
+// recordRejection mirrors a typed admission rejection into the metrics
+// registry, labeled by the rejection reason.
+func (s *Server) recordRejection(tenant string, err error) {
+	if s.met == nil {
+		return
+	}
+	var adm *AdmissionError
+	if errors.As(err, &adm) {
+		s.met.rejected(tenant, adm.Reason)
+	}
+}
+
+// recordRelease mirrors an admitted execution's settlement (refund delta)
+// into the metrics registry.
+func (s *Server) recordRelease(tenant string, charge, reads int64) {
+	if s.met != nil {
+		s.met.released(tenant, charge, reads)
+	}
+}
+
 type errorResponse struct {
 	Error *ErrorBody `json:"error"`
 }
@@ -208,6 +274,7 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	}
 	bound := prep.Plan().Bound
 	if err := s.adm.checkBound(tenantOf(r), bound.Reads); err != nil {
+		s.recordRejection(tenantOf(r), err)
 		writeErr(w, err)
 		return
 	}
@@ -265,8 +332,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		charge = req.MaxReads
 	}
 	if err := s.adm.admit(tenant, charge, time.Now()); err != nil {
+		s.recordRejection(tenant, err)
 		writeErr(w, err)
 		return
+	}
+	if s.met != nil {
+		s.met.admitted(tenant)
 	}
 
 	ctx := r.Context()
@@ -282,16 +353,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.MaxReads > 0 {
 		opts = append(opts, core.WithMaxReads(req.MaxReads))
 	}
+	// Request-ID propagation: the X-SI-Request-ID header (or the body's
+	// request_id) rides the per-call ExecStats down through every store
+	// charge and back out in slow-query log lines; it is echoed on the
+	// response so both ends of the wire agree on the name of the work.
+	reqID := requestID(r, req.RequestID)
+	if reqID != "" {
+		opts = append(opts, core.WithRequestID(reqID))
+		w.Header().Set("X-SI-Request-ID", reqID)
+	}
 	rows, err := h.prep.Query(ctx, req.Bind.Bindings(), opts...)
 	if err != nil {
 		s.adm.release(tenant, charge, 0, 0)
+		s.recordRelease(tenant, charge, 0)
 		writeErr(w, err)
 		return
 	}
 	var answers int64
 	defer func() {
 		rows.Close()
-		s.adm.release(tenant, charge, rows.Cost().TupleReads, answers)
+		reads := rows.Cost().TupleReads
+		s.adm.release(tenant, charge, reads, answers)
+		s.recordRelease(tenant, charge, reads)
 	}()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -342,6 +425,7 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		Watchers:         res.Watchers,
 		MaintenanceReads: res.Maintenance.TupleReads,
 		Recosted:         res.Recosted,
+		Phases:           res.Phases,
 	})
 }
 
@@ -426,6 +510,12 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			Bound:  d.Bound,
 			Folded: d.Folded,
 			Reexec: d.Reexec,
+		}
+		if s.met != nil {
+			// Delta lag in commit sequence numbers: how far behind the
+			// engine's commit clock this delivery is (folding under
+			// consumer lag shows up here).
+			s.met.delta(s.eng.CommitSeq()-d.Seq, d.Folded)
 		}
 		if sseWrite(w, flusher, "delta", wd) != nil {
 			return

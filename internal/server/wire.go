@@ -176,6 +176,11 @@ type QueryRequest struct {
 	MaxReads int64 `json:"max_reads,omitempty"`
 	// TimeoutMS bounds the server-side execution deadline.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// RequestID tags the execution end to end: it rides the per-call
+	// ExecStats through every store charge and appears in slow-query log
+	// lines. The X-SI-Request-ID header takes precedence; either way the
+	// id is echoed back as X-SI-Request-ID on the response.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // QueryLine is one NDJSON line of a /query response stream: exactly one
@@ -248,6 +253,9 @@ type CommitResponse struct {
 	Watchers         int   `json:"watchers"`
 	MaintenanceReads int64 `json:"maintenance_reads"`
 	Recosted         bool  `json:"recosted"`
+	// Phases is the commit pipeline's wall-time breakdown
+	// (core.CommitPhases), durations in nanoseconds.
+	Phases core.CommitPhases `json:"phases"`
 }
 
 // WatchSnapshot is the payload of the initial "snapshot" SSE event of

@@ -40,13 +40,16 @@ var ErrBudgetExceeded = errors.New("read budget exceeded")
 // underlying ctx.Err().
 var ErrCanceled = errors.New("evaluation canceled")
 
-// Counters accumulate the work performed against the store.
+// Counters accumulate the work performed against the store. JSON tags
+// are snake_case: Counters nest inside JSON-marshaled observability
+// structs (core.CommitResult, status snapshots), which use snake_case
+// keys throughout.
 type Counters struct {
-	TupleReads   int64 // base/projected tuples materialized by fetches and scans
-	IndexLookups int64 // number of indexed retrievals
-	Scans        int64 // number of full relation scans
-	Memberships  int64 // number of membership probes
-	TimeUnits    int64 // sum of access-schema T costs incurred
+	TupleReads   int64 `json:"tuple_reads"`   // base/projected tuples materialized by fetches and scans
+	IndexLookups int64 `json:"index_lookups"` // number of indexed retrievals
+	Scans        int64 `json:"scans"`         // number of full relation scans
+	Memberships  int64 `json:"memberships"`   // number of membership probes
+	TimeUnits    int64 `json:"time_units"`    // sum of access-schema T costs incurred
 }
 
 // Add accumulates other into c.
@@ -87,10 +90,34 @@ type ExecStats struct {
 	// single unbounded scan on the naive path.
 	Ctx context.Context
 
+	// Ops, when non-nil, attributes every charge to the plan operator
+	// current (CurOp) at the moment it happened — one slot per operator id.
+	// The plan executor allocates it (length = operator count) when running
+	// under ANALYZE; nil skips attribution entirely, so the hot path pays
+	// one nil check per charge. Because ChargeTo is the single charging
+	// primitive for every backend, the sum over Ops equals Counters
+	// bit-identically by construction.
+	Ops []OpCharge
+	// CurOp is the operator id charges are attributed to while Ops is
+	// non-nil. The plan runtime pins it at each data access.
+	CurOp int
+	// RequestID tags the evaluation for slow-query log lines and traces;
+	// the serving tier propagates it from the wire.
+	RequestID string
+
 	// exhausted marks a Fork child whose parent had no budget left: any
 	// read at all fails. Internal so negative MaxReads keeps meaning
 	// "unlimited" on the public field.
 	exhausted bool
+}
+
+// OpCharge is the per-operator slice of one evaluation's counters: while
+// ExecStats.Ops is non-nil, every ChargeTo is additionally attributed to
+// Ops[CurOp]. Forks counts scatter-gather branches forked while the
+// operator was current — the shard fan-out degree EXPLAIN ANALYZE reports.
+type OpCharge struct {
+	Counters Counters
+	Forks    int64
 }
 
 // ctxErr reports the call's cancellation state.
@@ -120,6 +147,11 @@ func (es *ExecStats) ChargeTo(g *AtomicCounters, c Counters) error {
 		return err
 	}
 	es.Counters.Add(c)
+	if es.Ops != nil {
+		if op := es.CurOp; op >= 0 && op < len(es.Ops) {
+			es.Ops[op].Counters.Add(c)
+		}
+	}
 	return es.checkBudget()
 }
 
@@ -150,9 +182,19 @@ func (es *ExecStats) Fork() *ExecStats {
 	if es == nil {
 		return nil
 	}
-	child := &ExecStats{Ctx: es.Ctx}
+	child := &ExecStats{Ctx: es.Ctx, RequestID: es.RequestID}
 	if es.Trace != nil {
 		child.Trace = NewTrace()
+	}
+	if es.Ops != nil {
+		// The branch keeps attributing to the operator that forked it; its
+		// per-op charges are folded back elementwise by Join. The fork
+		// itself is recorded as fan-out on the current operator.
+		child.Ops = make([]OpCharge, len(es.Ops))
+		child.CurOp = es.CurOp
+		if op := es.CurOp; op >= 0 && op < len(es.Ops) {
+			es.Ops[op].Forks++
+		}
 	}
 	if es.MaxReads > 0 {
 		rem := es.MaxReads - es.Counters.TupleReads
@@ -177,6 +219,12 @@ func (es *ExecStats) Join(child *ExecStats) error {
 	es.Counters.Add(child.Counters)
 	if es.Trace != nil && child.Trace != nil {
 		es.Trace.Merge(child.Trace)
+	}
+	if es.Ops != nil && child.Ops != nil && len(child.Ops) == len(es.Ops) {
+		for i := range child.Ops {
+			es.Ops[i].Counters.Add(child.Ops[i].Counters)
+			es.Ops[i].Forks += child.Ops[i].Forks
+		}
 	}
 	if err := es.ctxErr(); err != nil {
 		return err

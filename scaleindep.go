@@ -274,6 +274,12 @@ var (
 	// WithNaiveFallback falls back to naive evaluation when the query is
 	// not controllable (still budget-limited; Answer.Plan is nil).
 	WithNaiveFallback = core.WithNaiveFallback
+	// WithAnalyze records per-operator runtime counters (rows, reads,
+	// wall time, shard fan-out) for Rows.Analyze / EXPLAIN ANALYZE.
+	WithAnalyze = core.WithAnalyze
+	// WithRequestID tags the execution for slow-query log lines; the
+	// serving tier propagates it from the X-SI-Request-ID header.
+	WithRequestID = core.WithRequestID
 	// WithLimit stops the evaluation — and its read charges — after n
 	// distinct answers: the LIMIT of the serving API.
 	WithLimit = core.WithLimit
