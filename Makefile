@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet staticcheck bench bench-smoke serving shardscale reorder live live-smoke serve serve-smoke metrics-smoke overhead-gate
+.PHONY: check build test race vet staticcheck bench bench-smoke serving shardscale reorder live live-smoke serve serve-smoke metrics-smoke views views-smoke overhead-gate
 
 ## check: the CI gate — vet, build, and race-enabled tests.
 check: vet build race
@@ -63,6 +63,18 @@ serve-smoke:
 ## and fail on any malformed line, missing family, or miscounted traffic.
 metrics-smoke:
 	$(GO) run ./cmd/sibench -metricsz
+
+## views: materialized-view serving — reads/op base-plan vs view-plan on
+## Q7, rescued Q6 cost, and transactional maintenance across a commit
+## stream.
+views:
+	$(GO) run ./cmd/sibench -views
+
+## views-smoke: the CI gate — quick -views run; exits nonzero if the
+## optimizer picks a strictly worse view plan, a rescued query exceeds
+## its static bound, or a view-served answer diverges from the oracle.
+views-smoke:
+	$(GO) run ./cmd/sibench -views -quick
 
 ## overhead-gate: the CI instrumentation budget — default-on telemetry
 ## must cost at most 5% wall time on the prepared-exec hot path.

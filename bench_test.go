@@ -1,7 +1,7 @@
 package scaleindep
 
 // Benchmarks regenerating every table/figure of the reproduction (see
-// DESIGN.md §8 for the experiment index). Each benchmark wraps one
+// DESIGN.md §9 for the experiment index). Each benchmark wraps one
 // experiment of internal/bench in quick mode, plus fine-grained benches
 // for the core engine paths and the prepared-query serving API. Run:
 //

@@ -1,6 +1,6 @@
 // Command sibench runs the full experiment suite: the Table 1 validation
 // tables, the Example 1.1 scaling series, and the per-theorem experiments
-// (see DESIGN.md §8 for the index). With -markdown it emits the body of
+// (see DESIGN.md §9 for the index). With -markdown it emits the body of
 // EXPERIMENTS.md. With -serving it instead benchmarks the serving API:
 // per-call analysis vs the transparent plan cache vs a prepared query.
 //
@@ -60,11 +60,19 @@ func main() {
 	tenants := flag.Int("tenants", 4, "with -serve: number of tenants the clients are spread over (tenant t0 gets a tight read budget)")
 	serveDur := flag.Duration("duration", 3*time.Second, "with -serve: load duration (quick caps it at 1s)")
 	metricsz := flag.Bool("metricsz", false, "smoke-test the /metricsz exporter instead: drive a live server, scrape it over HTTP, and strict-parse the exposition; exits nonzero on any malformed line, missing family, or miscounted traffic")
+	views := flag.Bool("views", false, "benchmark materialized-view serving instead: reads/op base-plan vs view-plan, rescued-query rate, and transactional maintenance cost across a commit stream; exits nonzero if the optimizer picks a strictly worse view plan, a rescued query exceeds its bound, or a view-served answer diverges")
 	flag.Parse()
 
 	if *metricsz {
 		if err := metricsSmoke(); err != nil {
 			fmt.Fprintf(os.Stderr, "sibench: metricsz: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *views {
+		if err := viewsBench(*quick, *shards); err != nil {
+			fmt.Fprintf(os.Stderr, "sibench: views: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -72,6 +72,11 @@ func main() {
 	watch := flag.Bool("watch", false, "watch the query live instead: a background writer commits a randomized update stream and the maintained answer deltas print until interrupted (generated data only)")
 	watchCommits := flag.Int("watch-commits", 0, "with -watch: stop after this many commits (0 = until interrupted)")
 	watchInterval := flag.Duration("watch-interval", 100*time.Millisecond, "with -watch: delay between commits")
+	var viewDefs []string
+	flag.Func("view", "materialize this CQ as an engine-maintained view before preparing (repeatable); the plan may then serve from the view, and -explain/-analyze name it with its maintenance freshness", func(s string) error {
+		viewDefs = append(viewDefs, s)
+		return nil
+	})
 	flag.Parse()
 
 	var db *relation.Database
@@ -114,6 +119,17 @@ func main() {
 	eng := core.NewEngine(st)
 	if *noOpt {
 		eng.SetOptimizer(core.OptimizerOff)
+	}
+	for _, src := range viewDefs {
+		def, err := parser.ParseCQ(src)
+		if err != nil {
+			fatal(fmt.Errorf("-view %q: %w", src, err))
+		}
+		info, err := eng.CreateView(def)
+		if err != nil {
+			fatal(fmt.Errorf("-view %q: %w", src, err))
+		}
+		fmt.Printf("view: %s materialized (%d rows, entries %v)\n", info.Name, info.Rows, info.Entries)
 	}
 	ctx := context.Background()
 	if *timeout > 0 {

@@ -12,6 +12,9 @@
 //	POST /query     stream an admitted execution as NDJSON
 //	POST /commit    apply a transactional update
 //	GET  /watch     subscribe to a live query over SSE
+//	POST /views     materialize a CQ as a transactionally maintained view
+//	GET  /views     registered view states (rows, freshness, entries)
+//	DELETE /views/{name}  drop a view
 //	GET  /statusz   unified engine + admission observability snapshot
 //	GET  /metricsz  metrics registry in Prometheus text format
 //
@@ -40,6 +43,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/parser"
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/store"
@@ -59,9 +63,14 @@ func main() {
 	watchBuffer := flag.Int("watch-buffer", 64, "per-watcher delta queue depth before coalescing")
 	slowQuery := flag.Duration("slow-query", 100*time.Millisecond, "log queries at or above this wall time (0 = off)")
 	slowCommit := flag.Duration("slow-commit", 100*time.Millisecond, "log commits at or above this pipeline time (0 = off)")
+	var viewDefs []string
+	flag.Func("view", "materialize this CQ as a transactionally maintained view at startup (repeatable, e.g. \"V(id, rid) :- visit(id, rid, yy, mm, dd), person(id, pn, 'NYC')\"); further views can be created at runtime via POST /views", func(s string) error {
+		viewDefs = append(viewDefs, s)
+		return nil
+	})
 	flag.Parse()
 
-	if err := run(*addr, *adminAddr, *shards, *persons, *seed, server.Config{
+	if err := run(*addr, *adminAddr, *shards, *persons, *seed, viewDefs, server.Config{
 		DefaultPolicy: server.TenantPolicy{
 			MaxBound:      *maxBound,
 			ReadBudget:    *readBudget,
@@ -79,7 +88,7 @@ func main() {
 	}
 }
 
-func run(addr, adminAddr string, shards, persons int, seed int64, cfg server.Config) error {
+func run(addr, adminAddr string, shards, persons int, seed int64, viewDefs []string, cfg server.Config) error {
 	wcfg := workload.DefaultConfig()
 	wcfg.Persons = persons
 	wcfg.Seed = seed
@@ -98,6 +107,17 @@ func run(addr, adminAddr string, shards, persons int, seed int64, cfg server.Con
 		return err
 	}
 	cfg.Engine = core.NewEngine(b)
+	for _, src := range viewDefs {
+		def, err := parser.ParseCQ(src)
+		if err != nil {
+			return fmt.Errorf("-view %q: %w", src, err)
+		}
+		info, err := cfg.Engine.CreateView(def)
+		if err != nil {
+			return fmt.Errorf("-view %q: %w", src, err)
+		}
+		fmt.Printf("siserve: view %s materialized (%d rows)\n", info.Name, info.Rows)
+	}
 	srv := server.NewServer(cfg)
 
 	hs := &http.Server{Addr: addr, Handler: srv}

@@ -1,17 +1,33 @@
-// Views: Example 1.1(c) / Section 6. Q2 is rewritten over the materialized
-// views V1 (NYC restaurants) and V2 (visits by NYC residents); the
-// rewriting answers Q2 by reading only the friend tuples of p₀ from the
-// base data (Corollary 6.2). The VQSI decision procedure of Theorem 6.1 is
-// also demonstrated: without fixing p, Q2 is *not* scale-independent using
-// the views, because rn stays unconstrained.
+// Views as first-class serving citizens (Section 6): materialized views
+// are created through the engine, maintained transactionally inside
+// Engine.Commit, and consulted by Prepare — including to *rescue* queries
+// that are not controllable over the base relations alone (Theorem 6.1 /
+// Corollary 6.2).
+//
+// The demo runs the full lifecycle:
+//
+//  1. Q6 asks for the followers of p₀ — friend has no entry on its second
+//     attribute, so Q6 is rejected as not controllable.
+//  2. CreateView materializes VFol (friend reversed), indexed at will
+//     with a caller-supplied entry; re-preparing Q6 now succeeds through
+//     the view rewriting, with a static read bound. Rescue.
+//  3. VNYC (visits by NYC residents, the paper's V2) lets the planner
+//     undercut Q7's base plan: Prepare picks the view plan because its
+//     bound is strictly smaller.
+//  4. A stream of commits flows through Engine.Commit: the views are
+//     maintained inside each commit, stay fresh as of every commit, and
+//     the rescued answers keep matching a naive full-scan oracle.
+//  5. DropView retracts VFol — Q6 is not controllable again.
 //
 // Run: go run ./examples/views
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
+	"strings"
 
 	scaleindep "repro"
 	"repro/internal/access"
@@ -19,112 +35,139 @@ import (
 	"repro/internal/eval"
 	"repro/internal/query"
 	"repro/internal/store"
-	"repro/internal/views"
 	"repro/internal/workload"
 )
 
+const (
+	q6Src   = "Q6(p, fn) :- friend(f, p), person(f, fn, c)"
+	vfolSrc = "VFol(p, f) :- friend(f, p)"
+	vnycSrc = "VNYC(id, rid) :- visit(id, rid, yy, mm, dd), person(id, pn, 'NYC')"
+	q7Src   = "Q7(p, rid) := exists yy, mm, dd, pn (visit(p, rid, yy, mm, dd) and person(p, pn, 'NYC'))"
+)
+
 func main() {
-	q2, err := scaleindep.ParseCQ(workload.Q2Src)
+	cfg := workload.DefaultConfig()
+	cfg.Persons = 2000
+	cfg.Seed = 31
+	base, err := workload.Generate(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	v1 := mustView("V1(rid, rn, rating) :- restr(rid, rn, 'NYC', rating)")
-	v2 := mustView("V2(id, rid) :- visit(id, rid, yy, mm, dd), person(id, pn, 'NYC')")
-	vs := []*views.View{v1, v2}
-
-	// Rewriting search.
-	rws, err := views.FindRewritings(q2, vs, 0)
+	db, err := store.Open(base, workload.Access(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("found %d equivalent rewritings of Q2 using V1, V2\n", len(rws))
-	var rw *views.Rewriting
-	for _, r := range rws {
-		if r.BaseSize() == 1 && len(r.ViewAtoms) == 2 {
-			rw = r
-		}
-	}
-	if rw == nil {
-		log.Fatal("paper rewriting not found")
-	}
-	fmt.Printf("the paper's Q2': %s\n", rw)
-	fmt.Printf("unconstrained distinguished variables: %s\n\n", rw.UnconstrainedVars())
+	eng := core.NewEngine(db)
+	ctx := context.Background()
+	p0 := query.Bindings{"p": scaleindep.Int(7)}
 
-	// VQSI (Theorem 6.1): not scale-independent using views for any small
-	// M without fixing p — rn is unconstrained.
-	dec, err := views.DecideVQSI(q2, vs, 2, 0)
+	// 1. Followers: friend is only accessible by its first attribute, so
+	// no x̄-controlled plan exists over the base relations.
+	q6 := mustQuery(q6Src)
+	if _, err := eng.Prepare(q6, scaleindep.NewVarSet("p")); !errors.Is(err, core.ErrNotControllable) {
+		log.Fatalf("expected ErrNotControllable for Q6, got %v", err)
+	}
+	fmt.Printf("Q6 (followers of p₀) over base relations: %v\n\n", core.ErrNotControllable)
+
+	// 2. Materialize the reversal and index it at will (Section 6: views
+	// are materialized, so they can be indexed like any base relation).
+	vfol, err := eng.CreateView(mustCQ(vfolSrc),
+		access.Plain("VFol", []string{"p"}, cfg.MaxFriends+64, 1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("VQSI(Q2, {V1,V2}, M=2): %v (%s)\n\n", dec.InVSQ, dec.Reason)
-
-	// Corollary 6.2(2): with p fixed, the base part friend(p, id) is
-	// p-controlled, so Q2 is {p, rn}-scale-independent using the views.
-	fmt.Println("Q2(p₀) via the rewriting, measured:")
-	fmt.Printf("%-10s %-10s %-12s %-12s %-8s\n", "persons", "|D|", "base reads", "view reads", "match")
-	for _, n := range []int{1000, 4000, 16000} {
-		cfg := workload.DefaultConfig()
-		cfg.Persons = n
-		cfg.Seed = 31
-		base, err := workload.Generate(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		combined, err := views.Materialize(base, vs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		acc, err := views.ViewAccess(workload.Access(cfg), combined.Schema(), []access.Entry{
-			access.Plain("V2", []string{"id"}, cfg.VisitsPerPerson+64, 1),
-			access.Plain("V1", []string{"rid"}, 1, 1),
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		st, err := store.Open(combined, acc)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rq, err := rw.Body.Query()
-		if err != nil {
-			log.Fatal(err)
-		}
-		fixed := query.Bindings{"p": scaleindep.Int(7)}
-		// Prepare the rewriting once per store; the plan is reusable for
-		// any p without re-analysis.
-		prep, err := core.NewEngine(st).Prepare(rq, scaleindep.NewVarSet("p"))
-		if err != nil {
-			log.Fatal(err)
-		}
-		ans, err := prep.Exec(context.Background(), fixed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		q2q, err := q2.Query()
-		if err != nil {
-			log.Fatal(err)
-		}
-		naive, err := eval.Answers(eval.DBSource{DB: base}, q2q, fixed)
-		if err != nil {
-			log.Fatal(err)
-		}
-		per := ans.DQ.PerRelation()
-		baseReads := per["friend"] + per["person"] + per["visit"] + per["restr"]
-		viewReads := per["V1"] + per["V2"]
-		fmt.Printf("%-10d %-10d %-12d %-12d %-8v\n",
-			n, base.Size(), baseReads, viewReads, ans.Tuples.Equal(naive))
+	fmt.Printf("created %s = %s (%d rows)\n", vfol.Name, vfol.Def, vfol.Rows)
+	vnyc, err := eng.CreateView(mustCQ(vnycSrc))
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("\nonly p₀'s friend tuples are read from the base data — flat in |D| (Cor 6.2).")
+	fmt.Printf("created %s = %s (%d rows, entries derived from the definition's own controllability)\n\n",
+		vnyc.Name, vnyc.Def, vnyc.Rows)
+
+	prep6, err := eng.Prepare(q6, scaleindep.NewVarSet("p"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q6 re-prepared: rescued=%v via views %v, bound %v\n",
+		prep6.Plan().Rescued, prep6.Plan().Views, prep6.Plan().Bound)
+	fmt.Println(indent(prep6.Explain()))
+
+	// 3. Q7 is controllable over the base relations, but the VNYC plan
+	// reads strictly fewer tuples — Prepare picks it on the bound alone.
+	q7 := mustQuery(q7Src)
+	prep7, err := eng.Prepare(q7, scaleindep.NewVarSet("p"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q7 (NYC visits) served through %v: bound %v\n\n", prep7.Plan().Views, prep7.Plan().Bound)
+
+	// 4. Transactional maintenance: commits flow through the engine; the
+	// views are maintained inside each commit, reads charged and bounded.
+	check := func(tag string) {
+		ans, err := prep6.Exec(ctx, p0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		naive, err := eval.Answers(eval.NewStoreSource(db, &store.ExecStats{}), q6, p0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ans.Tuples.Equal(naive) {
+			log.Fatalf("%s: rescued answers diverge from the naive oracle", tag)
+		}
+		if ans.Cost.TupleReads > prep6.Plan().Bound.Reads {
+			log.Fatalf("%s: %d reads above the static bound %d",
+				tag, ans.Cost.TupleReads, prep6.Plan().Bound.Reads)
+		}
+		fmt.Printf("%-16s %d followers, %d reads (bound %d), matches naive oracle\n",
+			tag, ans.Tuples.Len(), ans.Cost.TupleReads, prep6.Plan().Bound.Reads)
+	}
+	check("before commits:")
+	var maintained int
+	var viewReads int64
+	for i, u := range workload.MixedCommits(db.CloneData(), cfg, 50, []int64{7}, 97) {
+		res, err := eng.Commit(ctx, u)
+		if err != nil {
+			log.Fatalf("commit %d: %v", i, err)
+		}
+		maintained += res.ViewsMaintained
+		viewReads += res.ViewReads
+	}
+	fmt.Printf("50 commits: %d view maintenances, %d maintenance reads\n", maintained, viewReads)
+	for _, v := range eng.Views() {
+		fmt.Printf("  %-5s rows=%-5d fresh as of commit %d\n", v.Name, v.Rows, v.FreshSeq)
+	}
+	check("after commits:")
+
+	// 5. Retraction: dropping the rescuing view re-exposes the base-only
+	// controllability verdict.
+	if err := eng.DropView("VFol"); err != nil {
+		log.Fatal(err)
+	}
+	_, err = eng.Prepare(q6, scaleindep.NewVarSet("p"))
+	fmt.Printf("\nafter DropView(VFol), Q6: %v\n", err)
 }
 
-func mustView(src string) *views.View {
+func mustCQ(src string) *query.CQ {
 	cq, err := scaleindep.ParseCQ(src)
 	if err != nil {
 		log.Fatal(err)
 	}
-	v, err := views.NewView(cq)
+	return cq
+}
+
+func mustQuery(src string) *query.Query {
+	q, err := mustCQ(src).Query()
 	if err != nil {
 		log.Fatal(err)
 	}
-	return v
+	return q
+}
+
+func indent(s string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		b.WriteString("    " + line + "\n")
+	}
+	return b.String()
 }

@@ -15,8 +15,10 @@ package access
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/relation"
 )
@@ -59,6 +61,12 @@ func dedup(attrs []string) []string {
 		}
 	}
 	return out
+}
+
+// Equal reports whether two entries are identical statements.
+func (e Entry) Equal(o Entry) bool {
+	return e.Rel == o.Rel && e.N == o.N && e.T == o.T &&
+		slices.Equal(e.On, o.On) && slices.Equal(e.Proj, o.Proj)
 }
 
 // IsEmbedded reports whether the entry restricts the retrieved attributes
@@ -153,8 +161,14 @@ func (e Entry) String() string {
 // This matches Example 4.1 of the paper, where "all base relations are
 // controlled by all their free variables" even without explicit entries,
 // and corresponds to the primary index every real store has.
+//
+// The entry set is safe for concurrent use: materialized-view DDL adds
+// and removes entries on a schema shared by every shard and every live
+// analyzer. ImplicitMembership is set at construction and must not be
+// flipped concurrently with readers.
 type Schema struct {
 	rel                *relation.Schema
+	mu                 sync.RWMutex
 	entries            []Entry
 	ImplicitMembership bool
 }
@@ -173,7 +187,9 @@ func (a *Schema) Add(e Entry) error {
 	if err := e.Validate(a.rel); err != nil {
 		return err
 	}
+	a.mu.Lock()
 	a.entries = append(a.entries, e)
+	a.mu.Unlock()
 	return nil
 }
 
@@ -185,10 +201,42 @@ func (a *Schema) MustAdd(e Entry) *Schema {
 	return a
 }
 
+// AddIfAbsent validates and appends e unless an identical entry is
+// already present: per-shard DDL repeats the registration against one
+// shared access schema and must not duplicate it.
+func (a *Schema) AddIfAbsent(e Entry) error {
+	if err := e.Validate(a.rel); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, x := range a.entries {
+		if x.Equal(e) {
+			return nil
+		}
+	}
+	a.entries = append(a.entries, e)
+	return nil
+}
+
+// RemoveRel deletes every explicit entry for the named relation (view
+// DDL retracting a dropped view's entries). Idempotent.
+func (a *Schema) RemoveRel(rel string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	kept := a.entries[:0]
+	for _, e := range a.entries {
+		if e.Rel != rel {
+			kept = append(kept, e)
+		}
+	}
+	a.entries = kept
+}
+
 // Entries returns the explicit entries plus, when ImplicitMembership is
 // set, one synthetic membership entry (R, attr(R), 1, 1) per relation.
 func (a *Schema) Entries() []Entry {
-	out := append([]Entry(nil), a.entries...)
+	out := a.Explicit()
 	if a.ImplicitMembership {
 		for _, rs := range a.rel.Rels() {
 			out = append(out, Plain(rs.Name, rs.Attrs, 1, 1))
@@ -197,8 +245,12 @@ func (a *Schema) Entries() []Entry {
 	return out
 }
 
-// Explicit returns only the explicitly added entries.
-func (a *Schema) Explicit() []Entry { return a.entries }
+// Explicit returns a copy of the explicitly added entries.
+func (a *Schema) Explicit() []Entry {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return append([]Entry(nil), a.entries...)
+}
 
 // ForRel returns the (explicit + implicit) entries for one relation.
 func (a *Schema) ForRel(rel string) []Entry {
@@ -214,7 +266,7 @@ func (a *Schema) ForRel(rel string) []Entry {
 // Clone returns an independent copy (sharing the relational schema).
 func (a *Schema) Clone() *Schema {
 	c := &Schema{rel: a.rel, ImplicitMembership: a.ImplicitMembership}
-	c.entries = append([]Entry(nil), a.entries...)
+	c.entries = a.Explicit()
 	return c
 }
 
@@ -234,7 +286,7 @@ func (a *Schema) WithWholeRelation(rel string, n int) (*Schema, error) {
 // It returns nil if db conforms, and otherwise an error describing the
 // first violated entry and the offending group.
 func (a *Schema) Conforms(db *relation.Database) error {
-	for _, e := range a.entries { // implicit entries hold trivially
+	for _, e := range a.Explicit() { // implicit entries hold trivially
 		if err := conformsEntry(db, e); err != nil {
 			return err
 		}
@@ -311,8 +363,9 @@ func TightestN(db *relation.Database, e Entry) (int, error) {
 // String renders the whole access schema, one entry per line, sorted for
 // determinism.
 func (a *Schema) String() string {
-	lines := make([]string, len(a.entries))
-	for i, e := range a.entries {
+	ex := a.Explicit()
+	lines := make([]string, len(ex))
+	for i, e := range ex {
 		lines[i] = e.String()
 	}
 	sort.Strings(lines)

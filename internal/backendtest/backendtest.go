@@ -104,6 +104,7 @@ func Run(t *testing.T, open OpenFunc) {
 	t.Run("planequiv", func(t *testing.T) { planEquivalence(t, cfg, engRef.DB, b) })
 	t.Run("analyze", func(t *testing.T) { analyzeConformance(t, cfg, b) })
 	t.Run("livemaint", func(t *testing.T) { liveMaintenance(t, cfg, engRef, engB) })
+	t.Run("viewserve", func(t *testing.T) { viewServe(t, cfg, engRef, engB) })
 }
 
 // planEquivalence pins the plan-IR executor's optimizer: on every

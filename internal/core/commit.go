@@ -42,6 +42,13 @@ type CommitResult struct {
 	// Recosted reports whether this commit pushed some relation's update
 	// volume past the re-cost threshold, aging cached stats-ordered plans.
 	Recosted bool `json:"recosted"`
+	// ViewsMaintained is the number of materialized views whose extents
+	// this commit's base ΔD touched and that were maintained in-pipeline;
+	// ViewReads the tuple reads charged doing so (each view's share
+	// bounded by its N-derived per-delta bound). Scalars so a view-less
+	// commit marshals exactly as before.
+	ViewsMaintained int   `json:"views_maintained,omitempty"`
+	ViewReads       int64 `json:"view_reads,omitempty"`
 	// Phases is the wall-time breakdown of the pipeline: validation, live
 	// maintenance against the pre-state, the store apply, and watcher
 	// notification. Phases.Total() is the commit's time under the lock.
@@ -94,20 +101,27 @@ func (e *Engine) Commit(ctx context.Context, u *relation.Update) (*CommitResult,
 		phaseStart = now
 	}
 
-	// Phase 0 — validate before charging anyone: when watchers will do
-	// maintenance work for this update and the backend can pre-check ΔD
-	// (both built-in backends implement store.Validator), an invalid
-	// commit is rejected here, before any maintenance reads run or a
-	// watcher can be failed on behalf of an update that will never apply.
-	// Watcher-less commits skip straight to the apply, whose own
-	// validation is authoritative either way.
+	// Phase 0 — validate before charging anyone: when watchers or
+	// materialized views will do maintenance work for this update and the
+	// backend can pre-check ΔD (both built-in backends implement
+	// store.Validator), an invalid commit is rejected here, before any
+	// maintenance reads run or a watcher can be failed — or a view frozen
+	// — on behalf of an update that will never apply. Maintenance-less
+	// commits skip straight to the apply, whose own validation is
+	// authoritative either way.
 	var touched []*Live
 	for _, l := range e.liveWatchers() {
 		if l.m.Touches(u) {
 			touched = append(touched, l)
 		}
 	}
-	if len(touched) > 0 {
+	var touchedViews []*matView
+	for _, mv := range e.activeViews() {
+		if mv.m.Touches(u) {
+			touchedViews = append(touchedViews, mv)
+		}
+	}
+	if len(touched) > 0 || len(touchedViews) > 0 {
 		if v, ok := e.DB.(store.Validator); ok {
 			if err := v.ValidateUpdate(u); err != nil {
 				err = fmt.Errorf("core: %w: %w", ErrInvalidUpdate, err)
@@ -146,6 +160,30 @@ func (e *Engine) Commit(ctx context.Context, u *relation.Update) (*CommitResult,
 		}
 		work = append(work, pending{l: l, es: es, bound: bound, delCand: delCand})
 	}
+	// Touched materialized views run the same pre-apply step: deletion
+	// candidates against the OLD extent, each view charging its own
+	// ExecStats budgeted at its N-derived per-delta bound. A failure here
+	// freezes the view (stale, unplannable, epoch bumped) but never fails
+	// the commit — view maintenance is derived work, the base write wins.
+	type viewPending struct {
+		mv      *matView
+		es      *store.ExecStats
+		delCand *relation.TupleSet
+	}
+	var vwork []viewPending
+	for _, mv := range touchedViews {
+		if err := mv.m.canMaintain(u); err != nil {
+			e.breakView(mv, err)
+			continue
+		}
+		es := &store.ExecStats{Ctx: ctx, MaxReads: mv.m.DeltaBound(u)}
+		delCand, err := mv.m.preDelete(ctx, es, u)
+		if err != nil {
+			e.breakView(mv, err)
+			continue
+		}
+		vwork = append(vwork, viewPending{mv: mv, es: es, delCand: delCand})
+	}
 	mark(&phases.Maintain)
 
 	// Phase 2 — apply, through the backend's commit log when it has one.
@@ -172,6 +210,46 @@ func (e *Engine) Commit(ctx context.Context, u *relation.Update) (*CommitResult,
 	seq := e.commitSeq.Add(1)
 	res := &CommitResult{Seq: seq, StoreSeq: storeSeq, Size: u.Size(), Recosted: e.trackVolume(u)}
 	mark(&phases.Apply)
+
+	// Phase 3a — view post-apply: insertion candidates and deletion
+	// re-verification against the NEW base state, the resulting view delta
+	// written through the backend's derived-state path (ApplyDerived: no
+	// LSN advance — the view extent is state of THIS commit, not a commit
+	// of its own). Views go first so watchers whose queries read views
+	// observe extents consistent with the commit they are notified for.
+	for _, w := range vwork {
+		ins, del, err := w.mv.m.postApply(ctx, w.es, u, w.delCand)
+		if err != nil {
+			e.breakView(w.mv, err)
+			continue
+		}
+		if len(ins)+len(del) > 0 {
+			vu := relation.NewUpdate()
+			vname := w.mv.view.Name()
+			for _, t := range ins {
+				vu.Insert(vname, t)
+			}
+			for _, t := range del {
+				vu.Delete(vname, t)
+			}
+			// The type assertion cannot fail: CreateView requires store.DDL.
+			if err := e.DB.(store.DDL).ApplyDerived(vu); err != nil {
+				e.breakView(w.mv, err)
+				continue
+			}
+		}
+		res.ViewsMaintained++
+		res.ViewReads += w.es.Counters.TupleReads
+	}
+	// Every surviving view is fresh as of this commit: maintained extents
+	// after the delta above, untouched ones trivially.
+	e.viewMu.Lock()
+	for _, mv := range e.viewReg {
+		if mv.broken == nil {
+			mv.seq = seq
+		}
+	}
+	e.viewMu.Unlock()
 
 	// Phase 3 — post-apply: insertion candidates and deletion
 	// re-verification against the NEW state; each watcher's answer set
@@ -212,6 +290,8 @@ func (e *Engine) Commit(ctx context.Context, u *relation.Update) (*CommitResult,
 			Size:        res.Size,
 			Watchers:    res.Watchers,
 			Maintenance: res.Maintenance,
+			Views:       res.ViewsMaintained,
+			ViewReads:   res.ViewReads,
 			Phases:      phases,
 		})
 	}

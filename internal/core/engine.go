@@ -58,6 +58,16 @@ type Engine struct {
 	statsEpoch      atomic.Int64
 	recosts         atomic.Int64
 
+	// Materialized-view registry (views.go): viewMu guards the map and
+	// each view's seq/broken fields; maintainers themselves run only under
+	// commitMu. viewEpoch is part of every plan-cache key, so CreateView,
+	// DropView and a maintenance failure atomically invalidate all cached
+	// plans (and cached ErrNotControllable outcomes).
+	viewMu    sync.RWMutex
+	viewReg   map[string]*matView
+	viewID    int64
+	viewEpoch atomic.Int64
+
 	// Telemetry sinks (observe.go): a snapshot of observer, structured
 	// logger and slow thresholds, swapped atomically so serving goroutines
 	// read it without locking. Nil means telemetry is off and the query
@@ -229,6 +239,21 @@ func (e *Engine) Controllable(q *query.Query, x query.VarSet) (*Derivation, erro
 // concurrently and repeatedly with different bindings for x̄. Prepared
 // plans are cached on the engine keyed by (q.Name, x̄), so re-preparing —
 // or answering via Answer/AnswerContext — skips re-analysis.
+//
+// Preparation is view-aware. When materialized views are registered
+// (CreateView), Prepare additionally searches view rewritings of q:
+//
+//   - a controllable base query switches to a rewriting plan only when
+//     its static read bound is strictly smaller (ties keep the base
+//     plan);
+//   - a query that is NOT controllable over the base relations is
+//     rescued through a rewriting whose body is x̄-controlled under the
+//     view-extended access schema (Theorem 6.1), instead of failing with
+//     ErrNotControllable.
+//
+// Either way the resulting Plan names the views it reads (Plan.Views) and
+// marks the rescue case (Plan.Rescued); cache keys embed the view epoch,
+// so view DDL transparently re-plans.
 func (e *Engine) Prepare(q *query.Query, x query.VarSet) (*PreparedQuery, error) {
 	mode := e.Optimizer() // one atomic read: key and compiled plan agree
 	key := e.planKey(q, x, mode)
@@ -237,14 +262,22 @@ func (e *Engine) Prepare(q *query.Query, x query.VarSet) (*PreparedQuery, error)
 	}
 	d, err := e.Controllable(q, x)
 	if err != nil {
-		// Cache the negative outcome too: repeated fallback serving of a
-		// non-controllable query must not re-run the analysis every call.
 		if errors.Is(err, ErrNotControllable) {
+			if p, ok := e.viewRewritePlan(q, x, mode, true); ok {
+				e.plans.put(key, q, p, nil)
+				return p, nil
+			}
+			// Cache the negative outcome too: repeated fallback serving of a
+			// non-controllable query must not re-run the analysis every call.
+			// The view epoch in the key un-caches it when a view appears.
 			e.plans.put(key, q, nil, err)
 		}
 		return nil, err
 	}
 	p := &PreparedQuery{eng: e, q: q, ctrl: x.Clone(), d: d, plan: compilePlan(d, e.DB, mode)}
+	if vp, ok := e.viewRewritePlan(q, x, mode, false); ok && vp.plan.Bound.Reads < p.plan.Bound.Reads {
+		p = vp
+	}
 	e.plans.put(key, q, p, nil)
 	return p, nil
 }

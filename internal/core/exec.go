@@ -71,6 +71,12 @@ type Plan struct {
 	// NumOps is the number of operators in Root (pre-order IDs 0..NumOps-1),
 	// sizing the per-operator runtime trace of EXPLAIN ANALYZE.
 	NumOps int
+	// Views names the materialized views the plan reads, in body order —
+	// empty for a pure base plan. Rescued marks a plan serving a query
+	// that is not controllable over the base relations and is answered
+	// through a view rewriting instead (Theorem 6.1).
+	Views   []string
+	Rescued bool
 }
 
 // NewPlan compiles a derivation 1:1 into an executable plan (analysis
@@ -87,6 +93,13 @@ func (p *Plan) Explain() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "physical plan (%s, optimizer %s)\n", p.Bound, p.Mode)
 	fmt.Fprintf(&b, "order: %s\n", strings.Join(plan.AtomOrder(p.Root), ", "))
+	if len(p.Views) > 0 {
+		tag := ""
+		if p.Rescued {
+			tag = " (rescued: base query not controllable)"
+		}
+		fmt.Fprintf(&b, "views: %s%s\n", strings.Join(p.Views, ", "), tag)
+	}
 	b.WriteString(plan.Explain(p.Root))
 	return b.String()
 }

@@ -27,6 +27,11 @@ type QueryEvent struct {
 	Answers int
 	// Naive marks a WithNaiveFallback full-scan evaluation (no bound).
 	Naive bool
+	// Views names the materialized views the executed plan read (empty
+	// for a pure base plan); Rescued marks a plan serving a query that is
+	// not controllable over the base relations (Plan.Views / Plan.Rescued).
+	Views   []string
+	Rescued bool
 	// Err is the terminal error, nil on success.
 	Err error
 }
@@ -40,8 +45,13 @@ type CommitEvent struct {
 	// Maintenance is the total watcher maintenance work the commit
 	// charged (CommitResult.Maintenance).
 	Maintenance store.Counters
-	Phases      CommitPhases
-	Err         error
+	// Views is the number of materialized views the commit maintained;
+	// ViewReads the tuple reads that maintenance charged
+	// (CommitResult.ViewsMaintained / ViewReads).
+	Views     int
+	ViewReads int64
+	Phases    CommitPhases
+	Err       error
 }
 
 // Observer receives engine telemetry. Implementations must be safe for

@@ -58,10 +58,16 @@ func (p *PreparedQuery) exec(ctx context.Context, fixed query.Bindings, o execOp
 }
 
 // Explain renders the prepared physical plan: operator tree, per-operator
-// static bounds, and the chosen access order. The EXPLAIN of the serving
-// API (also surfaced by Rows.Explain and sirun -explain).
+// static bounds, and the chosen access order — plus, for a view-serving
+// plan, which views it reads and the commit seq each extent is fresh as
+// of. The EXPLAIN of the serving API (also surfaced by Rows.Explain and
+// sirun -explain).
 func (p *PreparedQuery) Explain() string {
-	return fmt.Sprintf("%s controlled by %s\n%s", p.q.Name, p.ctrl, p.plan.Explain())
+	s := fmt.Sprintf("%s controlled by %s\n%s", p.q.Name, p.ctrl, p.plan.Explain())
+	if fr := p.eng.viewFreshness(p.plan.Views); fr != "" {
+		s += fr + "\n"
+	}
+	return s
 }
 
 // Analyze executes the prepared plan once with per-operator runtime
@@ -83,7 +89,11 @@ func (p *PreparedQuery) Analyze(ctx context.Context, fixed query.Bindings, opts 
 	if err != nil {
 		return "", nil, err
 	}
-	return fmt.Sprintf("%s controlled by %s\n%s", p.q.Name, p.ctrl, rows.Analyze()), ans, nil
+	s := fmt.Sprintf("%s controlled by %s\n%s", p.q.Name, p.ctrl, rows.Analyze())
+	if fr := p.eng.viewFreshness(p.plan.Views); fr != "" {
+		s += fr + "\n"
+	}
+	return s, ans, nil
 }
 
 // planKey builds the cache key (query name, controlling set, optimizer
@@ -94,12 +104,16 @@ func (p *PreparedQuery) Analyze(ctx context.Context, fixed query.Bindings, opts 
 // bumps and every stale stats-ordered plan becomes unreachable — the next
 // Prepare/Exec re-costs against fresh statistics while mode-Off/On plans
 // (whose ordering is data-independent) stay cached.
+//
+// The view epoch is part of every key, regardless of mode: any plan may
+// read a view (or be a cached ErrNotControllable outcome a new view could
+// rescue), so CreateView/DropView/a frozen view must age the whole cache.
 func (e *Engine) planKey(q *query.Query, x query.VarSet, mode OptimizerMode) string {
 	epoch := int64(0)
 	if mode == OptimizerStats {
 		epoch = e.statsEpoch.Load()
 	}
-	return fmt.Sprintf("%d\x00%d\x00%s\x00%s", mode, epoch, q.Name, x.Key())
+	return fmt.Sprintf("%d\x00%d\x00%d\x00%s\x00%s", mode, epoch, e.viewEpoch.Load(), q.Name, x.Key())
 }
 
 // PlanCacheStats are the engine plan cache's lifetime counters: cache

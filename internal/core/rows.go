@@ -171,7 +171,7 @@ func (r *Rows) Close() error {
 		r.stop()
 	}
 	if r.obs != nil {
-		r.obs.observeQuery(QueryEvent{
+		ev := QueryEvent{
 			Query:     r.qname,
 			RequestID: r.es.RequestID,
 			Wall:      time.Since(r.start),
@@ -179,7 +179,11 @@ func (r *Rows) Close() error {
 			Answers:   r.n,
 			Naive:     r.naive,
 			Err:       r.err,
-		})
+		}
+		if r.plan != nil {
+			ev.Views, ev.Rescued = r.plan.Views, r.plan.Rescued
+		}
+		r.obs.observeQuery(ev)
 	}
 	return nil
 }

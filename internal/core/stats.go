@@ -32,6 +32,11 @@ type EngineStats struct {
 	Recosts int64 `json:"recosts"`
 	// Watchers is the number of registered live subscriptions.
 	Watchers int `json:"watchers"`
+	// Views is the number of registered materialized views (broken ones
+	// included); ViewEpoch the view-set epoch embedded in plan-cache keys.
+	// Scalars with omitempty so a view-less engine marshals as before.
+	Views     int   `json:"views,omitempty"`
+	ViewEpoch int64 `json:"view_epoch,omitempty"`
 }
 
 // Stats snapshots the engine's observability counters in one call. Safe
@@ -47,6 +52,8 @@ func (e *Engine) Stats() EngineStats {
 		CommittedVolume: e.CommittedVolume(),
 		Recosts:         e.Recosts(),
 		Watchers:        e.Watchers(),
+		Views:           e.NumViews(),
+		ViewEpoch:       e.ViewEpoch(),
 	}
 	if e.DB != nil {
 		s.Size = e.DB.Size()

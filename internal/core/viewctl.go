@@ -1,0 +1,53 @@
+package core
+
+// The Corollary 6.2 sufficient conditions for scale independence using
+// views live here rather than in internal/views: they need the
+// controllability analysis (Analyzer), and core is the layer that owns
+// it — views stays analysis-free so core can consult views.FindRewritings
+// during Prepare without an import cycle.
+
+import (
+	"repro/internal/access"
+	"repro/internal/query"
+	"repro/internal/views"
+)
+
+// ExpansionControlled implements Corollary 6.2(1): the rewriting's
+// expansion is x̄-controlled under A, hence Q is x̄-scale-independent using
+// the views.
+func ExpansionControlled(r *views.Rewriting, vs []*views.View, acc *access.Schema, x query.VarSet) (bool, error) {
+	byName := make(map[string]*views.View, len(vs))
+	for _, v := range vs {
+		byName[v.Name()] = v
+	}
+	exp, err := r.Expansion(byName)
+	if err != nil {
+		return false, err
+	}
+	res, err := NewAnalyzer(acc).Analyze(exp.Formula())
+	if err != nil {
+		return false, err
+	}
+	return res.Controls(x) != nil, nil
+}
+
+// BasePartControlled implements Corollary 6.2(2): the rewriting is
+// y̅-controlled using the views when its base part is y̅-controlled under A
+// and y̅ contains every unconstrained distinguished variable.
+func BasePartControlled(r *views.Rewriting, acc *access.Schema, y query.VarSet) (bool, error) {
+	if !r.UnconstrainedVars().SubsetOf(y) {
+		return false, nil
+	}
+	if len(r.BaseAtoms) == 0 {
+		return true, nil
+	}
+	conj := make([]query.Formula, len(r.BaseAtoms))
+	for i, a := range r.BaseAtoms {
+		conj[i] = a
+	}
+	res, err := NewAnalyzer(acc).Analyze(query.AndAll(conj...))
+	if err != nil {
+		return false, err
+	}
+	return res.Controls(y) != nil, nil
+}

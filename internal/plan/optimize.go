@@ -68,9 +68,146 @@ func (o *Optimizer) Optimize(n Node) Node {
 			v.Branches[i] = o.Optimize(b)
 		}
 		return n
+	case *ChaseExec:
+		o.reorderChase(v)
+		return n
 	default:
 		return n
 	}
+}
+
+// reorderChase reschedules a chase's steps greedily by effective bound:
+// at every point, a ready equality propagation runs first (free, binds a
+// variable), otherwise the ready fetch with the smallest effective N. A
+// step is ready when the chase state already binds what it consumes — all
+// variables at a fetch's input positions, at least one side of a
+// propagation — which is exactly the condition the analysis-emitted order
+// satisfies, so any such schedule chases the same candidates (fetch
+// unification filters on already-bound variables regardless of which step
+// bound them).
+//
+// The reorder is kept only under the same never-worse rule as join
+// chains: the stats-refined estimate must strictly beat the emitted
+// order's estimate AND the static N-derived bound must not regress — live
+// statistics influence ordering only, never the reported bound.
+func (o *Optimizer) reorderChase(n *ChaseExec) {
+	if len(n.Steps) < 2 {
+		return
+	}
+	seed := n.Need().Clone()
+	for v := range n.EqConsts {
+		seed[v] = true
+	}
+	bound := seed.Clone()
+	used := make([]bool, len(n.Steps))
+	order := make([]ChaseStep, 0, len(n.Steps))
+	for len(order) < len(n.Steps) {
+		best := -1
+		var bestN int64
+		for i, s := range n.Steps {
+			if used[i] || !chaseStepReady(s, bound) {
+				continue
+			}
+			if s.Atom == nil {
+				best = i
+				break // free: run it now
+			}
+			if en := o.effN(s.Entry); best < 0 || en < bestN {
+				best, bestN = i, en
+			}
+		}
+		if best < 0 {
+			return // not schedulable greedily: keep the emitted order
+		}
+		used[best] = true
+		order = append(order, n.Steps[best])
+		bound = chaseStepAfter(n.Steps[best], bound)
+	}
+	if o.chaseEstimate(n, order, true) >= o.chaseEstimate(n, n.Steps, true) {
+		return // not strictly better under live statistics
+	}
+	if o.chaseEstimate(n, order, false) > o.chaseEstimate(n, n.Steps, false) {
+		return // static N-derived bound would regress
+	}
+	// Re-derive each step's newly-bound variables for the new positions:
+	// Binds feeds the candidate multiplier of Bound(). Fresh slices — the
+	// compiled steps share their Binds backing arrays with the derivation's
+	// chase plan.
+	bound = seed
+	for i := range order {
+		order[i].Binds = nil
+		if a := order[i].Atom; a != nil {
+			for _, p := range order[i].ProjPos {
+				if t := a.Args[p]; t.IsVar() && !bound.Contains(t.Name()) {
+					order[i].Binds = append(order[i].Binds, t.Name())
+				}
+			}
+		}
+		bound = chaseStepAfter(order[i], bound)
+	}
+	n.Steps = order
+}
+
+// chaseStepReady reports whether the chase state bound suffices to run s.
+func chaseStepReady(s ChaseStep, bound query.VarSet) bool {
+	if s.Atom == nil {
+		return bound.Contains(s.EqL) || bound.Contains(s.EqR)
+	}
+	for _, p := range s.OnPos {
+		if t := s.Atom.Args[p]; t.IsVar() && !bound.Contains(t.Name()) {
+			return false
+		}
+	}
+	return true
+}
+
+// chaseStepAfter is the chase state after s ran.
+func chaseStepAfter(s ChaseStep, bound query.VarSet) query.VarSet {
+	out := bound.Clone()
+	if s.Atom == nil {
+		out[s.EqL] = true
+		out[s.EqR] = true
+		return out
+	}
+	for _, p := range s.ProjPos {
+		if t := s.Atom.Args[p]; t.IsVar() {
+			out[t.Name()] = true
+		}
+	}
+	return out
+}
+
+// chaseEstimate prices one step order, mirroring ChaseExec.Bound with the
+// newly-bound sets derived from the order itself: per-candidate reads per
+// fetch, candidate multiplication on binding fetches, one membership probe
+// per surviving candidate per membership atom. useStats refines entry
+// bounds with live statistics (estimation); without, it is the static
+// N-derived bound the reordered operator will report.
+func (o *Optimizer) chaseEstimate(n *ChaseExec, steps []ChaseStep, useStats bool) int64 {
+	bound := n.Need().Clone()
+	for v := range n.EqConsts {
+		bound[v] = true
+	}
+	cands, reads := int64(1), int64(0)
+	for _, s := range steps {
+		if s.Atom == nil {
+			bound = chaseStepAfter(s, bound)
+			continue
+		}
+		en := int64(s.Entry.N)
+		if useStats {
+			en = o.effN(s.Entry)
+		}
+		reads = SatAdd(reads, SatMul(cands, en))
+		for _, p := range s.ProjPos {
+			if t := s.Atom.Args[p]; t.IsVar() && !bound.Contains(t.Name()) {
+				cands = SatMul(cands, en)
+				break
+			}
+		}
+		bound = chaseStepAfter(s, bound)
+	}
+	return SatAdd(reads, SatMul(cands, int64(len(n.MembershipAtoms))))
 }
 
 // effN is the effective bound of an entry: the schema's N, refined by

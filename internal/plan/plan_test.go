@@ -9,6 +9,9 @@ package plan_test
 
 import (
 	"context"
+	"fmt"
+	"maps"
+	"slices"
 	"strings"
 	"testing"
 
@@ -278,4 +281,169 @@ func TestExplainShape(t *testing.T) {
 	if len(plan.AtomOrder(p.Plan().Root)) == 0 {
 		t.Error("empty atom order")
 	}
+}
+
+// fakeStats is a canned store.EntryStats: live group-size refinements
+// keyed by relation name.
+type fakeStats map[string]int
+
+func (f fakeStats) MaxGroup(e access.Entry) (int, bool) {
+	n, ok := f[e.Rel]
+	return n, ok
+}
+
+// twoStepChase builds the chase for Q(x,y,z) := a(x,y) and b(x,z) with x
+// controlling, both atoms fetched through entries on x, in the emitted
+// order requested. Each step binds exactly its own fresh variable, so the
+// Binds sets are order-independent here by construction.
+func twoStepChase(nA, nB int, aFirst bool) *plan.ChaseExec {
+	atomA := query.NewAtom("a", query.Var("x"), query.Var("y"))
+	atomB := query.NewAtom("b", query.Var("x"), query.Var("z"))
+	stepA := plan.ChaseStep{
+		Atom: atomA, AtomIdx: 0,
+		Entry: access.Plain("a", []string{"x"}, nA, 1),
+		OnPos: []int{0}, ProjPos: []int{0, 1},
+		Binds: []string{"y"}, Verifies: true,
+	}
+	stepB := plan.ChaseStep{
+		Atom: atomB, AtomIdx: 1,
+		Entry: access.Plain("b", []string{"x"}, nB, 1),
+		OnPos: []int{0}, ProjPos: []int{0, 1},
+		Binds: []string{"z"}, Verifies: true,
+	}
+	n := plan.NewChaseExec(query.NewVarSet("x"))
+	n.Atoms = []*query.Atom{atomA, atomB}
+	n.Free = query.NewVarSet("x", "y", "z")
+	if aFirst {
+		n.Steps = []plan.ChaseStep{stepA, stepB}
+	} else {
+		n.Steps = []plan.ChaseStep{stepB, stepA}
+	}
+	return n
+}
+
+// TestChaseReorder pins the stats-aware chase-step scheduling contract:
+// smaller effective bounds run first, live statistics refine the ordering
+// but never the reported bound, a reorder whose static bound would
+// regress is discarded, and readiness gating keeps dependent steps after
+// their producers.
+func TestChaseReorder(t *testing.T) {
+	t.Run("static flip", func(t *testing.T) {
+		n := twoStepChase(50, 10, true)
+		(&plan.Optimizer{}).Optimize(n)
+		if got := n.Steps[0].Atom.Rel; got != "b" {
+			t.Fatalf("first step fetches %s, want b (smaller N first)", got)
+		}
+		if got := n.Bound(); got.Reads != 510 || got.Candidates != 500 {
+			t.Errorf("reordered bound %+v, want reads 510 candidates 500", got)
+		}
+		if !slices.Equal(n.Steps[0].Binds, []string{"z"}) || !slices.Equal(n.Steps[1].Binds, []string{"y"}) {
+			t.Errorf("binds not recomputed for new order: %v / %v", n.Steps[0].Binds, n.Steps[1].Binds)
+		}
+	})
+
+	t.Run("stats break static ties, bound unchanged", func(t *testing.T) {
+		n := twoStepChase(50, 50, true)
+		(&plan.Optimizer{Stats: fakeStats{"b": 3}}).Optimize(n)
+		if got := n.Steps[0].Atom.Rel; got != "b" {
+			t.Fatalf("first step fetches %s, want b (stats-refined bound 3)", got)
+		}
+		if got := n.Bound().Reads; got != 2550 {
+			t.Errorf("reordered static bound %d, want 2550 (stats must not leak into Bound)", got)
+		}
+	})
+
+	t.Run("static regression vetoes stats order", func(t *testing.T) {
+		// Stats favor a (group size 2), but scheduling a's N=50 entry
+		// first would loosen the static bound from 510 to 550.
+		n := twoStepChase(50, 10, false)
+		(&plan.Optimizer{Stats: fakeStats{"a": 2}}).Optimize(n)
+		if got := n.Steps[0].Atom.Rel; got != "b" {
+			t.Fatalf("first step fetches %s, want b (emitted order kept)", got)
+		}
+		if got := n.Bound().Reads; got != 510 {
+			t.Errorf("bound %d, want the emitted order's 510", got)
+		}
+	})
+
+	t.Run("readiness gates greedy choice", func(t *testing.T) {
+		// c(y,w) is fetched on y, which only a(x,y) binds: despite c's
+		// smaller N it cannot run first.
+		atomA := query.NewAtom("a", query.Var("x"), query.Var("y"))
+		atomC := query.NewAtom("c", query.Var("y"), query.Var("w"))
+		n := plan.NewChaseExec(query.NewVarSet("x"))
+		n.Atoms = []*query.Atom{atomA, atomC}
+		n.Free = query.NewVarSet("x", "y", "w")
+		n.Steps = []plan.ChaseStep{
+			{Atom: atomA, AtomIdx: 0, Entry: access.Plain("a", []string{"x"}, 50, 1),
+				OnPos: []int{0}, ProjPos: []int{0, 1}, Binds: []string{"y"}, Verifies: true},
+			{Atom: atomC, AtomIdx: 1, Entry: access.Plain("c", []string{"y"}, 5, 1),
+				OnPos: []int{0}, ProjPos: []int{0, 1}, Binds: []string{"w"}, Verifies: true},
+		}
+		want := n.Bound()
+		(&plan.Optimizer{}).Optimize(n)
+		if got := n.Steps[0].Atom.Rel; got != "a" {
+			t.Fatalf("first step fetches %s, want a (c's input y unbound)", got)
+		}
+		if got := n.Bound(); got != want {
+			t.Errorf("bound changed by no-op reorder: %+v -> %+v", want, got)
+		}
+	})
+
+	t.Run("reorder preserves answers", func(t *testing.T) {
+		rsA, err := relation.NewRelSchema("a", "x", "y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsB, err := relation.NewRelSchema("b", "x", "z")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch, err := relation.NewSchema(rsA, rsB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := relation.NewDatabase(sch)
+		data.MustInsert("a", relation.Ints(1, 10))
+		data.MustInsert("a", relation.Ints(1, 11))
+		data.MustInsert("b", relation.Ints(1, 20))
+		data.MustInsert("b", relation.Ints(1, 21))
+		data.MustInsert("b", relation.Ints(1, 22))
+		acc := access.New(sch).
+			MustAdd(access.Plain("a", []string{"x"}, 50, 1)).
+			MustAdd(access.Plain("b", []string{"x"}, 10, 1))
+		db, err := store.Open(data, acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(n *plan.ChaseExec) (map[string]bool, int64) {
+			es := &store.ExecStats{}
+			rt := plan.BackendRuntime{Ctx: context.Background(), B: db, Es: es}
+			got := map[string]bool{}
+			for b, err := range n.Stream(rt, query.Bindings{"x": relation.Int(1)}) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				got[fmt.Sprintf("%v/%v/%v", b["x"], b["y"], b["z"])] = true
+			}
+			return got, es.Counters.TupleReads
+		}
+		emitted := twoStepChase(50, 10, true)
+		wantAns, _ := run(emitted)
+		if len(wantAns) != 6 {
+			t.Fatalf("emitted order yields %d answers, want 6", len(wantAns))
+		}
+		opt := twoStepChase(50, 10, true)
+		(&plan.Optimizer{}).Optimize(opt)
+		if got := opt.Steps[0].Atom.Rel; got != "b" {
+			t.Fatalf("fixture not reordered (first step %s)", got)
+		}
+		gotAns, reads := run(opt)
+		if !maps.Equal(gotAns, wantAns) {
+			t.Errorf("reordered answers %v != emitted answers %v", gotAns, wantAns)
+		}
+		if bound := opt.Bound().Reads; reads > bound {
+			t.Errorf("reordered chase read %d tuples, above its bound %d", reads, bound)
+		}
+	})
 }

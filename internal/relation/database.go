@@ -2,6 +2,7 @@ package relation
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -79,6 +80,39 @@ func (db *Database) ActiveDomain() []Value {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
+}
+
+// AddRelation creates an empty relation for rs, declaring rs in the
+// schema if absent. Against a shared schema another instance already
+// extended (every shard of a sharded store holds the same *Schema) the
+// declaration step is idempotent, but a conflicting declaration or an
+// already-present relation instance is an error. Callers mutating a live
+// database must serialize against its readers (the store layer holds its
+// write lock across DDL).
+func (db *Database) AddRelation(rs RelSchema) error {
+	if err := rs.Validate(); err != nil {
+		return err
+	}
+	if cur, ok := db.schema.Rel(rs.Name); ok {
+		if !slices.Equal(cur.Attrs, rs.Attrs) {
+			return fmt.Errorf("database: relation %q already declared as %s", rs.Name, cur)
+		}
+	} else if err := db.schema.Add(rs); err != nil {
+		return err
+	}
+	if db.rels[rs.Name] != nil {
+		return fmt.Errorf("database: relation %q already exists", rs.Name)
+	}
+	db.rels[rs.Name] = NewRelation(rs)
+	return nil
+}
+
+// DropRelation removes the named relation instance and its schema
+// declaration (the latter idempotently, for shared schemas). Dropping an
+// absent relation is a no-op.
+func (db *Database) DropRelation(name string) {
+	delete(db.rels, name)
+	db.schema.Remove(name)
 }
 
 // Clone returns an independent copy of the database.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // RelSchema describes one relation: its name and ordered attribute list.
@@ -97,7 +98,13 @@ func (rs RelSchema) String() string {
 
 // Schema is a relational schema R = (R1, ..., Rn): a set of relation
 // schemas indexed by name.
+//
+// A Schema is safe for concurrent use: view DDL (materialized-view
+// registration) adds and removes relations on a schema shared by live
+// readers — every shard of a sharded store and every analyzer holds the
+// same *Schema.
 type Schema struct {
+	mu     sync.RWMutex
 	rels   []RelSchema
 	byName map[string]int
 }
@@ -128,6 +135,8 @@ func (s *Schema) Add(rs RelSchema) error {
 	if err := rs.Validate(); err != nil {
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.byName[rs.Name]; dup {
 		return fmt.Errorf("schema: duplicate relation %q", rs.Name)
 	}
@@ -139,8 +148,26 @@ func (s *Schema) Add(rs RelSchema) error {
 	return nil
 }
 
+// Remove deletes the named relation schema. Removing an absent relation
+// is a no-op, so concurrent DDL on a shared schema stays idempotent.
+func (s *Schema) Remove(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.byName[name]
+	if !ok {
+		return
+	}
+	s.rels = append(s.rels[:i], s.rels[i+1:]...)
+	delete(s.byName, name)
+	for j := i; j < len(s.rels); j++ {
+		s.byName[s.rels[j].Name] = j
+	}
+}
+
 // Rel looks up a relation schema by name.
 func (s *Schema) Rel(name string) (RelSchema, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	i, ok := s.byName[name]
 	if !ok {
 		return RelSchema{}, false
@@ -150,6 +177,8 @@ func (s *Schema) Rel(name string) (RelSchema, bool) {
 
 // Names returns the relation names in declaration order.
 func (s *Schema) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, len(s.rels))
 	for i, rs := range s.rels {
 		out[i] = rs.Name
@@ -157,15 +186,24 @@ func (s *Schema) Names() []string {
 	return out
 }
 
-// Rels returns the relation schemas in declaration order. Callers must not
-// mutate the returned slice.
-func (s *Schema) Rels() []RelSchema { return s.rels }
+// Rels returns a copy of the relation schemas in declaration order.
+func (s *Schema) Rels() []RelSchema {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]RelSchema(nil), s.rels...)
+}
 
 // Len returns the number of relations.
-func (s *Schema) Len() int { return len(s.rels) }
+func (s *Schema) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rels)
+}
 
 // String renders the schema, one relation per line, sorted by name.
 func (s *Schema) String() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	lines := make([]string, len(s.rels))
 	for i, rs := range s.rels {
 		lines[i] = rs.String()

@@ -107,6 +107,11 @@ type Prepared struct {
 	BoundCandidates int64
 	// Explain is the server's EXPLAIN rendering of the physical plan.
 	Explain string
+	// Views names the materialized views the server-side plan reads;
+	// Rescued marks a query that is not controllable over the base
+	// relations and is served through a view rewriting.
+	Views   []string
+	Rescued bool
 }
 
 // Prepare compiles src for the controlling set ctrl on the server and
@@ -127,6 +132,8 @@ func (c *Client) Prepare(ctx context.Context, src string, ctrl ...string) (*Prep
 		BoundReads:      resp.BoundReads,
 		BoundCandidates: resp.BoundCandidates,
 		Explain:         resp.Explain,
+		Views:           resp.Views,
+		Rescued:         resp.Rescued,
 	}, nil
 }
 
@@ -286,6 +293,58 @@ func (c *Client) Commit(ctx context.Context, u *relation.Update) (*server.Commit
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// CreateView materializes def as a transactionally maintained view on
+// the server, with optional caller-supplied access entries on the view
+// relation. Typed failures mirror Engine.CreateView
+// (core.ErrWatchNotMaintainable for unmaintainable definitions).
+func (c *Client) CreateView(ctx context.Context, def string, entries ...server.ViewEntry) (*server.ViewResponse, error) {
+	var resp server.ViewResponse
+	if err := c.post(ctx, "/views", &server.ViewRequest{Def: def, Entries: entries}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// DropView retracts a view by name.
+func (c *Client) DropView(ctx context.Context, name string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/views/"+name, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-SI-Tenant", c.tenant)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	return nil
+}
+
+// Views fetches the registered view states.
+func (c *Client) Views(ctx context.Context) ([]server.ViewResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/views", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var vs []server.ViewResponse
+	if err := json.NewDecoder(resp.Body).Decode(&vs); err != nil {
+		return nil, err
+	}
+	return vs, nil
 }
 
 // Status fetches the server's /statusz observability snapshot.

@@ -24,6 +24,11 @@ import (
 //	si_commits_total                 counter    commits through Engine.Commit
 //	si_commit_phase_seconds{phase}   histogram  validate | maintain | apply | notify
 //	si_commit_maintenance_reads      histogram  watcher maintenance reads per commit
+//	si_commit_view_reads             histogram  view maintenance reads per commit
+//	si_views_maintained_total        counter    view extents maintained by commits
+//	si_view_queries_total{name,mode} counter    view-served queries: view | rescued
+//	si_engine_views                  gauge      registered materialized views (scrape-time)
+//	si_engine_view_epoch             gauge      view-set epoch (scrape-time)
 //	si_watch_delta_lag               histogram  commit-seq lag at SSE delivery
 //	si_watch_folded_total            counter    commits folded into coalesced deltas
 //	si_engine_size                   gauge      |D| (scrape-time)
@@ -42,6 +47,9 @@ type metrics struct {
 	commits     obs.Counter
 	commitPhase obs.HistogramVec
 	maintReads  *obs.Histogram
+	viewReads   *obs.Histogram
+	viewsMaint  obs.Counter
+	viewQueries obs.CounterVec
 
 	watchLag    *obs.Histogram
 	watchFolded obs.Counter
@@ -51,6 +59,8 @@ type metrics struct {
 	commitSeq    obs.Gauge
 	watchers     obs.Gauge
 	lsnSpread    obs.Gauge
+	views        obs.Gauge
+	viewEpoch    obs.Gauge
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -64,6 +74,9 @@ func newMetrics(reg *obs.Registry) *metrics {
 		commits:      reg.Counter("si_commits_total", "Commits applied through the engine pipeline.").With(),
 		commitPhase:  reg.Histogram("si_commit_phase_seconds", "Commit pipeline phase wall time.", "phase"),
 		maintReads:   reg.Histogram("si_commit_maintenance_reads", "Watcher maintenance reads per commit.").With(),
+		viewReads:    reg.Histogram("si_commit_view_reads", "Materialized-view maintenance reads per commit.").With(),
+		viewsMaint:   reg.Counter("si_views_maintained_total", "View extents maintained inside commit pipelines.").With(),
+		viewQueries:  reg.Counter("si_view_queries_total", "Queries served through materialized views, by mode (view = cheaper plan, rescued = base not controllable).", "name", "mode"),
 		watchLag:     reg.Histogram("si_watch_delta_lag", "Engine commit-seq minus delta seq at SSE delivery.").With(),
 		watchFolded:  reg.Counter("si_watch_folded_total", "Commits folded into coalesced watch deltas.").With(),
 		planCacheOps: reg.Gauge("si_plan_cache_ops_total", "Plan cache lifetime counters.", "op"),
@@ -71,6 +84,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 		commitSeq:    reg.Gauge("si_engine_commit_seq", "Last engine commit sequence number.").With(),
 		watchers:     reg.Gauge("si_engine_watchers", "Registered live subscriptions.").With(),
 		lsnSpread:    reg.Gauge("si_shard_lsn_spread", "Max minus min per-shard storage LSN (0 on single-node).").With(),
+		views:        reg.Gauge("si_engine_views", "Registered materialized views.").With(),
+		viewEpoch:    reg.Gauge("si_engine_view_epoch", "View-set epoch embedded in plan-cache keys.").With(),
 	}
 	return m
 }
@@ -85,6 +100,13 @@ func (m *metrics) ObserveQuery(ev core.QueryEvent) {
 		outcome = "error"
 	}
 	m.queries.With(ev.Query, outcome).Inc()
+	if len(ev.Views) > 0 {
+		mode := "view"
+		if ev.Rescued {
+			mode = "rescued"
+		}
+		m.viewQueries.With(ev.Query, mode).Inc()
+	}
 }
 
 // ObserveCommit implements core.Observer: the pipeline phase breakdown
@@ -96,6 +118,10 @@ func (m *metrics) ObserveCommit(ev core.CommitEvent) {
 	m.commitPhase.With("apply").ObserveDuration(ev.Phases.Apply)
 	m.commitPhase.With("notify").ObserveDuration(ev.Phases.Notify)
 	m.maintReads.Observe(float64(ev.Maintenance.TupleReads))
+	if ev.Views > 0 {
+		m.viewsMaint.Add(float64(ev.Views))
+		m.viewReads.Observe(float64(ev.ViewReads))
+	}
 }
 
 // admitted/rejected record one admission decision.
@@ -138,6 +164,8 @@ func (m *metrics) collect(eng *core.Engine) {
 	m.engineSize.Set(float64(st.Size))
 	m.commitSeq.Set(float64(st.CommitSeq))
 	m.watchers.Set(float64(st.Watchers))
+	m.views.Set(float64(st.Views))
+	m.viewEpoch.Set(float64(st.ViewEpoch))
 	spread := int64(0)
 	if sv, ok := eng.DB.(shardVersioned); ok {
 		vs := sv.ShardVersions()

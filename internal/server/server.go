@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/access"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/parser"
@@ -97,6 +98,9 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /commit", s.handleCommit)
 	s.mux.HandleFunc("GET /watch", s.handleWatch)
+	s.mux.HandleFunc("POST /views", s.handleViewCreate)
+	s.mux.HandleFunc("GET /views", s.handleViewList)
+	s.mux.HandleFunc("DELETE /views/{name}", s.handleViewDrop)
 	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
 	if cfg.Metrics != nil {
 		s.met = newMetrics(cfg.Metrics)
@@ -173,6 +177,9 @@ type Statusz struct {
 	Tenants  map[string]TenantStats `json:"tenants"`
 	Handles  int                    `json:"handles"`
 	Draining bool                   `json:"draining"`
+	// Views is the registered materialized-view state (name, definition,
+	// rows, freshness seq, entries, broken), in registration order.
+	Views []core.ViewInfo `json:"views,omitempty"`
 }
 
 // Status snapshots the tier for /statusz (and for in-process harnesses).
@@ -185,6 +192,7 @@ func (s *Server) Status() Statusz {
 		Tenants:  s.adm.stats(),
 		Handles:  nh,
 		Draining: draining,
+		Views:    s.eng.Views(),
 	}
 }
 
@@ -298,6 +306,8 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		BoundReads:      bound.Reads,
 		BoundCandidates: bound.Candidates,
 		Explain:         prep.Explain(),
+		Views:           prep.Plan().Views,
+		Rescued:         prep.Plan().Rescued,
 	})
 }
 
@@ -424,9 +434,60 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		Size:             res.Size,
 		Watchers:         res.Watchers,
 		MaintenanceReads: res.Maintenance.TupleReads,
+		ViewsMaintained:  res.ViewsMaintained,
+		ViewReads:        res.ViewReads,
 		Recosted:         res.Recosted,
 		Phases:           res.Phases,
 	})
+}
+
+// handleViewCreate materializes one view through Engine.CreateView: the
+// defining CQ plus optional caller-supplied access entries (the view is a
+// materialized relation, so it can be indexed at will). Success returns
+// the registered view's state; an unmaintainable definition maps to 422
+// through the usual taxonomy.
+func (s *Server) handleViewCreate(w http.ResponseWriter, r *http.Request) {
+	var req ViewRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, &ErrorBody{Code: CodeBadRequest, Message: "views: " + err.Error()})
+		return
+	}
+	def, err := parser.ParseCQ(req.Def)
+	if err != nil {
+		writeError(w, &ErrorBody{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	entries := make([]access.Entry, len(req.Entries))
+	for i, e := range req.Entries {
+		entries[i] = access.Entry{Rel: def.Name, On: e.On, Proj: e.Proj, N: e.N, T: max(e.T, 1)}
+	}
+	info, err := s.eng.CreateView(def, entries...)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, &info)
+}
+
+// handleViewList serves GET /views: the registered view states in
+// registration order.
+func (s *Server) handleViewList(w http.ResponseWriter, r *http.Request) {
+	views := s.eng.Views()
+	if views == nil {
+		views = []core.ViewInfo{}
+	}
+	writeJSON(w, views)
+}
+
+// handleViewDrop retracts one view: the relation is dropped from the
+// backend and the next Prepare no longer sees it.
+func (s *Server) handleViewDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.eng.DropView(name); err != nil {
+		writeError(w, &ErrorBody{Code: CodeNotFound, Message: err.Error()})
+		return
+	}
+	writeJSON(w, map[string]string{"dropped": name})
 }
 
 // sseWrite emits one Server-Sent Event and flushes it.

@@ -585,3 +585,102 @@ func mustParse(t *testing.T, src string) *query.Query {
 	}
 	return q
 }
+
+// TestViewsOverWire drives the view lifecycle through the HTTP tier on
+// single-node and 4-shard backends: a non-controllable query is rejected,
+// rescued after POST /views (with the provenance on the prepare
+// response), served with bit-identical answers to an in-process Exec
+// within the advertised bound, maintained transactionally by wire
+// commits, and rejected again after DELETE /views.
+func TestViewsOverWire(t *testing.T) {
+	backends := []struct {
+		name string
+		open openFunc
+	}{{"single", openSingle}, {"shard4", openShard4}}
+	for _, be := range backends {
+		t.Run(be.name, func(t *testing.T) {
+			ctx := context.Background()
+			ti := newTier(t, be.open, server.Config{})
+			if _, err := ti.cl.Prepare(ctx, backendtest.Q6Src, "p"); !errors.Is(err, core.ErrNotControllable) {
+				t.Fatalf("Q6 over base relations: got %v, want ErrNotControllable", err)
+			}
+
+			vcfg := workload.DefaultConfig()
+			info, err := ti.cl.CreateView(ctx, backendtest.VFolSrc,
+				server.ViewEntry{On: []string{"p"}, N: vcfg.MaxFriends + 64, T: 1})
+			if err != nil {
+				t.Fatalf("CreateView: %v", err)
+			}
+			if info.Name != "VFol" || info.Rows == 0 {
+				t.Fatalf("unexpected view info %+v", info)
+			}
+			vs, err := ti.cl.Views(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(vs) != 1 || vs[0].Name != "VFol" {
+				t.Fatalf("GET /views: %+v", vs)
+			}
+
+			remote, err := ti.cl.Prepare(ctx, backendtest.Q6Src, "p")
+			if err != nil {
+				t.Fatalf("Q6 after CreateView: %v", err)
+			}
+			if !remote.Rescued || len(remote.Views) != 1 || remote.Views[0] != "VFol" {
+				t.Fatalf("prepare response lacks rescue provenance: views=%v rescued=%v", remote.Views, remote.Rescued)
+			}
+			if !strings.Contains(remote.Explain, "VFol") || !strings.Contains(remote.Explain, "view freshness:") {
+				t.Fatalf("wire EXPLAIN misses view provenance:\n%s", remote.Explain)
+			}
+
+			local := mustPrepare(t, ti.eng, backendtest.Q6Src, []string{"p"})
+			for i := 0; i < 8; i++ {
+				fixed := query.Bindings{"p": relation.Int(int64(i * 13 % 120))}
+				want, err := local.Exec(ctx, fixed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tuples, stats, err := remote.Exec(ctx, fixed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := relation.NewTupleSet(len(tuples))
+				got.AddAll(tuples)
+				if !got.Equal(want.Tuples) {
+					t.Fatalf("p=%v: wire %d answers, in-process %d", fixed["p"], got.Len(), want.Tuples.Len())
+				}
+				if stats.Reads > remote.BoundReads {
+					t.Fatalf("p=%v: %d reads exceed advertised bound %d", fixed["p"], stats.Reads, remote.BoundReads)
+				}
+			}
+
+			// A friend-touching wire commit maintains the view inside the
+			// pipeline and the freshness seq tracks the commit seq.
+			u := relation.NewUpdate().Insert("friend", relation.Ints(3, 119)).Insert("friend", relation.Ints(119, 3))
+			cres, err := ti.cl.Commit(ctx, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cres.ViewsMaintained == 0 {
+				t.Fatalf("commit response reports no view maintenance: %+v", cres)
+			}
+			st, err := ti.cl.Status(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(st.Views) != 1 || st.Views[0].FreshSeq != st.Engine.CommitSeq {
+				t.Fatalf("statusz views stale: %+v vs commit seq %d", st.Views, st.Engine.CommitSeq)
+			}
+
+			if err := ti.cl.DropView(ctx, "VFol"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ti.cl.Prepare(ctx, backendtest.Q6Src, "p"); !errors.Is(err, core.ErrNotControllable) {
+				t.Fatalf("Q6 after DropView: got %v, want ErrNotControllable", err)
+			}
+			if vs, err := ti.cl.Views(ctx); err != nil || len(vs) != 0 {
+				t.Fatalf("views after drop: %v %v", vs, err)
+			}
+		})
+	}
+}

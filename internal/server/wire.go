@@ -162,6 +162,12 @@ type PrepareResponse struct {
 	BoundReads      int64  `json:"bound_reads"`
 	BoundCandidates int64  `json:"bound_candidates"`
 	Explain         string `json:"explain"`
+	// Views names the materialized views the plan reads (empty for a pure
+	// base plan); Rescued marks a query that is not controllable over the
+	// base relations and is served through a view rewriting instead, so a
+	// tenant can tell a rescued admission from a base one.
+	Views   []string `json:"views,omitempty"`
+	Rescued bool     `json:"rescued,omitempty"`
 }
 
 // QueryRequest is the body of POST /query.
@@ -252,11 +258,38 @@ type CommitResponse struct {
 	Size             int   `json:"size"`
 	Watchers         int   `json:"watchers"`
 	MaintenanceReads int64 `json:"maintenance_reads"`
-	Recosted         bool  `json:"recosted"`
+	// ViewsMaintained is the number of materialized views this commit
+	// maintained inside the pipeline; ViewReads the tuple reads that
+	// maintenance charged.
+	ViewsMaintained int   `json:"views_maintained,omitempty"`
+	ViewReads       int64 `json:"view_reads,omitempty"`
+	Recosted        bool  `json:"recosted"`
 	// Phases is the commit pipeline's wall-time breakdown
 	// (core.CommitPhases), durations in nanoseconds.
 	Phases core.CommitPhases `json:"phases"`
 }
+
+// ViewEntry is the wire form of a caller-supplied access entry for a
+// view relation (the "index it at will" part of Section 6). Rel is
+// implied by the view being created; a nil Proj means a plain entry.
+type ViewEntry struct {
+	On   []string `json:"on"`
+	Proj []string `json:"proj,omitempty"`
+	N    int      `json:"n"`
+	T    int      `json:"t,omitempty"`
+}
+
+// ViewRequest is the body of POST /views: the defining CQ plus optional
+// extra access entries, on top of the ones the engine derives from the
+// definition's own controllability.
+type ViewRequest struct {
+	Def     string      `json:"def"`
+	Entries []ViewEntry `json:"entries,omitempty"`
+}
+
+// ViewResponse is the success body of POST /views (and one element of
+// GET /views): core.ViewInfo verbatim.
+type ViewResponse = core.ViewInfo
 
 // WatchSnapshot is the payload of the initial "snapshot" SSE event of
 // GET /watch.

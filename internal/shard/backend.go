@@ -38,7 +38,8 @@ func (s *Store) NumShards() int { return len(s.shards) }
 
 // Route returns the routing-key attributes of rel (nil if unknown).
 func (s *Store) Route(rel string) []string {
-	return append([]string(nil), s.routes[rel].attrs...)
+	rt, _ := s.routeFor(rel)
+	return append([]string(nil), rt.attrs...)
 }
 
 // ShardSizes returns the tuple count per shard: the partition balance.
@@ -103,6 +104,9 @@ func (s *Store) CloneData() *relation.Database {
 	for _, sh := range s.shards {
 		part := sh.CloneData()
 		for _, name := range s.schema.Names() {
+			if _, ok := s.routeFor(name); !ok {
+				continue // another instance's declaration in the shared schema
+			}
 			for _, t := range part.Rel(name).Tuples() {
 				merged.MustInsert(name, t)
 			}
@@ -145,7 +149,7 @@ func (s *Store) FetchInto(es *store.ExecStats, e access.Entry, vals []relation.V
 // positions of the routing-key values within e.On so the per-call path
 // does no attribute matching at all.
 func (s *Store) PlanFetch(e access.Entry) store.FetchRoute {
-	rt, ok := s.routes[e.Rel]
+	rt, ok := s.routeFor(e.Rel)
 	if !ok {
 		return store.FetchRoute{Kind: store.RouteScatter}
 	}
@@ -170,7 +174,7 @@ func (s *Store) PlanFetch(e access.Entry) store.FetchRoute {
 // decision already made at plan time. Counters, traces, budgets and
 // cardinality checks are identical to FetchInto's.
 func (s *Store) FetchPlanned(es *store.ExecStats, e access.Entry, vals []relation.Value, r store.FetchRoute) ([]relation.Tuple, error) {
-	if _, ok := s.routes[e.Rel]; !ok {
+	if _, ok := s.routeFor(e.Rel); !ok {
 		return nil, fmt.Errorf("shard: unknown relation %q", e.Rel)
 	}
 	if len(vals) != len(e.On) {
@@ -297,7 +301,7 @@ func (s *Store) scatterFetchEmbedded(es *store.ExecStats, e access.Entry, vals [
 // full tuple always determines its routing key — charging exactly the
 // single-node cost: one membership, one read when present.
 func (s *Store) MembershipInto(es *store.ExecStats, rel string, t relation.Tuple) (bool, error) {
-	rt, ok := s.routes[rel]
+	rt, ok := s.routeFor(rel)
 	if !ok {
 		return false, fmt.Errorf("shard: unknown relation %q", rel)
 	}
@@ -314,7 +318,7 @@ func (s *Store) MembershipInto(es *store.ExecStats, rel string, t relation.Tuple
 // as on a single node; the Scans counter records one partial scan per
 // shard.
 func (s *Store) ScanInto(es *store.ExecStats, rel string) ([]relation.Tuple, error) {
-	if _, ok := s.routes[rel]; !ok {
+	if _, ok := s.routeFor(rel); !ok {
 		return nil, fmt.Errorf("shard: unknown relation %q", rel)
 	}
 	if len(s.shards) == 1 {
@@ -429,7 +433,7 @@ func (s *Store) splitByRoute(u *relation.Update) ([]*relation.Update, error) {
 	}
 	split := func(m map[string][]relation.Tuple, del bool) error {
 		for rel, ts := range m {
-			rt, ok := s.routes[rel]
+			rt, ok := s.routeFor(rel)
 			if !ok {
 				return fmt.Errorf("shard: unknown relation %q", rel)
 			}

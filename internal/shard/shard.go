@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/access"
@@ -41,7 +42,12 @@ type Store struct {
 	schema *relation.Schema
 	acc    *access.Schema
 	shards []*store.DB
-	routes map[string]route
+
+	// routesMu guards routes: view DDL (store.DDL) registers and removes
+	// routes while fetches, membership probes and update splitting read
+	// them.
+	routesMu sync.RWMutex
+	routes   map[string]route
 
 	// extra accumulates merge-level charges that belong to no single shard
 	// (deduplicated embedded scatter fetches, scan-snapshot replays);
@@ -221,6 +227,14 @@ func subset(sub, super []string) bool {
 		}
 	}
 	return true
+}
+
+// routeFor returns rel's routing rule under the read lock.
+func (s *Store) routeFor(rel string) (route, bool) {
+	s.routesMu.RLock()
+	rt, ok := s.routes[rel]
+	s.routesMu.RUnlock()
+	return rt, ok
 }
 
 // shardIndex maps a routing-key encoding to a shard via FNV-1a.

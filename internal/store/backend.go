@@ -156,6 +156,31 @@ type RoutePlanner interface {
 	FetchPlanned(es *ExecStats, e access.Entry, vals []relation.Value, r FetchRoute) ([]relation.Tuple, error)
 }
 
+// DDL is implemented by backends that support online relation DDL: the
+// engine's materialized-view registry creates and drops the relation
+// backing a view at runtime and feeds it incremental maintenance deltas.
+//
+//   - AddRelation declares rs, seeds it with tuples, registers the given
+//     access entries (each must name rs) and builds their indices. On a
+//     partitioned backend the new relation is routed from its entries
+//     like a base relation and the seed tuples are partitioned.
+//   - DropRelation removes the relation with its access entries and
+//     indices; dropping an absent relation is not an error.
+//   - ApplyDerived validates and applies ΔD like ApplyUpdate but WITHOUT
+//     advancing the commit-log sequence number: a view delta is derived
+//     state of the base commit that produced it, not a commit of its
+//     own, so the LSN keeps counting base commits only.
+type DDL interface {
+	AddRelation(rs relation.RelSchema, entries []access.Entry, tuples []relation.Tuple) error
+	DropRelation(name string) error
+	ApplyDerived(u *relation.Update) error
+	// HasRelation reports whether THIS backend instance stores the named
+	// relation. Instances may share one *relation.Schema (shards; test
+	// harnesses opening reference and backend over one schema), so a
+	// schema declaration alone does not answer existence here.
+	HasRelation(name string) bool
+}
+
 // EntryStats is optionally implemented by backends that can report actual
 // data statistics for an access entry: MaxGroup returns an upper bound on
 // the current size of any σ_X=ā group served by e (for the cost-based
@@ -171,6 +196,7 @@ var (
 	_ Backend   = (*DB)(nil)
 	_ Versioned = (*DB)(nil)
 	_ Validator = (*DB)(nil)
+	_ DDL       = (*DB)(nil)
 )
 
 // Fetch is FetchInto with no per-call stats: only the backend-global

@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -483,6 +484,9 @@ func (db *DB) Conforms() error {
 	return db.acc.Conforms(db.data)
 }
 
+// ensureEntryIndex builds the index an entry needs. It does no locking:
+// callers either run before the DB is shared (Open) or hold the
+// exclusive lock (AddRelation).
 func (db *DB) ensureEntryIndex(e access.Entry) error {
 	rs, _ := db.data.Schema().Rel(e.Rel)
 	if e.IsEmbedded() {
@@ -503,13 +507,12 @@ func (db *DB) ensureEntryIndex(e access.Entry) error {
 		db.projIndexes[e.Rel][name] = pi
 		return nil
 	}
-	return db.EnsureIndex(e.Rel, e.On)
+	return db.ensurePlainIndex(e.Rel, e.On)
 }
 
-// EnsureIndex builds (or reuses) a plain index on attrs of rel.
-func (db *DB) EnsureIndex(rel string, attrs []string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+// ensurePlainIndex is EnsureIndex without the locking; see
+// ensureEntryIndex for the callers' locking discipline.
+func (db *DB) ensurePlainIndex(rel string, attrs []string) error {
 	name := index.KeyName(attrs)
 	if db.indexes[rel][name] != nil {
 		return nil
@@ -526,6 +529,125 @@ func (db *DB) EnsureIndex(rel string, attrs []string) error {
 		db.indexes[rel] = make(map[string]*index.Index)
 	}
 	db.indexes[rel][name] = ix
+	return nil
+}
+
+// EnsureIndex builds (or reuses) a plain index on attrs of rel.
+func (db *DB) EnsureIndex(rel string, attrs []string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.ensurePlainIndex(rel, attrs)
+}
+
+// AddRelation implements the optional DDL interface: it declares rs
+// (idempotently against a relational schema another instance already
+// extended — every shard of a sharded store shares one *Schema), creates
+// the relation seeded with tuples, registers the access entries
+// (idempotently, for the shared access schema), and builds their indexes
+// plus the implicit-membership index — all under the exclusive lock, so
+// concurrent readers see the relation appear atomically.
+func (db *DB) AddRelation(rs relation.RelSchema, entries []access.Entry, tuples []relation.Tuple) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.data.AddRelation(rs); err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		db.data.DropRelation(rs.Name)
+		return err
+	}
+	// The access schema validates entries against its own relational
+	// schema, which need not be the data's object: declare rs there too.
+	if as := db.acc.Relational(); as != db.data.Schema() {
+		if err := declareFor(as, rs); err != nil {
+			return abort(err)
+		}
+	}
+	for _, t := range tuples {
+		if len(t) != rs.Arity() {
+			return abort(fmt.Errorf("store: %s: seed tuple %v has arity %d", rs, t, len(t)))
+		}
+		if _, err := db.data.Insert(rs.Name, t); err != nil {
+			return abort(err)
+		}
+	}
+	for _, e := range entries {
+		if e.Rel != rs.Name {
+			return abort(fmt.Errorf("store: entry %s does not name new relation %q", e.String(), rs.Name))
+		}
+		if err := db.acc.AddIfAbsent(e); err != nil {
+			return abort(err)
+		}
+		if err := db.ensureEntryIndex(e); err != nil {
+			return abort(err)
+		}
+	}
+	if db.acc.ImplicitMembership {
+		if err := db.ensureEntryIndex(access.Plain(rs.Name, rs.Attrs, 1, 1)); err != nil {
+			return abort(err)
+		}
+	}
+	return nil
+}
+
+// DropRelation implements the optional DDL interface: it removes the
+// relation, its indexes, and its access entries. Idempotent, including
+// against shared relational/access schemas another shard already pruned.
+func (db *DB) DropRelation(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.indexes, name)
+	delete(db.projIndexes, name)
+	db.acc.RemoveRel(name)
+	if as := db.acc.Relational(); as != db.data.Schema() {
+		as.Remove(name)
+	}
+	db.data.DropRelation(name)
+	return nil
+}
+
+// HasRelation implements the optional DDL interface: whether this store
+// instance holds the named relation (instances may share a schema whose
+// declarations outlive any one instance's relations).
+func (db *DB) HasRelation(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.data.Rel(name) != nil
+}
+
+// declareFor declares rs in an auxiliary relational schema, idempotently:
+// an identical existing declaration (another instance sharing the schema
+// got there first) is fine, a conflicting one is an error.
+func declareFor(s *relation.Schema, rs relation.RelSchema) error {
+	if prev, ok := s.Rel(rs.Name); ok {
+		if !slices.Equal(prev.Attrs, rs.Attrs) {
+			return fmt.Errorf("store: relation %q already declared as %s", rs.Name, prev)
+		}
+		return nil
+	}
+	if err := s.Add(rs); err != nil {
+		if prev, ok := s.Rel(rs.Name); ok && slices.Equal(prev.Attrs, rs.Attrs) {
+			return nil // lost a benign race to an identical declaration
+		}
+		return err
+	}
+	return nil
+}
+
+// ApplyDerived implements the optional DDL interface: it validates and
+// applies u, keeping indexes in sync, without advancing the commit log —
+// derived (materialized-view) deltas ride the engine commit of the base
+// ΔD that caused them and must not consume an LSN of their own.
+func (db *DB) ApplyDerived(u *relation.Update) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := u.Validate(db.data); err != nil {
+		return err
+	}
+	if err := db.data.Apply(u); err != nil {
+		return err
+	}
+	db.syncIndexes(u)
 	return nil
 }
 
@@ -726,6 +848,14 @@ func (db *DB) ApplyVersioned(u *relation.Update) (int64, error) {
 	if err := db.data.Apply(u); err != nil {
 		return 0, err
 	}
+	db.syncIndexes(u)
+	db.version++
+	return db.version, nil
+}
+
+// syncIndexes folds an applied ΔD into every index incrementally (cost
+// proportional to |ΔD|). Caller holds the exclusive lock.
+func (db *DB) syncIndexes(u *relation.Update) {
 	for rel, ts := range u.Del {
 		for _, t := range ts {
 			for _, ix := range db.indexes[rel] {
@@ -746,8 +876,6 @@ func (db *DB) ApplyVersioned(u *relation.Update) (int64, error) {
 			}
 		}
 	}
-	db.version++
-	return db.version, nil
 }
 
 // Version implements store.Versioned: the LSN of the last applied update

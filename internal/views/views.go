@@ -10,7 +10,6 @@ import (
 	"fmt"
 
 	"repro/internal/access"
-	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/eval"
 	"repro/internal/query"
@@ -383,46 +382,6 @@ func DecideVQSI(q *query.CQ, views []*View, m int, cap int) (*VQSIDecision, erro
 	}
 	return &VQSIDecision{InVSQ: false,
 		Reason: fmt.Sprintf("no rewriting among %d candidates has ‖Q'b‖ ≤ %d with all distinguished variables constrained", len(rws), m)}, nil
-}
-
-// ExpansionControlled implements Corollary 6.2(1): the rewriting's
-// expansion is x̄-controlled under A, hence Q is x̄-scale-independent using
-// the views.
-func ExpansionControlled(r *Rewriting, views []*View, acc *access.Schema, x query.VarSet) (bool, error) {
-	byName := make(map[string]*View, len(views))
-	for _, v := range views {
-		byName[v.Name()] = v
-	}
-	exp, err := r.Expansion(byName)
-	if err != nil {
-		return false, err
-	}
-	res, err := core.NewAnalyzer(acc).Analyze(exp.Formula())
-	if err != nil {
-		return false, err
-	}
-	return res.Controls(x) != nil, nil
-}
-
-// BasePartControlled implements Corollary 6.2(2): the rewriting is
-// y̅-controlled using the views when its base part is y̅-controlled under A
-// and y̅ contains every unconstrained distinguished variable.
-func BasePartControlled(r *Rewriting, acc *access.Schema, y query.VarSet) (bool, error) {
-	if !r.UnconstrainedVars().SubsetOf(y) {
-		return false, nil
-	}
-	if len(r.BaseAtoms) == 0 {
-		return true, nil
-	}
-	conj := make([]query.Formula, len(r.BaseAtoms))
-	for i, a := range r.BaseAtoms {
-		conj[i] = a
-	}
-	res, err := core.NewAnalyzer(acc).Analyze(query.AndAll(conj...))
-	if err != nil {
-		return false, err
-	}
-	return res.Controls(y) != nil, nil
 }
 
 // ViewAccess builds an access schema for the combined (base + views)
