@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet staticcheck bench bench-smoke serving shardscale reorder live live-smoke serve serve-smoke metrics-smoke views views-smoke overhead-gate
+.PHONY: check build test race vet staticcheck bench bench-smoke serving shardscale reorder live live-smoke flat flat-smoke serve serve-smoke metrics-smoke views views-smoke overhead-gate
 
 ## check: the CI gate — vet, build, and race-enabled tests.
 check: vet build race
@@ -47,6 +47,17 @@ live:
 ## maintenance is strictly cheaper than re-execution.
 live-smoke:
 	$(GO) run ./cmd/sibench -live -quick
+
+## flat: the commit-flatness measurement — median commit wall latency on
+## the mixed stream at |D|≈30k vs |D|≈150k must stay within 2x.
+flat:
+	$(GO) run ./cmd/sibench -flat
+
+## flat-smoke: the CI gate — quick -flat run; exits nonzero if the large
+## instance's commit p50 exceeds 2x the small one's (write latency grew
+## with |D|).
+flat-smoke:
+	$(GO) run ./cmd/sibench -flat -quick
 
 ## serve: load-test the HTTP serving tier — q/s, p50/p99, admission
 ## reject counts under concurrent clients, a committer, and a watcher.

@@ -600,3 +600,48 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	_ = query.Bindings(nil) // keep import grouping honest
 }
+
+// BenchmarkCommitDelete measures the write path's |D|-sensitivity
+// directly: each op is one commit deleting a 24-tuple friend batch plus
+// the commit restoring it, on the mixed-workload instance at |D| ≈ 30k
+// and |D| ≈ 150k. With O(1) swap-remove deletion ns/op and allocs/op
+// must stay near-constant across the two sizes; the pre-swap-remove
+// engine paid an O(|R|) copy and re-key of the relation per deleted
+// tuple, which made this benchmark 5x at the larger instance.
+func BenchmarkCommitDelete(b *testing.B) {
+	for _, sc := range []struct {
+		name    string
+		persons int
+	}{{"D30k", 2000}, {"D150k", 10000}} {
+		b.Run(sc.name, func(b *testing.B) {
+			cfg := workload.DefaultConfig()
+			cfg.Persons = sc.persons
+			cfg.Seed = 7
+			data, err := workload.Generate(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := append([]relation.Tuple(nil), data.Rel("friend").Tuples()[:24]...)
+			eng, err := NewEngine(data, workload.Access(cfg))
+			if err != nil {
+				b.Fatal(err)
+			}
+			del := NewUpdate()
+			for _, tu := range batch {
+				del.Delete("friend", tu)
+			}
+			ins := del.Inverse()
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Commit(ctx, del); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Commit(ctx, ins); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

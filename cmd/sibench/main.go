@@ -19,6 +19,7 @@
 //	sibench -serving -shards 4   # ... over the sharded backend
 //	sibench -shardscale  # throughput vs shard count under parallel clients
 //	sibench -limit 1     # early-exit serving: cursor WithLimit(n) vs full drain on Q1
+//	sibench -flat        # commit-flatness gate: write p50 at |D|≈30k vs ≈150k
 package main
 
 import (
@@ -55,6 +56,8 @@ func main() {
 	reorder := flag.Bool("reorder", false, "benchmark cost-ordered vs analysis-order physical plans (reads/op and µs/op on Q1-Q5); exits nonzero if reordering regresses reads")
 	useStats := flag.Bool("stats", false, "with -reorder: let the optimizer refine ordering with live backend cardinality statistics")
 	live := flag.Bool("live", false, "benchmark the commit-and-notify write path instead: maintenance reads per commit for watched Q2 queries vs full re-execution; exits nonzero unless maintenance is strictly cheaper")
+	flat := flag.Bool("flat", false, "run the commit-flatness gate instead: replay the mixed commit stream at |D|≈30k and |D|≈150k and compare median commit wall latency; exits nonzero if the large instance's p50 exceeds flat-ratio times the small one's")
+	flatRatio := flag.Float64("flat-ratio", 2.0, "with -flat: maximum allowed large/small commit-p50 ratio")
 	watchers := flag.Int("watchers", 32, "with -live: number of live Q2 subscriptions")
 	serve := flag.Bool("serve", false, "load-test the HTTP serving tier instead: concurrent streaming clients vs a committer and a live watcher; reports q/s, p50/p99, admission rejects; exits nonzero on a bound violation, misclassified rejection, or goroutine leak")
 	tenants := flag.Int("tenants", 4, "with -serve: number of tenants the clients are spread over (tenant t0 gets a tight read budget)")
@@ -80,6 +83,13 @@ func main() {
 	if *serve {
 		if err := serveBench(*quick, *shards, *clients, *tenants, *serveDur); err != nil {
 			fmt.Fprintf(os.Stderr, "sibench: serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *flat {
+		if err := flatBench(*quick, *shards, *flatRatio); err != nil {
+			fmt.Fprintf(os.Stderr, "sibench: flat: %v\n", err)
 			os.Exit(1)
 		}
 		return

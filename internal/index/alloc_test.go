@@ -1,0 +1,43 @@
+//go:build !race
+
+// Allocation pins for the index probe hot path (race-instrumented builds
+// skip them; the race job covers the same paths for correctness).
+package index
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// A Lookup hit is the per-candidate cost of every IndexLookup operator
+// and every maintenance probe: the group key must build on stack scratch
+// and the bucket slice return as-is — zero allocations either way.
+func TestLookupZeroAlloc(t *testing.T) {
+	rs := relation.MustRelSchema("friend", "id1", "id2")
+	ix, err := New(rs, []string{"id1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		ix.Add(relation.Ints(int64(i%50), int64(i)))
+	}
+	hit := []relation.Value{relation.Int(7)}
+	miss := []relation.Value{relation.Int(9999)}
+	if a := testing.AllocsPerRun(200, func() {
+		ts, err := ix.Lookup(hit)
+		if err != nil || len(ts) != 10 {
+			t.Errorf("Lookup hit = %d tuples, err %v", len(ts), err)
+		}
+	}); a != 0 {
+		t.Errorf("Lookup hit: %.1f allocs/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		ts, err := ix.Lookup(miss)
+		if err != nil || ts != nil {
+			t.Errorf("Lookup miss = %v, err %v", ts, err)
+		}
+	}); a != 0 {
+		t.Errorf("Lookup miss: %.1f allocs/op, want 0", a)
+	}
+}

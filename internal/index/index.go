@@ -19,14 +19,35 @@ import (
 // KeyName are interchangeable.
 func KeyName(attrs []string) string { return strings.Join(attrs, ",") }
 
+// keyScratchSize is the stack scratch for key probes, mirroring the tuple
+// key machinery in package relation: typical keys encode without heap
+// spill, longer ones pay one allocation.
+const keyScratchSize = 128
+
 // Index is a hash index on a fixed attribute list of one relation. It maps
-// each combination of key values to the list of matching tuples, in
-// insertion order.
+// each combination of key values to the list of matching tuples.
+//
+// Ordering contract: a bucket's order is deterministic for a fixed
+// Add/Remove sequence but is NOT insertion order once a Remove has
+// occurred — Remove is swap-remove, the bucket's last tuple takes the
+// removed one's slot (see DESIGN.md "Storage engine: ordering and delete
+// complexity").
+//
+// Buckets are held by pointer so the maintenance path mutates them in
+// place: an Add to an existing group or a Remove never re-keys the bucket
+// map, and key probes build the key on a stack scratch — the per-tuple
+// index maintenance cost of a commit allocates only when a new group
+// appears.
 type Index struct {
 	rel       relation.RelSchema
 	attrs     []string
 	positions []int
-	buckets   map[string][]relation.Tuple
+	buckets   map[string]*bucket
+}
+
+// bucket holds one key group. Mutated in place through the map's pointer.
+type bucket struct {
+	ts []relation.Tuple
 }
 
 // New builds an empty index on the given attributes of rs. The attribute
@@ -49,7 +70,7 @@ func New(rs relation.RelSchema, attrs []string) (*Index, error) {
 		rel:       rs,
 		attrs:     append([]string(nil), attrs...),
 		positions: pos,
-		buckets:   make(map[string][]relation.Tuple),
+		buckets:   make(map[string]*bucket),
 	}, nil
 }
 
@@ -74,29 +95,43 @@ func (ix *Index) Relation() string { return ix.rel.Name }
 // KeyName returns the canonical name of this index's key.
 func (ix *Index) KeyName() string { return KeyName(ix.attrs) }
 
-func (ix *Index) keyOf(t relation.Tuple) string {
-	return t.Project(ix.positions).Key()
-}
-
 // Add inserts a tuple into the index. The caller is responsible for keeping
-// the index in sync with the base relation (package store does this).
+// the index in sync with the base relation, which includes never Adding a
+// tuple already present: buckets do not deduplicate, so a double Add leaves
+// a duplicate that a single Remove will not fully undo. Package store
+// maintains this invariant structurally — base relations have set
+// semantics and Update.Validate rejects inserting a present tuple — and
+// pins it with a test (see store: TestStoreMaintainsIndexSyncInvariant).
 func (ix *Index) Add(t relation.Tuple) {
-	k := ix.keyOf(t)
-	ix.buckets[k] = append(ix.buckets[k], t)
+	var a [keyScratchSize]byte
+	kb := t.AppendKeyAt(a[:0], ix.positions)
+	if b := ix.buckets[string(kb)]; b != nil {
+		b.ts = append(b.ts, t)
+		return
+	}
+	ix.buckets[string(kb)] = &bucket{ts: []relation.Tuple{t}}
 }
 
 // Remove deletes a tuple from the index, reporting whether it was present.
+// The bucket scan to locate the tuple is O(|group|) — bounded by the access
+// entry's N for entry-backed indices — and the removal itself is O(1)
+// swap-remove: no tuple after the removal point is re-keyed or moved more
+// than once.
 func (ix *Index) Remove(t relation.Tuple) bool {
-	k := ix.keyOf(t)
-	bucket := ix.buckets[k]
-	for i, u := range bucket {
+	var a [keyScratchSize]byte
+	kb := t.AppendKeyAt(a[:0], ix.positions)
+	b := ix.buckets[string(kb)]
+	if b == nil {
+		return false
+	}
+	for i, u := range b.ts {
 		if u.Equal(t) {
-			copy(bucket[i:], bucket[i+1:])
-			bucket = bucket[:len(bucket)-1]
-			if len(bucket) == 0 {
-				delete(ix.buckets, k)
-			} else {
-				ix.buckets[k] = bucket
+			last := len(b.ts) - 1
+			b.ts[i] = b.ts[last]
+			b.ts[last] = nil
+			b.ts = b.ts[:last]
+			if len(b.ts) == 0 {
+				delete(ix.buckets, string(kb))
 			}
 			return true
 		}
@@ -105,13 +140,21 @@ func (ix *Index) Remove(t relation.Tuple) bool {
 }
 
 // Lookup returns σ_X=vals(R): all tuples whose indexed attributes equal
-// vals, in insertion order. The returned slice is owned by the index.
+// vals, in bucket order (see the ordering contract on Index). The returned
+// slice is owned by the index. A hit performs no allocation: the probe key
+// is built on a stack scratch.
 func (ix *Index) Lookup(vals []relation.Value) ([]relation.Tuple, error) {
 	if len(vals) != len(ix.positions) {
 		return nil, fmt.Errorf("index %s(%s): lookup with %d values, want %d",
 			ix.rel.Name, ix.KeyName(), len(vals), len(ix.positions))
 	}
-	return ix.buckets[relation.Tuple(vals).Key()], nil
+	var a [keyScratchSize]byte
+	kb := relation.Tuple(vals).AppendKey(a[:0])
+	b := ix.buckets[string(kb)]
+	if b == nil {
+		return nil, nil
+	}
+	return b.ts, nil
 }
 
 // Count returns |σ_X=vals(R)| without materializing anything new.
@@ -126,8 +169,8 @@ func (ix *Index) Count(vals []relation.Value) (int, error) {
 func (ix *Index) MaxBucket() int {
 	max := 0
 	for _, b := range ix.buckets {
-		if len(b) > max {
-			max = len(b)
+		if len(b.ts) > max {
+			max = len(b.ts)
 		}
 	}
 	return max
@@ -140,7 +183,7 @@ func (ix *Index) Buckets() int { return len(ix.buckets) }
 func (ix *Index) Len() int {
 	n := 0
 	for _, b := range ix.buckets {
-		n += len(b)
+		n += len(b.ts)
 	}
 	return n
 }
@@ -150,7 +193,7 @@ func (ix *Index) Len() int {
 func (ix *Index) GroupSizes() []int {
 	out := make([]int, 0, len(ix.buckets))
 	for _, b := range ix.buckets {
-		out = append(out, len(b))
+		out = append(out, len(b.ts))
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(out)))
 	return out

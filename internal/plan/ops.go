@@ -282,22 +282,21 @@ func (n *NLJoin) stream(rt Runtime, env query.Bindings) Seq {
 					yield(nil, err)
 					return
 				}
-				b := make(query.Bindings, len(b0)+len(b1))
-				for k, v := range b0 {
-					b[k] = v
-				}
+				// Conflict-check the two sides, then build the output binding
+				// directly over n.out (precedence R, L, env): one map per
+				// answer instead of a scratch union plus a merged environment
+				// plus its restriction.
 				conflict := false
 				for k, v := range b1 {
-					if prev, ok := b[k]; ok && prev != v {
+					if prev, ok := b0[k]; ok && prev != v {
 						conflict = true
 						break
 					}
-					b[k] = v
 				}
 				if conflict {
 					continue
 				}
-				if !yield(Restrict(mergedWith(env, b), n.out), nil) {
+				if !yield(restrictMerged(n.out, b1, b0, env), nil) {
 					return
 				}
 			}
@@ -436,7 +435,7 @@ func (n *AntiProbe) stream(rt Runtime, env query.Bindings) Seq {
 			if nonEmpty {
 				continue
 			}
-			if !yield(Restrict(mergedWith(env, b), n.out), nil) {
+			if !yield(restrictMerged(n.out, b, env), nil) {
 				return
 			}
 		}
@@ -496,13 +495,21 @@ func (n *Project) stream(rt Runtime, env query.Bindings) Seq {
 			delete(inner, z)
 		}
 	}
+	// Identity projection (the optimizer's final restriction after a join
+	// chain whose output already is n.out): pass child bindings through
+	// untouched. Bindings are read-only once yielded, so sharing is safe —
+	// StreamUnion relies on the same property.
+	ident := n.out.Equal(n.Child.Out())
 	return dedupSeq(func(yield func(query.Bindings, error) bool) {
 		for b, err := range n.Child.Stream(rt, inner) {
 			if err != nil {
 				yield(nil, err)
 				return
 			}
-			if !yield(Restrict(b, n.out), nil) {
+			if !ident {
+				b = Restrict(b, n.out)
+			}
+			if !yield(b, nil) {
 				return
 			}
 		}

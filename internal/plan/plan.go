@@ -252,24 +252,47 @@ func failSeq(err error) Seq {
 	}
 }
 
+// keyScratchSize is the stack scratch for binding-key probes, mirroring
+// the tuple key machinery in package relation: typical keys encode
+// without heap spill, longer ones pay one allocation per cursor.
+const keyScratchSize = 128
+
 // dedupSeq suppresses duplicate bindings (all defined on the same
 // variable set), streaming: the first occurrence passes through
 // immediately, later duplicates are dropped. Errors pass through and
 // terminate the stream.
+//
+// This wraps every deduplicating operator's cursor, so it is on the
+// per-answer hot path: the probe key is built on reused scratch and
+// probed with a map read Go performs without materializing the string —
+// a duplicate costs zero allocations, and the seen-set itself is
+// allocated only once a first binding arrives (empty cursors, the common
+// case under anti-joins and membership probes, allocate nothing).
 func dedupSeq(s Seq, vars query.VarSet) Seq {
 	sorted := vars.Sorted()
 	return func(yield func(query.Bindings, error) bool) {
-		seen := make(map[string]bool)
+		var seen map[string]bool
+		var ta [8]relation.Value
+		var ka [keyScratchSize]byte
+		scratch := relation.Tuple(ta[:0])
+		kb := ka[:0]
 		for b, err := range s {
 			if err != nil {
 				yield(nil, err)
 				return
 			}
-			k := BindingKey(b, sorted)
-			if seen[k] {
+			scratch = scratch[:0]
+			for _, v := range sorted {
+				scratch = append(scratch, b[v])
+			}
+			kb = scratch.AppendKey(kb[:0])
+			if seen[string(kb)] {
 				continue
 			}
-			seen[k] = true
+			if seen == nil {
+				seen = make(map[string]bool, 8)
+			}
+			seen[string(kb)] = true
 			if !yield(b, nil) {
 				return
 			}
@@ -310,6 +333,24 @@ func BindingKey(b query.Bindings, sortedVars []string) string {
 		t[i] = b[v]
 	}
 	return t.Key()
+}
+
+// restrictMerged builds the binding over vars, taking each variable from
+// the first of the given layers that binds it: the allocation-lean form
+// of Restrict(mergedWith(env, b), vars) on the join hot path — one output
+// map per answer instead of an intermediate merged environment plus its
+// restriction.
+func restrictMerged(vars query.VarSet, layers ...query.Bindings) query.Bindings {
+	out := make(query.Bindings, vars.Len())
+	for v := range vars {
+		for _, l := range layers {
+			if val, ok := l[v]; ok {
+				out[v] = val
+				break
+			}
+		}
+	}
+	return out
 }
 
 // mergedWith overlays b on env without mutating either.

@@ -1,0 +1,50 @@
+//go:build !race
+
+// Allocation pins for the key-probe hot path. The race detector
+// instruments allocations, so these run only in the plain test job; the
+// race job covers the same code paths for correctness.
+package relation
+
+import "testing"
+
+// The membership probes that dominate commit validation and index
+// maintenance must not allocate: the probe key is built on stack scratch
+// and the map is read with an elided string conversion.
+func TestKeyProbePathZeroAlloc(t *testing.T) {
+	s := NewTupleSet(0)
+	for i := 0; i < 1000; i++ {
+		s.Add(Ints(int64(i), int64(i%7)))
+	}
+	hit := Ints(500, 500%7)
+	miss := Ints(5000, 0)
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"Contains hit", func() {
+			if !s.Contains(hit) {
+				t.Error("probe tuple missing")
+			}
+		}},
+		{"Contains miss", func() {
+			if s.Contains(miss) {
+				t.Error("absent tuple reported present")
+			}
+		}},
+		{"Add duplicate", func() {
+			if s.Add(hit) {
+				t.Error("duplicate Add accepted")
+			}
+		}},
+		{"Remove miss", func() {
+			if s.Remove(miss) {
+				t.Error("absent tuple removed")
+			}
+		}},
+	}
+	for _, c := range cases {
+		if a := testing.AllocsPerRun(200, c.f); a != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", c.name, a)
+		}
+	}
+}

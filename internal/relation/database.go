@@ -115,6 +115,25 @@ func (db *Database) DropRelation(name string) {
 	db.schema.Remove(name)
 }
 
+// SeedFromSet replaces the named, still-empty relation's contents with an
+// independent copy of s. The set structure is cloned directly — no tuple
+// is re-validated, re-keyed or re-inserted — so bulk snapshot
+// materialization (witness traces, replicas) costs O(|s|) map copies
+// instead of |s| key encodings. The caller asserts every tuple of s fits
+// the relation's schema; this holds for sets that only ever held tuples
+// read back from a stored relation. Panics if the relation is unknown or
+// already populated.
+func (db *Database) SeedFromSet(rel string, s *TupleSet) {
+	r := db.rels[rel]
+	if r == nil {
+		panic(fmt.Sprintf("database: SeedFromSet on unknown relation %q", rel))
+	}
+	if r.Len() != 0 {
+		panic(fmt.Sprintf("database: SeedFromSet on non-empty relation %q", rel))
+	}
+	r.set = *s.Clone()
+}
+
 // Clone returns an independent copy of the database.
 func (db *Database) Clone() *Database {
 	c := &Database{schema: db.schema, rels: make(map[string]*Relation, len(db.rels))}

@@ -3,9 +3,10 @@ package relation
 import "fmt"
 
 // Relation is a finite set of tuples over a RelSchema. Duplicate tuples are
-// rejected (set semantics, as in the paper). Iteration order is the
-// insertion order, which makes runs deterministic for a fixed operation
-// sequence.
+// rejected (set semantics, as in the paper). Iteration order follows the
+// TupleSet ordering contract: deterministic for a fixed operation sequence,
+// insertion order only until the first Delete (deletion is O(1)
+// swap-remove, so the last tuple takes the deleted one's slot).
 type Relation struct {
 	schema RelSchema
 	set    TupleSet
@@ -63,8 +64,9 @@ func (r *Relation) Delete(t Tuple) bool { return r.set.Remove(t) }
 // Contains reports membership of t.
 func (r *Relation) Contains(t Tuple) bool { return r.set.Contains(t) }
 
-// Tuples returns all tuples in insertion order. The slice is owned by the
-// relation; callers must not mutate it or hold it across updates.
+// Tuples returns all tuples in the relation's current order (see the
+// TupleSet ordering contract). The slice is owned by the relation; callers
+// must not mutate it or hold it across updates.
 func (r *Relation) Tuples() []Tuple { return r.set.Tuples() }
 
 // Clone returns a deep-enough copy: tuples are shared (they are immutable),

@@ -135,9 +135,10 @@ func TestTupleSet(t *testing.T) {
 	if !s.Remove(Ints(2)) || s.Remove(Ints(2)) {
 		t.Fatal("Remove broken")
 	}
-	want := []Tuple{Ints(1), Ints(3)}
-	if !reflect.DeepEqual(s.Tuples(), want) {
-		t.Errorf("order after remove = %v", s.Tuples())
+	// Iteration order after a removal is unspecified (swap-remove); only
+	// the contents are contractual.
+	if s.Len() != 2 || !s.Contains(Ints(1)) || !s.Contains(Ints(3)) || s.Contains(Ints(2)) {
+		t.Errorf("contents after remove = %v", s.Tuples())
 	}
 	c := s.Clone()
 	c.Add(Ints(9))
@@ -152,30 +153,101 @@ func TestTupleSet(t *testing.T) {
 	}
 }
 
+// checkTupleSetInvariants verifies the parallel-slice representation
+// behind the swap-remove design: order, keys and pos must stay mutually
+// consistent after any operation mix — every slot's stored key re-encodes
+// its tuple, and the pos map is the exact inverse of the keys slice.
+func checkTupleSetInvariants(t *testing.T, s *TupleSet) {
+	t.Helper()
+	if len(s.order) != len(s.keys) || len(s.order) != len(s.pos) {
+		t.Fatalf("invariant: len(order)=%d len(keys)=%d len(pos)=%d",
+			len(s.order), len(s.keys), len(s.pos))
+	}
+	for i, tu := range s.order {
+		if s.keys[i] != tu.Key() {
+			t.Fatalf("invariant: keys[%d] = %q, but order[%d].Key() = %q", i, s.keys[i], i, tu.Key())
+		}
+		if j, ok := s.pos[s.keys[i]]; !ok || j != i {
+			t.Fatalf("invariant: pos[keys[%d]] = %d (present %v), want %d", i, j, ok, i)
+		}
+	}
+}
+
 // Set semantics must hold under random interleavings of adds and removes,
-// mirrored against a reference map implementation.
+// mirrored against a reference map implementation, and the parallel-slice
+// invariants must hold at every point — including after remove-then-readd
+// cycles, which exercise the slot reuse the swap-remove design performs.
 func TestTupleSetQuickAgainstMap(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	s := NewTupleSet(0)
 	ref := make(map[string]bool)
+	contains := func(i int, tu Tuple, k string) {
+		if s.Contains(tu) != ref[k] {
+			t.Fatalf("step %d: Contains(%v) disagrees with reference", i, tu)
+		}
+	}
 	for i := 0; i < 2000; i++ {
 		tu := Ints(int64(rng.Intn(50)), int64(rng.Intn(3)))
 		k := tu.Key()
-		if rng.Intn(3) == 0 {
+		switch rng.Intn(4) {
+		case 0:
 			if s.Remove(tu) != ref[k] {
 				t.Fatalf("step %d: Remove disagrees with reference", i)
 			}
 			delete(ref, k)
-		} else {
+		case 1:
+			// Remove-then-readd: the re-added tuple lands in a fresh slot and
+			// every displaced tuple's pos entry must have followed it.
+			s.Remove(tu)
+			delete(ref, k)
+			if !s.Add(tu) {
+				t.Fatalf("step %d: re-add after remove rejected", i)
+			}
+			ref[k] = true
+		default:
 			if s.Add(tu) == ref[k] {
 				t.Fatalf("step %d: Add disagrees with reference", i)
 			}
 			ref[k] = true
 		}
+		contains(i, tu, k)
 		if s.Len() != len(ref) {
 			t.Fatalf("step %d: Len %d != %d", i, s.Len(), len(ref))
 		}
+		if i%50 == 0 {
+			checkTupleSetInvariants(t, s)
+		}
 	}
+	checkTupleSetInvariants(t, s)
+	for k := range ref {
+		if _, ok := s.pos[k]; !ok {
+			t.Fatalf("reference key %q missing from set", k)
+		}
+	}
+}
+
+// Clone must copy the swap-remove representation directly and leave the
+// copies fully independent, with invariants intact on both sides.
+func TestTupleSetCloneAfterRemoves(t *testing.T) {
+	s := NewTupleSet(0)
+	for i := 0; i < 20; i++ {
+		s.Add(Ints(int64(i), int64(i%3)))
+	}
+	for i := 0; i < 20; i += 4 {
+		s.Remove(Ints(int64(i), int64(i%3)))
+	}
+	c := s.Clone()
+	checkTupleSetInvariants(t, c)
+	if !c.Equal(s) {
+		t.Fatal("clone differs from original")
+	}
+	c.Remove(Ints(1, 1))
+	c.Add(Ints(99, 0))
+	if !s.Contains(Ints(1, 1)) || s.Contains(Ints(99, 0)) {
+		t.Fatal("clone shares state with original")
+	}
+	checkTupleSetInvariants(t, s)
+	checkTupleSetInvariants(t, c)
 }
 
 func TestRelSchemaValidation(t *testing.T) {

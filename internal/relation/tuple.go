@@ -68,12 +68,36 @@ func (t Tuple) Compare(u Tuple) int {
 // Key returns an injective string encoding of the tuple, suitable as a map
 // key. Two tuples have equal keys iff they are Equal.
 func (t Tuple) Key() string {
-	var b []byte
-	for _, v := range t {
-		b = v.appendKey(b)
-	}
-	return string(b)
+	return string(t.AppendKey(nil))
 }
+
+// AppendKey appends the injective encoding of Key to dst and returns the
+// extended slice. Hot paths probe maps with string(buf) on a stack-backed
+// scratch buffer, so a membership check or deletion computes no garbage;
+// Key remains the convenience form for code that stores the key.
+func (t Tuple) AppendKey(dst []byte) []byte {
+	for _, v := range t {
+		dst = v.appendKey(dst)
+	}
+	return dst
+}
+
+// AppendKeyAt appends the key encoding of the subtuple at positions — what
+// t.Project(positions).AppendKey(dst) would produce — without materializing
+// the projected tuple. Index key paths use it so that keying a tuple under
+// an index's attribute list is allocation-free.
+func (t Tuple) AppendKeyAt(dst []byte, positions []int) []byte {
+	for _, p := range positions {
+		dst = t[p].appendKey(dst)
+	}
+	return dst
+}
+
+// keyScratchSize is the stack scratch reserved for key probes: large enough
+// that typical tuples (a handful of ints and short strings) encode without
+// spilling to the heap. Longer tuples still work — append reallocates — at
+// the cost of one allocation per probe.
+const keyScratchSize = 128
 
 // Project returns the subtuple at the given positions. It panics if a
 // position is out of range; positions are produced by schema lookups which
@@ -107,29 +131,45 @@ func (t Tuple) String() string {
 	return b.String()
 }
 
-// TupleSet is a deduplicated set of tuples with deterministic (insertion
-// order) iteration. The zero TupleSet is empty and ready to use.
+// TupleSet is a deduplicated set of tuples with deterministic iteration.
+// The zero TupleSet is empty and ready to use.
+//
+// Ordering contract: iteration order is a deterministic function of the
+// operation sequence applied to the set — two sets built by the same
+// Add/Remove sequence iterate identically — but it is NOT insertion order
+// once a Remove has occurred. Remove is O(1) swap-remove: the last tuple
+// takes the deleted tuple's slot. A set that has only ever grown iterates
+// in insertion order. Callers needing a specific order must sort; every
+// set-valued comparison in this repository (Equal, conformance checks,
+// witness sets) is order-insensitive. See DESIGN.md "Storage engine:
+// ordering and delete complexity".
 type TupleSet struct {
 	order []Tuple
+	keys  []string // keys[i] == order[i].Key(), shared with the pos map
 	pos   map[string]int
 }
 
 // NewTupleSet returns an empty set with capacity hint n.
 func NewTupleSet(n int) *TupleSet {
-	return &TupleSet{order: make([]Tuple, 0, n), pos: make(map[string]int, n)}
+	return &TupleSet{order: make([]Tuple, 0, n), keys: make([]string, 0, n), pos: make(map[string]int, n)}
 }
 
-// Add inserts t and reports whether it was not already present.
+// Add inserts t and reports whether it was not already present. A rejected
+// duplicate costs no allocation (the key is probed on a stack scratch); a
+// genuine insert allocates only the stored key string.
 func (s *TupleSet) Add(t Tuple) bool {
 	if s.pos == nil {
 		s.pos = make(map[string]int)
 	}
-	k := t.Key()
-	if _, ok := s.pos[k]; ok {
+	var a [keyScratchSize]byte
+	kb := t.AppendKey(a[:0])
+	if _, ok := s.pos[string(kb)]; ok {
 		return false
 	}
+	k := string(kb)
 	s.pos[k] = len(s.order)
 	s.order = append(s.order, t)
+	s.keys = append(s.keys, k)
 	return true
 }
 
@@ -140,41 +180,61 @@ func (s *TupleSet) AddAll(ts []Tuple) {
 	}
 }
 
-// Remove deletes t and reports whether it was present. Removal preserves
-// the relative order of the remaining tuples.
+// Remove deletes t and reports whether it was present, in O(1): the last
+// tuple is swapped into the vacated slot and its position entry fixed up
+// (the stored key is reused, so no key is recomputed or allocated). This is
+// what keeps commit cost proportional to |ΔD| instead of |R| — see the
+// ordering contract on TupleSet.
 func (s *TupleSet) Remove(t Tuple) bool {
-	k := t.Key()
-	i, ok := s.pos[k]
+	var a [keyScratchSize]byte
+	kb := t.AppendKey(a[:0])
+	i, ok := s.pos[string(kb)]
 	if !ok {
 		return false
 	}
-	delete(s.pos, k)
-	copy(s.order[i:], s.order[i+1:])
-	s.order = s.order[:len(s.order)-1]
-	for j := i; j < len(s.order); j++ {
-		s.pos[s.order[j].Key()] = j
+	delete(s.pos, s.keys[i])
+	last := len(s.order) - 1
+	if i != last {
+		s.order[i] = s.order[last]
+		s.keys[i] = s.keys[last]
+		s.pos[s.keys[i]] = i
 	}
+	s.order[last] = nil
+	s.keys[last] = ""
+	s.order = s.order[:last]
+	s.keys = s.keys[:last]
 	return true
 }
 
-// Contains reports whether t is in the set.
+// Contains reports whether t is in the set. Allocation-free: the probe key
+// is built on a stack scratch and the map is indexed with string(buf),
+// which the compiler does not materialize.
 func (s *TupleSet) Contains(t Tuple) bool {
-	_, ok := s.pos[t.Key()]
+	var a [keyScratchSize]byte
+	kb := t.AppendKey(a[:0])
+	_, ok := s.pos[string(kb)]
 	return ok
 }
 
 // Len returns the number of tuples.
 func (s *TupleSet) Len() int { return len(s.order) }
 
-// Tuples returns the tuples in insertion order. The returned slice is owned
-// by the set; callers must not mutate it.
+// Tuples returns the tuples in the set's current order (see the ordering
+// contract on TupleSet). The returned slice is owned by the set; callers
+// must not mutate it or hold it across updates.
 func (s *TupleSet) Tuples() []Tuple { return s.order }
 
-// Clone returns an independent copy of the set.
+// Clone returns an independent copy of the set: the order and key slices
+// are copied and the position map rebuilt from the shared key strings —
+// no tuple is re-keyed and no key string is re-allocated.
 func (s *TupleSet) Clone() *TupleSet {
-	c := NewTupleSet(s.Len())
-	for _, t := range s.order {
-		c.Add(t)
+	c := &TupleSet{
+		order: append(make([]Tuple, 0, len(s.order)), s.order...),
+		keys:  append(make([]string, 0, len(s.keys)), s.keys...),
+		pos:   make(map[string]int, len(s.pos)),
+	}
+	for i, k := range c.keys {
+		c.pos[k] = i
 	}
 	return c
 }

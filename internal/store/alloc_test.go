@@ -1,0 +1,36 @@
+//go:build !race
+
+// Allocation pins for the storage read hot path (race-instrumented
+// builds skip them; the race job covers the same paths for correctness).
+package store
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// A membership probe — the physical form of MembershipProbe operators and
+// the fully-bound IndexLookup fast path — must not allocate: the tuple
+// key probe runs on stack scratch and the counters charge atomically.
+func TestMembershipIntoZeroAlloc(t *testing.T) {
+	db := testDB(t)
+	present := relation.Ints(1, 2)
+	absent := relation.Ints(9, 9)
+	if a := testing.AllocsPerRun(200, func() {
+		ok, err := db.MembershipInto(nil, "friend", present)
+		if err != nil || !ok {
+			t.Errorf("membership hit = %v, err %v", ok, err)
+		}
+	}); a != 0 {
+		t.Errorf("membership hit: %.1f allocs/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		ok, err := db.MembershipInto(nil, "friend", absent)
+		if err != nil || ok {
+			t.Errorf("membership miss = %v, err %v", ok, err)
+		}
+	}); a != 0 {
+		t.Errorf("membership miss: %.1f allocs/op, want 0", a)
+	}
+}

@@ -298,13 +298,13 @@ func (tr *Trace) PerRelation() map[string]int {
 }
 
 // Database materializes the touched tuples as a database D_Q over schema.
-// Relations never touched are empty.
+// Relations never touched are empty. The touched sets are adopted by
+// structure clone (no tuple is re-keyed): traces only hold tuples read
+// from stored relations, so they fit the schema by construction.
 func (tr *Trace) Database(schema *relation.Schema) *relation.Database {
 	db := relation.NewDatabase(schema)
 	for rel, s := range tr.touched {
-		for _, t := range s.Tuples() {
-			db.MustInsert(rel, t)
-		}
+		db.SeedFromSet(rel, s)
 	}
 	return db
 }
@@ -743,9 +743,12 @@ func (db *DB) FetchUncounted(e access.Entry, vals []relation.Value) ([]relation.
 
 // copyTuples snapshots a result slice whose backing array belongs to a
 // live index bucket or relation: returned slices must stay valid after
-// the read lock is released, even if a concurrent ApplyUpdate shifts the
-// source in place. Tuples themselves are immutable, so a shallow copy
-// suffices.
+// the read lock is released, even if a concurrent ApplyUpdate mutates the
+// source in place (swap-remove moves tuples within the backing array, so
+// the copy stays load-bearing under the O(1)-delete design). Tuples
+// themselves are immutable, so a shallow copy suffices. This is the one
+// unavoidable per-fetch allocation on the read path; every key probe above
+// it is allocation-free.
 func copyTuples(ts []relation.Tuple) []relation.Tuple {
 	if len(ts) == 0 {
 		return nil
@@ -895,18 +898,32 @@ func (db *DB) EntriesFor(rel string) []access.Entry {
 	return sorted
 }
 
+// keyScratchSize is the stack scratch for key probes on the projected-index
+// paths, mirroring the tuple key machinery in package relation.
+const keyScratchSize = 128
+
 // projIndex serves embedded entries: it maps each X-group to the deduped
 // projection π_Y of the group, refcounted so that deletions of base tuples
-// keep shared projections alive.
+// keep shared projections alive. Key positions are precomputed and keys are
+// built positionally on stack scratch buffers, so neither add, remove nor
+// lookup materializes a projected tuple just to key it; removal of a
+// projection is O(1) swap-remove under the same ordering contract as
+// relation.TupleSet and index.Index (bucket order is deterministic but
+// unspecified once anything was removed).
 type projIndex struct {
 	onPos   []int
 	projPos []int
 	buckets map[string]*projBucket
 }
 
+// projBucket is one X-group: parallel slices of projected tuples, their
+// stored keys and their base-tuple refcounts, plus the key → slot map that
+// makes removal O(1).
 type projBucket struct {
-	order []relation.Tuple // projected tuples, first-seen order
-	refs  map[string]int   // projected key -> number of base tuples
+	order []relation.Tuple // projected tuples
+	keys  []string         // keys[i] == order[i].Key(), shared with pos
+	refs  []int            // refs[i] = number of base tuples projecting to order[i]
+	pos   map[string]int   // projected key -> slot in order
 }
 
 func newProjIndex(rs relation.RelSchema, on, proj []string) (*projIndex, error) {
@@ -922,50 +939,65 @@ func newProjIndex(rs relation.RelSchema, on, proj []string) (*projIndex, error) 
 }
 
 func (pi *projIndex) add(t relation.Tuple) {
-	k := t.Project(pi.onPos).Key()
-	b := pi.buckets[k]
+	var a [keyScratchSize]byte
+	kb := t.AppendKeyAt(a[:0], pi.onPos)
+	b := pi.buckets[string(kb)]
 	if b == nil {
-		b = &projBucket{refs: make(map[string]int)}
-		pi.buckets[k] = b
+		b = &projBucket{pos: make(map[string]int)}
+		pi.buckets[string(kb)] = b
 	}
-	p := t.Project(pi.projPos)
-	pk := p.Key()
-	if b.refs[pk] == 0 {
-		b.order = append(b.order, p)
+	var pa [keyScratchSize]byte
+	pkb := t.AppendKeyAt(pa[:0], pi.projPos)
+	if i, ok := b.pos[string(pkb)]; ok {
+		b.refs[i]++
+		return
 	}
-	b.refs[pk]++
+	pk := string(pkb)
+	b.pos[pk] = len(b.order)
+	b.order = append(b.order, t.Project(pi.projPos))
+	b.keys = append(b.keys, pk)
+	b.refs = append(b.refs, 1)
 }
 
 func (pi *projIndex) remove(t relation.Tuple) {
-	k := t.Project(pi.onPos).Key()
-	b := pi.buckets[k]
+	var a [keyScratchSize]byte
+	kb := t.AppendKeyAt(a[:0], pi.onPos)
+	b := pi.buckets[string(kb)]
 	if b == nil {
 		return
 	}
-	p := t.Project(pi.projPos)
-	pk := p.Key()
-	if b.refs[pk] == 0 {
+	var pa [keyScratchSize]byte
+	pkb := t.AppendKeyAt(pa[:0], pi.projPos)
+	i, ok := b.pos[string(pkb)]
+	if !ok {
 		return
 	}
-	b.refs[pk]--
-	if b.refs[pk] > 0 {
+	b.refs[i]--
+	if b.refs[i] > 0 {
 		return
 	}
-	delete(b.refs, pk)
-	for i, u := range b.order {
-		if u.Key() == pk {
-			copy(b.order[i:], b.order[i+1:])
-			b.order = b.order[:len(b.order)-1]
-			break
-		}
+	delete(b.pos, b.keys[i])
+	last := len(b.order) - 1
+	if i != last {
+		b.order[i] = b.order[last]
+		b.keys[i] = b.keys[last]
+		b.refs[i] = b.refs[last]
+		b.pos[b.keys[i]] = i
 	}
+	b.order[last] = nil
+	b.keys[last] = ""
+	b.order = b.order[:last]
+	b.keys = b.keys[:last]
+	b.refs = b.refs[:last]
 	if len(b.order) == 0 {
-		delete(pi.buckets, k)
+		delete(pi.buckets, string(kb))
 	}
 }
 
 func (pi *projIndex) lookup(vals []relation.Value) []relation.Tuple {
-	b := pi.buckets[relation.Tuple(vals).Key()]
+	var a [keyScratchSize]byte
+	kb := relation.Tuple(vals).AppendKey(a[:0])
+	b := pi.buckets[string(kb)]
 	if b == nil {
 		return nil
 	}

@@ -259,6 +259,141 @@ func TestConcurrentReadersAndWriter(t *testing.T) {
 	writerWG.Wait()
 }
 
+// TestStoreMaintainsIndexSyncInvariant pins the invariant index.Index.Add
+// relies on (and documents): the store never Adds a tuple already present
+// in a bucket. Base relations have set semantics and update validation
+// rejects inserting a present tuple, so index buckets — which do not
+// deduplicate — can never acquire a duplicate through the store, and
+// delete/re-insert churn keeps every index exactly as large as its
+// relation.
+func TestStoreMaintainsIndexSyncInvariant(t *testing.T) {
+	db := testDB(t)
+	dup := relation.Ints(1, 2) // seeded by testDB
+	if err := db.ApplyUpdate(relation.NewUpdate().Insert("friend", dup)); err == nil {
+		t.Fatal("inserting an already-present tuple was accepted")
+	}
+	e := access.Plain("friend", []string{"id1"}, 5000, 1)
+	countDup := func() int {
+		got, err := Fetch(db, e, []relation.Value{relation.Int(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, tu := range got {
+			if tu.Equal(dup) {
+				n++
+			}
+		}
+		return n
+	}
+	if n := countDup(); n != 1 {
+		t.Fatalf("after rejected double insert: %d copies of %v in the index group", n, dup)
+	}
+	// Swap-remove churn: delete and re-insert the same tuple repeatedly.
+	// Each cycle must leave exactly one copy in the bucket, and every
+	// index must stay the same size as its base relation.
+	for i := 0; i < 10; i++ {
+		if err := db.ApplyUpdate(relation.NewUpdate().Delete("friend", dup)); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.ApplyUpdate(relation.NewUpdate().Insert("friend", dup)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := countDup(); n != 1 {
+		t.Fatalf("after churn: %d copies of %v in the index group", n, dup)
+	}
+	for rel, ixs := range db.indexes {
+		want := db.Data().Rel(rel).Len()
+		for key, ix := range ixs {
+			if ix.Len() != want {
+				t.Errorf("index %s(%s): %d tuples, relation has %d", rel, key, ix.Len(), want)
+			}
+		}
+	}
+}
+
+// TestConcurrentReadersAndDeleteHeavyWriter is the -race variant aimed at
+// the swap-remove paths: the writer churns batches of deletions and
+// re-insertions inside one index group (each delete moves the bucket's
+// and the relation's last slot), while readers fetch the shifting group
+// and probe membership of a tuple in an untouched group.
+func TestConcurrentReadersAndDeleteHeavyWriter(t *testing.T) {
+	s := socialSchema()
+	data := relation.NewDatabase(s)
+	const groupSize = 40
+	for i := int64(0); i < groupSize; i++ {
+		data.MustInsert("friend", relation.Ints(1, i))
+	}
+	data.MustInsert("friend", relation.Ints(2, 0))
+	acc := access.New(s)
+	ef := access.Plain("friend", []string{"id1"}, 5000, 1)
+	acc.MustAdd(ef)
+	db := MustOpen(data, acc)
+
+	stop := make(chan struct{})
+	var wg, writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		rng := rand.New(rand.NewSource(3))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Delete a batch of 10 distinct tuples from the group, then put
+			// them back: heavy slot reuse in both the TupleSet and the bucket.
+			base := int64(rng.Intn(groupSize - 10))
+			del := relation.NewUpdate()
+			for k := int64(0); k < 10; k++ {
+				del.Delete("friend", relation.Ints(1, base+k))
+			}
+			if err := db.ApplyUpdate(del); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := db.ApplyUpdate(del.Inverse()); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	probe := relation.Ints(2, 0)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				got, err := db.FetchInto(nil, ef, []relation.Value{relation.Int(1)})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(got) < groupSize-10 || len(got) > groupSize {
+					t.Errorf("snapshot size %d", len(got))
+					return
+				}
+				for _, tu := range got {
+					if len(tu) != 2 || tu[0] != relation.Int(1) || tu[1].AsInt() < 0 || tu[1].AsInt() >= groupSize {
+						t.Errorf("corrupted snapshot tuple %v", tu)
+						return
+					}
+				}
+				ok, err := db.MembershipInto(nil, "friend", probe)
+				if err != nil || !ok {
+					t.Errorf("membership of untouched tuple = %v, err %v", ok, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	writerWG.Wait()
+}
+
 func TestApplyUpdateKeepsIndexesInSync(t *testing.T) {
 	db := testDB(t)
 	u := relation.NewUpdate().
