@@ -44,17 +44,17 @@ type Engine struct {
 	commitMu  sync.Mutex
 	commitSeq atomic.Int64
 	watchMu   sync.Mutex
-	watchers  map[int64]*Live
-	watchID   int64
+	watchers  map[int64]*Live // guarded by watchMu
+	watchID   int64           // guarded by watchMu
 
 	// Update-volume tracking for stats re-costing (commit.go): volume is
 	// the cumulative committed |ΔD| per relation, drift the portion since
 	// the last re-cost; once drift crosses recostThreshold the statsEpoch
 	// bumps, unreachably aging every cached OptimizerStats plan.
 	driftMu         sync.Mutex
-	volume          map[string]int64
-	drift           map[string]int64
-	recostThreshold int64
+	volume          map[string]int64 // guarded by driftMu
+	drift           map[string]int64 // guarded by driftMu
+	recostThreshold int64            // guarded by driftMu
 	statsEpoch      atomic.Int64
 	recosts         atomic.Int64
 
@@ -64,8 +64,8 @@ type Engine struct {
 	// DropView and a maintenance failure atomically invalidate all cached
 	// plans (and cached ErrNotControllable outcomes).
 	viewMu    sync.RWMutex
-	viewReg   map[string]*matView
-	viewID    int64
+	viewReg   map[string]*matView // guarded by viewMu
+	viewID    int64               // guarded by viewMu
 	viewEpoch atomic.Int64
 
 	// Telemetry sinks (observe.go): a snapshot of observer, structured

@@ -98,11 +98,11 @@ type Live struct {
 
 	mu     sync.Mutex
 	cond   sync.Cond
-	queue  []Delta
-	err    error
-	closed bool
-	seq    int64
-	cost   store.Counters
+	queue  []Delta        // guarded by mu
+	err    error          // guarded by mu
+	closed bool           // guarded by mu
+	seq    int64          // guarded by mu
+	cost   store.Counters // guarded by mu
 }
 
 // Watch subscribes to the prepared query's answers for the given
@@ -155,8 +155,10 @@ func (p *PreparedQuery) Watch(ctx context.Context, fixed query.Bindings, opts ..
 		e.commitMu.Unlock()
 		return nil, err
 	}
-	m.answers = ans.Tuples
+	m.seed(ans.Tuples)
+	l.mu.Lock()
 	l.seq = e.commitSeq.Load()
+	l.mu.Unlock()
 	e.register(l)
 	e.commitMu.Unlock()
 	l.stop = context.AfterFunc(ctx, func() {
@@ -313,6 +315,8 @@ func (l *Live) Deltas() iter.Seq2[Delta, error] {
 // (the incoming delta itself when the cap is 1), so a lagging consumer
 // sees coarser net deltas instead of an unbounded queue or a failed
 // handle; the newest entries keep per-commit granularity.
+//
+//sivet:holds mu
 func (l *Live) deliverLocked(d Delta) {
 	if l.bufCap > 0 && len(l.queue) >= l.bufCap {
 		if len(l.queue) >= 2 {
@@ -379,6 +383,8 @@ func foldDeltas(a, b Delta) Delta {
 
 // failLocked marks the subscription failed (first error wins) and wakes
 // consumers; the engine prunes failed handles lazily.
+//
+//sivet:holds mu
 func (l *Live) failLocked(err error) {
 	if l.err == nil && !l.closed {
 		l.err = err

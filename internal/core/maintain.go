@@ -71,7 +71,12 @@ type Maintainer struct {
 	// none of them are skipped entirely.
 	bodyRels map[string]bool
 
-	answers *relation.TupleSet
+	// answers is the maintained answer set — the single-writer state the
+	// "NOT safe for concurrent use" contract protects. Every runtime
+	// mutation happens under Engine.commitMu (Apply, driven by the commit
+	// pipeline) or before the Maintainer is published (the constructors);
+	// the *Live handle is the concurrency-safe wrapper.
+	answers *relation.TupleSet // guarded by single-writer
 }
 
 // occPlan is the compiled maintenance plan for one occurrence of an
@@ -110,12 +115,18 @@ func NewMaintainer(eng *Engine, q *query.CQ, fixed query.Bindings) (*Maintainer,
 	if err != nil {
 		return nil, err
 	}
-	m.answers = relation.NewTupleSet(full.Len())
+	answers := relation.NewTupleSet(full.Len())
 	for _, t := range full.Tuples() {
-		m.answers.Add(m.Project(t))
+		answers.Add(m.Project(t))
 	}
+	m.seed(answers)
 	return m, nil
 }
+
+// seed installs the initial answer set before the Maintainer is
+// published (or, from Watch, under the commit lock before the handle is
+// registered).
+func (m *Maintainer) seed(ts *relation.TupleSet) { m.answers = ts }
 
 // buildMaintPlans compiles the per-occurrence and verification plans.
 func buildMaintPlans(eng *Engine, q *query.CQ, fixed query.Bindings) (*Maintainer, error) {

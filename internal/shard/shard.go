@@ -43,11 +43,11 @@ type Store struct {
 	acc    *access.Schema
 	shards []*store.DB
 
-	// routesMu guards routes: view DDL (store.DDL) registers and removes
-	// routes while fetches, membership probes and update splitting read
-	// them.
+	// routes is guarded by routesMu: view DDL (store.DDL) registers and
+	// removes routes while fetches, membership probes and update
+	// splitting read them.
 	routesMu sync.RWMutex
-	routes   map[string]route
+	routes   map[string]route // guarded by routesMu
 
 	// extra accumulates merge-level charges that belong to no single shard
 	// (deduplicated embedded scatter fetches, scan-snapshot replays);
@@ -89,7 +89,10 @@ func WithRoute(rel string, attrs ...string) Option {
 // Open partitions data into n hash-routed shards and wraps each in an
 // independent single-node store.DB (own RWMutex, own indices) under the
 // shared access schema. The partitioning is deterministic in (data, acc,
-// n): the same tuple always lands on the same shard.
+// n): the same tuple always lands on the same shard. The route table is
+// filled pre-publication, before any other goroutine can see s.
+//
+//sivet:holds routesMu
 func Open(data *relation.Database, acc *access.Schema, n int, opts ...Option) (*Store, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", n)

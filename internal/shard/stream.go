@@ -19,7 +19,7 @@ var _ store.Streamer = (*Store)(nil)
 // call; a full drain charges exactly what ScanInto charges: one partial
 // scan per shard, |R| reads, |R| time units.
 func (s *Store) ScanSeq(es *store.ExecStats, rel string) store.TupleSeq {
-	if _, ok := s.routes[rel]; !ok {
+	if _, ok := s.routeFor(rel); !ok {
 		return func(yield func(relation.Tuple, error) bool) {
 			yield(nil, fmt.Errorf("shard: unknown relation %q", rel))
 		}

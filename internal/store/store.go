@@ -366,12 +366,13 @@ func (a *AtomicCounters) SwapZero() Counters {
 // one, and the global counters are atomic.
 type DB struct {
 	mu   sync.RWMutex
-	data *relation.Database
+	data *relation.Database // guarded by mu
 	acc  *access.Schema
 
-	// plain indices: rel -> canonical key name -> index
+	// plain indices: rel -> canonical key name -> index; guarded by mu
 	indexes map[string]map[string]*index.Index
-	// projected indices for embedded entries: rel -> "X->Y" name -> index
+	// projected indices for embedded entries: rel -> "X->Y" name -> index;
+	// guarded by mu
 	projIndexes map[string]map[string]*projIndex
 
 	// version is the commit-log sequence number of the last applied update,
@@ -416,6 +417,8 @@ func MustOpen(data *relation.Database, acc *access.Schema) *DB {
 // directly (use ApplyUpdate) or the indices will go stale, and — unlike
 // the read methods — it is not synchronized: do not read through it
 // concurrently with ApplyUpdate.
+//
+//sivet:ignore lockguard -- documented unsynchronized accessor for single-goroutine offline tooling
 func (db *DB) Data() *relation.Database { return db.data }
 
 // CloneData returns a consistent snapshot copy of the data, synchronized
@@ -431,6 +434,8 @@ func (db *DB) CloneData() *relation.Database {
 func (db *DB) Access() *access.Schema { return db.acc }
 
 // Schema returns the relational schema.
+//
+//sivet:ignore lockguard -- db.data is assigned once in Open; the schema it reaches is immutable metadata
 func (db *DB) Schema() *relation.Schema { return db.data.Schema() }
 
 // Size returns |D|.
@@ -487,6 +492,8 @@ func (db *DB) Conforms() error {
 // ensureEntryIndex builds the index an entry needs. It does no locking:
 // callers either run before the DB is shared (Open) or hold the
 // exclusive lock (AddRelation).
+//
+//sivet:holds mu
 func (db *DB) ensureEntryIndex(e access.Entry) error {
 	rs, _ := db.data.Schema().Rel(e.Rel)
 	if e.IsEmbedded() {
@@ -512,6 +519,8 @@ func (db *DB) ensureEntryIndex(e access.Entry) error {
 
 // ensurePlainIndex is EnsureIndex without the locking; see
 // ensureEntryIndex for the callers' locking discipline.
+//
+//sivet:holds mu
 func (db *DB) ensurePlainIndex(rel string, attrs []string) error {
 	name := index.KeyName(attrs)
 	if db.indexes[rel][name] != nil {
@@ -858,6 +867,8 @@ func (db *DB) ApplyVersioned(u *relation.Update) (int64, error) {
 
 // syncIndexes folds an applied ΔD into every index incrementally (cost
 // proportional to |ΔD|). Caller holds the exclusive lock.
+//
+//sivet:holds mu
 func (db *DB) syncIndexes(u *relation.Update) {
 	for rel, ts := range u.Del {
 		for _, t := range ts {
