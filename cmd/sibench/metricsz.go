@@ -101,7 +101,7 @@ func metricsSmoke() error {
 	strict := client.New(base, client.WithTenant("strict"))
 	var adm *server.AdmissionError
 	if _, err := strict.Prepare(ctx, workload.Q1Src, "p"); !errors.As(err, &adm) || adm.Reason != "bound" {
-		return fmt.Errorf("strict tenant not rejected with a typed bound error: %v", err)
+		return fmt.Errorf("strict tenant not rejected with a typed bound error: %w", err)
 	}
 	w, err := prep.Watch(ctx, q1Bind(1), false)
 	if err != nil {

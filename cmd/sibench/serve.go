@@ -222,7 +222,7 @@ func serveBench(quick bool, shards, clients, tenants int, dur time.Duration) err
 		return fmt.Errorf("strict tenant (MaxBound 1) was admitted for a bound-%d plan", boundM)
 	}
 	if !errors.As(strictErr, &strictAdm) || strictAdm.Reason != "bound" {
-		return fmt.Errorf("strict tenant rejected with the wrong type: %v", strictErr)
+		return fmt.Errorf("strict tenant rejected with the wrong type: %w", strictErr)
 	}
 
 	status, err := client.New(base).Status(ctx)

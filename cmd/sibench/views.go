@@ -80,7 +80,7 @@ func viewsBench(quick bool, shards int) error {
 
 	// Base service: Q6 has no bounded plan at all; Q7 does.
 	if _, err := eng.Prepare(q6, query.NewVarSet("p")); !errors.Is(err, core.ErrNotControllable) {
-		return fmt.Errorf("Q6 over base relations: got %v, want ErrNotControllable", err)
+		return fmt.Errorf("Q6 over base relations: got %w, want ErrNotControllable", err)
 	}
 	prep7Base, err := engBase.Prepare(q7, query.NewVarSet("p"))
 	if err != nil {

@@ -36,10 +36,10 @@ const PlaceholderN = 1000
 func Advise(acc *access.Schema, q *query.Query, x query.VarSet, data *relation.Database) (*Advice, error) {
 	atoms, eqs, _, ok := conjShape(q.Body)
 	if !ok {
-		return nil, fmt.Errorf("core: Advise handles conjunctive queries; %s is not one", q.Name)
+		return nil, fmt.Errorf("core: %w: Advise handles conjunctive queries; %s is not one", ErrInvalidQuery, q.Name)
 	}
 	if !x.SubsetOf(q.Body.FreeVars()) {
-		return nil, fmt.Errorf("core: %s is not a subset of the free variables of %s", x, q.Name)
+		return nil, fmt.Errorf("core: %w: %s is not a subset of the free variables of %s", ErrInvalidQuery, x, q.Name)
 	}
 	working := acc.Clone()
 	var proposed []access.Entry
@@ -58,8 +58,11 @@ func Advise(acc *access.Schema, q *query.Query, x query.VarSet, data *relation.D
 		// is reachable from x̄, then propose an entry for an atom with
 		// unbound variables, keyed on its currently bound positions.
 		builder, err := newChaseBuilder(working, atoms, eqs, q.Body.FreeVars(), q.Body.FreeVars().Minus(x))
-		if err != nil || builder == nil {
-			return nil, fmt.Errorf("core: cannot analyze conjunction for advice: %v", err)
+		if err != nil {
+			return nil, fmt.Errorf("core: cannot analyze conjunction for advice: %w", err)
+		}
+		if builder == nil {
+			return nil, fmt.Errorf("core: %w: conjunction yields no chase for advice", ErrInvalidQuery)
 		}
 		bound := closureOf(builder, x)
 		best, bestScore := -1, -1
@@ -80,12 +83,12 @@ func Advise(acc *access.Schema, q *query.Query, x query.VarSet, data *relation.D
 			}
 		}
 		if best < 0 {
-			return nil, fmt.Errorf("core: no atom to index, yet %s not %s-controlled (non-conjunctive obstruction)", q.Name, x)
+			return nil, fmt.Errorf("core: %w: no atom to index, yet %s not %s-controlled (non-conjunctive obstruction)", ErrNotControllable, q.Name, x)
 		}
 		a := atoms[best]
 		rs, ok := rel.Rel(a.Rel)
 		if !ok {
-			return nil, fmt.Errorf("core: unknown relation %q", a.Rel)
+			return nil, fmt.Errorf("core: %w: unknown relation %q", ErrInvalidQuery, a.Rel)
 		}
 		var key []string
 		for p, t := range a.Args {
@@ -109,7 +112,7 @@ func Advise(acc *access.Schema, q *query.Query, x query.VarSet, data *relation.D
 		}
 		proposed = append(proposed, entry)
 	}
-	return nil, fmt.Errorf("core: advice did not converge for %s (needs non-index constraints, e.g. embedded entries)", q.Name)
+	return nil, fmt.Errorf("core: %w: advice did not converge for %s (needs non-index constraints, e.g. embedded entries)", ErrNotControllable, q.Name)
 }
 
 // closureOf runs the chase's binding closure from x without building a

@@ -58,4 +58,19 @@ var (
 	// remains in the taxonomy for serving layers (e.g. a network watch
 	// stream) that must shed consumers they cannot buffer for.
 	ErrSlowConsumer = errors.New("consumer fell behind the commit stream")
+
+	// ErrInvalidQuery: the request itself is malformed — the query is
+	// outside the supported fragment for the operation, names an unknown
+	// relation, or the caller's bindings miss a controlling variable.
+	// Serving tiers map it to 400; it means "fix the request", where
+	// ErrNotControllable means "fix the access schema".
+	ErrInvalidQuery = errors.New("invalid query or bindings")
+
+	// ErrViewExists: CreateView found the name taken — by another view or
+	// by a base relation. DDL conflict, not a query error: maps to 409.
+	ErrViewExists = errors.New("a view or relation with this name already exists")
+
+	// ErrUnknownView: DropView (or a view lookup) named a view that is not
+	// registered on this engine. Maps to 404.
+	ErrUnknownView = errors.New("no such view")
 )

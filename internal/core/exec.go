@@ -40,7 +40,7 @@ func Exec(st store.Backend, d *Derivation, env query.Bindings) ([]query.Bindings
 // cost-optimized — plan instead of recompiling per call.
 func ExecContext(ctx context.Context, st store.Backend, d *Derivation, env query.Bindings, es *store.ExecStats) ([]query.Bindings, error) {
 	if missing := d.Ctrl.Minus(env.Vars()); !missing.IsEmpty() {
-		return nil, fmt.Errorf("core: exec needs values for controlling variables %s", missing)
+		return nil, fmt.Errorf("core: %w: exec needs values for controlling variables %s", ErrInvalidQuery, missing)
 	}
 	root := Compile(d)
 	plan.ResolveRoutes(root, st)

@@ -128,7 +128,7 @@ func (p *PreparedQuery) Watch(ctx context.Context, fixed query.Bindings, opts ..
 		f(&o)
 	}
 	if missing := p.d.Ctrl.Minus(fixed.Vars()); !missing.IsEmpty() {
-		return nil, fmt.Errorf("core: watch needs values for controlling variables %s", missing)
+		return nil, fmt.Errorf("core: %w: watch needs values for controlling variables %s", ErrInvalidQuery, missing)
 	}
 	if ctx == nil {
 		ctx = context.Background()

@@ -372,7 +372,7 @@ func (p *PreparedQuery) Query(ctx context.Context, fixed query.Bindings, opts ..
 // (drained into an Answer).
 func (p *PreparedQuery) query(ctx context.Context, fixed query.Bindings, o execOpts) (*Rows, error) {
 	if missing := p.d.Ctrl.Minus(fixed.Vars()); !missing.IsEmpty() {
-		return nil, fmt.Errorf("core: exec needs values for controlling variables %s", missing)
+		return nil, fmt.Errorf("core: %w: exec needs values for controlling variables %s", ErrInvalidQuery, missing)
 	}
 	es := &store.ExecStats{MaxReads: o.maxReads, Ctx: ctx, RequestID: o.requestID}
 	if !o.noTrace {

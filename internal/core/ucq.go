@@ -54,7 +54,7 @@ func (r *UCQResult) Controls(x query.VarSet) []*Derivation {
 // combines the families per the disjunction rule.
 func (a *Analyzer) AnalyzeUCQ(u *query.UCQ) (*UCQResult, error) {
 	if len(u.Disjunct) == 0 {
-		return nil, fmt.Errorf("core: empty UCQ %s", u.Name)
+		return nil, fmt.Errorf("core: %w: empty UCQ %s", ErrInvalidQuery, u.Name)
 	}
 	arity := len(u.Disjunct[0].Head)
 	head := make([]string, arity)
@@ -149,7 +149,7 @@ func ExecUCQ(st store.Backend, res *UCQResult, x query.Bindings) (*relation.Tupl
 func StreamUCQ(ctx context.Context, st store.Backend, res *UCQResult, x query.Bindings, es *store.ExecStats) (tupleSeq, error) {
 	derivs := res.Controls(x.Vars())
 	if derivs == nil {
-		return nil, fmt.Errorf("core: union not %s-controlled", x.Vars())
+		return nil, fmt.Errorf("core: %w: union not %s-controlled", ErrNotControllable, x.Vars())
 	}
 	roots := make([]plan.Node, len(derivs))
 	for i, d := range derivs {

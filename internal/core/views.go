@@ -106,14 +106,14 @@ func (e *Engine) CreateView(def *query.CQ, entries ...access.Entry) (ViewInfo, e
 	defer e.commitMu.Unlock()
 	name := v.Name()
 	if e.viewByName(name) != nil {
-		return ViewInfo{}, fmt.Errorf("core: view %q already exists", name)
+		return ViewInfo{}, fmt.Errorf("core: %w: view %q", ErrViewExists, name)
 	}
 	// Existence is asked of the backend instance, not the relational
 	// schema: schema objects are shared across shards (and across backends
 	// in test harnesses), so a declaration may outlive any one instance's
 	// relation.
 	if ddl.HasRelation(name) {
-		return ViewInfo{}, fmt.Errorf("core: relation %q already exists", name)
+		return ViewInfo{}, fmt.Errorf("core: %w: base relation %q", ErrViewExists, name)
 	}
 	m, err := NewMaintainer(e, def, nil)
 	if err != nil {
@@ -126,7 +126,7 @@ func (e *Engine) CreateView(def *query.CQ, entries ...access.Entry) (ViewInfo, e
 	tuples := m.Answers().Tuples()
 	for _, en := range entries {
 		if en.Rel != name {
-			return ViewInfo{}, fmt.Errorf("core: view %q: entry %s names another relation", name, en.String())
+			return ViewInfo{}, fmt.Errorf("core: %w: view %q: entry %s names another relation", ErrInvalidQuery, name, en.String())
 		}
 		if err := checkEntryOnExtent(v.Schema(), en, tuples); err != nil {
 			return ViewInfo{}, fmt.Errorf("core: view %q: %w", name, err)
@@ -165,7 +165,7 @@ func (e *Engine) DropView(name string) error {
 	e.viewMu.Lock()
 	if _, ok := e.viewReg[name]; !ok {
 		e.viewMu.Unlock()
-		return fmt.Errorf("core: unknown view %q", name)
+		return fmt.Errorf("core: %w: %q", ErrUnknownView, name)
 	}
 	delete(e.viewReg, name)
 	e.viewMu.Unlock()

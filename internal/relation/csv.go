@@ -2,6 +2,7 @@ package relation
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -60,7 +61,7 @@ func ReadCSV(rd io.Reader, r *Relation) error {
 	}
 	for {
 		rec, err := cr.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return nil
 		}
 		if err != nil {

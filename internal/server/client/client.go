@@ -17,6 +17,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -223,7 +224,7 @@ func (r *Rows) Next() bool {
 	var line server.QueryLine
 	if err := r.dec.Decode(&line); err != nil {
 		r.done = true
-		if err != io.EOF {
+		if !errors.Is(err, io.EOF) {
 			r.err = fmt.Errorf("client: reading stream: %w", err)
 		} else {
 			r.err = fmt.Errorf("client: stream ended without stats line")

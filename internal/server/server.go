@@ -484,7 +484,7 @@ func (s *Server) handleViewList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleViewDrop(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if err := s.eng.DropView(name); err != nil {
-		writeError(w, &ErrorBody{Code: CodeNotFound, Message: err.Error()})
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, map[string]string{"dropped": name})

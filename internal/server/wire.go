@@ -326,6 +326,9 @@ const (
 	CodeUnboundHead          = "unbound_head"
 	CodeNotMaintainable      = "not_maintainable"
 	CodeSlowConsumer         = "slow_consumer"
+	CodeInvalidQuery         = "invalid_query"
+	CodeViewExists           = "view_exists"
+	CodeUnknownView          = "unknown_view"
 	CodeBadRequest           = "bad_request"
 	CodeNotFound             = "not_found"
 	CodeDraining             = "draining"
@@ -401,6 +404,12 @@ func (b *ErrorBody) Err() error {
 		return fmt.Errorf("server: %s: %w", b.Message, core.ErrWatchNotMaintainable)
 	case CodeSlowConsumer:
 		return fmt.Errorf("server: %s: %w", b.Message, core.ErrSlowConsumer)
+	case CodeInvalidQuery:
+		return fmt.Errorf("server: %s: %w", b.Message, core.ErrInvalidQuery)
+	case CodeViewExists:
+		return fmt.Errorf("server: %s: %w", b.Message, core.ErrViewExists)
+	case CodeUnknownView:
+		return fmt.Errorf("server: %s: %w", b.Message, core.ErrUnknownView)
 	default:
 		return fmt.Errorf("server: %s: %s", b.Code, b.Message)
 	}
@@ -434,6 +443,12 @@ func bodyFor(err error) *ErrorBody {
 		return &ErrorBody{Code: CodeNotMaintainable, Message: err.Error()}
 	case errors.Is(err, core.ErrSlowConsumer):
 		return &ErrorBody{Code: CodeSlowConsumer, Message: err.Error()}
+	case errors.Is(err, core.ErrInvalidQuery):
+		return &ErrorBody{Code: CodeInvalidQuery, Message: err.Error()}
+	case errors.Is(err, core.ErrViewExists):
+		return &ErrorBody{Code: CodeViewExists, Message: err.Error()}
+	case errors.Is(err, core.ErrUnknownView):
+		return &ErrorBody{Code: CodeUnknownView, Message: err.Error()}
 	default:
 		return &ErrorBody{Code: CodeBadRequest, Message: err.Error()}
 	}
@@ -450,11 +465,13 @@ func statusFor(code string) int {
 		return 429
 	case CodeCanceled:
 		return 499
-	case CodeInvalidUpdate, CodeBadRequest, CodeUnboundHead:
+	case CodeInvalidUpdate, CodeBadRequest, CodeUnboundHead, CodeInvalidQuery:
 		return 400
+	case CodeViewExists:
+		return 409
 	case CodeNotMaintainable:
 		return 422
-	case CodeNotFound:
+	case CodeNotFound, CodeUnknownView:
 		return 404
 	case CodeDraining:
 		return 503
