@@ -2,6 +2,9 @@ package server
 
 import (
 	"encoding/json"
+	"reflect"
+	"regexp"
+	"strings"
 	"testing"
 	"time"
 
@@ -90,5 +93,64 @@ func TestObservabilityJSONGolden(t *testing.T) {
 		if string(got) != g.want {
 			t.Errorf("%s JSON drifted:\n got %s\nwant %s", g.name, got, g.want)
 		}
+	}
+}
+
+var snakeTag = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// TestWireTagsSnakeCase is the runtime twin of sivet's wirejson analyzer:
+// it walks every struct reachable from the wire roots and asserts each
+// exported field carries an explicit snake_case json tag (or "-"), so a
+// new field cannot leak a CamelCase key even on a tree where sivet was
+// not run.
+func TestWireTagsSnakeCase(t *testing.T) {
+	roots := []any{
+		PrepareRequest{}, PrepareResponse{}, QueryRequest{}, QueryLine{},
+		QueryStats{}, CommitRequest{}, CommitResponse{}, ViewEntry{},
+		ViewRequest{}, ViewResponse{}, WatchSnapshot{}, WatchDelta{},
+		ErrorBody{}, AdmissionError{}, Statusz{}, TenantStats{},
+		core.EngineStats{}, core.CommitResult{}, store.Counters{},
+	}
+	seen := make(map[reflect.Type]bool)
+	var walk func(rt reflect.Type)
+	walk = func(rt reflect.Type) {
+		for rt.Kind() == reflect.Pointer || rt.Kind() == reflect.Slice ||
+			rt.Kind() == reflect.Array || rt.Kind() == reflect.Map {
+			rt = rt.Elem()
+		}
+		if rt.Kind() != reflect.Struct || seen[rt] {
+			return
+		}
+		seen[rt] = true
+		// Types with a custom MarshalJSON define their own wire shape.
+		if rt.Implements(reflect.TypeFor[json.Marshaler]()) ||
+			reflect.PointerTo(rt).Implements(reflect.TypeFor[json.Marshaler]()) {
+			return
+		}
+		for i := range rt.NumField() {
+			f := rt.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			tag, ok := f.Tag.Lookup("json")
+			name, _, _ := strings.Cut(tag, ",")
+			switch {
+			case !ok:
+				t.Errorf("%s.%s: exported wire field has no json tag", rt, f.Name)
+			case name == "-":
+				continue
+			case name == "":
+				t.Errorf("%s.%s: json tag %q names no key", rt, f.Name, tag)
+			case !snakeTag.MatchString(name):
+				t.Errorf("%s.%s: json key %q is not snake_case", rt, f.Name, name)
+			}
+			walk(f.Type)
+		}
+	}
+	for _, r := range roots {
+		walk(reflect.TypeOf(r))
+	}
+	if len(seen) < len(roots) {
+		t.Fatalf("walked %d struct types from %d roots; type aliasing collapsed the surface?", len(seen), len(roots))
 	}
 }

@@ -359,10 +359,10 @@ var ErrAdmission = errors.New("query rejected by admission control")
 // bound/budget rules, which are read-budget refusals in PIQL terms —
 // core.ErrBudgetExceeded too.
 type AdmissionError struct {
-	Tenant string
-	Reason string
-	Bound  int64
-	Limit  int64
+	Tenant string `json:"tenant"`
+	Reason string `json:"reason"`
+	Bound  int64  `json:"bound"`
+	Limit  int64  `json:"limit"`
 }
 
 // Error renders the rejection.
