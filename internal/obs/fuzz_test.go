@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzExpfmtRoundTrip drives the exporter and its strict parser against
+// each other: any registry the API can legally build must export text
+// that ParseText accepts, and the parsed samples must carry the exact
+// label values and float values that went in. The interesting surface is
+// escaping — label values and help strings containing backslashes,
+// quotes and newlines — and the 'g'-format float round-trip.
+func FuzzExpfmtRoundTrip(f *testing.F) {
+	f.Add("si_reads_total", "tuples read", "tenant", "t0", 3.5, 0.25)
+	f.Add("m", "", "l", `quo"te\n`, 0.0, 1e300)
+	f.Add("a_b:c", "multi\nline \\ help", "x9_", "\n\\\"", 1e-9, 2.0)
+	f.Fuzz(func(t *testing.T, name, help, label, lval string, cv, hv float64) {
+		// The registry API panics on names the exposition format cannot
+		// carry; the fuzz target covers what a program can register.
+		if !validName(name) || !validLabel(label) {
+			t.Skip("unregisterable name or label")
+		}
+		if math.IsNaN(cv) || math.IsInf(cv, 0) || math.IsNaN(hv) || math.IsInf(hv, 0) {
+			t.Skip("float equality below needs finite values")
+		}
+		cv = math.Abs(cv) // counters reject negative deltas
+
+		r := NewRegistry()
+		r.Counter(name, help, label).With(lval).Add(cv)
+		r.Gauge(name+"_g", help).With().Set(-cv)
+		r.Histogram(name+"_h", help).With().Observe(hv)
+
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		fams, err := ParseText(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("exporter emitted text its own parser rejects: %v\n%s", err, buf.Bytes())
+		}
+		cf := fams[name]
+		if cf == nil || cf.Type != KindCounter {
+			t.Fatalf("counter family %q missing or mistyped in %v", name, fams)
+		}
+		// The parser keeps HELP text in its escaped form, and its line
+		// scanner (bufio.ScanLines) eats one carriage return at end of
+		// line — that, not the original help string, is the contract.
+		wantHelp := strings.TrimSuffix(escapeHelp(help), "\r")
+		if cf.Help != wantHelp {
+			t.Fatalf("help round-trip: got %q, want %q", cf.Help, wantHelp)
+		}
+		if n := len(cf.Samples); n != 1 {
+			t.Fatalf("counter has %d samples, want 1", n)
+		}
+		s := cf.Samples[0]
+		if got := s.Labels[label]; got != lval {
+			t.Fatalf("label value round-trip: got %q, want %q", got, lval)
+		}
+		if s.Value != cv {
+			t.Fatalf("counter value round-trip: got %v, want %v", s.Value, cv)
+		}
+		gf := fams[name+"_g"]
+		if gf == nil || len(gf.Samples) != 1 || gf.Samples[0].Value != -cv {
+			t.Fatalf("gauge round-trip failed: %+v", gf)
+		}
+		hf := fams[name+"_h"]
+		if hf == nil || hf.Type != KindHistogram {
+			t.Fatalf("histogram family %q missing or mistyped", name+"_h")
+		}
+	})
+}

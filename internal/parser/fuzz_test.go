@@ -1,0 +1,75 @@
+package parser
+
+import (
+	"regexp"
+	"testing"
+)
+
+// posRe matches the "line:col: " prefix positioned parser errors carry.
+var posRe = regexp.MustCompile(`^(\d+):(\d+): `)
+
+// FuzzDSLParser throws arbitrary bytes at every entry point of the query
+// DSL. Three properties must hold on any input:
+//
+//  1. no entry point panics — a malformed query over the wire must come
+//     back as a 400, never take the serving tier down;
+//  2. every error is non-empty, and when it carries a position the line
+//     and column are both ≥ 1 (tokenizer coordinates are 1-based);
+//  3. printing is a parser fixpoint: a successfully parsed formula or
+//     query re-parses from its own String() form, and the re-parse
+//     prints identically. Answering from the printed form is how EXPLAIN
+//     and the view catalog persist queries, so print→parse must not
+//     drift.
+func FuzzDSLParser(f *testing.F) {
+	f.Add("Q(x) := E(x, y) and y = 3")
+	f.Add("Q(x, y) :- E(x, z), E(z, y), z = \"a\"")
+	f.Add("Q(x) := exists y (E(x, y) implies not F(y))")
+	f.Add("Q(x) := A(x) or (B(x) and forall z (C(z)))")
+	f.Add("Q(x) :- E(x, y); Q(x) :- F(y, x)")
+	f.Add("rel E(src, dst); access E(src) -> 5, 1")
+	f.Add("Q(x) :- E(x, x), x != 0")
+	f.Add(":= and or not ( \x00 \xff")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<12 {
+			t.Skip("long inputs add nothing over short ones here")
+		}
+		checkErr := func(err error) {
+			if err == nil {
+				return
+			}
+			msg := err.Error()
+			if msg == "" {
+				t.Fatalf("empty error message for %q", src)
+			}
+			if m := posRe.FindStringSubmatch(msg); m != nil && (m[1] == "0" || m[2] == "0") {
+				t.Fatalf("zero-based error position %q for %q", msg, src)
+			}
+		}
+		if fm, err := ParseFormula(src); err != nil {
+			checkErr(err)
+		} else {
+			printed := fm.String()
+			again, err := ParseFormula(printed)
+			if err != nil {
+				t.Fatalf("formula round-trip: %q parsed, but its print %q does not: %v", src, printed, err)
+			}
+			if got := again.String(); got != printed {
+				t.Fatalf("formula print not a fixpoint: %q, then %q", printed, got)
+			}
+		}
+		if q, err := ParseQuery(src); err != nil {
+			checkErr(err)
+		} else {
+			printed := q.String()
+			if _, err := ParseQuery(printed); err != nil {
+				t.Fatalf("query round-trip: %q parsed, but its print %q does not: %v", src, printed, err)
+			}
+		}
+		_, err := ParseCQ(src)
+		checkErr(err)
+		_, err = ParseUCQ(src)
+		checkErr(err)
+		_, err = ParseCatalog(src)
+		checkErr(err)
+	})
+}

@@ -1,0 +1,80 @@
+package relation
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// decodeFuzzTuple deterministically builds a tuple from a byte stream:
+// a tag byte picks the value kind, ints take the next 8 bytes, strings a
+// length byte plus payload. The decoder is total — any input yields some
+// tuple — so the fuzzer explores kind mixes, embedded NULs, and strings
+// that look like encoded integers, which is exactly where a non-injective
+// key encoding would fold two tuples together.
+func decodeFuzzTuple(data []byte) Tuple {
+	var t Tuple
+	for len(data) > 0 && len(t) < 8 {
+		tag := data[0]
+		data = data[1:]
+		switch tag % 3 {
+		case 0:
+			t = append(t, Null())
+		case 1:
+			var buf [8]byte
+			copy(buf[:], data)
+			if len(data) > 8 {
+				data = data[8:]
+			} else {
+				data = nil
+			}
+			t = append(t, Int(int64(binary.LittleEndian.Uint64(buf[:]))))
+		case 2:
+			n := 0
+			if len(data) > 0 {
+				n = int(data[0] % 16)
+				data = data[1:]
+			}
+			if n > len(data) {
+				n = len(data)
+			}
+			t = append(t, Str(string(data[:n])))
+			data = data[n:]
+		}
+	}
+	return t
+}
+
+// FuzzTupleKeyInjective checks the documented contract of Tuple.Key —
+// two tuples have equal keys iff they are Equal — on adversarial pairs,
+// plus the equivalence of the allocation-free projection path: keying a
+// tuple at positions must byte-equal keying its materialized projection.
+// Every index probe, O(1) delete, and shard routing decision rides on
+// these two properties.
+func FuzzTupleKeyInjective(f *testing.F) {
+	f.Add([]byte{1, 7, 0, 0, 0, 0, 0, 0, 0}, []byte{2, 1, '7'}, byte(0))
+	f.Add([]byte{0, 0}, []byte{0}, byte(1))
+	f.Add([]byte{2, 3, 'a', 0, 'b', 1}, []byte{2, 2, 'a', 0, 2, 1, 'b'}, byte(3))
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte, posBits byte) {
+		a, b := decodeFuzzTuple(rawA), decodeFuzzTuple(rawB)
+		ka, kb := a.AppendKey(nil), b.AppendKey(nil)
+		if eq, keq := a.Equal(b), bytes.Equal(ka, kb); eq != keq {
+			t.Fatalf("key injectivity broken: Equal=%v but key equality=%v\na=%v key=%q\nb=%v key=%q",
+				eq, keq, a, ka, b, kb)
+		}
+		if string(ka) != a.Key() {
+			t.Fatalf("AppendKey and Key disagree: %q vs %q", ka, a.Key())
+		}
+		var pos []int
+		for i := range a {
+			if posBits&(1<<i) != 0 {
+				pos = append(pos, i)
+			}
+		}
+		direct := a.AppendKeyAt(nil, pos)
+		viaProject := a.Project(pos).AppendKey(nil)
+		if !bytes.Equal(direct, viaProject) {
+			t.Fatalf("AppendKeyAt(%v) = %q, but Project+AppendKey = %q for %v", pos, direct, viaProject, a)
+		}
+	})
+}
