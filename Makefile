@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race vet staticcheck bench bench-smoke serving shardscale reorder live live-smoke flat flat-smoke serve serve-smoke metrics-smoke views views-smoke overhead-gate
+.PHONY: check build test race vet staticcheck sivet fuzz-smoke bench bench-smoke serving shardscale reorder live live-smoke flat flat-smoke serve serve-smoke metrics-smoke views views-smoke overhead-gate
 
 ## check: the CI gate — vet, build, and race-enabled tests.
 check: vet build race
@@ -27,6 +27,23 @@ bench-smoke:
 ## staticcheck: run honnef.co/go/tools if installed (CI runs it always).
 staticcheck:
 	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... || echo "staticcheck not installed; CI runs it (https://staticcheck.dev)"
+
+## sivet: the project-invariant analyzers — uncharged reads past the
+## ExecStats charge points, lock-discipline violations on `guarded by`
+## fields, untyped or wrongly-compared errors, and wire structs whose
+## JSON tags drift from snake_case. Exits nonzero with file:line
+## diagnostics; DESIGN.md §10 maps each analyzer to the invariant it pins.
+sivet:
+	$(GO) run ./cmd/sivet ./...
+
+## fuzz-smoke: the CI fuzz gate — each native fuzz target gets a 10s
+## coverage-guided run: the DSL parser (no panics, positioned errors,
+## print→parse fixpoint), the Prometheus exporter against its own strict
+## parser, and the injective tuple-key encoding every index ride on.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzDSLParser -fuzztime=10s ./internal/parser/
+	$(GO) test -run=NONE -fuzz=FuzzExpfmtRoundTrip -fuzztime=10s ./internal/obs/
+	$(GO) test -run=NONE -fuzz=FuzzTupleKeyInjective -fuzztime=10s ./internal/relation/
 
 serving:
 	$(GO) run ./cmd/sibench -serving

@@ -489,4 +489,3 @@ func allArgsBoundOrConst(a *query.Atom, positions []int, bound query.VarSet) boo
 	}
 	return true
 }
-

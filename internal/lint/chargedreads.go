@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ChargedReads enforces the paper's charging discipline inside the
+// serving packages (internal/plan, internal/eval, internal/core): every
+// read of stored data must flow through the charging entry points —
+// store.Fetch/Membership/Scan* (which call the Backend's
+// FetchInto/MembershipInto/ScanInto) or an explicit
+// ExecStats.ChargeTo — because one silent bypass voids reads ≤ M for
+// every bound the admission controller reserved against it. Direct
+// calls that return stored tuples without charging, and construction of
+// the uncounted eval.DBSource oracle outside internal/eval, are errors.
+var ChargedReads = &Analyzer{
+	Name: "chargedreads",
+	Doc:  "store reads in serving code must flow through the ExecStats charging entry points",
+	Run:  runChargedReads,
+}
+
+// chargedServingPkgs are the package-path suffixes where the discipline
+// is enforced — the packages that execute plans against live data.
+var chargedServingPkgs = []string{"internal/plan", "internal/eval", "internal/core"}
+
+// unchargedReads are the (receiver package suffix, receiver type,
+// method) triples that hand back stored data without touching
+// ExecStats. The charging wrappers themselves live in internal/store,
+// which is exempt: it is the layer that implements the charge points.
+var unchargedReads = []struct {
+	pkg, typ, meth string
+}{
+	{"internal/relation", "Relation", "Tuples"},
+	{"internal/relation", "Relation", "Contains"},
+	{"internal/index", "Index", "Lookup"},
+	{"internal/store", "DB", "Data"},
+	{"internal/store", "DB", "CloneData"},
+	{"internal/store", "DB", "FetchUncounted"},
+	{"internal/store", "Backend", "CloneData"},
+}
+
+func runChargedReads(pass *Pass) {
+	path := pass.Pkg.Path
+	serving := false
+	for _, s := range chargedServingPkgs {
+		if suffixMatch(path, s) {
+			serving = true
+			break
+		}
+	}
+	if !serving {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection := info.Selections[sel]
+				if selection == nil || selection.Obj() == nil {
+					return true
+				}
+				recv := selection.Recv()
+				for _, b := range unchargedReads {
+					if sel.Sel.Name == b.meth && isNamedType(recv, b.pkg, b.typ) {
+						pass.Reportf(n.Pos(),
+							"uncharged read: (%s).%s bypasses the ExecStats charge points (store.Fetch/Membership/Scan*/ChargeTo); an uncounted access voids reads ≤ M",
+							typeString(recv), sel.Sel.Name)
+						break
+					}
+				}
+			case *ast.CompositeLit:
+				// The DBSource oracle is uncounted by design; serving
+				// code must not construct one.
+				if suffixMatch(path, "internal/eval") {
+					return true
+				}
+				if tv, ok := info.Types[ast.Expr(n)]; ok && isNamedType(tv.Type, "internal/eval", "DBSource") {
+					pass.Reportf(n.Pos(),
+						"uncharged oracle: eval.DBSource reads are invisible to ExecStats; serving code must execute through a charged Source (plan runtime over store.Backend)")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,256 @@
+// Module loading without golang.org/x/tools: `go list -deps` supplies
+// package metadata and a topological universe; module packages are
+// parsed and type-checked from source, while stdlib (and any future
+// external) imports resolve through compiled export data that a second
+// `go list -export` run locates in the build cache. go/importer's gc
+// importer reads those export files via a lookup function, so the whole
+// pipeline stays inside the standard library.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+func goList(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadModule loads and type-checks every package of the module rooted
+// at (or containing) dir, in dependency order.
+func LoadModule(dir string) (*token.FileSet, []*Package, error) {
+	deps, err := goList(dir, "-deps", "-json=ImportPath,Dir,Standard,GoFiles,Imports,Module,Error", "./...")
+	if err != nil {
+		return nil, nil, err
+	}
+	var mods []listPkg
+	var ext []string
+	modPath := ""
+	for _, p := range deps {
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if !p.Standard && p.Module != nil && p.Module.Main {
+			mods = append(mods, p)
+			modPath = p.Module.Path
+		} else {
+			ext = append(ext, p.ImportPath)
+		}
+	}
+	if len(mods) == 0 {
+		return nil, nil, fmt.Errorf("no module packages under %s", dir)
+	}
+
+	exports, err := exportFiles(dir, ext)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	fset := token.NewFileSet()
+	chain := newChainImporter(fset, exports)
+
+	order, err := topoOrder(mods)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pkgs []*Package
+	for _, lp := range order {
+		pkg, err := checkPackage(fset, chain, lp, modPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		chain.checked[lp.ImportPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return fset, pkgs, nil
+}
+
+// exportFiles maps the non-module dependency closure to compiled export
+// data in the build cache. An empty Export (package unsafe) is left out;
+// the gc importer synthesizes unsafe itself.
+func exportFiles(dir string, paths []string) (map[string]string, error) {
+	files := make(map[string]string, len(paths))
+	if len(paths) == 0 {
+		return files, nil
+	}
+	sort.Strings(paths)
+	pkgs, err := goList(dir, append([]string{"-export", "-json=ImportPath,Export"}, paths...)...)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			files[p.ImportPath] = p.Export
+		}
+	}
+	return files, nil
+}
+
+// chainImporter resolves module packages from the already-checked set
+// and everything else through gc export data.
+type chainImporter struct {
+	checked  map[string]*types.Package
+	fallback types.Importer
+}
+
+func newChainImporter(fset *token.FileSet, exports map[string]string) *chainImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return &chainImporter{
+		checked:  make(map[string]*types.Package),
+		fallback: importer.ForCompiler(fset, "gc", lookup),
+	}
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p := c.checked[path]; p != nil {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}
+
+// topoOrder sorts module packages so every package follows its
+// in-module imports.
+func topoOrder(mods []listPkg) ([]listPkg, error) {
+	byPath := make(map[string]listPkg, len(mods))
+	for _, p := range mods {
+		byPath[p.ImportPath] = p
+	}
+	var order []listPkg
+	state := make(map[string]int) // 0 unvisited, 1 in progress, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		p, ok := byPath[path]
+		if !ok || state[path] == 2 {
+			return nil
+		}
+		if state[path] == 1 {
+			return fmt.Errorf("import cycle through %s", path)
+		}
+		state[path] = 1
+		for _, imp := range p.Imports {
+			if err := visit(imp); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		order = append(order, p)
+		return nil
+	}
+	paths := make([]string, 0, len(mods))
+	for _, p := range mods {
+		paths = append(paths, p.ImportPath)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// checkPackage parses and type-checks one module package from source.
+// Test files are excluded: sivet checks the shipped library surface.
+func checkPackage(fset *token.FileSet, imp types.Importer, lp listPkg, modPath string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := typeCheck(fset, imp, lp.ImportPath, files)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: lp.ImportPath, ModPath: modPath, Dir: lp.Dir, Files: files, Types: pkg, Info: info}, nil
+}
+
+// typeCheck runs go/types over parsed files with the standard Info
+// tables the analyzers need.
+func typeCheck(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, _ := conf.Check(path, fset, files, info)
+	if len(errs) > 0 {
+		const max = 5
+		msgs := make([]string, 0, max+1)
+		for i, e := range errs {
+			if i == max {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(errs)-max))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, nil, fmt.Errorf("type-checking %s:\n  %s", path, strings.Join(msgs, "\n  "))
+	}
+	return pkg, info, nil
+}

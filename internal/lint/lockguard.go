@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockGuard checks documented lock ownership. A struct field annotated
+//
+//	// guarded by <mu>
+//
+// (where <mu> is a sibling mutex field) may only be accessed in
+// functions that visibly acquire that mutex — a call to <x>.<mu>.Lock()
+// or .RLock() on a value of the declaring type anywhere in the function
+// body — or that declare the contract with a doc-comment directive
+//
+//	//sivet:holds <mu>
+//
+// (the convention for *Locked-suffix helpers whose callers hold the
+// lock). The special guard name "single-writer" encodes the Maintainer
+// contract: the field may only be touched from methods of the declaring
+// type, which a single goroutine drives at a time; external pokes must
+// go through a method.
+//
+// This is a function-granularity approximation (it does not track
+// aliasing or prove the lock is still held at the access), but it is
+// exactly strong enough to catch the real failure mode: a new code path
+// reading commit-pipeline or watcher state with no locking at all.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated `guarded by <mu>` are only accessed under that mutex or a documented holds contract",
+	Run:  runLockGuard,
+}
+
+const singleWriter = "single-writer"
+
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_-]*)`)
+
+// guardInfo records one annotated field: the named struct declaring it
+// and the guard (sibling mutex field name, or "single-writer").
+type guardInfo struct {
+	owner *types.TypeName
+	guard string
+}
+
+type lockKey struct {
+	owner *types.TypeName
+	guard string
+}
+
+func runLockGuard(pass *Pass) {
+	info := pass.Pkg.Info
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			locked := lockedIn(info, fn.Body)
+			holds := holdsAnnotations(fn.Doc)
+			recvType := receiverTypeName(info, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s := info.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal {
+					return true
+				}
+				g, ok := guarded[s.Obj()]
+				if !ok {
+					return true
+				}
+				if g.guard == singleWriter {
+					if recvType != g.owner && !holds[singleWriter] {
+						pass.Reportf(sel.Sel.Pos(),
+							"%s.%s is single-writer state: only %s methods may touch it (one goroutine drives them at a time); go through a method, or mark a constructor with //sivet:holds single-writer",
+							g.owner.Name(), s.Obj().Name(), g.owner.Name())
+					}
+					return true
+				}
+				if !locked[lockKey{g.owner, g.guard}] && !holds[g.guard] {
+					pass.Reportf(sel.Sel.Pos(),
+						"access to %s.%s without %s held: the field is annotated `guarded by %s`; acquire the lock in this function or document the caller contract with //sivet:holds %s",
+						g.owner.Name(), s.Obj().Name(), g.guard, g.guard, g.guard)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// collectGuarded scans struct declarations for `guarded by` field
+// annotations and validates that each guard names a sibling field.
+func collectGuarded(pass *Pass) map[types.Object]guardInfo {
+	info := pass.Pkg.Info
+	guarded := make(map[types.Object]guardInfo)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				tn, _ := info.Defs[ts.Name].(*types.TypeName)
+				if tn == nil {
+					continue
+				}
+				siblings := make(map[string]bool)
+				for _, f := range st.Fields.List {
+					for _, name := range f.Names {
+						siblings[name.Name] = true
+					}
+				}
+				for _, f := range st.Fields.List {
+					guard := guardAnnotation(f)
+					if guard == "" {
+						continue
+					}
+					if guard != singleWriter && !siblings[guard] {
+						pass.Reportf(f.Pos(),
+							"`guarded by %s` names no sibling field of %s; the guard must be a mutex field of the same struct (or the literal %q)",
+							guard, tn.Name(), singleWriter)
+						continue
+					}
+					for _, name := range f.Names {
+						if obj := info.Defs[name]; obj != nil {
+							guarded[obj] = guardInfo{owner: tn, guard: guard}
+						}
+					}
+				}
+			}
+		}
+	}
+	return guarded
+}
+
+func guardAnnotation(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockedIn collects the (owner type, mutex field) pairs the body
+// acquires via <x>.<mu>.Lock() or .RLock(). Unlock/TryLock do not
+// count: seeing only a release (or a try) is exactly the bug class the
+// analyzer exists for.
+func lockedIn(info *types.Info, body *ast.BlockStmt) map[lockKey]bool {
+	locked := make(map[lockKey]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := info.Selections[inner]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		if owner := namedOf(s.Recv()); owner != nil {
+			locked[lockKey{owner.Obj(), s.Obj().Name()}] = true
+		}
+		return true
+	})
+	return locked
+}
+
+// holdsAnnotations parses //sivet:holds directives from a function's
+// doc comment: space- or comma-separated guard names the caller
+// contract guarantees are held.
+func holdsAnnotations(doc *ast.CommentGroup) map[string]bool {
+	holds := make(map[string]bool)
+	if doc == nil {
+		return holds
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//sivet:holds")
+		if !ok {
+			continue
+		}
+		for _, name := range strings.FieldsFunc(rest, func(r rune) bool { return r == ' ' || r == ',' || r == '\t' }) {
+			holds[name] = true
+		}
+	}
+	return holds
+}
+
+func receiverTypeName(info *types.Info, fn *ast.FuncDecl) *types.TypeName {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := info.Types[fn.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	if n := namedOf(tv.Type); n != nil {
+		return n.Obj()
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+package core
+
+import "ct/internal/store"
+
+func Snapshot(b store.Backend) {
+	_ = b.CloneData() // want "uncharged read"
+}

@@ -1,0 +1,9 @@
+package index
+
+import "ct/internal/relation"
+
+type Index struct{ buckets map[string][]relation.Tuple }
+
+func (ix *Index) Lookup(vals []relation.Value) ([]relation.Tuple, error) { return nil, nil }
+func (ix *Index) Count(vals []relation.Value) (int, error)               { return 0, nil }
+func (ix *Index) MaxBucket() int                                         { return 0 }

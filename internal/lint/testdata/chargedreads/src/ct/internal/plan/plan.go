@@ -1,0 +1,32 @@
+package plan
+
+import (
+	"ct/internal/eval"
+	"ct/internal/index"
+	"ct/internal/relation"
+	"ct/internal/store"
+)
+
+func Bad(r *relation.Relation, ix *index.Index, db *store.DB) {
+	_ = r.Tuples()             // want "uncharged read"
+	_ = r.Contains(nil)        // want `uncharged read: \(\*relation\.Relation\)\.Contains`
+	_, _ = ix.Lookup(nil)      // want "uncharged read"
+	_ = db.Data()              // want "uncharged read"
+	_ = db.CloneData()         // want "uncharged read"
+	_ = db.FetchUncounted("R") // want "uncharged read"
+}
+
+func BadOracle(d *relation.Database) {
+	_ = eval.DBSource{DB: d} // want "uncharged oracle"
+}
+
+// Good holds the near misses that must stay silent: metadata accessors,
+// bucket statistics, and the charging entry points themselves.
+func Good(r *relation.Relation, ix *index.Index, db *store.DB, b store.Backend, s *store.ExecStats) {
+	_ = r.Len()
+	_, _ = ix.Count(nil)
+	_ = ix.MaxBucket()
+	_ = db.FetchInto(s, "R")
+	_ = store.Fetch(b, "R")
+	s.ChargeTo(1)
+}

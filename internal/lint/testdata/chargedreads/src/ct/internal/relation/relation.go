@@ -1,0 +1,15 @@
+package relation
+
+type Value string
+
+type Tuple []Value
+
+type Relation struct{ tuples []Tuple }
+
+func (r *Relation) Tuples() []Tuple       { return r.tuples }
+func (r *Relation) Contains(t Tuple) bool { return len(r.tuples) > 0 }
+func (r *Relation) Len() int              { return len(r.tuples) }
+
+type Database struct{ rels map[string]*Relation }
+
+func (d *Database) Rel(name string) *Relation { return d.rels[name] }

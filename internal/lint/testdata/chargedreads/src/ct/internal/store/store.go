@@ -1,0 +1,29 @@
+package store
+
+import "ct/internal/relation"
+
+type ExecStats struct{ Reads int64 }
+
+func (s *ExecStats) ChargeTo(n int) {
+	if s != nil {
+		s.Reads += int64(n)
+	}
+}
+
+type DB struct{ data *relation.Database }
+
+func (db *DB) Data() *relation.Database                     { return db.data }
+func (db *DB) CloneData() *relation.Database                { return db.data }
+func (db *DB) FetchUncounted(rel string) []relation.Tuple   { return nil }
+func (db *DB) FetchInto(s *ExecStats, rel string) []relation.Tuple {
+	s.ChargeTo(1)
+	return nil
+}
+
+type Backend interface {
+	FetchInto(s *ExecStats, rel string) []relation.Tuple
+	CloneData() *relation.Database
+}
+
+// Fetch is the package-level charged wrapper.
+func Fetch(b Backend, rel string) []relation.Tuple { return b.FetchInto(nil, rel) }

@@ -1,0 +1,73 @@
+package box
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	// guarded by mu
+	val int
+	bad int // guarded by missing // want "names no sibling field"
+}
+
+// Get locks before reading: fine.
+func (b *Box) Get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.val
+}
+
+// Peek reads with no lock at all.
+func (b *Box) Peek() int {
+	return b.val // want "without mu held"
+}
+
+// UnlockOnly is the near miss: a visible Unlock must not count as
+// holding the lock.
+func (b *Box) UnlockOnly() int {
+	defer b.mu.Unlock()
+	return b.val // want "without mu held"
+}
+
+// getLocked is the documented caller-holds convention.
+//
+//sivet:holds mu
+func (b *Box) getLocked() int { return b.val }
+
+// Drain shows the cross-object pattern (commit pipeline over *Live):
+// locking another value of the declaring type in the same function
+// satisfies the check.
+func Drain(boxes []*Box) (sum int) {
+	for _, b := range boxes {
+		b.mu.Lock()
+		sum += b.val
+		b.mu.Unlock()
+	}
+	return
+}
+
+type Twin struct {
+	a sync.Mutex
+	b sync.Mutex
+	// guarded by a
+	n int
+}
+
+// WrongLock holds a mutex — just not the one the annotation names.
+func (t *Twin) WrongLock() int {
+	t.b.Lock()
+	defer t.b.Unlock()
+	return t.n // want "without a held"
+}
+
+type RBox struct {
+	mu sync.RWMutex
+	// guarded by mu
+	val int
+}
+
+// Read takes the read side; RLock counts as holding.
+func (r *RBox) Read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.val
+}

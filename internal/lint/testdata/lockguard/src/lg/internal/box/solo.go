@@ -1,0 +1,25 @@
+package box
+
+// Solo carries the single-writer contract (the Maintainer pattern):
+// one goroutine drives its methods at a time, so methods may touch the
+// state freely but external functions must go through a method.
+type Solo struct {
+	// guarded by single-writer
+	state int
+}
+
+func (s *Solo) Step() { s.state++ }
+
+// Poke reaches into single-writer state from outside the type.
+func Poke(s *Solo) {
+	s.state = 0 // want "single-writer state"
+}
+
+// NewSolo is the constructor: pre-publication access, documented.
+//
+//sivet:holds single-writer
+func NewSolo() *Solo {
+	s := &Solo{}
+	s.state = 1
+	return s
+}

@@ -1,0 +1,73 @@
+// Package te plays the module facade: its path equals the module root,
+// so the taxonomy rule applies to its exported functions.
+package te
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrBudget = errors.New("budget exceeded")
+
+func Compare(err error) bool {
+	if err == ErrBudget { // want "use errors.Is"
+		return true
+	}
+	if err != io.EOF { // want "use errors.Is"
+		return false
+	}
+	if errors.Is(err, ErrBudget) { // near miss: the correct form
+		return true
+	}
+	return err == nil // near miss: nil checks are fine
+}
+
+func Wrap(err error) error {
+	return fmt.Errorf("exec: %w", err) // near miss: proper wrapping
+}
+
+func BadWrap(err error) {
+	_ = fmt.Errorf("exec failed: %v", err) // want "use %w"
+}
+
+func MixedArgs(name string, err error) {
+	_ = fmt.Errorf("plan %s: %s", name, err) // want "use %w"
+}
+
+func TypeOnly(err error) {
+	_ = fmt.Errorf("unexpected error type %T", err) // near miss: %T prints metadata, no chain to keep
+}
+
+func Exported() error {
+	return errors.New("boom") // want "taxonomy"
+}
+
+func ExportedF(name string) error {
+	return fmt.Errorf("bad query %q", name) // want "taxonomy"
+}
+
+func ExportedOK(name string) error {
+	return fmt.Errorf("bad query %q: %w", name, ErrBudget) // near miss: wraps a sentinel
+}
+
+func ExportedClosure() func() error {
+	// near miss: the closure's return is not the exported API surface.
+	return func() error { return errors.New("internal retry detail") }
+}
+
+func unexportedHelper() error {
+	return errors.New("internal detail") // near miss: not exported API
+}
+
+func Ignored(err error) bool {
+	//sivet:ignore typederr -- identity comparison intended: pinning the exact sentinel object in a test helper
+	return err == ErrBudget
+}
+
+func BadDirective(err error) bool {
+	//sivet:ignore typederr // want "malformed directive"
+	return err == ErrBudget // want "use errors.Is"
+}
+
+var _ = unexportedHelper

@@ -1,0 +1,10 @@
+// Package util is outside the taxonomy surface (not the facade, not
+// internal/core): ad-hoc errors are allowed, the other checks still
+// apply module-wide.
+package util
+
+import "errors"
+
+func Helper() error {
+	return errors.New("fine here") // near miss: not a taxonomy package
+}

@@ -1,0 +1,13 @@
+package core
+
+// EngineStats is one of the documented wire roots: it must be fully
+// tagged even before it gains its first tag or a wire.go reference.
+type EngineStats struct {
+	Commits int64 // want "has no json tag"
+}
+
+// PlannerScratch is the near miss: an untagged struct that is not a
+// documented root stays silent.
+type PlannerScratch struct {
+	Depth int
+}

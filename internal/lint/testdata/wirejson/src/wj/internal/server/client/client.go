@@ -1,0 +1,39 @@
+package client
+
+import (
+	"encoding/json"
+	"io"
+)
+
+type Row struct {
+	Seq int64 `json:"seq"`
+}
+
+func DecodeLoose(data []byte) (any, error) {
+	var v any
+	err := json.Unmarshal(data, &v) // want "json.Unmarshal into"
+	return v, err
+}
+
+func DecodeBare(r io.Reader) (map[string]any, error) {
+	m := map[string]any{}
+	dec := json.NewDecoder(r)
+	err := dec.Decode(&m) // want "without UseNumber"
+	return m, err
+}
+
+// DecodeNumbered is the correct untyped path: UseNumber keeps int64
+// values exact.
+func DecodeNumbered(r io.Reader) (any, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var v any
+	return v, dec.Decode(&v)
+}
+
+// DecodeTyped is the near miss: a typed struct field decodes int64
+// exactly without json.Number.
+func DecodeTyped(data []byte) (Row, error) {
+	var row Row
+	return row, json.Unmarshal(data, &row)
+}

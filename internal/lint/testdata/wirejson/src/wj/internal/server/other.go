@@ -1,0 +1,24 @@
+package server
+
+// Inner is not declared in wire.go and carries no tags of its own, but
+// Reply.Deep references it, so it marshals onto the wire and must be
+// fully tagged.
+type Inner struct {
+	N int // want "has no json tag"
+}
+
+// Stats gained one tag, which makes the whole struct wire-facing: the
+// remaining exported fields must be tagged too.
+type Stats struct {
+	Reads  int64 `json:"reads"`
+	Writes int64 // want "has no json tag"
+}
+
+// internalOnly is the near miss: no tags, referenced by nothing on the
+// wire, declared outside wire.go — stays silent.
+type internalOnly struct {
+	X int
+	Y string
+}
+
+var _ internalOnly

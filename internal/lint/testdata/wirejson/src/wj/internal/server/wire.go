@@ -1,0 +1,10 @@
+// Everything declared in a wire.go file is a wire struct.
+package server
+
+type Reply struct {
+	Seq  int64  `json:"seq"`
+	Rows int    // want "has no json tag"
+	Cost int64  `json:"CostReads"`   // want "not snake_case"
+	Note string `json:",omitempty"`  // want "names no key"
+	Deep *Inner `json:"deep"`
+}

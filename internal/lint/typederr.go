@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// TypedErr keeps the error taxonomy errors.Is-able, module-wide:
+//
+//  1. no `err == sentinel` / `err != sentinel` comparisons — they break
+//     the moment a layer wraps the sentinel (use errors.Is);
+//  2. an error passed to fmt.Errorf must be formatted with %w, not
+//     %v/%s — otherwise the sentinel is flattened to text and
+//     errors.Is can no longer see it;
+//  3. in the taxonomy packages (the module facade and internal/core),
+//     exported functions must not return ad-hoc errors.New /
+//     fmt.Errorf-without-%w errors: everything surfaced to callers
+//     wraps a documented sentinel from the taxonomy (core/errors.go,
+//     DESIGN.md §2), which is what the serving tier's status mapping
+//     and in-process callers branch on.
+var TypedErr = &Analyzer{
+	Name: "typederr",
+	Doc:  "errors are compared with errors.Is, wrapped with %w, and surfaced from the documented taxonomy",
+	Run:  runTypedErr,
+}
+
+// taxonomyPkg reports whether exported functions of this package must
+// surface taxonomy errors (check 3).
+func taxonomyPkg(pkg *Package) bool {
+	return pkg.Path == pkg.ModPath || suffixMatch(pkg.Path, "internal/core")
+}
+
+func runTypedErr(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+		if taxonomyPkg(pass.Pkg) {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if ok && fn.Body != nil && exportedAPI(info, fn) {
+					checkTaxonomyReturns(pass, fn)
+				}
+			}
+		}
+	}
+}
+
+// checkSentinelCompare flags ==/!= between an error value and a
+// package-level error variable (a sentinel, ours or the stdlib's).
+func checkSentinelCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		sentinel, other := pair[0], pair[1]
+		obj := sentinelVar(info, sentinel)
+		if obj == nil {
+			continue
+		}
+		if tv, ok := info.Types[other]; !ok || !isErrorType(tv.Type) {
+			continue
+		}
+		pass.Reportf(be.OpPos,
+			"sentinel compared with %s: use errors.Is — the comparison silently fails once the error is wrapped (sentinel %s.%s)",
+			be.Op, obj.Pkg().Name(), obj.Name())
+		return
+	}
+}
+
+// sentinelVar returns the package-level error variable an expression
+// names, or nil.
+func sentinelVar(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// checkErrorfWrap flags error-typed arguments to fmt.Errorf that are
+// formatted with anything but %w (allowing %T and %p, which print
+// metadata rather than flattening the chain).
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	if !isPkgFunc(info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := stringLit(call.Args[0])
+	if !ok {
+		return
+	}
+	verbs, ok := formatVerbs(format)
+	if !ok {
+		return
+	}
+	for i, verb := range verbs {
+		argIdx := i + 1
+		if argIdx >= len(call.Args) || verb == 'w' || verb == 'T' || verb == 'p' || verb == '*' {
+			continue
+		}
+		arg := call.Args[argIdx]
+		if tv, ok := info.Types[arg]; ok && isErrorType(tv.Type) {
+			pass.Reportf(arg.Pos(),
+				"error formatted with %%%c flattens the chain: use %%w so errors.Is/As still see the wrapped sentinel", verb)
+		}
+	}
+}
+
+// formatVerbs returns one entry per operand the format string consumes
+// ('*' for a width/precision operand, otherwise the verb rune). It
+// bails (ok=false) on indexed arguments like %[1]d.
+func formatVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		for i < len(format) && strings.IndexByte("+-# 0", format[i]) >= 0 {
+			i++
+		}
+		if i < len(format) && format[i] == '[' {
+			return nil, false
+		}
+		if i < len(format) && format[i] == '*' {
+			verbs = append(verbs, '*')
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				verbs = append(verbs, '*')
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+			i++
+		}
+	}
+	return verbs, true
+}
+
+// exportedAPI reports whether fn is part of the package's exported
+// surface: an exported function, or an exported method on an exported
+// receiver type.
+func exportedAPI(info *types.Info, fn *ast.FuncDecl) bool {
+	if !fn.Name.IsExported() {
+		return false
+	}
+	if fn.Recv == nil {
+		return true
+	}
+	tn := receiverTypeName(info, fn)
+	return tn != nil && tn.Exported()
+}
+
+// checkTaxonomyReturns flags return statements (of fn itself, not of
+// nested literals) whose error result is constructed in place without
+// wrapping a sentinel: errors.New(...), or fmt.Errorf with a format
+// that never uses %w.
+func checkTaxonomyReturns(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				call, ok := ast.Unparen(res).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if isPkgFunc(info, call, "errors", "New") {
+					pass.Reportf(res.Pos(),
+						"exported %s returns errors.New: surface a documented taxonomy sentinel (core/errors.go) or wrap one with %%w so callers can errors.Is it",
+						fn.Name.Name)
+					continue
+				}
+				if isPkgFunc(info, call, "fmt", "Errorf") && len(call.Args) > 0 {
+					if format, ok := stringLit(call.Args[0]); ok && !strings.Contains(format, "%w") {
+						pass.Reportf(res.Pos(),
+							"exported %s returns an untyped fmt.Errorf error: wrap a documented taxonomy sentinel with %%w (core/errors.go) so callers can errors.Is it",
+							fn.Name.Name)
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+// isPkgFunc reports whether the call's callee is the named function
+// from the named (import-path) package.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	obj, ok := info.Uses[id].(*types.Func)
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

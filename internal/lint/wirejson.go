@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strings"
+)
+
+// WireJSON keeps the wire surface honest. In the wire-facing packages
+// (internal/server, its client, internal/core, internal/store,
+// internal/obs) it computes the set of "wire structs" — everything
+// declared in a wire.go file, every struct that already carries a json
+// tag, the documented roots (EngineStats, CommitResult, CommitPhases,
+// ViewInfo, PlanCacheStats, store.Counters), and the same-package
+// closure of their field types — and requires every exported field to
+// carry a complete snake_case json tag. New response types added next
+// to the wire types are picked up automatically: the moment a struct
+// is referenced from a wire struct or gains its first tag, the whole
+// struct must be fully tagged.
+//
+// It also flags decode paths that parse wire JSON into untyped values
+// (any / map[string]any) without json.Number: encoding/json represents
+// numbers as float64 there, silently corrupting int64 sequence numbers
+// and read counters above 2^53.
+var WireJSON = &Analyzer{
+	Name: "wirejson",
+	Doc:  "wire structs carry complete snake_case json tags; untyped decode paths use json.Number",
+	Run:  runWireJSON,
+}
+
+// wirePkgs are the package-path suffixes carrying the wire surface.
+var wirePkgs = []string{"internal/server", "internal/server/client", "internal/core", "internal/store", "internal/obs"}
+
+// numberPkgs are where untyped decoding of wire payloads happens.
+var numberPkgs = []string{"internal/server", "internal/server/client"}
+
+// wireRootTypes are the documented serialization roots outside
+// internal/server.
+var wireRootTypes = []struct{ pkg, name string }{
+	{"internal/core", "EngineStats"},
+	{"internal/core", "CommitResult"},
+	{"internal/core", "CommitPhases"},
+	{"internal/core", "ViewInfo"},
+	{"internal/core", "PlanCacheStats"},
+	{"internal/store", "Counters"},
+}
+
+var snakeRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func runWireJSON(pass *Pass) {
+	path := pass.Pkg.Path
+	inScope := func(suffixes []string) bool {
+		for _, s := range suffixes {
+			if suffixMatch(path, s) {
+				return true
+			}
+		}
+		return false
+	}
+	if inScope(wirePkgs) {
+		checkWireTags(pass)
+	}
+	if inScope(numberPkgs) {
+		checkNumberDecoding(pass)
+	}
+}
+
+// structDecl is one named struct declaration in the package.
+type structDecl struct {
+	name *types.TypeName
+	st   *ast.StructType
+	file string
+}
+
+func checkWireTags(pass *Pass) {
+	info := pass.Pkg.Info
+	decls := make(map[*types.TypeName]structDecl)
+	var order []*types.TypeName
+	for _, file := range pass.Pkg.Files {
+		base := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if tn, _ := info.Defs[ts.Name].(*types.TypeName); tn != nil {
+					decls[tn] = structDecl{name: tn, st: st, file: base}
+					order = append(order, tn)
+				}
+			}
+		}
+	}
+
+	wire := make(map[*types.TypeName]bool)
+	var queue []*types.TypeName
+	mark := func(tn *types.TypeName) {
+		if tn != nil && !wire[tn] {
+			if _, ok := decls[tn]; ok {
+				wire[tn] = true
+				queue = append(queue, tn)
+			}
+		}
+	}
+	for _, tn := range order {
+		d := decls[tn]
+		if d.file == "wire.go" || hasJSONTag(d.st) {
+			mark(tn)
+		}
+		for _, root := range wireRootTypes {
+			if tn.Name() == root.name && suffixMatch(pass.Pkg.Path, root.pkg) {
+				mark(tn)
+			}
+		}
+	}
+
+	for len(queue) > 0 {
+		tn := queue[0]
+		queue = queue[1:]
+		d := decls[tn]
+		for _, f := range d.st.Fields.List {
+			// Pull same-package named structs referenced by the field
+			// into the wire set — they marshal as part of the payload.
+			if tv, ok := info.Types[f.Type]; ok {
+				if n := namedOf(containerElem(tv.Type)); n != nil && n.Obj().Pkg() == pass.Pkg.Types {
+					if _, isStruct := n.Underlying().(*types.Struct); isStruct {
+						mark(n.Obj())
+					}
+				}
+			}
+			if len(f.Names) == 0 {
+				checkTagSpelling(pass, tn, f, "(embedded)")
+				continue
+			}
+			for _, name := range f.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if f.Tag == nil || jsonTag(f.Tag.Value) == "" {
+					pass.Reportf(name.Pos(),
+						"wire struct %s: exported field %s has no json tag; every wire field is tagged snake_case (DESIGN.md §6)",
+						tn.Name(), name.Name)
+					continue
+				}
+				checkTagSpelling(pass, tn, f, name.Name)
+			}
+		}
+	}
+}
+
+func checkTagSpelling(pass *Pass, tn *types.TypeName, f *ast.Field, fieldName string) {
+	if f.Tag == nil {
+		return
+	}
+	tag := jsonTag(f.Tag.Value)
+	if tag == "" {
+		return
+	}
+	name, _, _ := strings.Cut(tag, ",")
+	if name == "-" {
+		return
+	}
+	if name == "" {
+		pass.Reportf(f.Tag.Pos(),
+			"wire struct %s: json tag on %s names no key, so the CamelCase field name leaks onto the wire; spell the snake_case key explicitly",
+			tn.Name(), fieldName)
+		return
+	}
+	if !snakeRe.MatchString(name) {
+		pass.Reportf(f.Tag.Pos(),
+			"wire struct %s: json key %q on %s is not snake_case (^[a-z][a-z0-9_]*$)",
+			tn.Name(), name, fieldName)
+	}
+}
+
+func hasJSONTag(st *ast.StructType) bool {
+	for _, f := range st.Fields.List {
+		if f.Tag != nil && jsonTag(f.Tag.Value) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func jsonTag(raw string) string {
+	return reflect.StructTag(strings.Trim(raw, "`")).Get("json")
+}
+
+// containerElem unwraps pointers, slices, arrays, and map values down
+// to the element type that would be marshaled.
+func containerElem(t types.Type) types.Type {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		default:
+			return t
+		}
+	}
+}
+
+// checkNumberDecoding flags untyped JSON decoding that would round
+// int64 wire values through float64.
+func checkNumberDecoding(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			usesNumber := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "UseNumber" {
+						usesNumber = true
+					}
+				}
+				return true
+			})
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isPkgFunc(info, call, "encoding/json", "Unmarshal") && len(call.Args) == 2 && looseTarget(info, call.Args[1]) {
+					pass.Reportf(call.Pos(),
+						"json.Unmarshal into %s parses wire int64s as float64 (exact only to 2^53); decode with a json.Decoder after UseNumber, or into a typed struct",
+						typeString(targetType(info, call.Args[1])))
+				}
+				if isDecoderDecode(info, call) && len(call.Args) == 1 && looseTarget(info, call.Args[0]) && !usesNumber {
+					pass.Reportf(call.Pos(),
+						"Decode into %s without UseNumber parses wire int64s as float64 (exact only to 2^53); call dec.UseNumber() first",
+						typeString(targetType(info, call.Args[0])))
+				}
+				return true
+			})
+		}
+	}
+}
+
+func isDecoderDecode(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Decode" {
+		return false
+	}
+	s := info.Selections[sel]
+	return s != nil && isNamedType(s.Recv(), "encoding/json", "Decoder")
+}
+
+// looseTarget reports whether the decode destination is a pointer to
+// any or to a map with any values — the representations where
+// encoding/json falls back to float64 for numbers.
+func looseTarget(info *types.Info, arg ast.Expr) bool {
+	t := targetType(info, arg)
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return looseValueType(ptr.Elem())
+}
+
+func looseValueType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Interface:
+		return u.NumMethods() == 0
+	case *types.Map:
+		return looseValueType(u.Elem())
+	case *types.Slice:
+		return looseValueType(u.Elem())
+	}
+	return false
+}
+
+func targetType(info *types.Info, arg ast.Expr) types.Type {
+	if tv, ok := info.Types[arg]; ok {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
